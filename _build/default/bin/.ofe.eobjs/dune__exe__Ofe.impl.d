@@ -1,0 +1,1 @@
+bin/ofe.ml: Arg Buffer Bytes Cmd Cmdliner Format Jigsaw List Minic Printf Sof String Svm Term

@@ -1,0 +1,1 @@
+bin/omos_demo.ml: Arg Cmd Cmdliner Format List Omos Printf Simos Term

@@ -1,0 +1,1 @@
+bin/omos_demo.mli:

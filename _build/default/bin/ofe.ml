@@ -1,0 +1,288 @@
+(* OFE — the Object File Editor (paper §8.1).
+
+   "We also have a non-server version of OMOS, called the Object File
+   Editor (OFE). It offers a traditional command interface and
+   manipulates files in the normal Unix file namespace."
+
+   Subcommands operate on SOF object files on the host filesystem:
+
+     ofe compile in.c out.sof        minic -> SOF
+     ofe info file.sof               sections, counts
+     ofe symbols file.sof            the symbol table
+     ofe relocs file.sof             relocation entries
+     ofe disasm file.sof             text disassembly
+     ofe exports file.sof            exported names
+     ofe undefined file.sof          unresolved references
+     ofe convert FMT in out          re-encode (sof | aout)
+     ofe rename PAT TPL in out       jigsaw rename (defs+refs)
+     ofe hide PAT in out             jigsaw hide
+     ofe restrict PAT in out         jigsaw restrict
+     ofe copy-as PAT NEW in out      jigsaw copy-as
+     ofe merge out in1 in2 ...       jigsaw merge (partial link)        *)
+
+open Cmdliner
+
+(* reads either backend format via the Bfd switch *)
+let read_obj (path : string) : Sof.Object_file.t =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let bytes = really_input_string ic len in
+  close_in ic;
+  Sof.Bfd.decode (Bytes.of_string bytes)
+
+let write_obj (path : string) (o : Sof.Object_file.t) : unit =
+  let oc = open_out_bin path in
+  output_bytes oc (Sof.Codec.encode o);
+  close_out oc
+
+let in_file =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"INPUT" ~doc:"input SOF file")
+
+let handle f =
+  try
+    f ();
+    0
+  with
+  | Sof.Codec.Decode_error m | Sof.Aout.Decode_error m
+  | Sof.Bfd.Unknown_format m | Sof.Object_file.Invalid m ->
+      Printf.eprintf "ofe: %s\n" m;
+      1
+  | Minic.Driver.Compile_error m ->
+      Printf.eprintf "ofe: %s\n" m;
+      1
+  | Jigsaw.Module_ops.Module_error m ->
+      Printf.eprintf "ofe: %s\n" m;
+      1
+  | Sys_error m ->
+      Printf.eprintf "ofe: %s\n" m;
+      1
+
+(* -- inspection commands ------------------------------------------------- *)
+
+let info_cmd =
+  let run input =
+    handle (fun () ->
+        let o = read_obj input in
+        Printf.printf "%s: text=%d data=%d bss=%d symbols=%d relocs=%d ctors=%d\n"
+          o.Sof.Object_file.name
+          (Bytes.length o.Sof.Object_file.text)
+          (Bytes.length o.Sof.Object_file.data)
+          o.Sof.Object_file.bss_size
+          (List.length o.Sof.Object_file.symbols)
+          (List.length o.Sof.Object_file.relocs)
+          (List.length o.Sof.Object_file.ctors))
+  in
+  Cmd.v (Cmd.info "info" ~doc:"show section sizes and table counts")
+    Term.(const run $ in_file)
+
+let symbols_cmd =
+  let run input =
+    handle (fun () ->
+        let o = read_obj input in
+        List.iter
+          (fun s -> Format.printf "%a@." Sof.Symbol.pp s)
+          o.Sof.Object_file.symbols)
+  in
+  Cmd.v (Cmd.info "symbols" ~doc:"print the symbol table") Term.(const run $ in_file)
+
+let relocs_cmd =
+  let run input =
+    handle (fun () ->
+        let o = read_obj input in
+        List.iter (fun r -> Format.printf "%a@." Sof.Reloc.pp r) o.Sof.Object_file.relocs)
+  in
+  Cmd.v (Cmd.info "relocs" ~doc:"print relocation entries") Term.(const run $ in_file)
+
+let disasm_cmd =
+  let run input =
+    handle (fun () ->
+        let o = read_obj input in
+        print_string (Svm.Disasm.code_to_string o.Sof.Object_file.text))
+  in
+  Cmd.v (Cmd.info "disasm" ~doc:"disassemble the text section") Term.(const run $ in_file)
+
+let exports_cmd =
+  let run input =
+    handle (fun () ->
+        let o = read_obj input in
+        List.iter
+          (fun (s : Sof.Symbol.t) -> print_endline s.Sof.Symbol.name)
+          (Sof.Object_file.exported o))
+  in
+  Cmd.v (Cmd.info "exports" ~doc:"list exported definitions") Term.(const run $ in_file)
+
+let undefined_cmd =
+  let run input =
+    handle (fun () ->
+        List.iter print_endline (Sof.Object_file.undefined (read_obj input)))
+  in
+  Cmd.v (Cmd.info "undefined" ~doc:"list unresolved references") Term.(const run $ in_file)
+
+(* -- the classic object-file utilities (paper §7: nm, size, strings
+   "are concerned with only a small part of the whole file") ---------------- *)
+
+let nm_cmd =
+  (* nm-style: value, type letter, name. T/D/B/A for text/data/bss/abs
+     (lowercase = local), U for undefined. *)
+  let run input =
+    handle (fun () ->
+        let o = read_obj input in
+        List.iter
+          (fun (s : Sof.Symbol.t) ->
+            let letter =
+              match s.Sof.Symbol.kind with
+              | Sof.Symbol.Text -> "T"
+              | Sof.Symbol.Data -> "D"
+              | Sof.Symbol.Bss -> "B"
+              | Sof.Symbol.Abs -> "A"
+              | Sof.Symbol.Undef -> "U"
+            in
+            let letter =
+              if s.Sof.Symbol.binding = Sof.Symbol.Local then
+                String.lowercase_ascii letter
+              else letter
+            in
+            if s.Sof.Symbol.kind = Sof.Symbol.Undef then
+              Printf.printf "%8s %s %s\n" "" letter s.Sof.Symbol.name
+            else Printf.printf "%08x %s %s\n" s.Sof.Symbol.value letter s.Sof.Symbol.name)
+          (List.sort
+             (fun (a : Sof.Symbol.t) b -> compare a.Sof.Symbol.name b.Sof.Symbol.name)
+             o.Sof.Object_file.symbols))
+  in
+  Cmd.v (Cmd.info "nm" ~doc:"list symbols, nm-style") Term.(const run $ in_file)
+
+let size_cmd =
+  let run input =
+    handle (fun () ->
+        let o = read_obj input in
+        let text = Bytes.length o.Sof.Object_file.text in
+        let data = Bytes.length o.Sof.Object_file.data in
+        let bss = o.Sof.Object_file.bss_size in
+        Printf.printf "   text\t   data\t    bss\t    dec\t    hex\tfilename\n";
+        Printf.printf "%7d\t%7d\t%7d\t%7d\t%7x\t%s\n" text data bss (text + data + bss)
+          (text + data + bss) input)
+  in
+  Cmd.v (Cmd.info "size" ~doc:"print section sizes, size-style") Term.(const run $ in_file)
+
+let strings_cmd =
+  let run input =
+    handle (fun () ->
+        let o = read_obj input in
+        (* printable runs of >= 4 chars in the data section *)
+        let data = o.Sof.Object_file.data in
+        let buf = Buffer.create 16 in
+        let flush () =
+          if Buffer.length buf >= 4 then print_endline (Buffer.contents buf);
+          Buffer.clear buf
+        in
+        Bytes.iter
+          (fun c ->
+            if c >= ' ' && c < '\127' then Buffer.add_char buf c else flush ())
+          data;
+        flush ())
+  in
+  Cmd.v (Cmd.info "strings" ~doc:"print printable strings from the data section")
+    Term.(const run $ in_file)
+
+(* -- compile --------------------------------------------------------------- *)
+
+let compile_cmd =
+  let src = Arg.(required & pos 0 (some file) None & info [] ~docv:"SRC" ~doc:"minic source") in
+  let out = Arg.(required & pos 1 (some string) None & info [] ~docv:"OUT" ~doc:"output SOF") in
+  let run src out =
+    handle (fun () ->
+        let ic = open_in src in
+        let text = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        write_obj out (Minic.Driver.compile ~name:out text);
+        Printf.printf "wrote %s\n" out)
+  in
+  Cmd.v (Cmd.info "compile" ~doc:"compile minic source to a SOF object")
+    Term.(const run $ src $ out)
+
+(* -- module operations ------------------------------------------------------- *)
+
+let pat_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"PATTERN" ~doc:"symbol regexp")
+
+let unary_op name doc f =
+  let input = Arg.(required & pos 1 (some file) None & info [] ~docv:"INPUT" ~doc:"input SOF") in
+  let out = Arg.(required & pos 2 (some string) None & info [] ~docv:"OUTPUT" ~doc:"output SOF") in
+  let run pat input out =
+    handle (fun () ->
+        let m = Jigsaw.Module_ops.of_object (read_obj input) in
+        let m' = f (Jigsaw.Select.compile pat) m in
+        write_obj out (Jigsaw.Module_ops.to_object ~name:out m');
+        Printf.printf "wrote %s\n" out)
+  in
+  Cmd.v (Cmd.info name ~doc) Term.(const run $ pat_arg $ input $ out)
+
+let rename_cmd =
+  let tpl = Arg.(required & pos 1 (some string) None & info [] ~docv:"TEMPLATE" ~doc:"replacement (\\1 groups ok)") in
+  let input = Arg.(required & pos 2 (some file) None & info [] ~docv:"INPUT" ~doc:"input SOF") in
+  let out = Arg.(required & pos 3 (some string) None & info [] ~docv:"OUTPUT" ~doc:"output SOF") in
+  let run pat tpl input out =
+    handle (fun () ->
+        let m = Jigsaw.Module_ops.of_object (read_obj input) in
+        let m' = Jigsaw.Module_ops.rename (Jigsaw.Select.compile pat) tpl m in
+        write_obj out (Jigsaw.Module_ops.to_object ~name:out m');
+        Printf.printf "wrote %s\n" out)
+  in
+  Cmd.v (Cmd.info "rename" ~doc:"systematically rename symbols")
+    Term.(const run $ pat_arg $ tpl $ input $ out)
+
+let copy_as_cmd =
+  let newname = Arg.(required & pos 1 (some string) None & info [] ~docv:"NEWNAME" ~doc:"name for the copy") in
+  let input = Arg.(required & pos 2 (some file) None & info [] ~docv:"INPUT" ~doc:"input SOF") in
+  let out = Arg.(required & pos 3 (some string) None & info [] ~docv:"OUTPUT" ~doc:"output SOF") in
+  let run pat newname input out =
+    handle (fun () ->
+        let m = Jigsaw.Module_ops.of_object (read_obj input) in
+        let m' = Jigsaw.Module_ops.copy_as (Jigsaw.Select.compile pat) newname m in
+        write_obj out (Jigsaw.Module_ops.to_object ~name:out m');
+        Printf.printf "wrote %s\n" out)
+  in
+  Cmd.v (Cmd.info "copy-as" ~doc:"duplicate definitions under a new name")
+    Term.(const run $ pat_arg $ newname $ input $ out)
+
+let convert_cmd =
+  let fmt = Arg.(required & pos 0 (some string) None & info [] ~docv:"FORMAT" ~doc:"sof | aout") in
+  let input = Arg.(required & pos 1 (some file) None & info [] ~docv:"INPUT" ~doc:"input object") in
+  let out = Arg.(required & pos 2 (some string) None & info [] ~docv:"OUTPUT" ~doc:"output object") in
+  let run fmt input out =
+    handle (fun () ->
+        let o = read_obj input in
+        let oc = open_out_bin out in
+        output_bytes oc (Sof.Bfd.encode (Sof.Bfd.format_of_string fmt) o);
+        close_out oc;
+        Printf.printf "wrote %s (%s format)\n" out fmt)
+  in
+  Cmd.v (Cmd.info "convert" ~doc:"re-encode an object in another backend format")
+    Term.(const run $ fmt $ input $ out)
+
+let merge_cmd =
+  let out = Arg.(required & pos 0 (some string) None & info [] ~docv:"OUTPUT" ~doc:"output SOF") in
+  let inputs = Arg.(non_empty & pos_right 0 file [] & info [] ~docv:"INPUTS" ~doc:"input SOFs") in
+  let run out inputs =
+    handle (fun () ->
+        let m = Jigsaw.Module_ops.of_objects (List.map read_obj inputs) in
+        write_obj out (Jigsaw.Module_ops.to_object ~name:out m);
+        Printf.printf "wrote %s (%d members)\n" out (List.length inputs))
+  in
+  Cmd.v (Cmd.info "merge" ~doc:"merge objects (partial link)")
+    Term.(const run $ out $ inputs)
+
+let main =
+  Cmd.group
+    (Cmd.info "ofe" ~doc:"the Object File Editor: inspect and transform SOF objects")
+    [
+      info_cmd; symbols_cmd; relocs_cmd; disasm_cmd; exports_cmd; undefined_cmd;
+      nm_cmd; size_cmd; strings_cmd;
+      compile_cmd; convert_cmd; rename_cmd; copy_as_cmd; merge_cmd;
+      unary_op "hide" "hide definitions, freezing internal references" Jigsaw.Module_ops.hide;
+      unary_op "restrict" "virtualize definitions (remove, keep references)" Jigsaw.Module_ops.restrict;
+      unary_op "show" "hide all but the selected definitions" Jigsaw.Module_ops.show;
+      unary_op "project" "virtualize all but the selected definitions" Jigsaw.Module_ops.project;
+      unary_op "freeze" "make current bindings permanent" Jigsaw.Module_ops.freeze;
+    ]
+
+let () = exit (Cmd.eval' main)

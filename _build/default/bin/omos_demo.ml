@@ -1,0 +1,109 @@
+(* omos_demo — run the paper's workloads on the simulated machine under
+   any shared-library scheme.
+
+     omos_demo run  --scheme dynamic ls -laF /data/many
+     omos_demo run  --scheme omos --personality mach codegen
+     omos_demo ns                       # the server's namespace
+     omos_demo stats --scheme omos ls   # clock + cache + memory report *)
+
+open Cmdliner
+
+type scheme = Static | Dynamic | Omos_boot | Omos_integrated | Partial
+
+let scheme_conv =
+  Arg.enum
+    [
+      ("static", Static); ("dynamic", Dynamic); ("omos", Omos_boot);
+      ("omos-integrated", Omos_integrated); ("partial", Partial);
+    ]
+
+let personality_conv =
+  Arg.enum
+    [ ("hpux", Omos.World.Hpux); ("mach", Omos.World.Mach_osf1);
+      ("mach386", Omos.World.Mach_386) ]
+
+let scheme_arg =
+  Arg.(value & opt scheme_conv Omos_boot & info [ "scheme" ] ~docv:"SCHEME"
+         ~doc:"static | dynamic | omos | omos-integrated | partial")
+
+let personality_arg =
+  Arg.(value & opt personality_conv Omos.World.Hpux
+       & info [ "personality" ] ~docv:"OS" ~doc:"hpux | mach | mach386")
+
+let build_program (w : Omos.World.t) scheme name =
+  let client, libs =
+    match name with
+    | "ls" -> (Omos.World.ls_client w, Omos.World.ls_libs)
+    | "codegen" -> (Omos.World.codegen_client w, Omos.World.codegen_libs)
+    | other -> failwith ("unknown program " ^ other ^ " (ls | codegen)")
+  in
+  match scheme with
+  | Static -> Omos.Schemes.static_program w.Omos.World.rt ~name ~client ~libs
+  | Dynamic -> Omos.Schemes.dynamic_program w.Omos.World.rt ~name ~client ~libs
+  | Omos_boot ->
+      Omos.Schemes.self_contained_program w.Omos.World.rt ~name ~client ~libs ()
+  | Omos_integrated ->
+      Omos.Schemes.self_contained_program w.Omos.World.rt
+        ~style:Omos.Schemes.Integrated ~name ~client ~libs ()
+  | Partial -> Omos.Schemes.partial_image_program w.Omos.World.rt ~name ~client ~libs
+
+let run_cmd =
+  let prog = Arg.(required & pos 0 (some string) None & info [] ~docv:"PROGRAM" ~doc:"ls | codegen") in
+  let args = Arg.(value & pos_right 0 string [] & info [] ~docv:"ARGS") in
+  let run scheme personality prog args =
+    let w = Omos.World.create ~personality () in
+    let p = build_program w scheme prog in
+    let code, out = Omos.Schemes.invoke w.Omos.World.rt p ~args:(prog :: args) in
+    print_string out;
+    Printf.printf "(exit %d; %s)\n" code
+      (Format.asprintf "%a" Simos.Clock.pp w.Omos.World.kernel.Simos.Kernel.clock);
+    if code = 0 then 0 else code
+  in
+  Cmd.v (Cmd.info "run" ~doc:"run a workload under a scheme")
+    Term.(const run $ scheme_arg $ personality_arg $ prog $ args)
+
+let ns_cmd =
+  let run () =
+    let w = Omos.World.create () in
+    let ns = w.Omos.World.server.Omos.Server.ns in
+    print_endline "meta-objects:";
+    List.iter (Printf.printf "  %s\n") (Omos.Namespace.all_metas ns);
+    print_endline "directories:";
+    List.iter
+      (fun d ->
+        Printf.printf "  /%s:" d;
+        List.iter (fun (n, _) -> Printf.printf " %s" n) (Omos.Namespace.list ns ("/" ^ d));
+        print_newline ())
+      [ "lib"; "libc"; "obj" ];
+    0
+  in
+  Cmd.v (Cmd.info "ns" ~doc:"show the server namespace") Term.(const run $ const ())
+
+let stats_cmd =
+  let prog = Arg.(value & pos 0 string "ls" & info [] ~docv:"PROGRAM") in
+  let run scheme personality prog =
+    let w = Omos.World.create ~personality () in
+    let p = build_program w scheme prog in
+    let args = if prog = "ls" then Omos.World.ls_laf_args else [ prog ] in
+    ignore (Omos.Schemes.invoke w.Omos.World.rt p ~args);
+    ignore (Omos.Schemes.invoke w.Omos.World.rt p ~args);
+    let k = w.Omos.World.kernel in
+    Printf.printf "clock: %s\n" (Format.asprintf "%a" Simos.Clock.pp k.Simos.Kernel.clock);
+    Printf.printf "syscalls: %d\n" k.Simos.Kernel.syscall_count;
+    Printf.printf "physical: %s\n" (Format.asprintf "%a" Simos.Phys.pp k.Simos.Kernel.phys);
+    let st = Omos.Cache.stats w.Omos.World.server.Omos.Server.cache in
+    Printf.printf "cache: %d hits, %d misses, %d entries, %d KB\n" st.Omos.Cache.hits
+      st.Omos.Cache.misses st.Omos.Cache.entries (st.Omos.Cache.disk_bytes_total / 1024);
+    Printf.printf "dispatch: %d bytes, %d imports, %d eager relocs\n"
+      p.Omos.Schemes.dispatch_bytes p.Omos.Schemes.imports p.Omos.Schemes.eager_relocs;
+    0
+  in
+  Cmd.v (Cmd.info "stats" ~doc:"run twice and report server statistics")
+    Term.(const run $ scheme_arg $ personality_arg $ prog)
+
+let main =
+  Cmd.group
+    (Cmd.info "omos_demo" ~doc:"drive the OMOS reproduction's simulated machine")
+    [ run_cmd; ns_cmd; stats_cmd ]
+
+let () = exit (Cmd.eval' main)

@@ -1,0 +1,1 @@
+examples/dynload_demo.ml: Minic Omos Printf Simos Workloads

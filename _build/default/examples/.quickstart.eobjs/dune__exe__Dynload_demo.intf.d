@@ -1,0 +1,1 @@
+examples/dynload_demo.mli:

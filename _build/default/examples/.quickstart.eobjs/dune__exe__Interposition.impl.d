@@ -1,0 +1,1 @@
+examples/interposition.ml: Blueprint Jigsaw List Minic Omos Printf Simos Workloads

@@ -1,0 +1,1 @@
+examples/publish_demo.ml: Bytes List Omos Printf Simos String

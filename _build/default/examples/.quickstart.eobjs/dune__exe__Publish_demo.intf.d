@@ -1,0 +1,1 @@
+examples/publish_demo.mli:

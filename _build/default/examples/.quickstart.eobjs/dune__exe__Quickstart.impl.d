@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Linker List Omos Printf Simos String

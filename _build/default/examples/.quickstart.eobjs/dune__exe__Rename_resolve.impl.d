@@ -1,0 +1,1 @@
+examples/rename_resolve.ml: Blueprint Linker Minic Omos Printf Simos Workloads

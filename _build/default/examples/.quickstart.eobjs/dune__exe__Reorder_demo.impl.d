@@ -1,0 +1,1 @@
+examples/reorder_demo.ml: Blueprint List Omos Printf Simos String Workloads

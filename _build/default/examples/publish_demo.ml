@@ -1,0 +1,50 @@
+(* Exporting OMOS programs into the Unix namespace (paper §5).
+
+   "In Unix, we normally invoke this loader via the "interpreter"
+   feature (#! /bin/omos). This allows us to export entries from the
+   OMOS namespace into the Unix namespace, in a portable fashion (as a
+   parameter in the file)."
+
+   This demo publishes ls as /bin/ls — a two-line script — and then
+   runs it through the perfectly ordinary exec() path. The kernel sees
+   the #! line, hands control to the OMOS interpreter, and the cached
+   images are mapped in.
+
+   Run with: dune exec examples/publish_demo.exe *)
+
+let () =
+  let w = Omos.World.create () in
+  let s = w.Omos.World.server in
+  let k = w.Omos.World.kernel in
+  let reg = Omos.Boot.install_interpreter s in
+
+  (* build the self-contained pieces once, as at installation time *)
+  let libc = Omos.Server.build_library s ~path:"/lib/libc" () in
+  let client =
+    Omos.Server.build_static s ~name:"ls"
+      ~externals:[ libc.Omos.Server.entry.Omos.Cache.image ]
+      (Omos.Schemes.graph_of_objs (Omos.World.ls_client w))
+  in
+  Omos.Boot.publish reg ~path:"/bin/ls" ~name:"/meta/ls" (fun () ->
+      Omos.Server.loadable_entry [ libc; client ]);
+
+  Printf.printf "/bin/ls on disk (%d bytes):\n  %s\n"
+    (Simos.Fs.disk_usage k.Simos.Kernel.fs "/bin/ls")
+    (String.trim (Bytes.to_string (Simos.Fs.read_file k.Simos.Kernel.fs "/bin/ls")));
+
+  print_endline "\nexec(\"/bin/ls\", [\"/data/many\"]):";
+  let p = Simos.Kernel.exec k ~path:"/bin/ls" ~args:[ "ls"; "/data/many" ] in
+  let code = Simos.Kernel.run k p () in
+  List.iteri
+    (fun i line -> if i < 5 then print_endline ("  " ^ line))
+    (String.split_on_char '\n' (Simos.Proc.stdout_contents p));
+  Printf.printf "  ... (exit %d)\n" code;
+
+  (* the same file is visible to ordinary tools as a tiny script, while
+     the real images live in the server's cache *)
+  let st = Omos.Cache.stats s.Omos.Server.cache in
+  Printf.printf
+    "\n'/bin' holds %d bytes; the server cache holds the real %d KB.\n\
+     (\"/bin ... can become a filesystem backed only by OMOS\")\n"
+    (Simos.Fs.disk_usage k.Simos.Kernel.fs "/bin")
+    (st.Omos.Cache.disk_bytes_total / 1024)

@@ -1,0 +1,78 @@
+(* Figure 3: symbol renaming and resolution.
+
+   "The source operator can be used to fill in missing variable or
+   routine definitions with default values. The rename operation can be
+   used ... to rename all references to routines that should never be
+   called to the routine _abort, which will produce notable behavior if
+   called unintentionally."
+
+   Run with: dune exec examples/rename_resolve.exe *)
+
+(* a library with problems: it references a variable nobody defines and
+   calls a routine that must never run *)
+let broken_src =
+  "extern int undef_var;\n\
+   int entry(int x) {\n\
+  \  if (x > 1000) { return undefined_routine(x); }\n\
+  \  return x + undef_var;\n\
+   }\n"
+
+let figure3_blueprint =
+  "(merge\n\
+  \  ;; resolve an undefined data reference and\n\
+  \  ;; reroute undefined routines to \"abort()\"\n\
+  \  (source \"c\" \"int undef_var = 0;\")\n\
+  \  (rename \"^undefined_routine$\" \"abort\" /lib/lib-with-problems))\n"
+
+let abort_src =
+  "int abort() { putstr(\"abort() called!\\n\"); exit(42); return 0; }\n"
+
+let main_src =
+  "int main() {\n\
+  \  putstr(\"entry(7) = \"); putint(entry(7)); putstr(\"\\n\");\n\
+  \  putstr(\"entry(5000) = \"); putint(entry(5000)); putstr(\"\\n\");\n\
+  \  return 0;\n\
+   }\n"
+
+let () =
+  let w = Omos.World.create () in
+  let s = w.Omos.World.server in
+  Omos.Server.add_fragment s "/lib/lib-with-problems"
+    (Minic.Driver.compile ~name:"/lib/lib-with-problems" broken_src);
+  Omos.Server.add_fragment s "/obj/abort.o"
+    (Minic.Driver.compile ~name:"/obj/abort.o" abort_src);
+  Omos.Server.add_fragment s "/obj/main.o"
+    (Minic.Driver.compile ~name:"/obj/main.o" main_src);
+  Omos.Server.add_fragment s "/obj/crt0.o" (Workloads.Crt0.obj ());
+
+  print_endline "== the repair blueprint (Figure 3) ==";
+  print_string figure3_blueprint;
+
+  (* before the repair, the library cannot link *)
+  print_endline "\n== without the repair ==";
+  (try
+     ignore
+       (Omos.Server.build_static s ~name:"broken"
+          (Blueprint.Mgraph.parse
+             "(merge /obj/crt0.o /obj/main.o /obj/abort.o /lib/lib-with-problems /lib/libc)"))
+   with Linker.Link.Link_error e ->
+     Printf.printf "link fails, as expected: %s\n" (Linker.Link.error_to_string e));
+
+  print_endline "\n== with the repair ==";
+  let graph =
+    Blueprint.Mgraph.Merge
+      [
+        Blueprint.Mgraph.Name "/obj/crt0.o";
+        Blueprint.Mgraph.Name "/obj/main.o";
+        Blueprint.Mgraph.Name "/obj/abort.o";
+        Blueprint.Mgraph.parse figure3_blueprint;
+        Blueprint.Mgraph.Name "/lib/libc";
+      ]
+  in
+  let b = Omos.Server.build_static s ~name:"repaired" graph in
+  let p =
+    Omos.Boot.integrated_exec s (Omos.Server.loadable_entry [ b ]) ~args:[ "repaired" ]
+  in
+  let code = Simos.Kernel.run w.Omos.World.kernel p () in
+  print_string (Simos.Proc.stdout_contents p);
+  Printf.printf "exit code %d (42 = the rerouted abort fired)\n" code

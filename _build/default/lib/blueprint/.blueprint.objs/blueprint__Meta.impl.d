@@ -1,0 +1,1 @@
+lib/blueprint/meta.ml: Format List Mgraph Sexp

@@ -1,0 +1,1 @@
+lib/blueprint/meta.mli: Mgraph

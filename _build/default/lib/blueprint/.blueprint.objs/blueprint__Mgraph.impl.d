@@ -1,0 +1,1 @@
+lib/blueprint/mgraph.ml: Constraints Digest Format Hashtbl Jigsaw List Minic Printf Sexp Sof String

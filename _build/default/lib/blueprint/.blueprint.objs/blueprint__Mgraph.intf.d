@@ -1,0 +1,1 @@
+lib/blueprint/mgraph.mli: Constraints Hashtbl Jigsaw Sexp Sof

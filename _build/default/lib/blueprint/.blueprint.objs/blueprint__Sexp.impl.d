@@ -1,0 +1,1 @@
+lib/blueprint/sexp.ml: Buffer Format List String

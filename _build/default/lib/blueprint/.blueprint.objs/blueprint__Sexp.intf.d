@@ -1,0 +1,1 @@
+lib/blueprint/sexp.mli: Format

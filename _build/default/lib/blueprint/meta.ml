@@ -1,0 +1,85 @@
+(** Meta-object descriptions.
+
+    "Meta-objects are templates describing the construction and
+    characteristics of objects, and contain a class description of
+    their target objects." A meta-object source file (cf. Figure 1) is
+    a sequence of forms:
+
+    {v
+    (default-specialization "lib-constrained")      ; optional
+    (constraint-list "T" 0x100000 "D" 0x40200000)   ; optional
+    (merge /libc/gen /libc/stdio ...)               ; the blueprint
+    v}
+
+    Multiple trailing expressions are implicitly merged. *)
+
+exception Meta_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Meta_error s)) fmt
+
+type t = {
+  name : string;
+  default_spec : (string * Mgraph.value list) option;
+  (* default address constraints from the constraint-list: (seg, addr) *)
+  constraints : (Mgraph.seg * int) list;
+  root : Mgraph.node;
+}
+
+let rec parse_pairs = function
+  | [] -> []
+  | Sexp.Str seg :: Sexp.Int addr :: rest -> (seg, addr) :: parse_pairs rest
+  | s :: _ -> fail "constraint-list: unexpected %s" (Sexp.to_string s)
+
+(** [parse ~name src] parses a meta-object file. *)
+let parse ~(name : string) (src : string) : t =
+  let forms =
+    try Sexp.parse_many src
+    with Sexp.Parse_error (msg, line) -> fail "%s (line %d): %s" name line msg
+  in
+  let default_spec = ref None in
+  let constraints = ref [] in
+  let roots = ref [] in
+  List.iter
+    (fun (form : Sexp.t) ->
+      match form with
+      | Sexp.List (Sexp.Sym op :: args)
+        when Mgraph.normalize_op op = "constraint_list" ->
+          constraints :=
+            !constraints
+            @ List.map (fun (s, a) -> (Mgraph.seg_of_string s, a)) (parse_pairs args)
+      | Sexp.List (Sexp.Sym op :: Sexp.Str style :: args)
+        when Mgraph.normalize_op op = "default_specialization" ->
+          default_spec := Some (style, List.map Mgraph.value_of_sexp args)
+      | _ -> roots := Mgraph.of_sexp form :: !roots)
+    forms;
+  let root =
+    match List.rev !roots with
+    | [] -> fail "%s: meta-object has no blueprint expression" name
+    | [ r ] -> r
+    | many -> Mgraph.Merge many
+  in
+  { name; default_spec = !default_spec; constraints = !constraints; root }
+
+(** Build a meta-object directly from a graph (no surface syntax). *)
+let of_graph ?(default_spec = None) ?(constraints = []) ~name root : t =
+  { name; default_spec; constraints; root }
+
+(** The graph to evaluate for this meta-object under an optional
+    requested specialization: an explicit request wins over the
+    default; the default-spec (if any) wraps the root; the meta's
+    constraint-list wraps everything as [Constrain] nodes. *)
+let effective_graph (meta : t) ~(spec : (string * Mgraph.value list) option) :
+    Mgraph.node =
+  let base =
+    match (spec, meta.default_spec) with
+    | Some (style, args), _ | None, Some (style, args) ->
+        Mgraph.Specialize (style, args, meta.root)
+    | None, None -> meta.root
+  in
+  List.fold_left
+    (fun acc (seg, addr) -> Mgraph.Constrain (seg, addr, acc))
+    base meta.constraints
+
+(** Digest identifying the construction (cache key component). *)
+let digest (meta : t) ~(spec : (string * Mgraph.value list) option) : string =
+  Mgraph.digest (effective_graph meta ~spec)

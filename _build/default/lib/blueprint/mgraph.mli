@@ -1,0 +1,93 @@
+(** M-graphs: the executable graphs blueprints compile to (paper §3.2).
+
+    A node evaluates to a Jigsaw module plus accumulated address-space
+    preferences. [Specialize] nodes dispatch through a registry of
+    {!specializer}s: the base styles live here; the server registers
+    the shared-library styles ("lib-dynamic", "monitor", …). *)
+
+exception Eval_error of string
+
+(** Which segment an address constraint applies to ("T"/"D" in the
+    paper's constraint lists). *)
+type seg = Seg_text | Seg_data
+
+(** @raise Eval_error on anything but "T"/"D" (case-insensitive). *)
+val seg_of_string : string -> seg
+
+type constraint_pref = {
+  seg : seg;
+  priority : int;
+  pref : Constraints.Placement.pref;
+}
+
+type node =
+  | Leaf of Sof.Object_file.t
+  | Name of string  (** server-object path, resolved by the env *)
+  | Merge of node list
+  | Override of node * node
+  | Freeze of string * node
+  | Restrict of string * node
+  | Project of string * node
+  | Copy_as of string * string * node
+  | Hide of string * node
+  | Show of string * node
+  | Rename of Jigsaw.Module_ops.rename_scope * string * string * node
+  | Initializers of node
+  | Source of string * string  (** language, source text *)
+  | Specialize of string * value list * node
+  | Constrain of seg * int * node  (** preferred base address for seg *)
+  | Lst of node list
+
+and value = Vstr of string | Vnum of int | Vlist of value list | Vnode of node
+
+(** Result of evaluating a node. *)
+type result = { m : Jigsaw.Module_ops.t; constraints : constraint_pref list }
+
+type env = {
+  resolve : string -> node;
+  specializers : (string, specializer) Hashtbl.t;
+  mutable visiting : string list; (* cycle detection for Name *)
+}
+
+and specializer = env -> value list -> node -> result
+
+(** Operator-name normalization: lowercase, '-' → '_'. *)
+val normalize_op : string -> string
+
+(** Graph construction from s-expressions. *)
+val of_sexp : Sexp.t -> node
+
+val value_of_sexp : Sexp.t -> value
+
+(** Parse a single blueprint expression into an m-graph. *)
+val parse : string -> node
+
+(** [eval env n] executes the graph: resolves names, applies module
+    operators, compiles [source] text, dispatches specializations, and
+    collects address-space preferences.
+    @raise Eval_error on unknown names/styles, cyclic meta-object
+    references, or module errors. *)
+val eval : env -> node -> result
+
+(** A fresh registry containing the base specializers
+    ("lib-constrained", "lib-static", "identity"). *)
+val base_specializers : unit -> (string, specializer) Hashtbl.t
+
+(** [make_env ~resolve ()] builds an evaluation environment. [resolve]
+    maps server-object paths to sub-graphs; the default refuses all
+    names. *)
+val make_env : ?resolve:(string -> node) -> unit -> env
+
+(** Register an additional specialization style. *)
+val register : env -> string -> specializer -> unit
+
+(** [map_nodes f n] rewrites the graph top-down: where [f] returns
+    [Some n'], the subtree is replaced; otherwise recursion continues —
+    the transformation hook specializations use. *)
+val map_nodes : (node -> node option) -> node -> node
+
+(** Names referenced anywhere in the graph (dependency extraction). *)
+val names : node -> string list
+
+(** Stable digest of a graph (part of the image-cache key). *)
+val digest : node -> string

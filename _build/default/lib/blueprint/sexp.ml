@@ -1,0 +1,135 @@
+(** The s-expression reader for OMOS blueprints.
+
+    "Currently, the specification language used by OMOS has a simple
+    Lisp-like syntax. The first word in an expression is a graph
+    operation followed by a series of arguments. Arguments can be the
+    names of server objects, strings, or other graph operations."
+
+    Atoms are symbols (operator names and server-object paths such as
+    [/lib/libc]), double-quoted strings, and integers (decimal or hex).
+    Comments run from [;] to end of line. *)
+
+exception Parse_error of string * int (* message, line *)
+
+type t =
+  | Sym of string (* operator name or object path *)
+  | Str of string
+  | Int of int
+  | List of t list
+
+let rec pp ppf = function
+  | Sym s -> Format.pp_print_string ppf s
+  | Str s -> Format.fprintf ppf "%S" s
+  | Int n -> if n > 4095 then Format.fprintf ppf "0x%x" n else Format.pp_print_int ppf n
+  | List items ->
+      Format.fprintf ppf "(@[<hov>%a@])"
+        (Format.pp_print_list ~pp_sep:Format.pp_print_space pp)
+        items
+
+let to_string (s : t) : string = Format.asprintf "%a" pp s
+
+type reader = { src : string; mutable pos : int; mutable line : int }
+
+let fail r fmt = Format.kasprintf (fun s -> raise (Parse_error (s, r.line))) fmt
+
+let peek r = if r.pos < String.length r.src then Some r.src.[r.pos] else None
+
+let advance r =
+  (if r.pos < String.length r.src && r.src.[r.pos] = '\n' then r.line <- r.line + 1);
+  r.pos <- r.pos + 1
+
+let rec skip_ws r =
+  match peek r with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+      advance r;
+      skip_ws r
+  | Some ';' ->
+      while peek r <> None && peek r <> Some '\n' do
+        advance r
+      done;
+      skip_ws r
+  | _ -> ()
+
+let is_sym_char c =
+  match c with
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9'
+  | '/' | '.' | '_' | '-' | '$' | '*' | '+' | '^' | '?' | '\\' | '[' | ']' | '!' | '=' | '<' | '>' | '%' | '&' | '|' | '~' | '@' | ':' ->
+      true
+  | _ -> false
+
+let read_string r =
+  advance r;
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek r with
+    | None -> fail r "unterminated string"
+    | Some '"' -> advance r
+    | Some '\\' ->
+        advance r;
+        (match peek r with
+        | Some 'n' -> Buffer.add_char buf '\n'
+        | Some 't' -> Buffer.add_char buf '\t'
+        | Some '\\' -> Buffer.add_char buf '\\'
+        | Some '"' -> Buffer.add_char buf '"'
+        | Some c -> Buffer.add_char buf c
+        | None -> fail r "unterminated string");
+        advance r;
+        go ()
+    | Some c ->
+        Buffer.add_char buf c;
+        advance r;
+        go ()
+  in
+  go ();
+  Str (Buffer.contents buf)
+
+let read_atom r =
+  let start = r.pos in
+  while (match peek r with Some c -> is_sym_char c | None -> false) do
+    advance r
+  done;
+  let text = String.sub r.src start (r.pos - start) in
+  if text = "" then fail r "unexpected character %C"
+      (match peek r with Some c -> c | None -> ' ');
+  match int_of_string_opt text with Some n -> Int n | None -> Sym text
+
+let rec read_form r : t =
+  skip_ws r;
+  match peek r with
+  | None -> fail r "unexpected end of input"
+  | Some '(' ->
+      advance r;
+      let rec items acc =
+        skip_ws r;
+        match peek r with
+        | Some ')' ->
+            advance r;
+            List (List.rev acc)
+        | None -> fail r "unterminated list"
+        | Some _ -> items (read_form r :: acc)
+      in
+      items []
+  | Some '"' -> read_string r
+  | Some ')' -> fail r "unexpected )"
+  | Some _ -> read_atom r
+
+(** [parse_one src] reads a single form. *)
+let parse_one (src : string) : t =
+  let r = { src; pos = 0; line = 1 } in
+  let form = read_form r in
+  skip_ws r;
+  (match peek r with
+  | Some c -> fail r "trailing input starting with %C" c
+  | None -> ());
+  form
+
+(** [parse_many src] reads all forms in the input — the shape of a
+    meta-object file (constraint-list, default specialization, root
+    expression, …). *)
+let parse_many (src : string) : t list =
+  let r = { src; pos = 0; line = 1 } in
+  let rec go acc =
+    skip_ws r;
+    match peek r with None -> List.rev acc | Some _ -> go (read_form r :: acc)
+  in
+  go []

@@ -1,0 +1,26 @@
+(** The s-expression reader for OMOS blueprints.
+
+    "Currently, the specification language used by OMOS has a simple
+    Lisp-like syntax. The first word in an expression is a graph
+    operation followed by a series of arguments. Arguments can be the
+    names of server objects, strings, or other graph operations."
+
+    Atoms are symbols (operator names and server-object paths such as
+    [/lib/libc]), double-quoted strings, and integers (decimal or hex).
+    Comments run from [;] to end of line. *)
+
+exception Parse_error of string * int
+type t = Sym of string | Str of string | Int of int | List of t list
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+type reader = { src : string; mutable pos : int; mutable line : int; }
+val fail : reader -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+val peek : reader -> char option
+val advance : reader -> unit
+val skip_ws : reader -> unit
+val is_sym_char : char -> bool
+val read_string : reader -> t
+val read_atom : reader -> t
+val read_form : reader -> t
+val parse_one : string -> t
+val parse_many : string -> t list

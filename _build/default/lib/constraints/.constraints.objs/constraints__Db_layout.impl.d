@@ -1,0 +1,1 @@
+lib/constraints/db_layout.ml: Deltablue List

@@ -1,0 +1,1 @@
+lib/constraints/deltablue.ml: Array List Printf Queue

@@ -1,0 +1,1 @@
+lib/constraints/placement.ml: Format List Option

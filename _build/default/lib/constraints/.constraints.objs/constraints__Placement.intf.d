@@ -1,0 +1,1 @@
+lib/constraints/placement.mli: Format

@@ -1,0 +1,106 @@
+(** Incremental address-space layout on top of DeltaBlue.
+
+    The paper's §10: "A more sophisticated constraint system, based on
+    the University of Washington's Delta-Blue constraint solver, has
+    been developed in LISP and is being ported to OMOS and C++." This
+    module is that port's core idea: the bases of a packed run of
+    segments are DeltaBlue variables chained by required constraints
+
+    {v base[i+1] = base[i] * 1 + size[i] v}
+
+    so that moving the run's origin, or resizing one member, replans
+    every downstream address incrementally through an extracted plan —
+    no global re-layout. *)
+
+type member = {
+  m_name : string;
+  base : Deltablue.variable;
+  size : Deltablue.variable;
+}
+
+type t = {
+  solver : Deltablue.t;
+  one : Deltablue.variable; (* the constant scale *)
+  members : member list; (* in address order *)
+}
+
+exception Unknown_member of string
+
+(** [create ~base members] lays out [members] (name, size) as a packed
+    run starting at [base]. *)
+let create ~(base : int) (members : (string * int) list) : t =
+  let solver = Deltablue.create () in
+  let one = Deltablue.variable "one" 1 in
+  ignore (Deltablue.add_constraint solver ~strength:Deltablue.required (Deltablue.Stay one));
+  let rec build prev_base acc offset = function
+    | [] -> List.rev acc
+    | (name, size) :: rest ->
+        let size_v = Deltablue.variable (name ^ ".size") size in
+        ignore
+          (Deltablue.add_constraint solver ~strength:Deltablue.strong_default
+             (Deltablue.Stay size_v));
+        let base_v =
+          match prev_base with
+          | None ->
+              let v = Deltablue.variable (name ^ ".base") base in
+              ignore
+                (Deltablue.add_constraint solver ~strength:Deltablue.strong_default
+                   (Deltablue.Stay v));
+              v
+          | Some (pb, psize) ->
+              let v = Deltablue.variable (name ^ ".base") (offset) in
+              (* v = pb * 1 + psize *)
+              ignore
+                (Deltablue.add_constraint solver ~strength:Deltablue.required
+                   (Deltablue.Scale (pb, one, psize, v)));
+              v
+        in
+        build (Some (base_v, size_v))
+          ({ m_name = name; base = base_v; size = size_v } :: acc)
+          (offset + size) rest
+  in
+  let members = build None [] base members in
+  { solver; one; members }
+
+let find (t : t) (name : string) : member =
+  match List.find_opt (fun m -> m.m_name = name) t.members with
+  | Some m -> m
+  | None -> raise (Unknown_member name)
+
+(** Current base address of a member. *)
+let base_of (t : t) (name : string) : int = (find t name).base.Deltablue.value
+
+(** Current layout, in order: (name, base, size). *)
+let layout (t : t) : (string * int * int) list =
+  List.map
+    (fun m -> (m.m_name, m.base.Deltablue.value, m.size.Deltablue.value))
+    t.members
+
+(* Edit one variable and propagate through an extracted plan. *)
+let edit (t : t) (v : Deltablue.variable) (value : int) : unit =
+  let e = Deltablue.add_constraint t.solver ~strength:Deltablue.preferred (Deltablue.Edit v) in
+  let plan = Deltablue.extract_plan_from_edits t.solver in
+  v.Deltablue.value <- value;
+  Deltablue.execute_plan plan;
+  Deltablue.remove_constraint t.solver e
+
+(** Move the whole run: set the first member's base; every downstream
+    base is replanned incrementally. *)
+let move (t : t) (new_base : int) : unit =
+  match t.members with
+  | [] -> ()
+  | first :: _ -> edit t first.base new_base
+
+(** Resize one member; members after it shift by the delta. *)
+let resize (t : t) (name : string) (new_size : int) : unit =
+  edit t (find t name).size new_size
+
+(** No member overlaps its successor (validity check for tests). *)
+let packed (t : t) : bool =
+  let rec go = function
+    | a :: (b :: _ as rest) ->
+        a.base.Deltablue.value + a.size.Deltablue.value = b.base.Deltablue.value
+        && go rest
+    | _ -> true
+  in
+  go t.members

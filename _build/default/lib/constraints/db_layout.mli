@@ -1,0 +1,28 @@
+(** Incremental address-space layout on top of DeltaBlue — the paper's
+    §10 port: the bases of a packed run of segments are DeltaBlue
+    variables chained by required [base[i+1] = base[i] + size[i]]
+    constraints, so moving the origin or resizing one member replans
+    every downstream address through an extracted plan. *)
+
+exception Unknown_member of string
+
+type t
+
+(** [create ~base members] lays out [members] (name, size) as a packed
+    run starting at [base]. *)
+val create : base:int -> (string * int) list -> t
+
+(** Current base address of a member. @raise Unknown_member. *)
+val base_of : t -> string -> int
+
+(** Current layout, in order: (name, base, size). *)
+val layout : t -> (string * int * int) list
+
+(** Move the whole run: every downstream base replans incrementally. *)
+val move : t -> int -> unit
+
+(** Resize one member; members after it shift by the delta. *)
+val resize : t -> string -> int -> unit
+
+(** No member overlaps its successor (validity check). *)
+val packed : t -> bool

@@ -1,0 +1,182 @@
+(** The OMOS address-space constraint system (paper §3.5).
+
+    "OMOS describes an address space in terms of prioritized
+    constraints. A required constraint is that no two objects may
+    overlap. A highly desired constraint is that existing
+    implementations be reused. Other weaker constraints, optionally
+    provided by the user, may specify desired placement of the object
+    (e.g., library) within the address space."
+
+    An {!arena} records which intervals of a (shared, virtual) address
+    space are occupied by which named object. {!place} answers a
+    placement request by honouring, in priority order:
+
+    - the required no-overlap constraint (never violated);
+    - reuse of an existing placement of the same object, when the caller
+      passes one and it does not conflict;
+    - the caller's weak preferences ([At] / [Near] / [Within] /
+      [Avoid]), tried strongest-first, each dropped if unsatisfiable;
+    - finally first-fit within the arena's default region. *)
+
+exception No_space of string
+
+(** A weak placement preference. *)
+type pref =
+  | At of int (* exactly this base address *)
+  | Near of int (* as close as possible to this address *)
+  | Within of int * int (* inside [lo, hi) *)
+  | Avoid of int * int (* outside [lo, hi) if possible *)
+
+let pp_pref ppf = function
+  | At a -> Format.fprintf ppf "at 0x%x" a
+  | Near a -> Format.fprintf ppf "near 0x%x" a
+  | Within (lo, hi) -> Format.fprintf ppf "within [0x%x,0x%x)" lo hi
+  | Avoid (lo, hi) -> Format.fprintf ppf "avoid [0x%x,0x%x)" lo hi
+
+type interval = { lo : int; hi : int; owner : string }
+
+type t = {
+  mutable occupied : interval list; (* sorted by lo, non-overlapping *)
+  region_lo : int; (* default allocation region *)
+  region_hi : int;
+  align : int; (* base alignment for all placements (page size) *)
+}
+
+let create ?(region_lo = 0x1000) ?(region_hi = 0x7FFF_F000) ?(align = 0x1000) () : t =
+  if align <= 0 || region_lo < 0 || region_hi <= region_lo then
+    invalid_arg "Placement.create";
+  { occupied = []; region_lo; region_hi; align }
+
+let intervals (t : t) : (int * int * string) list =
+  List.map (fun i -> (i.lo, i.hi, i.owner)) t.occupied
+
+let align_up v a = (v + a - 1) / a * a
+
+let overlaps t lo hi =
+  List.find_opt (fun i -> lo < i.hi && i.lo < hi) t.occupied
+
+(** [free t lo hi] — is [lo,hi) completely unoccupied? *)
+let free (t : t) ~lo ~hi : bool = overlaps t lo hi = None
+
+(* Insert keeping sort order. *)
+let insert (t : t) (iv : interval) : unit =
+  let rec go = function
+    | [] -> [ iv ]
+    | x :: rest -> if iv.lo < x.lo then iv :: x :: rest else x :: go rest
+  in
+  t.occupied <- go t.occupied
+
+(** [reserve t ~lo ~size owner] claims an exact interval; [Error owner']
+    names the conflicting occupant if any. *)
+let reserve (t : t) ~lo ~size owner : (unit, string) result =
+  let hi = lo + size in
+  match overlaps t lo hi with
+  | Some i -> Error i.owner
+  | None ->
+      insert t { lo; hi; owner };
+      Ok ()
+
+(** [release t ~lo] frees the interval starting at [lo]. *)
+let release (t : t) ~lo : unit =
+  t.occupied <- List.filter (fun i -> i.lo <> lo) t.occupied
+
+(* Candidate base addresses adjacent to occupied intervals plus region
+   start: the classic first-fit gap scan. *)
+let gap_candidates (t : t) : int list =
+  t.region_lo :: List.map (fun i -> align_up i.hi t.align) t.occupied
+
+let fits t lo size =
+  lo >= t.region_lo && lo + size <= t.region_hi && free t ~lo ~hi:(lo + size)
+
+(* First fit at or above [from]. *)
+let first_fit_from (t : t) ~from ~size : int option =
+  let cands =
+    List.sort_uniq compare
+      (List.filter (fun c -> c >= from) (align_up from t.align :: gap_candidates t))
+  in
+  List.find_opt (fun c -> fits t c size) cands
+
+(* Closest fit to [target] (scan candidates by distance). In addition
+   to the gap starts, consider bases placed flush below each occupied
+   interval — the closest position on the low side of a "wall". *)
+let closest_fit (t : t) ~target ~size : int option =
+  let below =
+    List.map (fun i -> (i.lo - size) / t.align * t.align) t.occupied
+  in
+  let cands =
+    List.sort_uniq compare (align_up target t.align :: (gap_candidates t @ below))
+  in
+  let ok = List.filter (fun c -> fits t c size) cands in
+  match ok with
+  | [] -> None
+  | _ ->
+      let dist c = abs (c - target) in
+      Some (List.fold_left (fun best c -> if dist c < dist best then c else best)
+              (List.hd ok) ok)
+
+let try_pref (t : t) ~size = function
+  | At a -> if a mod t.align = 0 && fits t a size then Some a else None
+  | Near a -> closest_fit t ~target:a ~size
+  | Within (lo, hi) ->
+      Option.bind (first_fit_from t ~from:lo ~size) (fun c ->
+          if c + size <= hi then Some c else None)
+  | Avoid (lo, hi) -> (
+      (* prefer below the avoided range, then above it *)
+      match
+        Option.bind (first_fit_from t ~from:t.region_lo ~size) (fun c ->
+            if c + size <= lo then Some c else None)
+      with
+      | Some c -> Some c
+      | None -> first_fit_from t ~from:(align_up hi t.align) ~size)
+
+(** Outcome of a placement decision. *)
+type decision = {
+  base : int;
+  reused : bool; (* an existing placement was kept *)
+  satisfied : pref option; (* which preference was honoured, if any *)
+}
+
+(** [place t ~size ~owner ?existing ?prefs ()] chooses a base address.
+
+    [existing] is a previously cached placement of the same object: if
+    it is still available (or already owned by [owner]), it is reused —
+    the paper's "highly desired" constraint that gives physical sharing.
+    [prefs] are (priority, preference) pairs; higher priority first.
+    Raises {!No_space} if the arena cannot fit [size] at all. *)
+let place (t : t) ~size ~owner ?existing ?(prefs = []) () : decision =
+  let size = align_up (max size 1) t.align in
+  let reuse =
+    match existing with
+    | Some lo -> (
+        match overlaps t lo (lo + size) with
+        | None -> Some lo (* free: re-reserve it *)
+        | Some i when i.owner = owner && i.lo = lo -> Some lo (* already ours *)
+        | Some _ -> None)
+    | None -> None
+  in
+  match reuse with
+  | Some lo ->
+      if free t ~lo ~hi:(lo + size) then insert t { lo; hi = lo + size; owner };
+      { base = lo; reused = true; satisfied = None }
+  | None -> (
+      let sorted =
+        List.map snd (List.sort (fun (p1, _) (p2, _) -> compare p2 p1) prefs)
+      in
+      let rec try_all = function
+        | [] -> None
+        | p :: rest -> (
+            match try_pref t ~size p with
+            | Some base -> Some (base, Some p)
+            | None -> try_all rest)
+      in
+      let found =
+        match try_all sorted with
+        | Some (base, p) -> Some (base, p)
+        | None ->
+            Option.map (fun b -> (b, None)) (first_fit_from t ~from:t.region_lo ~size)
+      in
+      match found with
+      | None -> raise (No_space owner)
+      | Some (base, satisfied) ->
+          insert t { lo = base; hi = base + size; owner };
+          { base; reused = false; satisfied })

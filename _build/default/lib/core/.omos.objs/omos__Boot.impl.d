@@ -1,0 +1,1 @@
+lib/core/boot.ml: Bytes Hashtbl List Printf Server Simos

@@ -1,0 +1,1 @@
+lib/core/cache.ml: Bytes Hashtbl Linker List

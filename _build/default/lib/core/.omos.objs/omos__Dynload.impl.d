@@ -1,0 +1,1 @@
+lib/core/dynload.ml: Blueprint Constraints Hashtbl Int32 Jigsaw Linker List Printf Server Simos Svm Upcalls

@@ -1,0 +1,1 @@
+lib/core/dynload.mli: Blueprint Linker Server Simos Upcalls

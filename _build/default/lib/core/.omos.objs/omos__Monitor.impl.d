@@ -1,0 +1,1 @@
+lib/core/monitor.ml: Array Hashtbl Int32 Jigsaw List Sof Str Svm Upcalls

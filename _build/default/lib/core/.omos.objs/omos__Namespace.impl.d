@@ -1,0 +1,1 @@
+lib/core/namespace.ml: Blueprint Hashtbl List Sof String

@@ -1,0 +1,1 @@
+lib/core/reorder.ml: Array Bytes Hashtbl List Monitor Option Simos Sof

@@ -1,0 +1,1 @@
+lib/core/schemes.ml: Array Blueprint Boot Bytes Cache Digest Hashtbl Int32 Jigsaw Linker List Printf Server Simos Sof String Stubs Svm Upcalls

@@ -1,0 +1,1 @@
+lib/core/schemes.mli: Blueprint Hashtbl Linker Server Simos Sof Stubs Upcalls

@@ -1,0 +1,1 @@
+lib/core/server.ml: Blueprint Bytes Cache Constraints Format Jigsaw Linker List Namespace Option Simos Sof String

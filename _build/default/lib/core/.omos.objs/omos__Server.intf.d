@@ -1,0 +1,1 @@
+lib/core/server.mli: Blueprint Cache Constraints Jigsaw Linker Namespace Simos Sof

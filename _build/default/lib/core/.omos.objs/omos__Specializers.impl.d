@@ -1,0 +1,1 @@
+lib/core/specializers.ml: Blueprint Jigsaw List Monitor Server Sof Str Stubs Upcalls

@@ -1,0 +1,1 @@
+lib/core/specializers.mli: Monitor Server Upcalls

@@ -1,0 +1,1 @@
+lib/core/stubs.ml: Int32 Jigsaw List Simos Sof Str Svm

@@ -1,0 +1,1 @@
+lib/core/upcalls.ml: Hashtbl Simos Svm

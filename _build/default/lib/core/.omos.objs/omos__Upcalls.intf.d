@@ -1,0 +1,1 @@
+lib/core/upcalls.mli: Simos Svm

@@ -1,0 +1,1 @@
+lib/core/world.ml: Lazy List Printf Schemes Server Simos Sof Specializers Upcalls Workloads

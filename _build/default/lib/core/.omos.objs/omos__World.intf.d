@@ -1,0 +1,1 @@
+lib/core/world.mli: Schemes Server Simos Sof Specializers Upcalls

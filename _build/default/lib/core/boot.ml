@@ -1,0 +1,96 @@
+(** Program invocation through OMOS.
+
+    Two paths, matching the paper's §5 and the OSF/1 rows of Table 1:
+
+    - {!bootstrap_exec}: the portable path. The kernel execs a small
+      bootstrap loader (the [#! /bin/omos] interpreter), which contacts
+      OMOS via IPC; OMOS maps the cached images into the client and the
+      bootstrap jumps to the entry point. Costs: a real (small) exec
+      plus one IPC round trip.
+
+    - {!integrated_exec}: OMOS integrated into the OS exec. "exec sets
+      up an empty task and calls OMOS with handles to the task and the
+      OMOS object … This replaces the portion of exec which is
+      responsible for reading in object file contents." Costs: task
+      setup plus a direct handoff — no bootstrap binary, no file
+      opening, no header parsing. *)
+
+(* The bootstrap loader binary is tiny: two pages of text+data. *)
+let bootstrap_binary_bytes = 2 * Simos.Cost.page_size
+
+let charge_bootstrap_load (k : Simos.Kernel.t) : unit =
+  let cost = k.Simos.Kernel.cost in
+  Simos.Kernel.charge_sys k cost.Simos.Cost.open_file;
+  Simos.Kernel.charge_sys k
+    (cost.Simos.Cost.parse_header_per_kb
+    *. (float_of_int bootstrap_binary_bytes /. 1024.0));
+  (* its pages are demand-loaded once per boot, then stay cached *)
+  if not (Hashtbl.mem k.Simos.Kernel.read_cached "/bin/omos-boot") then begin
+    Hashtbl.replace k.Simos.Kernel.read_cached "/bin/omos-boot" ();
+    Simos.Kernel.charge_io k (2.0 *. cost.Simos.Cost.disk_read_page)
+  end
+
+(** Launch [l] through the bootstrap loader. Returns the ready process
+    (run it with {!Simos.Kernel.run}). *)
+let bootstrap_exec (server : Server.t) (l : Server.loadable) ~(args : string list) :
+    Simos.Proc.t =
+  let k = server.Server.kernel in
+  let cost = k.Simos.Kernel.cost in
+  Simos.Kernel.charge_sys k cost.Simos.Cost.fork_exec_base;
+  charge_bootstrap_load k;
+  (* bootstrap -> OMOS request over IPC *)
+  Simos.Kernel.charge_sys k cost.Simos.Cost.ipc_round_trip;
+  let p = Simos.Kernel.create_process k ~args in
+  List.iter (Server.map_into server p) l.Server.parts;
+  Simos.Kernel.finish_exec k p ~entry:l.Server.entry;
+  p
+
+(* -- exporting OMOS entries into the Unix namespace (§5) ----------------- *)
+
+(** The [#! /bin/omos] interpreter: "This allows us to export entries
+    from the OMOS namespace into the Unix namespace, in a portable
+    fashion (as a parameter in the file)." {!install_interpreter}
+    registers it with the kernel; {!publish} drops a two-line script in
+    the filesystem so a plain [exec "/bin/ls"] boots through OMOS. *)
+type registry = {
+  server : Server.t;
+  programs : (string, unit -> Server.loadable) Hashtbl.t;
+}
+
+let interpreter_path = "/bin/omos"
+
+let install_interpreter (server : Server.t) : registry =
+  let reg = { server; programs = Hashtbl.create 8 } in
+  Simos.Kernel.register_interpreter server.Server.kernel interpreter_path
+    (fun _k ~params ~args ->
+      match params with
+      | [ name ] -> (
+          match Hashtbl.find_opt reg.programs name with
+          | Some loadable -> bootstrap_exec server (loadable ()) ~args
+          | None ->
+              raise (Simos.Kernel.Exec_error ("omos: unknown program " ^ name)))
+      | _ -> raise (Simos.Kernel.Exec_error "omos: expected one meta-object name"));
+  reg
+
+(** [publish reg ~path ~name loadable] writes [#! /bin/omos name] at
+    [path] and registers the program, so ordinary exec reaches it. *)
+let publish (reg : registry) ~(path : string) ~(name : string)
+    (loadable : unit -> Server.loadable) : unit =
+  Hashtbl.replace reg.programs name loadable;
+  Simos.Fs.write_file reg.server.Server.kernel.Simos.Kernel.fs path
+    (Bytes.of_string (Printf.sprintf "#! %s %s\n" interpreter_path name))
+
+(** Launch [l] through the OMOS-integrated exec. *)
+let integrated_exec (server : Server.t) (l : Server.loadable) ~(args : string list) :
+    Simos.Proc.t =
+  let k = server.Server.kernel in
+  let cost = k.Simos.Kernel.cost in
+  (* empty-task setup; OMOS is handed the task directly — half an IPC,
+     no bootstrap, no file work, none of the exec server's binary
+     processing *)
+  Simos.Kernel.charge_sys k cost.Simos.Cost.task_create;
+  Simos.Kernel.charge_sys k (0.5 *. cost.Simos.Cost.ipc_round_trip);
+  let p = Simos.Kernel.create_process k ~args in
+  List.iter (Server.map_into server p) l.Server.parts;
+  Simos.Kernel.finish_exec k p ~entry:l.Server.entry;
+  p

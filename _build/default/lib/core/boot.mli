@@ -1,0 +1,36 @@
+(** Program invocation through OMOS (paper §5 and the OSF/1 rows of
+    Table 1): the portable bootstrap-loader path, the OS-integrated
+    exec, and the [#! /bin/omos] interpreter that exports OMOS entries
+    into the Unix namespace. *)
+
+(** Size charged for loading the bootstrap loader binary. *)
+val bootstrap_binary_bytes : int
+
+(** Launch through the bootstrap loader: a real (small) exec plus one
+    IPC round trip to the server, which maps the cached images into the
+    new process. Returns the ready process (run it with
+    {!Simos.Kernel.run}). *)
+val bootstrap_exec :
+  Server.t -> Server.loadable -> args:string list -> Simos.Proc.t
+
+(** Launch through the OMOS-integrated exec: "exec sets up an empty
+    task and calls OMOS with handles to the task and the OMOS object" —
+    task setup plus a direct handoff; no bootstrap binary, no file
+    opening, no header parsing. *)
+val integrated_exec :
+  Server.t -> Server.loadable -> args:string list -> Simos.Proc.t
+
+(** Registry of programs exported into the Unix namespace. *)
+type registry
+
+(** The interpreter's path, [/bin/omos]. *)
+val interpreter_path : string
+
+(** Register the [#!] interpreter with the server's kernel. *)
+val install_interpreter : Server.t -> registry
+
+(** [publish reg ~path ~name loadable] writes [#! /bin/omos name] at
+    [path] and registers the program, so a plain [exec path] boots it
+    through OMOS. *)
+val publish :
+  registry -> path:string -> name:string -> (unit -> Server.loadable) -> unit

@@ -1,0 +1,140 @@
+(** The image cache.
+
+    "OMOS treats executable images as a cache, translating from more
+    expressive forms (e.g., .o's, or source modules) as necessary. By
+    treating executables as a cache, OMOS avoids unnecessary repetition
+    of work."
+
+    Entries are keyed by the construction digest (meta-object graph +
+    specialization); several entries may exist per key when address
+    conflicts forced alternate placements — the disk-consumption
+    concern the paper flags. Each entry carries its serialized size so
+    the cache can report disk use, and hit/miss counters feed the
+    caching experiment (E3). *)
+
+type entry = {
+  key : string; (* construction digest *)
+  image : Linker.Image.t;
+  text_base : int;
+  data_base : int;
+  disk_bytes : int;
+  mutable hits : int;
+}
+
+type t = {
+  entries : (string, entry list ref) Hashtbl.t;
+  mutable hit_count : int;
+  mutable miss_count : int;
+  mutable insertions : int;
+}
+
+let create () : t =
+  { entries = Hashtbl.create 32; hit_count = 0; miss_count = 0; insertions = 0 }
+
+(** All cached placements of a construction. *)
+let candidates (t : t) (key : string) : entry list =
+  match Hashtbl.find_opt t.entries key with Some r -> !r | None -> []
+
+(** [find t key ~acceptable] returns a cached image whose placement
+    satisfies [acceptable], counting a hit or miss. *)
+let find (t : t) (key : string) ~(acceptable : entry -> bool) : entry option =
+  match List.find_opt acceptable (candidates t key) with
+  | Some e ->
+      e.hits <- e.hits + 1;
+      t.hit_count <- t.hit_count + 1;
+      Some e
+  | None ->
+      t.miss_count <- t.miss_count + 1;
+      None
+
+(** Record a freshly built image. *)
+let insert (t : t) ~(key : string) ~(text_base : int) ~(data_base : int)
+    (image : Linker.Image.t) : entry =
+  let e =
+    {
+      key;
+      image;
+      text_base;
+      data_base;
+      disk_bytes = Bytes.length (Linker.Image.encode image);
+      hits = 0;
+    }
+  in
+  (match Hashtbl.find_opt t.entries key with
+  | Some r -> r := e :: !r
+  | None -> Hashtbl.replace t.entries key (ref [ e ]));
+  t.insertions <- t.insertions + 1;
+  e
+
+(** Drop every placement of a construction (e.g. after its sources
+    changed). *)
+let invalidate (t : t) (key : string) : unit = Hashtbl.remove t.entries key
+
+let clear (t : t) : unit =
+  Hashtbl.reset t.entries;
+  t.hit_count <- 0;
+  t.miss_count <- 0;
+  t.insertions <- 0
+
+(** [evict_to_budget t ~bytes] trims the cache to at most [bytes] of
+    serialized image data, dropping the least-used entries first (and
+    among equally-used ones, alternate placements before primaries).
+    Addresses the paper's §4.1 concern: "disk space for caching multiple
+    versions of large libraries could be significant". Returns the
+    evicted entries so the server can release their arena
+    reservations. *)
+let evict_to_budget (t : t) ~(bytes : int) : entry list =
+  let all =
+    Hashtbl.fold (fun _ r acc -> List.rev_append !r acc) t.entries []
+  in
+  let total = List.fold_left (fun a e -> a + e.disk_bytes) 0 all in
+  if total <= bytes then []
+  else begin
+    (* least hits evicted first *)
+    let by_use = List.sort (fun a b -> compare a.hits b.hits) all in
+    let victims = ref [] in
+    let excess = ref (total - bytes) in
+    List.iter
+      (fun e ->
+        if !excess > 0 then begin
+          victims := e :: !victims;
+          excess := !excess - e.disk_bytes
+        end)
+      by_use;
+    let victim_set = !victims in
+    Hashtbl.iter
+      (fun _ r -> r := List.filter (fun e -> not (List.memq e victim_set)) !r)
+      t.entries;
+    (* drop now-empty keys *)
+    let empty =
+      Hashtbl.fold (fun k r acc -> if !r = [] then k :: acc else acc) t.entries []
+    in
+    List.iter (Hashtbl.remove t.entries) empty;
+    victim_set
+  end
+
+type stats = {
+  hits : int;
+  misses : int;
+  entries : int; (* live entries, across all placements *)
+  versions_max : int; (* worst-case placements of one construction *)
+  disk_bytes_total : int;
+}
+
+let stats (t : t) : stats =
+  let entries, versions_max, disk =
+    Hashtbl.fold
+      (fun _ r (n, vmax, disk) ->
+        let l = List.length !r in
+        ( n + l,
+          max vmax l,
+          disk + List.fold_left (fun a e -> a + e.disk_bytes) 0 !r ))
+      t.entries (0, 0, 0)
+  in
+  {
+    hits = t.hit_count;
+    misses = t.miss_count;
+    entries;
+    versions_max;
+    disk_bytes_total = disk;
+  }

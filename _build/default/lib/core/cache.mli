@@ -1,0 +1,51 @@
+(** The image cache (paper §3.1: "OMOS treats executable images as a
+    cache … By treating executables as a cache, OMOS avoids unnecessary
+    repetition of work").
+
+    Entries are keyed by the construction digest (meta-object graph +
+    specialization); several entries may exist per key when address
+    conflicts forced alternate placements. *)
+
+type entry = {
+  key : string;  (** construction digest *)
+  image : Linker.Image.t;
+  text_base : int;
+  data_base : int;
+  disk_bytes : int;  (** serialized size (disk-consumption accounting) *)
+  mutable hits : int;
+}
+
+type t
+
+val create : unit -> t
+
+(** All cached placements of a construction (no hit/miss counting). *)
+val candidates : t -> string -> entry list
+
+(** [find t key ~acceptable] returns a cached image whose placement
+    satisfies [acceptable], counting a hit or miss. *)
+val find : t -> string -> acceptable:(entry -> bool) -> entry option
+
+(** Record a freshly built image. *)
+val insert :
+  t -> key:string -> text_base:int -> data_base:int -> Linker.Image.t -> entry
+
+(** Drop every placement of a construction (its sources changed). *)
+val invalidate : t -> string -> unit
+
+val clear : t -> unit
+
+(** [evict_to_budget t ~bytes] trims the cache to at most [bytes] of
+    serialized image data, least-used entries first. Returns the
+    evicted entries so the caller can release their reservations. *)
+val evict_to_budget : t -> bytes:int -> entry list
+
+type stats = {
+  hits : int;
+  misses : int;
+  entries : int;  (** live entries, across all placements *)
+  versions_max : int;  (** worst-case placements of one construction *)
+  disk_bytes_total : int;
+}
+
+val stats : t -> stats

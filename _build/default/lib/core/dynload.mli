@@ -1,0 +1,40 @@
+(** Dynamic loading of classes into executing programs (paper §5), and
+    the unlinking extension (§9). *)
+
+(** The in-simulation syscall number: r1 = blueprint string address,
+    r2 = symbol name address; returns the bound address in r0. *)
+val dynload_syscall : int
+
+exception Dynload_error of string
+
+type t
+
+val create : Server.t -> t
+
+(** [load t p ~client_images ~graph ~symbols] instantiates [graph],
+    binds it against the process's images (client first, then
+    previously loaded classes — so new classes can call back into the
+    client), maps it into [p] at constraint-chosen addresses, and
+    returns the bound values of [symbols].
+    @raise Dynload_error if a requested symbol is not bound. *)
+val load :
+  t ->
+  Simos.Proc.t ->
+  client_images:Linker.Image.t list ->
+  graph:Blueprint.Mgraph.node ->
+  symbols:string list ->
+  (string * int) list
+
+(** [unload t p img] dynamically unlinks a previously loaded class: its
+    regions are unmapped and its arena reservations released.
+    @raise Dynload_error if [img] was not loaded into [p]. *)
+val unload : t -> Simos.Proc.t -> Linker.Image.t -> unit
+
+(** Images currently loaded into [p] through this loader. *)
+val loaded : t -> Simos.Proc.t -> Linker.Image.t list
+
+(** Install the dynload syscall on the upcall registry.
+    [client_images_of] supplies the images a process was launched with,
+    so loaded classes can bind to client symbols. *)
+val attach :
+  t -> Upcalls.t -> client_images_of:(Simos.Proc.t -> Linker.Image.t list) -> unit

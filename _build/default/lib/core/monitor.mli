@@ -1,0 +1,38 @@
+(** Transparent program monitoring (paper §4.1, §6 and [14]): every
+    exported routine of a module is wrapped with a generated logging
+    wrapper; the recorded call sequence feeds {!Reorder}. *)
+
+(** Syscall numbers the wrappers raise. *)
+val mon_enter : int
+
+val mon_exit : int
+
+type event = Enter of int | Exit of int
+
+type trace = {
+  names : string array;  (** function id → name *)
+  mutable events : event list;  (** reversed *)
+  mutable count : int;
+}
+
+(** Events in chronological order. *)
+val trace_events : trace -> event list
+
+(** Function call sequence (ids), in call order. *)
+val call_sequence : trace -> int list
+
+(** Names in order of first call. *)
+val first_call_order : trace -> string list
+
+(** [monitored ?exits m] wraps every exported text function of [m].
+    With [exits:false] (default) wrappers are three-instruction
+    trampolines logging entries only; with [exits:true] they keep
+    return addresses on a private shadow stack and log returns too.
+    Internal callers route through the wrappers as well. Returns the
+    transformed module and its (empty) trace. *)
+val monitored : ?exits:bool -> Jigsaw.Module_ops.t -> Jigsaw.Module_ops.t * trace
+
+(** Route the monitor syscalls into [trace] via the upcall registry.
+    Each event costs a real syscall — the monitoring overhead is
+    visible in measurements, as it was for OMOS. *)
+val attach : Upcalls.t -> trace -> unit

@@ -1,0 +1,30 @@
+(** The OMOS namespace (paper §3.2): a hierarchical name space "whose
+    names represent meta-objects, executable code fragments, or
+    directories of other objects". *)
+
+exception Namespace_error of string
+
+type entry =
+  | Fragment of Sof.Object_file.t  (** a relocatable, e.g. /obj/ls.o *)
+  | Meta of Blueprint.Meta.t  (** a meta-object *)
+  | Directory of (string, entry) Hashtbl.t
+
+type t
+
+val create : unit -> t
+val lookup : t -> string -> entry option
+val exists : t -> string -> bool
+
+(** Bind an entry at a path, creating directories.
+    @raise Namespace_error if a path component is not a directory. *)
+val bind : t -> string -> entry -> unit
+
+val bind_fragment : t -> string -> Sof.Object_file.t -> unit
+val bind_meta : t -> string -> Blueprint.Meta.t -> unit
+val unbind : t -> string -> unit
+
+(** Entries of a directory, sorted. @raise Namespace_error. *)
+val list : t -> string -> (string * [ `Fragment | `Meta | `Directory ]) list
+
+(** All meta-object paths (administrative listings). *)
+val all_metas : t -> string list

@@ -1,0 +1,106 @@
+(** Profile-driven function reordering (paper §4.1 and [14]).
+
+    "One such optimization is reordering code based on function usage in
+    order to improve locality of reference. OMOS can automatically
+    generate implementations that will produce monitoring data, which it
+    will then use to derive a preferred routine order. This reordering
+    benefits both cache performance and paging behavior."
+
+    The input is a call trace from {!Monitor}; the output is a new
+    fragment order for a library built at per-function granularity: the
+    routines that actually ran are packed together at the front (in
+    first-call order, so startup touches pages sequentially), the cold
+    bulk behind them. *)
+
+(** How the preferred order is derived from the trace. *)
+type strategy =
+  | First_call (* pack in order of first use: startup touches pages sequentially *)
+  | Call_frequency (* pack hottest first: steady-state locality *)
+
+(** Derive the preferred order of fragment names.
+
+    [order ~trace ~all] returns all function names, used-first (ordered
+    per [strategy]), then unused in their original order. *)
+let order ?(strategy = First_call) ~(trace : Monitor.trace) ~(all : string list) ()
+    : string list =
+  let used =
+    match strategy with
+    | First_call -> Monitor.first_call_order trace
+    | Call_frequency ->
+        let counts = Hashtbl.create 16 in
+        List.iter
+          (fun id ->
+            let n = trace.Monitor.names.(id) in
+            Hashtbl.replace counts n (1 + Option.value ~default:0 (Hashtbl.find_opt counts n)))
+          (Monitor.call_sequence trace);
+        Hashtbl.fold (fun n c acc -> (n, c) :: acc) counts []
+        |> List.sort (fun (n1, c1) (n2, c2) ->
+               match compare c2 c1 with 0 -> compare n1 n2 | o -> o)
+        |> List.map fst
+  in
+  let used_set = Hashtbl.create 16 in
+  List.iter (fun n -> Hashtbl.replace used_set n ()) used;
+  used @ List.filter (fun n -> not (Hashtbl.mem used_set n)) all
+
+(* Which fragment defines which exported functions. *)
+let frag_functions (o : Sof.Object_file.t) : string list =
+  List.filter_map
+    (fun (s : Sof.Symbol.t) ->
+      if Sof.Symbol.is_exported s && s.Sof.Symbol.kind = Sof.Symbol.Text then
+        Some s.Sof.Symbol.name
+      else None)
+    o.Sof.Object_file.symbols
+
+(** [reorder_fragments ~order frags] rearranges per-function fragments
+    so that the fragment defining the i-th name of [order] comes i-th.
+    Fragments defining none of the named functions (data-only, locals)
+    keep their relative order at the end. *)
+let reorder_fragments ~(order : string list) (frags : Sof.Object_file.t list) :
+    Sof.Object_file.t list =
+  let by_function = Hashtbl.create 64 in
+  List.iter
+    (fun o -> List.iter (fun f -> Hashtbl.replace by_function f o) (frag_functions o))
+    frags;
+  let placed = Hashtbl.create 64 in
+  let picked =
+    List.filter_map
+      (fun name ->
+        match Hashtbl.find_opt by_function name with
+        | Some o when not (Hashtbl.mem placed o.Sof.Object_file.name) ->
+            Hashtbl.replace placed o.Sof.Object_file.name ();
+            Some o
+        | _ -> None)
+      order
+  in
+  let rest =
+    List.filter (fun o -> not (Hashtbl.mem placed o.Sof.Object_file.name)) frags
+  in
+  picked @ rest
+
+(** End-to-end: monitor a run, derive the order, return reordered
+    fragments. [run] must execute the workload against the monitored
+    module (the caller owns process setup). *)
+let from_trace ?(strategy = First_call) ~(trace : Monitor.trace)
+    (frags : Sof.Object_file.t list) : Sof.Object_file.t list =
+  let all = List.concat_map frag_functions frags in
+  reorder_fragments ~order:(order ~strategy ~trace ~all ()) frags
+
+(** Pages of text the first [n] fragments span — a quick locality
+    metric for tests and the ablation bench. *)
+let prefix_text_pages (frags : Sof.Object_file.t list) (names : string list) : int =
+  let wanted = Hashtbl.create 16 in
+  List.iter (fun n -> Hashtbl.replace wanted n ()) names;
+  let off = ref 0 in
+  let lo = ref max_int and hi = ref 0 in
+  List.iter
+    (fun (o : Sof.Object_file.t) ->
+      let size = Bytes.length o.Sof.Object_file.text in
+      if List.exists (Hashtbl.mem wanted) (frag_functions o) then begin
+        lo := min !lo !off;
+        hi := max !hi (!off + size)
+      end;
+      off := !off + size)
+    frags;
+  if !hi = 0 then 0
+  else ((!hi + Simos.Cost.page_size - 1) / Simos.Cost.page_size)
+       - (!lo / Simos.Cost.page_size)

@@ -1,0 +1,26 @@
+(** Profile-driven function reordering (paper §4.1 and [14]).
+
+    "One such optimization is reordering code based on function usage in
+    order to improve locality of reference. OMOS can automatically
+    generate implementations that will produce monitoring data, which it
+    will then use to derive a preferred routine order. This reordering
+    benefits both cache performance and paging behavior."
+
+    The input is a call trace from {!Monitor}; the output is a new
+    fragment order for a library built at per-function granularity: the
+    routines that actually ran are packed together at the front (in
+    first-call order, so startup touches pages sequentially), the cold
+    bulk behind them. *)
+
+type strategy = First_call | Call_frequency
+val order :
+  ?strategy:strategy ->
+  trace:Monitor.trace -> all:string list -> unit -> string list
+val frag_functions : Sof.Object_file.t -> string list
+val reorder_fragments :
+  order:string list -> Sof.Object_file.t list -> Sof.Object_file.t list
+val from_trace :
+  ?strategy:strategy ->
+  trace:Monitor.trace ->
+  Sof.Object_file.t list -> Sof.Object_file.t list
+val prefix_text_pages : Sof.Object_file.t list -> string list -> int

@@ -1,0 +1,339 @@
+(** The OMOS server.
+
+    A persistent process (here: a persistent OCaml value living across
+    simulated program invocations) that owns the namespace, the image
+    cache, the address-space constraint arenas, and the blueprint
+    evaluation environment. Program linking and loading are the special
+    case of generic object instantiation: clients name a meta-object,
+    the server evaluates its m-graph (honouring specializations),
+    places the result with the constraint system, caches the mappable
+    image, and maps it into client tasks. *)
+
+exception Server_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Server_error s)) fmt
+
+(* Address-space conventions (cf. Figure 1's "T" 0x100000
+   "D" 0x40200000): libraries live in the shared arenas; client
+   programs at fixed low/high bases outside them. *)
+let lib_text_lo = 0x00100000
+let lib_text_hi = 0x03FF0000
+let lib_data_lo = 0x40000000
+let lib_data_hi = 0x5FFF0000
+let client_text_base = 0x04000000
+let client_data_base = 0x68000000
+
+type work_stats = {
+  mutable links : int; (* full links performed *)
+  mutable relocs : int; (* relocations applied by the server *)
+  mutable source_compiles : int;
+  mutable instantiations : int;
+}
+
+(** A recorded placement conflict: an object wanted an address it could
+    not have. "OMOS could easily record the conflicts found, and
+    occasionally the system manager could feed that data into OMOS'
+    constraint system to determine better placements" (§4.1). *)
+type conflict = {
+  c_owner : string;
+  c_seg : Blueprint.Mgraph.seg;
+  c_wanted : Constraints.Placement.pref;
+  c_got : int;
+}
+
+type t = {
+  ns : Namespace.t;
+  cache : Cache.t;
+  text_arena : Constraints.Placement.t;
+  data_arena : Constraints.Placement.t;
+  kernel : Simos.Kernel.t;
+  env : Blueprint.Mgraph.env;
+  stats : work_stats;
+  mutable conflicts : conflict list;
+  (* charge server-side build work to the simulated clock? The paper's
+     common case is install-time generation, so misses normally charge;
+     benches can turn it off to isolate steady state. *)
+  mutable charge_build_work : bool;
+}
+
+(* -- construction --------------------------------------------------------- *)
+
+let create ~(kernel : Simos.Kernel.t) () : t =
+  let ns = Namespace.create () in
+  let env =
+    Blueprint.Mgraph.make_env
+      ~resolve:(fun path ->
+        match Namespace.lookup ns path with
+        | Some (Namespace.Fragment o) -> Blueprint.Mgraph.Leaf o
+        | Some (Namespace.Meta m) -> Blueprint.Meta.effective_graph m ~spec:None
+        | Some (Namespace.Directory _) ->
+            raise (Blueprint.Mgraph.Eval_error (path ^ " is a directory"))
+        | None ->
+            raise (Blueprint.Mgraph.Eval_error ("unknown server object " ^ path)))
+      ()
+  in
+  {
+    ns;
+    cache = Cache.create ();
+    text_arena =
+      Constraints.Placement.create ~region_lo:lib_text_lo ~region_hi:lib_text_hi ();
+    data_arena =
+      Constraints.Placement.create ~region_lo:lib_data_lo ~region_hi:lib_data_hi ();
+    kernel;
+    env;
+    stats = { links = 0; relocs = 0; source_compiles = 0; instantiations = 0 };
+    conflicts = [];
+    charge_build_work = true;
+  }
+
+let add_fragment (t : t) (path : string) (o : Sof.Object_file.t) : unit =
+  Namespace.bind_fragment t.ns path o
+
+let add_meta (t : t) (path : string) (m : Blueprint.Meta.t) : unit =
+  Namespace.bind_meta t.ns path m
+
+(** Register a meta-object from blueprint source text. *)
+let add_meta_source (t : t) (path : string) (src : string) : unit =
+  add_meta t path (Blueprint.Meta.parse ~name:path src)
+
+(** Load a meta-object source file from the simulated filesystem and
+    bind it at [ns_path] — meta-objects are ordinary files ("the
+    meta-objects and executable fragments providing the contents can be
+    stored anywhere", §5). *)
+let load_meta_file (t : t) ~(fs_path : string) ~(ns_path : string) : unit =
+  let src = Bytes.to_string (Simos.Fs.read_file t.kernel.Simos.Kernel.fs fs_path) in
+  add_meta_source t ns_path src
+
+(** Load an object file (either backend format) from the simulated
+    filesystem and bind it at [ns_path]. *)
+let load_fragment_file (t : t) ~(fs_path : string) ~(ns_path : string) : unit =
+  let bytes = Simos.Fs.read_file t.kernel.Simos.Kernel.fs fs_path in
+  add_fragment t ns_path (Sof.Bfd.decode bytes)
+
+let find_meta (t : t) (path : string) : Blueprint.Meta.t =
+  match Namespace.lookup t.ns path with
+  | Some (Namespace.Meta m) -> m
+  | Some _ -> fail "%s is not a meta-object" path
+  | None -> fail "unknown meta-object %s" path
+
+(* -- evaluation & linking -------------------------------------------------- *)
+
+let eval (t : t) (node : Blueprint.Mgraph.node) : Blueprint.Mgraph.result =
+  Blueprint.Mgraph.eval t.env node
+
+(* Charge the cost of a full link to the simulated clock: this is the
+   work a cache hit avoids. *)
+let charge_link (t : t) (stats : Linker.Link.stats) : unit =
+  t.stats.links <- t.stats.links + 1;
+  t.stats.relocs <- t.stats.relocs + stats.Linker.Link.relocs_applied;
+  if t.charge_build_work then begin
+    let cost = t.kernel.Simos.Kernel.cost in
+    Simos.Kernel.charge_sys t.kernel
+      (cost.Simos.Cost.reloc_apply *. float_of_int stats.Linker.Link.relocs_applied);
+    Simos.Kernel.charge_sys t.kernel
+      (cost.Simos.Cost.symbol_lookup *. float_of_int stats.Linker.Link.symbols_resolved)
+  end
+
+(* Sizes a module will occupy, for placement before linking. *)
+let module_sizes (m : Jigsaw.Module_ops.t) : int * int =
+  let frags = Jigsaw.Module_ops.fragments m in
+  let text =
+    List.fold_left (fun a (o : Sof.Object_file.t) -> a + Bytes.length o.text) 0 frags
+  in
+  let data =
+    List.fold_left
+      (fun a (o : Sof.Object_file.t) ->
+        ((a + Bytes.length o.data + 3) / 4 * 4) + o.bss_size)
+      0 frags
+  in
+  (text, data)
+
+(* Collect placement preferences for one segment out of the evaluated
+   constraints. *)
+let prefs_for (seg : Blueprint.Mgraph.seg) (cs : Blueprint.Mgraph.constraint_pref list)
+    : (int * Constraints.Placement.pref) list =
+  List.filter_map
+    (fun (c : Blueprint.Mgraph.constraint_pref) ->
+      if c.Blueprint.Mgraph.seg = seg then Some (c.priority, c.pref) else None)
+    cs
+
+(** A built, positioned, cached image together with its page-cache key
+    for mapping into tasks. *)
+type built = { entry : Cache.entry; key : string }
+
+(* Place and link an evaluated module into the shared arenas (library
+   path). Reuses a cached placement when the constraint system allows —
+   the paper's "highly desired" reuse constraint. *)
+let link_in_arena (t : t) ~(name : string) ~(cache_key : string)
+    ?(externals = []) (r : Blueprint.Mgraph.result) : built =
+  (* acceptable = its reservation is still intact or re-reservable *)
+  let acceptable (e : Cache.entry) =
+    let lo, hi = Linker.Image.extent e.Cache.image in
+    ignore lo;
+    ignore hi;
+    (* text segment present in arena at its base? *)
+    Constraints.Placement.intervals t.text_arena
+    |> List.exists (fun (lo, _, owner) -> owner = name && lo = e.Cache.text_base)
+    || Constraints.Placement.free t.text_arena ~lo:e.Cache.text_base
+         ~hi:(e.Cache.text_base + 1)
+  in
+  match Cache.find t.cache cache_key ~acceptable with
+  | Some e ->
+      (* make sure the reservation is (re)established *)
+      let img = e.Cache.image in
+      let tseg = Option.get (Linker.Image.text_segment img) in
+      let dseg = Option.get (Linker.Image.data_segment img) in
+      let reserve arena lo size owner =
+        match Constraints.Placement.reserve arena ~lo ~size owner with
+        | Ok () | Error _ -> ()
+      in
+      reserve t.text_arena tseg.Linker.Image.vaddr
+        (Bytes.length tseg.Linker.Image.bytes) name;
+      reserve t.data_arena dseg.Linker.Image.vaddr
+        (Bytes.length dseg.Linker.Image.bytes + img.Linker.Image.bss_size) name;
+      { entry = e; key = cache_key ^ "@" ^ Linker.Image.digest img }
+  | None ->
+      let text_size, data_size = module_sizes r.Blueprint.Mgraph.m in
+      (* record when the strongest preference could not be honoured *)
+      let place_noting arena seg size prefs =
+        let dec = Constraints.Placement.place arena ~size ~owner:name ~prefs () in
+        (match List.sort (fun (p1, _) (p2, _) -> compare p2 p1) prefs with
+        | (_, wanted) :: _ when dec.Constraints.Placement.satisfied <> Some wanted ->
+            t.conflicts <-
+              { c_owner = name; c_seg = seg; c_wanted = wanted;
+                c_got = dec.Constraints.Placement.base }
+              :: t.conflicts
+        | _ -> ());
+        dec
+      in
+      let tdec =
+        place_noting t.text_arena Blueprint.Mgraph.Seg_text (max text_size 1)
+          (prefs_for Blueprint.Mgraph.Seg_text r.Blueprint.Mgraph.constraints)
+      in
+      let ddec =
+        place_noting t.data_arena Blueprint.Mgraph.Seg_data (max data_size 1)
+          (prefs_for Blueprint.Mgraph.Seg_data r.Blueprint.Mgraph.constraints)
+      in
+      let img, lstats =
+        Linker.Link.link ~externals ~allow_undefined:true
+          ~layout:
+            {
+              Linker.Link.text_base = tdec.Constraints.Placement.base;
+              data_base = ddec.Constraints.Placement.base;
+            }
+          (Jigsaw.Module_ops.fragments r.Blueprint.Mgraph.m)
+      in
+      charge_link t lstats;
+      let e =
+        Cache.insert t.cache ~key:cache_key
+          ~text_base:tdec.Constraints.Placement.base
+          ~data_base:ddec.Constraints.Placement.base
+          { img with Linker.Image.name }
+      in
+      { entry = e; key = cache_key ^ "@" ^ Linker.Image.digest img }
+
+(** Build (or fetch) the image of a {e library} meta-object: fully
+    bound, placed by the constraint system, cached, shared. Undefined
+    symbols are allowed (libraries may reference client symbols — the
+    paper's "furthest downstream" discussion) unless [externals]
+    satisfy them. *)
+let build_library (t : t) ~(path : string)
+    ?(spec : (string * Blueprint.Mgraph.value list) option) ?(externals = []) () :
+    built =
+  let meta = find_meta t path in
+  let graph = Blueprint.Meta.effective_graph meta ~spec in
+  let cache_key =
+    "lib:" ^ path ^ ":" ^ Blueprint.Mgraph.digest graph
+    ^ String.concat "" (List.map (fun i -> ":" ^ Linker.Image.digest i) externals)
+  in
+  if Cache.candidates t.cache cache_key = [] then begin
+    t.stats.instantiations <- t.stats.instantiations + 1;
+    let r = eval t graph in
+    link_in_arena t ~name:path ~cache_key ~externals r
+  end
+  else
+    link_in_arena t ~name:path ~cache_key ~externals
+      { Blueprint.Mgraph.m = Jigsaw.Module_ops.v []; constraints = [] }
+
+(** Build (or fetch) a fully static image of an arbitrary graph at the
+    client base addresses — generic instantiation (also the static
+    scheme and the interposition examples). *)
+let build_static (t : t) ~(name : string) ?(entry_symbol : string option)
+    ?(externals = []) (graph : Blueprint.Mgraph.node) : built =
+  let cache_key =
+    "static:" ^ name ^ ":" ^ Blueprint.Mgraph.digest graph
+    ^ String.concat "" (List.map (fun i -> ":" ^ Linker.Image.digest i) externals)
+  in
+  match Cache.find t.cache cache_key ~acceptable:(fun _ -> true) with
+  | Some e -> { entry = e; key = cache_key ^ "@" ^ Linker.Image.digest e.Cache.image }
+  | None ->
+      t.stats.instantiations <- t.stats.instantiations + 1;
+      let r = eval t graph in
+      let img, lstats =
+        Linker.Link.link ?entry:entry_symbol ~externals
+          ~layout:
+            { Linker.Link.text_base = client_text_base; data_base = client_data_base }
+          (Jigsaw.Module_ops.fragments r.Blueprint.Mgraph.m)
+      in
+      charge_link t lstats;
+      let e =
+        Cache.insert t.cache ~key:cache_key ~text_base:client_text_base
+          ~data_base:client_data_base
+          { img with Linker.Image.name }
+      in
+      { entry = e; key = cache_key ^ "@" ^ Linker.Image.digest img }
+
+(** Register a specialization style (the schemes install theirs here). *)
+let register_specializer (t : t) (style : string) (f : Blueprint.Mgraph.specializer) :
+    unit =
+  Blueprint.Mgraph.register t.env style f
+
+(** Trim the image cache to a disk budget, releasing the arena
+    reservations of evicted libraries so their address ranges can be
+    reused. A later request for an evicted construction rebuilds it
+    (and, via the reuse constraint, usually at the same addresses). *)
+let evict_to_budget (t : t) ~(bytes : int) : int =
+  let victims = Cache.evict_to_budget t.cache ~bytes in
+  List.iter
+    (fun (e : Cache.entry) ->
+      Constraints.Placement.release t.text_arena ~lo:e.Cache.text_base;
+      Constraints.Placement.release t.data_arena ~lo:e.Cache.data_base)
+    victims;
+  List.length victims
+
+(** Recorded placement conflicts, most recent first. *)
+let conflicts (t : t) : conflict list = t.conflicts
+
+(** Suggested constraint-list revisions derived from the conflict log:
+    for each conflicted object, the base it actually received — feeding
+    this back as its new preferred address makes future placements
+    conflict-free (the "system manager could feed that data" loop). *)
+let suggest_placements (t : t) : (string * Blueprint.Mgraph.seg * int) list =
+  List.rev_map (fun c -> (c.c_owner, c.c_seg, c.c_got)) t.conflicts
+
+(* -- mapping into client tasks ---------------------------------------------- *)
+
+(** Map a built image into a process (cf. Mach [vm_map] into the target
+    task): segments come from the server's memory, so they are resident
+    — no file opening, no header parsing, no disk reads. *)
+let map_into (t : t) ?(touch_user_cost = 0.0) ?(fresh_from_disk = false)
+    (p : Simos.Proc.t) (b : built) : unit =
+  Simos.Kernel.map_image t.kernel p ~key:b.key ~fresh_from_disk ~touch_user_cost
+    b.entry.Cache.image
+
+(** Everything needed to start a program built by a scheme. *)
+type loadable = {
+  parts : built list; (* map order: libraries first, client last *)
+  entry : int;
+}
+
+let loadable_entry (parts : built list) : loadable =
+  match
+    List.find_map
+      (fun (b : built) ->
+        let e = b.entry.Cache.image.Linker.Image.entry in
+        if e >= 0 then Some e else None)
+      (List.rev parts)
+  with
+  | Some entry -> { parts; entry }
+  | None -> fail "no entry point in any part"

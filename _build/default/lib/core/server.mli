@@ -1,0 +1,133 @@
+(** The OMOS server.
+
+    A persistent process (here: a persistent OCaml value living across
+    simulated program invocations) that owns the namespace, the image
+    cache, the address-space constraint arenas, and the blueprint
+    evaluation environment. Program linking and loading are the special
+    case of generic object instantiation. *)
+
+exception Server_error of string
+
+(** Address-space conventions (cf. Figure 1's "T" 0x100000
+    "D" 0x40200000): libraries live in the shared arenas; client
+    programs at fixed bases outside them. *)
+
+val lib_text_lo : int
+val lib_text_hi : int
+val lib_data_lo : int
+val lib_data_hi : int
+val client_text_base : int
+val client_data_base : int
+
+(** Work the server has performed (for the caching experiments). *)
+type work_stats = {
+  mutable links : int;
+  mutable relocs : int;
+  mutable source_compiles : int;
+  mutable instantiations : int;
+}
+
+(** A recorded placement conflict: an object wanted an address it could
+    not have (paper §4.1: "OMOS could easily record the conflicts
+    found"). *)
+type conflict = {
+  c_owner : string;
+  c_seg : Blueprint.Mgraph.seg;
+  c_wanted : Constraints.Placement.pref;
+  c_got : int;
+}
+
+type t = {
+  ns : Namespace.t;
+  cache : Cache.t;
+  text_arena : Constraints.Placement.t;
+  data_arena : Constraints.Placement.t;
+  kernel : Simos.Kernel.t;
+  env : Blueprint.Mgraph.env;
+  stats : work_stats;
+  mutable conflicts : conflict list;
+  (* charge server-side build work to the simulated clock? benches can
+     turn it off to isolate steady state *)
+  mutable charge_build_work : bool;
+}
+
+val create : kernel:Simos.Kernel.t -> unit -> t
+
+(** Bind objects into the server's namespace. *)
+val add_fragment : t -> string -> Sof.Object_file.t -> unit
+
+val add_meta : t -> string -> Blueprint.Meta.t -> unit
+
+(** Register a meta-object from blueprint source text. *)
+val add_meta_source : t -> string -> string -> unit
+
+(** Load a meta-object source file from the simulated filesystem and
+    bind it at [ns_path] — meta-objects are ordinary files. *)
+val load_meta_file : t -> fs_path:string -> ns_path:string -> unit
+
+(** Load an object file (either backend format) from the simulated
+    filesystem and bind it at [ns_path]. *)
+val load_fragment_file : t -> fs_path:string -> ns_path:string -> unit
+
+(** @raise Server_error if the path is absent or not a meta-object. *)
+val find_meta : t -> string -> Blueprint.Meta.t
+
+(** Evaluate an m-graph in the server's environment. *)
+val eval : t -> Blueprint.Mgraph.node -> Blueprint.Mgraph.result
+
+(** Text and data+bss sizes a module will occupy (for placement). *)
+val module_sizes : Jigsaw.Module_ops.t -> int * int
+
+(** A built, positioned, cached image together with its page-cache key
+    for mapping into tasks. *)
+type built = { entry : Cache.entry; key : string }
+
+(** Build (or fetch) the image of a {e library} meta-object: fully
+    bound, placed by the constraint system, cached, shared. Undefined
+    symbols are allowed unless [externals] satisfy them. *)
+val build_library :
+  t ->
+  path:string ->
+  ?spec:string * Blueprint.Mgraph.value list ->
+  ?externals:Linker.Image.t list ->
+  unit ->
+  built
+
+(** Build (or fetch) a fully static image of an arbitrary graph at the
+    client base addresses — generic instantiation (also the static
+    scheme and the interposition examples). *)
+val build_static :
+  t ->
+  name:string ->
+  ?entry_symbol:string ->
+  ?externals:Linker.Image.t list ->
+  Blueprint.Mgraph.node ->
+  built
+
+(** Register a specialization style (the schemes install theirs here). *)
+val register_specializer : t -> string -> Blueprint.Mgraph.specializer -> unit
+
+(** Trim the image cache to a disk budget, releasing evicted libraries'
+    arena reservations. Returns the number of entries evicted. *)
+val evict_to_budget : t -> bytes:int -> int
+
+(** Recorded placement conflicts, most recent first. *)
+val conflicts : t -> conflict list
+
+(** Suggested constraint-list revisions derived from the conflict log:
+    feeding each conflicted object the base it actually received makes
+    future placements conflict-free. *)
+val suggest_placements : t -> (string * Blueprint.Mgraph.seg * int) list
+
+(** Map a built image into a process (cf. Mach [vm_map] into the target
+    task): segments come from the server's memory — no file opening, no
+    header parsing, no disk reads. *)
+val map_into :
+  t -> ?touch_user_cost:float -> ?fresh_from_disk:bool -> Simos.Proc.t -> built -> unit
+
+(** Everything needed to start a program built by a scheme. *)
+type loadable = { parts : built list (* map order *); entry : int }
+
+(** Package parts, taking the entry point from the last part that has
+    one. @raise Server_error if none do. *)
+val loadable_entry : built list -> loadable

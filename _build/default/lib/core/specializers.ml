@@ -1,0 +1,73 @@
+(** The server's specialization styles (paper §3.4, §4.2).
+
+    Blueprint-visible styles beyond the base ones in {!Blueprint.Mgraph}:
+
+    - ["lib-dynamic"] — "creates an m-graph, the evaluation of which
+      causes stub functions to be dynamically generated for each
+      referenced entry point in the operand. The stub code is compiled
+      and returned as the representative implementation of the
+      library." The produced module contains only stubs + slots; the
+      real code comes later via ["lib-dynamic-impl"].
+
+    - ["lib-dynamic-impl"] — "generates the m-graph which will produce
+      the library implementation that is to be loaded and shared":
+      plain evaluation of the operand.
+
+    - ["monitor"] — the monitoring transformation of §4.1/§6: wrap
+      every exported routine with a logging wrapper. The most recent
+      trace is available through {!last_trace} (the server uses it to
+      derive reorderings). *)
+
+type t = {
+  server : Server.t;
+  upcalls : Upcalls.t;
+  mutable last_trace : Monitor.trace option;
+}
+
+let last_trace (t : t) : Monitor.trace option = t.last_trace
+
+let install (server : Server.t) (upcalls : Upcalls.t) : t =
+  let t = { server; upcalls; last_trace = None } in
+  (* lib-dynamic: stubs for every exported function of the operand *)
+  Server.register_specializer server "lib-dynamic" (fun env _args node ->
+      let r = Blueprint.Mgraph.eval env node in
+      let frags = Jigsaw.Module_ops.fragments r.Blueprint.Mgraph.m in
+      let is_function name =
+        List.exists
+          (fun o ->
+            match Sof.Object_file.find_exported o name with
+            | Some s -> s.Sof.Symbol.kind = Sof.Symbol.Text
+            | None -> false)
+          frags
+      in
+      let entries =
+        List.filter is_function (Jigsaw.Module_ops.exports r.Blueprint.Mgraph.m)
+      in
+      let stubs =
+        Stubs.omos_stub_object (List.map Stubs.import_of_name entries)
+      in
+      (* each stub must export the plain name so clients bind to it *)
+      let renames =
+        List.fold_left
+          (fun m name ->
+            Jigsaw.Module_ops.rename ~scope:Jigsaw.Module_ops.Defs_only
+              (Jigsaw.Select.compile ("^" ^ Str.quote (name ^ "$stub") ^ "$"))
+              name m)
+          (Jigsaw.Module_ops.of_object stubs)
+          entries
+      in
+      { Blueprint.Mgraph.m = renames; constraints = [] });
+  (* lib-dynamic-impl: the shared implementation itself *)
+  Server.register_specializer server "lib-dynamic-impl" (fun env _args node ->
+      Blueprint.Mgraph.eval env node);
+  (* monitor: interpose logging wrappers *)
+  Server.register_specializer server "monitor" (fun env args node ->
+      let exits =
+        List.exists (function Blueprint.Mgraph.Vstr "exits" -> true | _ -> false) args
+      in
+      let r = Blueprint.Mgraph.eval env node in
+      let m', trace = Monitor.monitored ~exits r.Blueprint.Mgraph.m in
+      Monitor.attach upcalls trace;
+      t.last_trace <- Some trace;
+      { r with Blueprint.Mgraph.m = m' });
+  t

@@ -1,0 +1,16 @@
+(** The server's specialization styles (paper §3.4, §4.2):
+    ["lib-dynamic"] (stub generation), ["lib-dynamic-impl"] (the shared
+    implementation), and ["monitor"] (logging-wrapper interposition;
+    pass the argument ["exits"] for entry+exit wrappers). *)
+
+type t = {
+  server : Server.t;
+  upcalls : Upcalls.t;
+  mutable last_trace : Monitor.trace option;
+}
+
+(** The trace produced by the most recent "monitor" evaluation. *)
+val last_trace : t -> Monitor.trace option
+
+(** Register the styles on the server and return the handle. *)
+val install : Server.t -> Upcalls.t -> t

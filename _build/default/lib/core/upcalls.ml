@@ -1,0 +1,25 @@
+(** Routing of OMOS-owned syscalls.
+
+    The kernel has a single upcall hook for syscalls at or above
+    {!Simos.Syscall.omos_base}; this registry lets the independent
+    runtime pieces (lazy-binding schemes, the monitor, the dynamic
+    loader) each own their numbers. *)
+
+type handler =
+  Simos.Kernel.t -> Simos.Proc.t -> Svm.Cpu.t -> int -> Svm.Cpu.sys_result
+
+type t = { handlers : (int, handler) Hashtbl.t }
+
+(** Create the registry and install it as the kernel's upcall. Unknown
+    numbers return -1 to the caller. *)
+let install (k : Simos.Kernel.t) : t =
+  let t = { handlers = Hashtbl.create 8 } in
+  Simos.Kernel.set_upcall k (fun k p cpu n ->
+      match Hashtbl.find_opt t.handlers n with
+      | Some f -> f k p cpu n
+      | None ->
+          Svm.Cpu.set_reg cpu Svm.Isa.reg_ret (-1l);
+          Svm.Cpu.Sys_continue);
+  t
+
+let register (t : t) (n : int) (f : handler) : unit = Hashtbl.replace t.handlers n f

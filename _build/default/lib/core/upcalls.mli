@@ -1,0 +1,15 @@
+(** Routing of OMOS-owned syscalls: the kernel has one upcall hook for
+    syscalls at or above {!Simos.Syscall.omos_base}; this registry lets
+    the independent runtime pieces (lazy-binding schemes, the monitor,
+    the dynamic loader) each own their numbers. *)
+
+type handler =
+  Simos.Kernel.t -> Simos.Proc.t -> Svm.Cpu.t -> int -> Svm.Cpu.sys_result
+
+type t
+
+(** Create the registry and install it as the kernel's upcall. Unknown
+    numbers return -1 to the caller. *)
+val install : Simos.Kernel.t -> t
+
+val register : t -> int -> handler -> unit

@@ -1,0 +1,1 @@
+lib/jigsaw/module_ops.ml: Format Hashtbl Linker List Option Printf Select Sof Str Svm

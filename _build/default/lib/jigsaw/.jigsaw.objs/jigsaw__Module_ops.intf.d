@@ -1,0 +1,1 @@
+lib/jigsaw/module_ops.mli: Select Sof

@@ -1,0 +1,1 @@
+lib/jigsaw/select.ml: Str

@@ -1,0 +1,229 @@
+(** The Jigsaw module operators (paper §3.3, after Bracha & Lindstrom).
+
+    "Conceptually, a module is a self-referential naming scope. Module
+    operations operate on and modify the symbol bindings in modules. The
+    modified bindings define the inheritance relationships between the
+    component objects."
+
+    A module here is an ordered list of SOF {!Sof.View.t}s. Every
+    operator is non-destructive: it returns a new module whose fragments
+    are new view layers over the same section bytes (the paper's cheap
+    "views"). Binding semantics at link time: a fragment's references
+    resolve to its own definitions first, then to exported definitions
+    anywhere in the final merge — so making a binding {e permanent}
+    (freeze/hide) is implemented by renaming both definition and
+    references to a fresh private name no later operation can touch. *)
+
+exception Module_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Module_error s)) fmt
+
+type t = { label : string; fragments : Sof.View.t list }
+
+let v ?(label = "<module>") (fragments : Sof.View.t list) : t = { label; fragments }
+
+let of_object (o : Sof.Object_file.t) : t =
+  { label = o.Sof.Object_file.name; fragments = [ Sof.View.of_object o ] }
+
+let of_objects ?(label = "<module>") (os : Sof.Object_file.t list) : t =
+  { label; fragments = List.map Sof.View.of_object os }
+
+let fragments (m : t) : Sof.Object_file.t list =
+  List.map Sof.View.materialize m.fragments
+
+let label (m : t) = m.label
+
+(** Names exported by the module. *)
+let exports (m : t) : string list =
+  List.sort_uniq compare
+    (List.concat_map
+       (fun o -> List.map (fun (s : Sof.Symbol.t) -> s.name) (Sof.Object_file.exported o))
+       (fragments m))
+
+(** Names referenced by the module but defined nowhere inside it. *)
+let undefined (m : t) : string list =
+  let frags = fragments m in
+  let defined = Hashtbl.create 64 in
+  List.iter
+    (fun o ->
+      List.iter
+        (fun (s : Sof.Symbol.t) -> Hashtbl.replace defined s.Sof.Symbol.name ())
+        (Sof.Object_file.exported o))
+    frags;
+  List.sort_uniq compare
+    (List.concat_map
+       (fun o -> List.filter (fun n -> not (Hashtbl.mem defined n))
+                   (Sof.Object_file.undefined o))
+       frags)
+
+(** Flatten the module into a single relocatable object (partial link) —
+    what gets cached as a library implementation. *)
+let to_object ?name (m : t) : Sof.Object_file.t =
+  let name = Option.value name ~default:m.label in
+  Linker.Link.combine ~name (fragments m)
+
+(* Map every fragment through a view-op generator. *)
+let map_views (m : t) (f : Sof.View.t -> Sof.View.t) : t =
+  { m with fragments = List.map f m.fragments }
+
+let push_all (m : t) (op : Sof.View.op) : t =
+  map_views m (fun v -> Sof.View.push v op)
+
+(* Exported definition names per fragment, for conflict detection. *)
+let exported_names_of_frag (o : Sof.Object_file.t) : string list =
+  List.map (fun (s : Sof.Symbol.t) -> s.name) (Sof.Object_file.exported o)
+
+let global_names_of_frag (o : Sof.Object_file.t) : string list =
+  List.filter_map
+    (fun (s : Sof.Symbol.t) ->
+      if Sof.Symbol.is_defined s && s.binding = Sof.Symbol.Global then Some s.name
+      else None)
+    o.Sof.Object_file.symbols
+
+(** [merge a b] binds the symbol definitions found in one operand to the
+    references found in the other. Multiple {e global} definitions of a
+    symbol constitute an error (weak definitions coexist). *)
+let merge (a : t) (b : t) : t =
+  let seen = Hashtbl.create 64 in
+  List.iter
+    (fun o ->
+      List.iter
+        (fun n ->
+          match Hashtbl.find_opt seen n with
+          | Some f1 -> fail "merge: duplicate definition of %s (in %s and %s)" n f1
+                         o.Sof.Object_file.name
+          | None -> Hashtbl.replace seen n o.Sof.Object_file.name)
+        (global_names_of_frag o))
+    (fragments a @ fragments b);
+  { label = Printf.sprintf "(merge %s %s)" a.label b.label;
+    fragments = a.fragments @ b.fragments }
+
+let merge_list (ms : t list) : t =
+  match ms with
+  | [] -> fail "merge: no operands"
+  | [ m ] -> m
+  | m :: rest -> List.fold_left merge m rest
+
+(** [restrict sel m] virtualizes the selected bindings: definitions are
+    removed, references to them become (or stay) unbound. *)
+let restrict (sel : Select.t) (m : t) : t =
+  let m' = push_all m (Sof.View.Undefine (Select.matches sel)) in
+  { m' with label = Printf.sprintf "(restrict %s %s)" (Select.pattern sel) m.label }
+
+(** [project sel m] is the complement: virtualize all {e but} the
+    selected bindings. *)
+let project (sel : Select.t) (m : t) : t =
+  let m' = push_all m (Sof.View.Undefine (fun n -> not (Select.matches sel n))) in
+  { m' with label = Printf.sprintf "(project %s %s)" (Select.pattern sel) m.label }
+
+(** [override a b] merges, resolving conflicting definitions in favour
+    of [b]: [a]'s conflicting definitions are virtualized first, so
+    [a]'s references rebind to [b]'s implementations. *)
+let override (a : t) (b : t) : t =
+  let b_exports = Hashtbl.create 32 in
+  List.iter
+    (fun o -> List.iter (fun n -> Hashtbl.replace b_exports n ())
+                (exported_names_of_frag o))
+    (fragments b);
+  let a' = push_all a (Sof.View.Undefine (Hashtbl.mem b_exports)) in
+  let merged = merge a' b in
+  { merged with label = Printf.sprintf "(override %s %s)" a.label b.label }
+
+(** [copy_as sel new_name m] duplicates the value of the selected
+    definition(s) under a new name ([new_name] may use [\1]-style group
+    references against [sel]). *)
+let copy_as (sel : Select.t) (new_name : string) (m : t) : t =
+  let m' = push_all m (Sof.View.Copy_defs (Select.rewrite sel new_name)) in
+  { m' with
+    label = Printf.sprintf "(copy_as %s %s %s)" (Select.pattern sel) new_name m.label }
+
+(* Fresh-name generation for freeze/hide manglings. *)
+let gensym_counter = ref 0
+
+let gensym () =
+  incr gensym_counter;
+  !gensym_counter
+
+(* Shared machinery of freeze/hide: rename all references to the
+   selected exported names to a fresh private alias; [keep_public]
+   decides whether the public definition survives (freeze) or is
+   renamed away (hide). *)
+let freeze_like ~keep_public (sel : Select.t) (m : t) : t =
+  let id = gensym () in
+  let selected = List.filter (Select.matches sel) (exports m) in
+  if selected = [] then m
+  else begin
+    let alias = Hashtbl.create 8 in
+    List.iter
+      (fun n -> Hashtbl.replace alias n (Printf.sprintf "%s$%s%d" n
+                                           (if keep_public then "frz" else "hid") id))
+      selected;
+    let ref_map n = Hashtbl.find_opt alias n in
+    let m = push_all m (Sof.View.Rename_refs ref_map) in
+    if keep_public then push_all m (Sof.View.Copy_defs ref_map)
+    else push_all m (Sof.View.Rename_defs ref_map)
+  end
+
+(** [freeze sel m] makes the current binding of the selected symbols
+    permanent: intra-module references can no longer be rebound by
+    later [override]/[restrict], while the public definition remains
+    exported. *)
+let freeze (sel : Select.t) (m : t) : t =
+  let m' = freeze_like ~keep_public:true sel m in
+  { m' with label = Printf.sprintf "(freeze %s %s)" (Select.pattern sel) m.label }
+
+(** [hide sel m] removes the selected definitions from the exported
+    symbol table, freezing internal references to them in the process. *)
+let hide (sel : Select.t) (m : t) : t =
+  let m' = freeze_like ~keep_public:false sel m in
+  { m' with label = Printf.sprintf "(hide %s %s)" (Select.pattern sel) m.label }
+
+(** [show sel m] hides all but the selected definitions. *)
+let show (sel : Select.t) (m : t) : t =
+  let keep = Select.matches sel in
+  let victims = List.filter (fun n -> not (keep n)) (exports m) in
+  let m' =
+    List.fold_left
+      (fun acc n -> freeze_like ~keep_public:false (Select.compile ("^" ^ Str.quote n ^ "$")) acc)
+      m victims
+  in
+  { m' with label = Printf.sprintf "(show %s %s)" (Select.pattern sel) m.label }
+
+(** Which side of the namespace [rename] rewrites. *)
+type rename_scope = Defs_only | Refs_only | Both
+
+(** [rename sel template m] systematically changes names in the operand
+    symbol table. Names may be references, definitions, or both. *)
+let rename ?(scope = Both) (sel : Select.t) (template : string) (m : t) : t =
+  let map = Select.rewrite sel template in
+  let m' =
+    match scope with
+    | Defs_only -> push_all m (Sof.View.Rename_defs map)
+    | Refs_only -> push_all m (Sof.View.Rename_refs map)
+    | Both ->
+        push_all (push_all m (Sof.View.Rename_defs map)) (Sof.View.Rename_refs map)
+  in
+  { m' with
+    label = Printf.sprintf "(rename %s %s %s)" (Select.pattern sel) template m.label }
+
+(** [initializers m] generates the static-initializer driver for the
+    constructors found in the module (the paper's C++ support): a
+    global [__init] routine calling each registered constructor in
+    order. The synthesized definition is merged in, overriding the weak
+    default provided by crt0. *)
+let initializers (m : t) : t =
+  let ctors = List.concat_map (fun o -> o.Sof.Object_file.ctors) (fragments m) in
+  let a = Sof.Asm.create "(initializers)" in
+  Sof.Asm.label a "__init";
+  (* save ra across the constructor calls *)
+  Sof.Asm.instrs a
+    [ Svm.Isa.Addi (Svm.Isa.reg_sp, Svm.Isa.reg_sp, -4l);
+      Svm.Isa.St (Svm.Isa.reg_sp, Svm.Isa.reg_ra, 0l) ];
+  List.iter (fun c -> Sof.Asm.call a c) ctors;
+  Sof.Asm.instrs a
+    [ Svm.Isa.Ld (Svm.Isa.reg_ra, Svm.Isa.reg_sp, 0l);
+      Svm.Isa.Addi (Svm.Isa.reg_sp, Svm.Isa.reg_sp, 4l);
+      Svm.Isa.Ret ];
+  let init_obj = Sof.Asm.finish a in
+  let m' = override m (of_object init_obj) in
+  { m' with label = Printf.sprintf "(initializers %s)" m.label }

@@ -1,0 +1,30 @@
+(** Symbol selection by regular expression.
+
+    "Module operations typically take a regular expression as a
+    specification of the symbols to select" (§3.3). Patterns follow
+    [Str] syntax; as in the paper's examples ([^_malloc$]) the caller
+    anchors explicitly — an unanchored pattern matches anywhere in the
+    name. *)
+
+type t = { pattern : string; re : Str.regexp }
+
+let compile (pattern : string) : t = { pattern; re = Str.regexp pattern }
+
+let pattern (s : t) = s.pattern
+
+(** Does the symbol name match (anywhere, unless the pattern anchors)? *)
+let matches (s : t) (name : string) : bool =
+  try
+    ignore (Str.search_forward s.re name 0);
+    true
+  with Not_found -> false
+
+(** [rewrite s template name] — if [name] matches, substitute the whole
+    match with [template] (which may use [\1]… group references) and
+    return the rewritten name. *)
+let rewrite (s : t) (template : string) (name : string) : string option =
+  if matches s name then Some (Str.replace_first s.re template name) else None
+
+(** Exact single-name replacement (no group references). *)
+let replace_with (s : t) (replacement : string) (name : string) : string option =
+  if matches s name then Some replacement else None

@@ -1,0 +1,19 @@
+(** Symbol selection by regular expression (paper §3.3: "Module
+    operations typically take a regular expression as a specification
+    of the symbols to select"). Patterns follow [Str] syntax; anchor
+    explicitly, as in the paper's [^_malloc$]. *)
+
+type t
+
+val compile : string -> t
+val pattern : t -> string
+
+(** Does the symbol name match (anywhere, unless the pattern anchors)? *)
+val matches : t -> string -> bool
+
+(** If the name matches, substitute the whole match with [template]
+    ([\1]… group references allowed) and return the rewritten name. *)
+val rewrite : t -> string -> string -> string option
+
+(** Exact single-name replacement (no group references). *)
+val replace_with : t -> string -> string -> string option

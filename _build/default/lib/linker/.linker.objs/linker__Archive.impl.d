@@ -1,0 +1,1 @@
+lib/linker/archive.ml: Hashtbl List Queue Sof

@@ -1,0 +1,1 @@
+lib/linker/archive.mli: Sof

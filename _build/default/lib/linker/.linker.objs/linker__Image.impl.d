@@ -1,0 +1,1 @@
+lib/linker/image.ml: Buffer Bytes Digest Format Int32 List Printf String

@@ -1,0 +1,1 @@
+lib/linker/link.ml: Bytes Hashtbl Image Int32 List Printexc Printf Sof String Svm

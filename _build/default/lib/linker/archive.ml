@@ -1,0 +1,51 @@
+(** Archive-member selection: classic Unix static-linking semantics.
+
+    A traditional static link against libc.a does not absorb the whole
+    library — the linker pulls only the members that satisfy undefined
+    references, transitively. The static baseline scheme uses this so
+    its binaries (and their write-out cost, and the memory comparison
+    of experiment E2) are realistic. *)
+
+(** [select ~roots ~available] returns the members of [available]
+    needed to satisfy the undefined references of [roots], transitively,
+    in a deterministic order (first-use order over [available]). *)
+let select ~(roots : Sof.Object_file.t list) ~(available : Sof.Object_file.t list) :
+    Sof.Object_file.t list =
+  (* map: exported name -> providing member *)
+  let providers = Hashtbl.create 64 in
+  List.iter
+    (fun (o : Sof.Object_file.t) ->
+      List.iter
+        (fun (s : Sof.Symbol.t) ->
+          if not (Hashtbl.mem providers s.Sof.Symbol.name) then
+            Hashtbl.replace providers s.Sof.Symbol.name o)
+        (Sof.Object_file.exported o))
+    available;
+  let picked = Hashtbl.create 16 in
+  let picked_order = ref [] in
+  let defined = Hashtbl.create 64 in
+  let note_defs (o : Sof.Object_file.t) =
+    List.iter
+      (fun (s : Sof.Symbol.t) -> Hashtbl.replace defined s.Sof.Symbol.name ())
+      (Sof.Object_file.exported o)
+  in
+  List.iter note_defs roots;
+  let queue = Queue.create () in
+  List.iter (fun o -> Queue.add o queue) roots;
+  while not (Queue.is_empty queue) do
+    let o = Queue.pop queue in
+    List.iter
+      (fun name ->
+        if not (Hashtbl.mem defined name) then
+          match Hashtbl.find_opt providers name with
+          | Some m when not (Hashtbl.mem picked m.Sof.Object_file.name) ->
+              Hashtbl.replace picked m.Sof.Object_file.name ();
+              picked_order := m :: !picked_order;
+              note_defs m;
+              Queue.add m queue
+          | Some _ | None -> ())
+      (Sof.Object_file.undefined o)
+  done;
+  (* keep [available]'s order for determinism *)
+  List.filter (fun (o : Sof.Object_file.t) -> Hashtbl.mem picked o.Sof.Object_file.name)
+    available

@@ -1,0 +1,10 @@
+(** Archive-member selection: classic Unix static-linking semantics — a
+    static link pulls only the library members that satisfy undefined
+    references, transitively. *)
+
+(** [select ~roots ~available] returns the members of [available]
+    needed by [roots], transitively, preserving [available]'s order. *)
+val select :
+  roots:Sof.Object_file.t list ->
+  available:Sof.Object_file.t list ->
+  Sof.Object_file.t list

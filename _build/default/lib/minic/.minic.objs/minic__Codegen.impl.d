@@ -1,0 +1,1 @@
+lib/minic/codegen.ml: Array Ast Codegen_items Filename Format Hashtbl Int32 List Peephole Printf Sof Svm

@@ -1,0 +1,1 @@
+lib/minic/codegen_items.mli: Sof Svm

@@ -1,0 +1,1 @@
+lib/minic/driver.ml: Ast Codegen Lexer Parser Printf Sof

@@ -1,0 +1,1 @@
+lib/minic/parser.ml: Ast Format Int32 Lexer List Token

@@ -1,0 +1,579 @@
+(** Code generation: minic AST → SOF object files.
+
+    A classic single-pass stack-machine scheme:
+
+    - expression results land in r1; binary operators evaluate the left
+      operand, push it, evaluate the right, pop into r2, combine;
+    - calling convention: caller pushes arguments right-to-left (arg0
+      ends up at [sp]), issues [call], then pops them; results return
+      in r0;
+    - frames: callee pushes ra and fp, sets fp := sp, then reserves one
+      word per local. Thus [fp+0] = saved fp, [fp+4] = saved ra,
+      [fp+8+4i] = parameter i, [fp-4(i+1)] = local i;
+    - references to globals and functions compile to [lea]/[call]
+      instructions carrying Abs32 relocations — these are exactly the
+      "external references" whose per-invocation cost the paper's
+      evaluation measures. *)
+
+exception Codegen_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Codegen_error s)) fmt
+
+(* Register assignments (see Svm.Isa conventions). *)
+let acc = Svm.Isa.reg_acc (* r1: expression results *)
+let tmp = Svm.Isa.reg_tmp (* r2: second operand / addresses *)
+let tm3 = 3 (* extra scratch *)
+let sp = Svm.Isa.reg_sp
+let fp = Svm.Isa.reg_fp
+let ra = Svm.Isa.reg_ra
+let rv = Svm.Isa.reg_ret (* r0 *)
+
+(* -- global environment -------------------------------------------------- *)
+
+type gkind =
+  | Gscalar
+  | Garray
+  | Gstring
+  | Gfun of int (* arity *)
+  | Gextern_var
+  | Gextern_fun of int
+
+type genv = (string, gkind) Hashtbl.t
+
+let build_genv (prog : Ast.program) : genv =
+  let env = Hashtbl.create 32 in
+  let add name k =
+    if Hashtbl.mem env name then fail "duplicate global %s" name
+    else Hashtbl.replace env name k
+  in
+  List.iter
+    (fun (g : Ast.global) ->
+      match g with
+      | Ast.Gvar { name; _ } -> add name Gscalar
+      | Ast.Garray { name; _ } -> add name Garray
+      | Ast.Gstring { name; _ } -> add name Gstring
+      | Ast.Gextern_var name -> add name Gextern_var
+      | Ast.Gextern_fun (name, arity) -> add name (Gextern_fun arity)
+      | Ast.Gfunc f -> add f.Ast.fname (Gfun (List.length f.Ast.params)))
+    prog;
+  env
+
+(* -- function-body emission ----------------------------------------------- *)
+
+(* Buffered emission with local-label fixups; the item type lives in
+   Codegen_items so the peephole optimizer can share it. *)
+open Codegen_items
+
+(* String literals are interned per translation unit (labels must be
+   unique across all of the unit's functions). *)
+type strings_acc = {
+  prefix : string;
+  mutable items : (string * string) list; (* label, contents; reversed *)
+  mutable n : int;
+}
+
+type fenv = {
+  genv : genv;
+  locals : (string, int) Hashtbl.t; (* name -> fp offset *)
+  mutable items : item list; (* reversed *)
+  mutable nlabels : int;
+  mutable loop_stack : (int * int) list; (* (break label, continue label) *)
+  strings : strings_acc;
+  epilogue : int; (* label id of function epilogue *)
+}
+
+let emit (f : fenv) (i : Svm.Isa.instr) = f.items <- Plain i :: f.items
+let emit_reloc (f : fenv) i kind sym addend = f.items <- Reloc (i, kind, sym, addend) :: f.items
+let new_label (f : fenv) = f.nlabels <- f.nlabels + 1; f.nlabels
+let place (f : fenv) (l : int) = f.items <- Ldef l :: f.items
+let branch (f : fenv) (k : bkind) (l : int) = f.items <- Bfix (k, l) :: f.items
+
+let push_reg (f : fenv) (r : int) =
+  emit f (Svm.Isa.Addi (sp, sp, -4l));
+  emit f (Svm.Isa.St (sp, r, 0l))
+
+let pop_reg (f : fenv) (r : int) =
+  emit f (Svm.Isa.Ld (r, sp, 0l));
+  emit f (Svm.Isa.Addi (sp, sp, 4l))
+
+let intern_string (f : fenv) (s : string) : string =
+  let acc = f.strings in
+  match List.find_opt (fun (_, v) -> v = s) acc.items with
+  | Some (l, _) -> l
+  | None ->
+      acc.n <- acc.n + 1;
+      let label = Printf.sprintf "str$%s$%d" acc.prefix acc.n in
+      acc.items <- (label, s) :: acc.items;
+      label
+
+(* Load the address of global [name] into register [r]. *)
+let lea_global (f : fenv) (r : int) (name : string) =
+  emit_reloc f (Svm.Isa.Lea (r, 0l)) Sof.Reloc.Abs32 name 0
+
+let local_offset (f : fenv) (name : string) : int option =
+  Hashtbl.find_opt f.locals name
+
+let rec gen_expr (f : fenv) (e : Ast.expr) : unit =
+  match e with
+  | Ast.Num n -> emit f (Svm.Isa.Movi (acc, n))
+  | Ast.Str s ->
+      let label = intern_string f s in
+      emit_reloc f (Svm.Isa.Lea (acc, 0l)) Sof.Reloc.Abs32 label 0
+  | Ast.Var name -> (
+      match local_offset f name with
+      | Some off -> emit f (Svm.Isa.Ld (acc, fp, Int32.of_int off))
+      | None -> (
+          match Hashtbl.find_opt f.genv name with
+          | Some (Gscalar | Gextern_var) ->
+              lea_global f tmp name;
+              emit f (Svm.Isa.Ld (acc, tmp, 0l))
+          | Some (Garray | Gstring) ->
+              (* arrays and strings decay to their address *)
+              lea_global f acc name
+          | Some (Gfun _ | Gextern_fun _) ->
+              (* function name used as a value: its address *)
+              lea_global f acc name
+          | None -> fail "undeclared variable %s" name))
+  | Ast.Addr name -> (
+      match local_offset f name with
+      | Some _ -> fail "cannot take the address of local %s" name
+      | None ->
+          if Hashtbl.mem f.genv name then lea_global f acc name
+          else fail "undeclared variable %s" name)
+  | Ast.Index (name, idx) ->
+      gen_expr f idx;
+      (* r1 := index; scale to bytes *)
+      emit f (Svm.Isa.Movi (tmp, 2l));
+      emit f (Svm.Isa.Shl (acc, acc, tmp));
+      gen_base_address f name;
+      (* tmp := base *)
+      emit f (Svm.Isa.Add (tmp, tmp, acc));
+      emit f (Svm.Isa.Ld (acc, tmp, 0l))
+  | Ast.Call (name, args) ->
+      check_arity f name (List.length args);
+      (* push args right-to-left *)
+      List.iter
+        (fun a ->
+          gen_expr f a;
+          push_reg f acc)
+        (List.rev args);
+      emit_reloc f (Svm.Isa.Call 0l) Sof.Reloc.Abs32 name 0;
+      if args <> [] then
+        emit f (Svm.Isa.Addi (sp, sp, Int32.of_int (4 * List.length args)));
+      emit f (Svm.Isa.Mov (acc, rv))
+  | Ast.Syscall (n, args) ->
+      if List.length args > 4 then fail "__syscall takes at most 4 arguments";
+      List.iter
+        (fun a ->
+          gen_expr f a;
+          push_reg f acc)
+        (List.rev args);
+      (* args now at [sp], [sp+4], ... : load into r1..rk then pop *)
+      List.iteri
+        (fun i _ -> emit f (Svm.Isa.Ld (Svm.Isa.reg_arg0 + i, sp, Int32.of_int (4 * i))))
+        args;
+      if args <> [] then
+        emit f (Svm.Isa.Addi (sp, sp, Int32.of_int (4 * List.length args)));
+      emit f (Svm.Isa.Sys (Int32.of_int n));
+      emit f (Svm.Isa.Mov (acc, rv))
+  | Ast.Icall (target, args) ->
+      (* like Call, but the target address is computed: push args,
+         evaluate the target last, callr *)
+      List.iter
+        (fun a ->
+          gen_expr f a;
+          push_reg f acc)
+        (List.rev args);
+      gen_expr f target;
+      emit f (Svm.Isa.Callr acc);
+      if args <> [] then
+        emit f (Svm.Isa.Addi (sp, sp, Int32.of_int (4 * List.length args)));
+      emit f (Svm.Isa.Mov (acc, rv))
+  | Ast.Load8 addr ->
+      gen_expr f addr;
+      emit f (Svm.Isa.Ldb (acc, acc, 0l))
+  | Ast.Un (Ast.Neg, e1) ->
+      gen_expr f e1;
+      emit f (Svm.Isa.Movi (tmp, 0l));
+      emit f (Svm.Isa.Sub (acc, tmp, acc))
+  | Ast.Un (Ast.Not, e1) ->
+      gen_expr f e1;
+      emit f (Svm.Isa.Movi (tmp, 0l));
+      emit f (Svm.Isa.Cmpeq (acc, acc, tmp))
+  | Ast.Bin (Ast.Land, a, b) ->
+      let l_false = new_label f and l_end = new_label f in
+      gen_expr f a;
+      branch f (Bz acc) l_false;
+      gen_expr f b;
+      branch f (Bz acc) l_false;
+      emit f (Svm.Isa.Movi (acc, 1l));
+      branch f Bal l_end;
+      place f l_false;
+      emit f (Svm.Isa.Movi (acc, 0l));
+      place f l_end
+  | Ast.Bin (Ast.Lor, a, b) ->
+      let l_true = new_label f and l_end = new_label f in
+      gen_expr f a;
+      branch f (Bnz acc) l_true;
+      gen_expr f b;
+      branch f (Bnz acc) l_true;
+      emit f (Svm.Isa.Movi (acc, 0l));
+      branch f Bal l_end;
+      place f l_true;
+      emit f (Svm.Isa.Movi (acc, 1l));
+      place f l_end
+  | Ast.Bin (op, a, b) ->
+      gen_expr f a;
+      push_reg f acc;
+      gen_expr f b;
+      pop_reg f tmp;
+      (* tmp = lhs, acc = rhs *)
+      let i =
+        match op with
+        | Ast.Add -> Svm.Isa.Add (acc, tmp, acc)
+        | Ast.Sub -> Svm.Isa.Sub (acc, tmp, acc)
+        | Ast.Mul -> Svm.Isa.Mul (acc, tmp, acc)
+        | Ast.Div -> Svm.Isa.Div (acc, tmp, acc)
+        | Ast.Mod -> Svm.Isa.Mod (acc, tmp, acc)
+        | Ast.And -> Svm.Isa.And_ (acc, tmp, acc)
+        | Ast.Or -> Svm.Isa.Or_ (acc, tmp, acc)
+        | Ast.Xor -> Svm.Isa.Xor (acc, tmp, acc)
+        | Ast.Shl -> Svm.Isa.Shl (acc, tmp, acc)
+        | Ast.Shr -> Svm.Isa.Shr (acc, tmp, acc)
+        | Ast.Lt -> Svm.Isa.Cmplt (acc, tmp, acc)
+        | Ast.Le -> Svm.Isa.Cmple (acc, tmp, acc)
+        | Ast.Gt -> Svm.Isa.Cmplt (acc, acc, tmp)
+        | Ast.Ge -> Svm.Isa.Cmple (acc, acc, tmp)
+        | Ast.Eq -> Svm.Isa.Cmpeq (acc, tmp, acc)
+        | Ast.Ne -> Svm.Isa.Cmpeq (acc, tmp, acc)
+        | Ast.Land | Ast.Lor -> assert false
+      in
+      emit f i;
+      if op = Ast.Ne then (
+        emit f (Svm.Isa.Movi (tmp, 0l));
+        emit f (Svm.Isa.Cmpeq (acc, acc, tmp)))
+
+(* Put the base address for indexing [name] into tmp (r2). A local or
+   scalar global holds a pointer; an array/string global IS the base. *)
+and gen_base_address (f : fenv) (name : string) : unit =
+  match local_offset f name with
+  | Some off -> emit f (Svm.Isa.Ld (tmp, fp, Int32.of_int off))
+  | None -> (
+      match Hashtbl.find_opt f.genv name with
+      | Some (Garray | Gstring) -> lea_global f tmp name
+      | Some (Gscalar | Gextern_var) ->
+          lea_global f tmp name;
+          emit f (Svm.Isa.Ld (tmp, tmp, 0l))
+      | Some (Gfun _ | Gextern_fun _) -> fail "%s is a function, not indexable" name
+      | None -> fail "undeclared variable %s" name)
+
+and check_arity (f : fenv) (name : string) (given : int) : unit =
+  match Hashtbl.find_opt f.genv name with
+  | Some (Gfun n | Gextern_fun n) ->
+      if n <> given then fail "%s expects %d arguments, got %d" name n given
+  | Some (Gscalar | Garray | Gstring | Gextern_var) ->
+      fail "%s is not a function" name
+  | None ->
+      (* unknown callee: implicitly extern, any arity — the normal case
+         for library routines resolved by the server at link time *)
+      ()
+
+let rec gen_stmt (f : fenv) (s : Ast.stmt) : unit =
+  match s with
+  | Ast.Decl (name, init) -> (
+      match init with
+      | Some e ->
+          gen_expr f e;
+          let off =
+            match local_offset f name with
+            | Some o -> o
+            | None -> fail "internal: local %s unallocated" name
+          in
+          emit f (Svm.Isa.St (fp, acc, Int32.of_int off))
+      | None -> ())
+  | Ast.Assign (name, e) -> (
+      gen_expr f e;
+      match local_offset f name with
+      | Some off -> emit f (Svm.Isa.St (fp, acc, Int32.of_int off))
+      | None -> (
+          match Hashtbl.find_opt f.genv name with
+          | Some (Gscalar | Gextern_var) ->
+              lea_global f tmp name;
+              emit f (Svm.Isa.St (tmp, acc, 0l))
+          | Some _ -> fail "cannot assign to %s" name
+          | None -> fail "undeclared variable %s" name))
+  | Ast.Store (name, idx, e) ->
+      gen_expr f idx;
+      emit f (Svm.Isa.Movi (tmp, 2l));
+      emit f (Svm.Isa.Shl (acc, acc, tmp));
+      push_reg f acc;
+      gen_expr f e;
+      pop_reg f tm3;
+      (* tm3 = byte offset, acc = value *)
+      gen_base_address f name;
+      emit f (Svm.Isa.Add (tmp, tmp, tm3));
+      emit f (Svm.Isa.St (tmp, acc, 0l))
+  | Ast.Store8 (addr, v) ->
+      gen_expr f addr;
+      push_reg f acc;
+      gen_expr f v;
+      pop_reg f tmp;
+      emit f (Svm.Isa.Stb (tmp, acc, 0l))
+  | Ast.If (cond, then_, else_) -> (
+      gen_expr f cond;
+      match else_ with
+      | None ->
+          let l_end = new_label f in
+          branch f (Bz acc) l_end;
+          gen_stmt f then_;
+          place f l_end
+      | Some e ->
+          let l_else = new_label f and l_end = new_label f in
+          branch f (Bz acc) l_else;
+          gen_stmt f then_;
+          branch f Bal l_end;
+          place f l_else;
+          gen_stmt f e;
+          place f l_end)
+  | Ast.While (cond, body) ->
+      let l_top = new_label f and l_end = new_label f in
+      place f l_top;
+      gen_expr f cond;
+      branch f (Bz acc) l_end;
+      f.loop_stack <- (l_end, l_top) :: f.loop_stack;
+      gen_stmt f body;
+      f.loop_stack <- List.tl f.loop_stack;
+      branch f Bal l_top;
+      place f l_end
+  | Ast.For (init, cond, step, body) ->
+      (* continue jumps to the step, not the condition *)
+      (match init with Some s -> gen_stmt f s | None -> ());
+      let l_top = new_label f and l_step = new_label f and l_end = new_label f in
+      place f l_top;
+      (match cond with
+      | Some c ->
+          gen_expr f c;
+          branch f (Bz acc) l_end
+      | None -> ());
+      f.loop_stack <- (l_end, l_step) :: f.loop_stack;
+      gen_stmt f body;
+      f.loop_stack <- List.tl f.loop_stack;
+      place f l_step;
+      (match step with Some s -> gen_stmt f s | None -> ());
+      branch f Bal l_top;
+      place f l_end
+  | Ast.Break -> (
+      match f.loop_stack with
+      | (l_break, _) :: _ -> branch f Bal l_break
+      | [] -> fail "break outside loop")
+  | Ast.Continue -> (
+      match f.loop_stack with
+      | (_, l_cont) :: _ -> branch f Bal l_cont
+      | [] -> fail "continue outside loop")
+  | Ast.Return None ->
+      emit f (Svm.Isa.Movi (rv, 0l));
+      branch f Bal f.epilogue
+  | Ast.Return (Some e) ->
+      gen_expr f e;
+      emit f (Svm.Isa.Mov (rv, acc));
+      branch f Bal f.epilogue
+  | Ast.Block stmts -> List.iter (gen_stmt f) stmts
+  | Ast.Expr e -> gen_expr f e
+
+(* Collect all local declarations of a function body (C89-style
+   function-scoped locals). *)
+let rec collect_decls (acc : string list) (s : Ast.stmt) : string list =
+  match s with
+  | Ast.Decl (name, _) -> name :: acc
+  | Ast.If (_, a, b) -> (
+      let acc = collect_decls acc a in
+      match b with Some b -> collect_decls acc b | None -> acc)
+  | Ast.While (_, b) -> collect_decls acc b
+  | Ast.For (init, _, step, b) ->
+      let acc = match init with Some s -> collect_decls acc s | None -> acc in
+      let acc = match step with Some s -> collect_decls acc s | None -> acc in
+      collect_decls acc b
+  | Ast.Block ss -> List.fold_left collect_decls acc ss
+  | Ast.Assign _ | Ast.Store _ | Ast.Store8 _ | Ast.Return _ | Ast.Break
+  | Ast.Continue | Ast.Expr _ ->
+      acc
+
+(* Emit an instruction whose immediate carries a relocation, going
+   through the assembler's reloc-tracking entry points. *)
+let emit_with_reloc (a : Sof.Asm.t) ins kind sym addend : unit =
+  match (ins, kind) with
+  | Svm.Isa.Call _, Sof.Reloc.Abs32 when addend = 0 -> Sof.Asm.call a sym
+  | Svm.Isa.Jmp _, Sof.Reloc.Abs32 when addend = 0 -> Sof.Asm.jmp_sym a sym
+  | Svm.Isa.Lea (rd, _), Sof.Reloc.Abs32 -> Sof.Asm.lea ~addend a rd sym
+  | _ -> fail "internal: unsupported reloc instruction"
+
+(* Flush buffered items (in program order) into the object assembler,
+   resolving local branch displacements. *)
+let flush_items (a : Sof.Asm.t) (items : item list) : unit =
+  let items = Array.of_list items in
+  (* instruction index of each item (labels occupy no space) *)
+  let n = Array.length items in
+  let idx = Array.make n 0 in
+  let label_at = Hashtbl.create 16 in
+  let count = ref 0 in
+  Array.iteri
+    (fun i it ->
+      idx.(i) <- !count;
+      match it with
+      | Ldef l -> Hashtbl.replace label_at l !count
+      | Plain _ | Reloc _ | Bfix _ -> incr count)
+    items;
+  let disp from_idx l =
+    match Hashtbl.find_opt label_at l with
+    | Some target -> Int32.of_int ((target - (from_idx + 1)) * Svm.Isa.width)
+    | None -> fail "internal: unplaced label %d" l
+  in
+  Array.iteri
+    (fun i it ->
+      match it with
+      | Plain ins -> Sof.Asm.instr a ins
+      | Reloc (ins, kind, sym, addend) -> emit_with_reloc a ins kind sym addend
+      | Bfix (k, l) ->
+          let d = disp idx.(i) l in
+          let ins =
+            match k with
+            | Bz r -> Svm.Isa.Jz (r, d)
+            | Bnz r -> Svm.Isa.Jnz (r, d)
+            | Bal -> Svm.Isa.Br d
+          in
+          Sof.Asm.instr a ins
+      | Ldef _ -> ())
+    items
+
+(* Emit one function into the assembler; string literals go into the
+   shared per-unit accumulator. With [optimize], the peephole pass runs
+   over the buffered items first. *)
+let gen_function ?(optimize = false) (a : Sof.Asm.t) (genv : genv)
+    ~(strings : strings_acc) (fn : Ast.func) : unit =
+  let f =
+    {
+      genv;
+      locals = Hashtbl.create 8;
+      items = [];
+      nlabels = 1;
+      loop_stack = [];
+      strings;
+      epilogue = 1;
+    }
+  in
+  (* parameters at fp+8, fp+12, ... *)
+  List.iteri
+    (fun i p ->
+      if Hashtbl.mem f.locals p then fail "duplicate parameter %s" p;
+      Hashtbl.replace f.locals p (8 + (4 * i)))
+    fn.Ast.params;
+  (* locals at fp-4, fp-8, ... *)
+  let decls = List.rev (List.fold_left collect_decls [] fn.Ast.body) in
+  List.iteri
+    (fun i name ->
+      if Hashtbl.mem f.locals name then fail "duplicate local %s in %s" name fn.Ast.fname;
+      Hashtbl.replace f.locals name (-4 * (i + 1)))
+    decls;
+  let nlocals = List.length decls in
+  let start = Sof.Asm.here_text a in
+  let binding = if fn.Ast.static then Sof.Symbol.Local else Sof.Symbol.Global in
+  Sof.Asm.label ~binding a fn.Ast.fname;
+  (* prologue *)
+  push_reg f ra;
+  push_reg f fp;
+  emit f (Svm.Isa.Mov (fp, sp));
+  if nlocals > 0 then
+    emit f (Svm.Isa.Addi (sp, sp, Int32.of_int (-4 * nlocals)));
+  List.iter (gen_stmt f) fn.Ast.body;
+  (* fall-through return 0 *)
+  emit f (Svm.Isa.Movi (rv, 0l));
+  place f f.epilogue;
+  emit f (Svm.Isa.Mov (sp, fp));
+  pop_reg f fp;
+  pop_reg f ra;
+  emit f Svm.Isa.Ret;
+  let items = List.rev f.items in
+  let items = if optimize then Peephole.run items else items in
+  flush_items a items;
+  Sof.Asm.set_symbol_size a fn.Ast.fname (Sof.Asm.here_text a - start);
+  if fn.Ast.is_ctor then Sof.Asm.ctor a fn.Ast.fname
+
+(* Emit the globals of a unit. *)
+let gen_global (a : Sof.Asm.t) (g : Ast.global) : unit =
+  match g with
+  | Ast.Gvar { name; init; static } ->
+      let binding = if static then Sof.Symbol.Local else Sof.Symbol.Global in
+      Sof.Asm.data_label ~binding a name;
+      Sof.Asm.data_word a init
+  | Ast.Garray { name; size; static } ->
+      let binding = if static then Sof.Symbol.Local else Sof.Symbol.Global in
+      Sof.Asm.bss ~binding a name (4 * size)
+  | Ast.Gstring { name; value; static } ->
+      let binding = if static then Sof.Symbol.Local else Sof.Symbol.Global in
+      Sof.Asm.data_label ~binding a name;
+      Sof.Asm.data_string a value
+  | Ast.Gextern_var name | Ast.Gextern_fun (name, _) -> Sof.Asm.extern a name
+  | Ast.Gfunc _ -> ()
+
+let emit_strings (a : Sof.Asm.t) (strings : strings_acc) : unit =
+  List.iter
+    (fun (label, contents) ->
+      Sof.Asm.data_label ~binding:Sof.Symbol.Local a label;
+      Sof.Asm.data_string a contents)
+    (List.rev strings.items)
+
+(** [gen ~name prog] compiles a translation unit into one object file. *)
+let gen ?(optimize = false) ~(name : string) (prog : Ast.program) : Sof.Object_file.t =
+  let genv = build_genv prog in
+  let a = Sof.Asm.create name in
+  let unit_name = Filename.remove_extension (Filename.basename name) in
+  let strings = { prefix = unit_name; items = []; n = 0 } in
+  List.iter
+    (fun (g : Ast.global) ->
+      match g with Ast.Gfunc fn -> gen_function ~optimize a genv ~strings fn | _ -> ())
+    prog;
+  List.iter (gen_global a) prog;
+  emit_strings a strings;
+  Sof.Asm.finish a
+
+(** [gen_split ~name prog] compiles each function into its own object
+    file (plus one object carrying the unit's globals). This is the
+    granularity the server's reordering transformation works at. Static
+    functions/globals cannot be split (their Local binding would not
+    resolve across fragments). *)
+let gen_split ?(optimize = false) ~(name : string) (prog : Ast.program) :
+    Sof.Object_file.t list =
+  let genv = build_genv prog in
+  let base = Filename.remove_extension name in
+  let funcs, others =
+    List.partition (function Ast.Gfunc _ -> true | _ -> false) prog
+  in
+  List.iter
+    (fun g ->
+      match g with
+      | Ast.Gfunc { Ast.static = true; fname; _ } ->
+          fail "cannot split static function %s" fname
+      | Ast.Gvar { static = true; name; _ } | Ast.Garray { static = true; name; _ } ->
+          fail "cannot split static global %s" name
+      | _ -> ())
+    prog;
+  let fun_objs =
+    List.map
+      (fun g ->
+        match g with
+        | Ast.Gfunc fn ->
+            let oname = Printf.sprintf "%s.%s.o" base fn.Ast.fname in
+            let a = Sof.Asm.create oname in
+            let strings = { prefix = fn.Ast.fname; items = []; n = 0 } in
+            gen_function ~optimize a genv ~strings fn;
+            emit_strings a strings;
+            Sof.Asm.finish a
+        | _ -> assert false)
+      funcs
+  in
+  let globals_obj =
+    let a = Sof.Asm.create (base ^ ".globals.o") in
+    List.iter (gen_global a) others;
+    Sof.Asm.finish a
+  in
+  if others = [] then fun_objs else fun_objs @ [ globals_obj ]

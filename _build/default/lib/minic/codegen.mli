@@ -1,0 +1,78 @@
+(** Code generation: minic AST → SOF object files.
+
+    A classic single-pass stack-machine scheme:
+
+    - expression results land in r1; binary operators evaluate the left
+      operand, push it, evaluate the right, pop into r2, combine;
+    - calling convention: caller pushes arguments right-to-left (arg0
+      ends up at [sp]), issues [call], then pops them; results return
+      in r0;
+    - frames: callee pushes ra and fp, sets fp := sp, then reserves one
+      word per local. Thus [fp+0] = saved fp, [fp+4] = saved ra,
+      [fp+8+4i] = parameter i, [fp-4(i+1)] = local i;
+    - references to globals and functions compile to [lea]/[call]
+      instructions carrying Abs32 relocations — these are exactly the
+      "external references" whose per-invocation cost the paper's
+      evaluation measures. *)
+
+exception Codegen_error of string
+val fail : ('a, Format.formatter, unit, 'b) format4 -> 'a
+val acc : int
+val tmp : int
+val tm3 : int
+val sp : int
+val fp : int
+val ra : int
+val rv : int
+type gkind =
+    Gscalar
+  | Garray
+  | Gstring
+  | Gfun of int
+  | Gextern_var
+  | Gextern_fun of int
+type genv = (string, gkind) Hashtbl.t
+val build_genv : Ast.program -> genv
+type strings_acc = {
+  prefix : string;
+  mutable items : (string * string) list;
+  mutable n : int;
+}
+type fenv = {
+  genv : genv;
+  locals : (string, int) Hashtbl.t;
+  mutable items : Codegen_items.item list;
+  mutable nlabels : int;
+  mutable loop_stack : (int * int) list;
+  strings : strings_acc;
+  epilogue : int;
+}
+val emit : fenv -> Svm.Isa.instr -> unit
+val emit_reloc :
+  fenv -> Svm.Isa.instr -> Sof.Reloc.kind -> string -> int -> unit
+val new_label : fenv -> int
+val place : fenv -> int -> unit
+val branch : fenv -> Codegen_items.bkind -> int -> unit
+val push_reg : fenv -> int -> unit
+val pop_reg : fenv -> int -> unit
+val intern_string : fenv -> string -> string
+val lea_global : fenv -> int -> string -> unit
+val local_offset : fenv -> string -> int option
+val gen_expr : fenv -> Ast.expr -> unit
+val gen_base_address : fenv -> string -> unit
+val check_arity : fenv -> string -> int -> unit
+val gen_stmt : fenv -> Ast.stmt -> unit
+val collect_decls : string list -> Ast.stmt -> string list
+val emit_with_reloc :
+  Sof.Asm.t -> Svm.Isa.instr -> Sof.Reloc.kind -> string -> int -> unit
+val flush_items : Sof.Asm.t -> Codegen_items.item list -> unit
+val gen_function :
+  ?optimize:bool ->
+  Sof.Asm.t -> genv -> strings:strings_acc -> Ast.func -> unit
+val gen_global : Sof.Asm.t -> Ast.global -> unit
+val emit_strings : Sof.Asm.t -> strings_acc -> unit
+val gen :
+  ?optimize:bool -> name:string -> Ast.program -> Sof.Object_file.t
+val gen_split :
+  ?optimize:bool ->
+  name:string -> Ast.program -> Sof.Object_file.t list

@@ -1,0 +1,12 @@
+(** The buffered-emission item type shared by the code generator and
+    the peephole optimizer: instructions are collected as items, local
+    branches reference label ids, and byte displacements are computed
+    when a function is flushed into the object assembler. *)
+
+type item =
+  | Plain of Svm.Isa.instr
+  | Reloc of Svm.Isa.instr * Sof.Reloc.kind * string * int
+  | Bfix of bkind * int (* branch to label id *)
+  | Ldef of int (* label definition *)
+
+and bkind = Bz of int (* Jz reg *) | Bnz of int | Bal (* Br *)

@@ -1,0 +1,31 @@
+(** The compiler driver: source text → SOF objects.
+
+    This is what backs the blueprint [source] operator ("produces a
+    fragment from a C, C++, or assembly language source object") and the
+    workload generators. *)
+
+exception Compile_error of string
+
+let wrap f =
+  try f () with
+  | Lexer.Lex_error (msg, line) ->
+      raise (Compile_error (Printf.sprintf "lex error (line %d): %s" line msg))
+  | Parser.Parse_error (msg, line) ->
+      raise (Compile_error (Printf.sprintf "parse error (line %d): %s" line msg))
+  | Codegen.Codegen_error msg -> raise (Compile_error ("codegen error: " ^ msg))
+
+(** [compile ~name src] compiles one translation unit into one object
+    file named [name]. [optimize] enables the peephole pass (the
+    default is the paper's "non-optimized, debuggable" build). *)
+let compile ?(optimize = false) ~(name : string) (src : string) : Sof.Object_file.t =
+  wrap (fun () -> Codegen.gen ~optimize ~name (Parser.parse src))
+
+(** [compile_split ~name src] compiles each function into its own
+    object (the granularity used by function reordering); unit globals
+    go into a trailing [.globals.o] object. *)
+let compile_split ?(optimize = false) ~(name : string) (src : string) :
+    Sof.Object_file.t list =
+  wrap (fun () -> Codegen.gen_split ~optimize ~name (Parser.parse src))
+
+(** Parse only (for tooling/tests). *)
+let parse (src : string) : Ast.program = wrap (fun () -> Parser.parse src)

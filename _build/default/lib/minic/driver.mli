@@ -1,0 +1,18 @@
+(** The compiler driver: source text → SOF objects. Backs the blueprint
+    [source] operator and the workload generators. *)
+
+exception Compile_error of string
+
+(** [compile ~name src] compiles one translation unit into one object
+    file. [optimize] enables the peephole pass (the default is the
+    paper's "non-optimized, debuggable" build).
+    @raise Compile_error with a located message. *)
+val compile : ?optimize:bool -> name:string -> string -> Sof.Object_file.t
+
+(** Compile each function into its own object (the granularity used by
+    function reordering); unit globals go into a trailing
+    [.globals.o] object. Static definitions cannot be split. *)
+val compile_split : ?optimize:bool -> name:string -> string -> Sof.Object_file.t list
+
+(** Parse only (for tooling/tests). *)
+val parse : string -> Ast.program

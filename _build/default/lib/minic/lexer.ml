@@ -1,0 +1,232 @@
+(** Hand-written lexer for minic. Tracks line numbers for diagnostics;
+    supports decimal and hex literals, string escapes, and both comment
+    styles. *)
+
+exception Lex_error of string * int (* message, line *)
+
+type t = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable peeked : (Token.t * int) option;
+}
+
+let create (src : string) : t = { src; pos = 0; line = 1; peeked = None }
+
+let fail lx fmt =
+  Format.kasprintf (fun s -> raise (Lex_error (s, lx.line))) fmt
+
+let is_id_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_id_char c = is_id_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+let is_hex c = is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+
+let keyword = function
+  | "int" -> Some Token.INT
+  | "char" -> Some Token.CHAR
+  | "extern" -> Some Token.EXTERN
+  | "static" -> Some Token.STATIC
+  | "ctor" -> Some Token.CTOR
+  | "if" -> Some Token.IF
+  | "else" -> Some Token.ELSE
+  | "while" -> Some Token.WHILE
+  | "for" -> Some Token.FOR
+  | "return" -> Some Token.RETURN
+  | "break" -> Some Token.BREAK
+  | "continue" -> Some Token.CONTINUE
+  | _ -> None
+
+let peek_char lx = if lx.pos < String.length lx.src then Some lx.src.[lx.pos] else None
+
+let advance lx =
+  (if lx.pos < String.length lx.src && lx.src.[lx.pos] = '\n' then
+     lx.line <- lx.line + 1);
+  lx.pos <- lx.pos + 1
+
+let rec skip_ws_and_comments lx =
+  match peek_char lx with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+      advance lx;
+      skip_ws_and_comments lx
+  | Some '/' when lx.pos + 1 < String.length lx.src -> (
+      match lx.src.[lx.pos + 1] with
+      | '/' ->
+          while peek_char lx <> None && peek_char lx <> Some '\n' do
+            advance lx
+          done;
+          skip_ws_and_comments lx
+      | '*' ->
+          advance lx;
+          advance lx;
+          let rec go () =
+            match peek_char lx with
+            | None -> fail lx "unterminated comment"
+            | Some '*' when lx.pos + 1 < String.length lx.src && lx.src.[lx.pos + 1] = '/' ->
+                advance lx;
+                advance lx
+            | Some _ ->
+                advance lx;
+                go ()
+          in
+          go ();
+          skip_ws_and_comments lx
+      | _ -> ())
+  | _ -> ()
+
+let lex_number lx =
+  let start = lx.pos in
+  let hex =
+    lx.pos + 1 < String.length lx.src
+    && lx.src.[lx.pos] = '0'
+    && (lx.src.[lx.pos + 1] = 'x' || lx.src.[lx.pos + 1] = 'X')
+  in
+  if hex then (
+    advance lx;
+    advance lx;
+    while (match peek_char lx with Some c -> is_hex c | None -> false) do
+      advance lx
+    done)
+  else
+    while (match peek_char lx with Some c -> is_digit c | None -> false) do
+      advance lx
+    done;
+  let text = String.sub lx.src start (lx.pos - start) in
+  match Int32.of_string_opt text with
+  | Some v -> Token.NUM v
+  | None -> fail lx "bad number literal %s" text
+
+let lex_string lx =
+  advance lx;
+  (* opening quote *)
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek_char lx with
+    | None -> fail lx "unterminated string"
+    | Some '"' -> advance lx
+    | Some '\\' ->
+        advance lx;
+        (match peek_char lx with
+        | Some 'n' -> Buffer.add_char buf '\n'
+        | Some 't' -> Buffer.add_char buf '\t'
+        | Some '0' -> Buffer.add_char buf '\000'
+        | Some '\\' -> Buffer.add_char buf '\\'
+        | Some '"' -> Buffer.add_char buf '"'
+        | Some c -> fail lx "bad escape \\%c" c
+        | None -> fail lx "unterminated string");
+        advance lx;
+        go ()
+    | Some c ->
+        Buffer.add_char buf c;
+        advance lx;
+        go ()
+  in
+  go ();
+  Token.STRING (Buffer.contents buf)
+
+(* character literals: 'a', '\n', '\t', '\0', '\\', '\'' *)
+let lex_char lx =
+  advance lx;
+  let c =
+    match peek_char lx with
+    | Some '\\' ->
+        advance lx;
+        (match peek_char lx with
+        | Some 'n' -> '\n'
+        | Some 't' -> '\t'
+        | Some '0' -> '\000'
+        | Some '\\' -> '\\'
+        | Some '\'' -> '\''
+        | Some c -> fail lx "bad character escape \\%c" c
+        | None -> fail lx "unterminated character literal")
+    | Some c -> c
+    | None -> fail lx "unterminated character literal"
+  in
+  advance lx;
+  (match peek_char lx with
+  | Some '\'' -> advance lx
+  | _ -> fail lx "unterminated character literal");
+  Token.NUM (Int32.of_int (Char.code c))
+
+let lex_ident lx =
+  let start = lx.pos in
+  while (match peek_char lx with Some c -> is_id_char c | None -> false) do
+    advance lx
+  done;
+  let text = String.sub lx.src start (lx.pos - start) in
+  match keyword text with Some t -> t | None -> Token.IDENT text
+
+let two lx (second : char) (yes : Token.t) (no : Token.t) =
+  advance lx;
+  if peek_char lx = Some second then (
+    advance lx;
+    yes)
+  else no
+
+let raw_next (lx : t) : Token.t * int =
+  skip_ws_and_comments lx;
+  let line = lx.line in
+  let tok =
+    match peek_char lx with
+    | None -> Token.EOF
+    | Some c when is_digit c -> lex_number lx
+    | Some c when is_id_start c -> lex_ident lx
+    | Some '"' -> lex_string lx
+    | Some '\'' -> lex_char lx
+    | Some '(' -> advance lx; Token.LPAREN
+    | Some ')' -> advance lx; Token.RPAREN
+    | Some '{' -> advance lx; Token.LBRACE
+    | Some '}' -> advance lx; Token.RBRACE
+    | Some '[' -> advance lx; Token.LBRACKET
+    | Some ']' -> advance lx; Token.RBRACKET
+    | Some ';' -> advance lx; Token.SEMI
+    | Some ',' -> advance lx; Token.COMMA
+    | Some '+' -> advance lx; Token.PLUS
+    | Some '-' -> advance lx; Token.MINUS
+    | Some '*' -> advance lx; Token.STAR
+    | Some '/' -> advance lx; Token.SLASH
+    | Some '%' -> advance lx; Token.PERCENT
+    | Some '^' -> advance lx; Token.CARET
+    | Some '=' -> two lx '=' Token.EQ Token.ASSIGN
+    | Some '!' -> two lx '=' Token.NE Token.BANG
+    | Some '&' -> two lx '&' Token.ANDAND Token.AMP
+    | Some '|' -> two lx '|' Token.OROR Token.PIPE
+    | Some '<' ->
+        advance lx;
+        if peek_char lx = Some '<' then (advance lx; Token.SHL)
+        else if peek_char lx = Some '=' then (advance lx; Token.LE)
+        else Token.LT
+    | Some '>' ->
+        advance lx;
+        if peek_char lx = Some '>' then (advance lx; Token.SHR)
+        else if peek_char lx = Some '=' then (advance lx; Token.GE)
+        else Token.GT
+    | Some c -> fail lx "unexpected character %C" c
+  in
+  (tok, line)
+
+(** [next lx] consumes and returns the next token with its line. *)
+let next (lx : t) : Token.t * int =
+  match lx.peeked with
+  | Some tl ->
+      lx.peeked <- None;
+      tl
+  | None -> raw_next lx
+
+(** [peek lx] returns the next token without consuming it. *)
+let peek (lx : t) : Token.t * int =
+  match lx.peeked with
+  | Some tl -> tl
+  | None ->
+      let tl = raw_next lx in
+      lx.peeked <- Some tl;
+      tl
+
+(** Lex a whole string (testing convenience). *)
+let all (src : string) : Token.t list =
+  let lx = create src in
+  let rec go acc =
+    match next lx with
+    | Token.EOF, _ -> List.rev (Token.EOF :: acc)
+    | t, _ -> go (t :: acc)
+  in
+  go []

@@ -1,0 +1,30 @@
+(** Hand-written lexer for minic. Tracks line numbers for diagnostics;
+    supports decimal and hex literals, string escapes, and both comment
+    styles. *)
+
+exception Lex_error of string * int
+type t = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable peeked : (Token.t * int) option;
+}
+val create : string -> t
+val fail : t -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+val is_id_start : char -> bool
+val is_id_char : char -> bool
+val is_digit : char -> bool
+val is_hex : char -> bool
+val keyword : string -> Token.t option
+val peek_char : t -> char option
+val advance : t -> unit
+val skip_ws_and_comments : t -> unit
+val lex_number : t -> Token.t
+val lex_string : t -> Token.t
+val lex_char : t -> Token.t
+val lex_ident : t -> Token.t
+val two : t -> char -> Token.t -> Token.t -> Token.t
+val raw_next : t -> Token.t * int
+val next : t -> Token.t * int
+val peek : t -> Token.t * int
+val all : string -> Token.t list

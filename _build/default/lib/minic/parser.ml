@@ -1,0 +1,354 @@
+(** Recursive-descent parser for minic with C operator precedence. *)
+
+exception Parse_error of string * int
+
+type t = { lx : Lexer.t }
+
+let fail (p : t) fmt =
+  let _, line = Lexer.peek p.lx in
+  Format.kasprintf (fun s -> raise (Parse_error (s, line))) fmt
+
+let next p = fst (Lexer.next p.lx)
+let peek p = fst (Lexer.peek p.lx)
+
+let expect p (tok : Token.t) =
+  let got = next p in
+  if got <> tok then
+    fail p "expected %s, got %s" (Token.to_string tok) (Token.to_string got)
+
+let expect_ident p =
+  match next p with
+  | Token.IDENT s -> s
+  | got -> fail p "expected identifier, got %s" (Token.to_string got)
+
+let accept p (tok : Token.t) = if peek p = tok then (ignore (next p); true) else false
+
+(* -- expressions -------------------------------------------------------- *)
+
+(* precedence climbing; level 0 is the weakest (||) *)
+let binop_at_level (tok : Token.t) (level : int) : Ast.binop option =
+  match (level, tok) with
+  | 0, Token.OROR -> Some Ast.Lor
+  | 1, Token.ANDAND -> Some Ast.Land
+  | 2, Token.PIPE -> Some Ast.Or
+  | 3, Token.CARET -> Some Ast.Xor
+  | 4, Token.AMP -> Some Ast.And
+  | 5, Token.EQ -> Some Ast.Eq
+  | 5, Token.NE -> Some Ast.Ne
+  | 6, Token.LT -> Some Ast.Lt
+  | 6, Token.LE -> Some Ast.Le
+  | 6, Token.GT -> Some Ast.Gt
+  | 6, Token.GE -> Some Ast.Ge
+  | 7, Token.SHL -> Some Ast.Shl
+  | 7, Token.SHR -> Some Ast.Shr
+  | 8, Token.PLUS -> Some Ast.Add
+  | 8, Token.MINUS -> Some Ast.Sub
+  | 9, Token.STAR -> Some Ast.Mul
+  | 9, Token.SLASH -> Some Ast.Div
+  | 9, Token.PERCENT -> Some Ast.Mod
+  | _ -> None
+
+let max_level = 9
+
+let rec parse_expr (p : t) : Ast.expr = parse_level p 0
+
+and parse_level (p : t) (level : int) : Ast.expr =
+  if level > max_level then parse_unary p
+  else
+    let lhs = ref (parse_level p (level + 1)) in
+    let continue = ref true in
+    while !continue do
+      match binop_at_level (peek p) level with
+      | Some op ->
+          ignore (next p);
+          let rhs = parse_level p (level + 1) in
+          lhs := Ast.Bin (op, !lhs, rhs)
+      | None -> continue := false
+    done;
+    !lhs
+
+and parse_unary (p : t) : Ast.expr =
+  match peek p with
+  | Token.MINUS ->
+      ignore (next p);
+      Ast.Un (Ast.Neg, parse_unary p)
+  | Token.BANG ->
+      ignore (next p);
+      Ast.Un (Ast.Not, parse_unary p)
+  | Token.AMP ->
+      ignore (next p);
+      Ast.Addr (expect_ident p)
+  | _ -> parse_primary p
+
+and parse_args (p : t) : Ast.expr list =
+  expect p Token.LPAREN;
+  if accept p Token.RPAREN then []
+  else
+    let rec go acc =
+      let e = parse_expr p in
+      if accept p Token.COMMA then go (e :: acc)
+      else (
+        expect p Token.RPAREN;
+        List.rev (e :: acc))
+    in
+    go []
+
+and parse_primary (p : t) : Ast.expr =
+  match next p with
+  | Token.NUM n -> Ast.Num n
+  | Token.STRING s -> Ast.Str s
+  | Token.LPAREN ->
+      let e = parse_expr p in
+      expect p Token.RPAREN;
+      e
+  | Token.IDENT "__syscall" -> (
+      match parse_args p with
+      | Ast.Num n :: rest -> Ast.Syscall (Int32.to_int n, rest)
+      | _ -> fail p "__syscall needs a literal syscall number")
+  | Token.IDENT "__load8" -> (
+      match parse_args p with
+      | [ addr ] -> Ast.Load8 addr
+      | _ -> fail p "__load8 takes one argument")
+  | Token.IDENT "__icall" -> (
+      match parse_args p with
+      | addr :: args -> Ast.Icall (addr, args)
+      | [] -> fail p "__icall needs a target address")
+  | Token.IDENT name -> (
+      match peek p with
+      | Token.LPAREN -> Ast.Call (name, parse_args p)
+      | Token.LBRACKET ->
+          ignore (next p);
+          let idx = parse_expr p in
+          expect p Token.RBRACKET;
+          Ast.Index (name, idx)
+      | _ -> Ast.Var name)
+  | got -> fail p "unexpected %s in expression" (Token.to_string got)
+
+(* -- statements ---------------------------------------------------------- *)
+
+let rec parse_stmt (p : t) : Ast.stmt =
+  match peek p with
+  | Token.LBRACE ->
+      ignore (next p);
+      let stmts = parse_stmts_until_rbrace p in
+      Ast.Block stmts
+  | Token.INT ->
+      ignore (next p);
+      let name = expect_ident p in
+      let init = if accept p Token.ASSIGN then Some (parse_expr p) else None in
+      expect p Token.SEMI;
+      Ast.Decl (name, init)
+  | Token.IF ->
+      ignore (next p);
+      expect p Token.LPAREN;
+      let cond = parse_expr p in
+      expect p Token.RPAREN;
+      let then_ = parse_stmt p in
+      let else_ = if accept p Token.ELSE then Some (parse_stmt p) else None in
+      Ast.If (cond, then_, else_)
+  | Token.WHILE ->
+      ignore (next p);
+      expect p Token.LPAREN;
+      let cond = parse_expr p in
+      expect p Token.RPAREN;
+      Ast.While (cond, parse_stmt p)
+  | Token.FOR ->
+      (* for (init; cond; step) body — each header part optional *)
+      ignore (next p);
+      expect p Token.LPAREN;
+      let init =
+        if peek p = Token.SEMI then (
+          ignore (next p);
+          None)
+        else Some (parse_simple_stmt p)
+      in
+      let cond =
+        if peek p = Token.SEMI then None
+        else Some (parse_expr p)
+      in
+      expect p Token.SEMI;
+      let step =
+        if peek p = Token.RPAREN then None else Some (parse_header_stmt p)
+      in
+      expect p Token.RPAREN;
+      Ast.For (init, cond, step, parse_stmt p)
+  | Token.RETURN ->
+      ignore (next p);
+      if accept p Token.SEMI then Ast.Return None
+      else
+        let e = parse_expr p in
+        expect p Token.SEMI;
+        Ast.Return (Some e)
+  | Token.BREAK ->
+      ignore (next p);
+      expect p Token.SEMI;
+      Ast.Break
+  | Token.CONTINUE ->
+      ignore (next p);
+      expect p Token.SEMI;
+      Ast.Continue
+  | Token.IDENT "__store8" ->
+      ignore (next p);
+      (match parse_args p with
+      | [ addr; v ] ->
+          expect p Token.SEMI;
+          Ast.Store8 (addr, v)
+      | _ -> fail p "__store8 takes two arguments")
+  | Token.IDENT name -> (
+      ignore (next p);
+      match peek p with
+      | Token.ASSIGN ->
+          ignore (next p);
+          let e = parse_expr p in
+          expect p Token.SEMI;
+          Ast.Assign (name, e)
+      | Token.LBRACKET ->
+          ignore (next p);
+          let idx = parse_expr p in
+          expect p Token.RBRACKET;
+          if accept p Token.ASSIGN then (
+            let e = parse_expr p in
+            expect p Token.SEMI;
+            Ast.Store (name, idx, e))
+          else fail p "expected = after index expression statement"
+      | Token.LPAREN ->
+          let e =
+            match name with
+            | "__syscall" -> (
+                match parse_args p with
+                | Ast.Num n :: rest -> Ast.Syscall (Int32.to_int n, rest)
+                | _ -> fail p "__syscall needs a literal syscall number")
+            | "__load8" -> (
+                match parse_args p with
+                | [ addr ] -> Ast.Load8 addr
+                | _ -> fail p "__load8 takes one argument")
+            | "__icall" -> (
+                match parse_args p with
+                | addr :: args -> Ast.Icall (addr, args)
+                | [] -> fail p "__icall needs a target address")
+            | _ -> Ast.Call (name, parse_args p)
+          in
+          expect p Token.SEMI;
+          Ast.Expr e
+      | got -> fail p "unexpected %s after identifier" (Token.to_string got))
+  | got -> fail p "unexpected %s at statement start" (Token.to_string got)
+
+(* assignment/call statement ending in ';' (for-header init) *)
+and parse_simple_stmt (p : t) : Ast.stmt =
+  let st = parse_header_stmt p in
+  expect p Token.SEMI;
+  st
+
+(* assignment/store/call without the trailing ';' (for-header step) *)
+and parse_header_stmt (p : t) : Ast.stmt =
+  match next p with
+  | Token.IDENT name -> (
+      match peek p with
+      | Token.ASSIGN ->
+          ignore (next p);
+          Ast.Assign (name, parse_expr p)
+      | Token.LBRACKET ->
+          ignore (next p);
+          let idx = parse_expr p in
+          expect p Token.RBRACKET;
+          expect p Token.ASSIGN;
+          Ast.Store (name, idx, parse_expr p)
+      | Token.LPAREN -> Ast.Expr (Ast.Call (name, parse_args p))
+      | got -> fail p "unexpected %s in for header" (Token.to_string got))
+  | got -> fail p "unexpected %s in for header" (Token.to_string got)
+
+and parse_stmts_until_rbrace (p : t) : Ast.stmt list =
+  let rec go acc =
+    if accept p Token.RBRACE then List.rev acc else go (parse_stmt p :: acc)
+  in
+  go []
+
+(* -- top level ------------------------------------------------------------ *)
+
+let parse_params (p : t) : string list =
+  expect p Token.LPAREN;
+  if accept p Token.RPAREN then []
+  else
+    let rec go acc =
+      expect p Token.INT;
+      let name = expect_ident p in
+      if accept p Token.COMMA then go (name :: acc)
+      else (
+        expect p Token.RPAREN;
+        List.rev (name :: acc))
+    in
+    go []
+
+let parse_topdecl (p : t) : Ast.global =
+  match peek p with
+  | Token.EXTERN -> (
+      ignore (next p);
+      expect p Token.INT;
+      let name = expect_ident p in
+      match peek p with
+      | Token.LPAREN ->
+          let params = parse_params p in
+          expect p Token.SEMI;
+          Ast.Gextern_fun (name, List.length params)
+      | _ ->
+          expect p Token.SEMI;
+          Ast.Gextern_var name)
+  | Token.CHAR ->
+      ignore (next p);
+      let name = expect_ident p in
+      expect p Token.LBRACKET;
+      expect p Token.RBRACKET;
+      expect p Token.ASSIGN;
+      let value =
+        match next p with
+        | Token.STRING s -> s
+        | got -> fail p "expected string literal, got %s" (Token.to_string got)
+      in
+      expect p Token.SEMI;
+      Ast.Gstring { name; value; static = false }
+  | _ ->
+      let static = accept p Token.STATIC in
+      let is_ctor = accept p Token.CTOR in
+      expect p Token.INT;
+      let name = expect_ident p in
+      (match peek p with
+      | Token.LPAREN ->
+          let params = parse_params p in
+          expect p Token.LBRACE;
+          let body = parse_stmts_until_rbrace p in
+          Ast.Gfunc { Ast.fname = name; params; body; static; is_ctor }
+      | Token.LBRACKET ->
+          ignore (next p);
+          let size =
+            match next p with
+            | Token.NUM n -> Int32.to_int n
+            | got -> fail p "expected array size, got %s" (Token.to_string got)
+          in
+          expect p Token.RBRACKET;
+          expect p Token.SEMI;
+          Ast.Garray { name; size; static }
+      | Token.ASSIGN ->
+          ignore (next p);
+          let init =
+            match next p with
+            | Token.NUM n -> n
+            | Token.MINUS -> (
+                match next p with
+                | Token.NUM n -> Int32.neg n
+                | got -> fail p "expected number, got %s" (Token.to_string got))
+            | got -> fail p "expected initializer, got %s" (Token.to_string got)
+          in
+          expect p Token.SEMI;
+          Ast.Gvar { name; init; static }
+      | Token.SEMI ->
+          ignore (next p);
+          Ast.Gvar { name; init = 0l; static }
+      | got -> fail p "unexpected %s in declaration" (Token.to_string got))
+
+(** [parse src] parses a full translation unit. *)
+let parse (src : string) : Ast.program =
+  let p = { lx = Lexer.create src } in
+  let rec go acc =
+    if peek p = Token.EOF then List.rev acc else go (parse_topdecl p :: acc)
+  in
+  go []

@@ -1,0 +1,24 @@
+(** Recursive-descent parser for minic with C operator precedence. *)
+
+exception Parse_error of string * int
+type t = { lx : Lexer.t; }
+val fail : t -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+val next : t -> Token.t
+val peek : t -> Token.t
+val expect : t -> Token.t -> unit
+val expect_ident : t -> string
+val accept : t -> Token.t -> bool
+val binop_at_level : Token.t -> int -> Ast.binop option
+val max_level : int
+val parse_expr : t -> Ast.expr
+val parse_level : t -> int -> Ast.expr
+val parse_unary : t -> Ast.expr
+val parse_args : t -> Ast.expr list
+val parse_primary : t -> Ast.expr
+val parse_stmt : t -> Ast.stmt
+val parse_simple_stmt : t -> Ast.stmt
+val parse_header_stmt : t -> Ast.stmt
+val parse_stmts_until_rbrace : t -> Ast.stmt list
+val parse_params : t -> string list
+val parse_topdecl : t -> Ast.global
+val parse : string -> Ast.program

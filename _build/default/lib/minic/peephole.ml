@@ -1,0 +1,109 @@
+(** Peephole optimization over the buffered instruction items.
+
+    The stack-machine code generator is simple and correct but verbose:
+    every binary operator pushes its left operand, evaluates the right,
+    and pops — five instructions of traffic even when the right operand
+    is a single constant or variable load. The paper's codegen numbers
+    distinguish "optimized" from "non-optimized, debuggable" builds
+    (203 KB vs 289 KB of text); this pass is the reproduction's
+    optimizer, enabled by [Driver.compile ~optimize:true].
+
+    Two rewrites, both restricted to windows containing no label
+    definitions or branches (so control flow cannot enter mid-window):
+
+    - push/eval-simple/pop:
+      {v addi sp,-4; st [sp],rA; SIMPLE; ld rB,[sp]; addi sp,+4 v}
+      where SIMPLE is one instruction writing rA and reading neither
+      [rB] nor [sp], becomes {v mov rB,rA; SIMPLE v}.
+
+    - push/pop cancellation:
+      {v addi sp,-4; st [sp],rA; ld rB,[sp]; addi sp,+4 v}
+      becomes {v mov rB,rA v}. *)
+
+type item = Codegen_items.item
+
+open Svm.Isa
+
+let sp = reg_sp
+
+(* Does [i] write register [r]? *)
+let writes (i : instr) (r : int) : bool =
+  match i with
+  | Movi (rd, _) | Lea (rd, _) | Mov (rd, _)
+  | Add (rd, _, _) | Sub (rd, _, _) | Mul (rd, _, _) | Div (rd, _, _)
+  | Mod (rd, _, _) | And_ (rd, _, _) | Or_ (rd, _, _) | Xor (rd, _, _)
+  | Shl (rd, _, _) | Shr (rd, _, _) | Addi (rd, _, _)
+  | Cmpeq (rd, _, _) | Cmplt (rd, _, _) | Cmple (rd, _, _)
+  | Ld (rd, _, _) | Ldb (rd, _, _) ->
+      rd = r
+  | St _ | Stb _ | Jmp _ | Jz _ | Jnz _ | Br _ | Call _ | Callr _ | Jmpr _
+  | Ret | Sys _ | Halt | Nop ->
+      false
+
+(* Does [i] read register [r]? (conservative) *)
+let reads (i : instr) (r : int) : bool =
+  match i with
+  | Movi _ | Lea _ | Jmp _ | Br _ | Call _ | Sys _ | Halt | Nop -> false
+  | Mov (_, a) | Jz (a, _) | Jnz (a, _) | Callr a | Jmpr a -> a = r
+  | Ret -> r = reg_ra
+  | Addi (_, a, _) | Ld (_, a, _) | Ldb (_, a, _) -> a = r
+  | St (a, s, _) | Stb (a, s, _) -> a = r || s = r
+  | Add (_, a, b) | Sub (_, a, b) | Mul (_, a, b) | Div (_, a, b)
+  | Mod (_, a, b) | And_ (_, a, b) | Or_ (_, a, b) | Xor (_, a, b)
+  | Shl (_, a, b) | Shr (_, a, b)
+  | Cmpeq (_, a, b) | Cmplt (_, a, b) | Cmple (_, a, b) ->
+      a = r || b = r
+
+(* A "simple" filler instruction for the 5-window rewrite: a plain
+   instruction (or one carrying a relocation, e.g. lea) that writes
+   [src], does not read [dst] or sp, and transfers no control. *)
+let simple_filler (it : item) ~(src : int) ~(dst : int) : bool =
+  let check i =
+    writes i src && (not (reads i dst)) && (not (reads i sp)) && not (writes i sp)
+    &&
+    match i with
+    | Jmp _ | Jz _ | Jnz _ | Br _ | Call _ | Callr _ | Jmpr _ | Ret | Sys _ | Halt ->
+        false
+    | St _ | Stb _ -> false (* stores do not write src anyway *)
+    | _ -> true
+  in
+  match it with
+  | Codegen_items.Plain i -> check i
+  | Codegen_items.Reloc (i, _, _, _) -> check i
+  | Codegen_items.Bfix _ | Codegen_items.Ldef _ -> false
+
+(* [optimize items] rewrites the (in-order) item list. *)
+let rec optimize (items : item list) : item list =
+  match items with
+  (* push rA; SIMPLE(rA->); pop rB  ==>  mov rB,rA; SIMPLE *)
+  | Codegen_items.Plain (Addi (s1, s2, m4))
+    :: Codegen_items.Plain (St (sa, ra, z1))
+    :: filler
+    :: Codegen_items.Plain (Ld (rb, sb, z2))
+    :: Codegen_items.Plain (Addi (s3, s4, p4))
+    :: rest
+    when s1 = sp && s2 = sp && m4 = -4l && sa = sp && z1 = 0l && sb = sp && z2 = 0l
+         && s3 = sp && s4 = sp && p4 = 4l && rb <> ra
+         && simple_filler filler ~src:ra ~dst:rb ->
+      Codegen_items.Plain (Mov (rb, ra)) :: filler :: optimize rest
+  (* push rA; pop rB  ==>  mov rB,rA  (or nothing if rA = rB) *)
+  | Codegen_items.Plain (Addi (s1, s2, m4))
+    :: Codegen_items.Plain (St (sa, ra, z1))
+    :: Codegen_items.Plain (Ld (rb, sb, z2))
+    :: Codegen_items.Plain (Addi (s3, s4, p4))
+    :: rest
+    when s1 = sp && s2 = sp && m4 = -4l && sa = sp && z1 = 0l && sb = sp && z2 = 0l
+         && s3 = sp && s4 = sp && p4 = 4l ->
+      if ra = rb then optimize rest
+      else Codegen_items.Plain (Mov (rb, ra)) :: optimize rest
+  | it :: rest -> it :: optimize rest
+  | [] -> []
+
+(* Iterate to a fixed point (each pass can expose new windows). *)
+let run (items : item list) : item list =
+  let rec fix items n =
+    let items' = optimize items in
+    if n <= 0 || List.length items' = List.length items then items'
+    else fix items' (n - 1)
+  in
+  fix items 8

@@ -1,0 +1,29 @@
+(** Peephole optimization over the buffered instruction items.
+
+    The stack-machine code generator is simple and correct but verbose:
+    every binary operator pushes its left operand, evaluates the right,
+    and pops — five instructions of traffic even when the right operand
+    is a single constant or variable load. The paper's codegen numbers
+    distinguish "optimized" from "non-optimized, debuggable" builds
+    (203 KB vs 289 KB of text); this pass is the reproduction's
+    optimizer, enabled by [Driver.compile ~optimize:true].
+
+    Two rewrites, both restricted to windows containing no label
+    definitions or branches (so control flow cannot enter mid-window):
+
+    - push/eval-simple/pop:
+      {v addi sp,-4; st [sp],rA; SIMPLE; ld rB,[sp]; addi sp,+4 v}
+      where SIMPLE is one instruction writing rA and reading neither
+      [rB] nor [sp], becomes {v mov rB,rA; SIMPLE v}.
+
+    - push/pop cancellation:
+      {v addi sp,-4; st [sp],rA; ld rB,[sp]; addi sp,+4 v}
+      becomes {v mov rB,rA v}. *)
+
+type item = Codegen_items.item
+val sp : int
+val writes : Svm.Isa.instr -> int -> bool
+val reads : Svm.Isa.instr -> int -> bool
+val simple_filler : item -> src:int -> dst:int -> bool
+val optimize : item list -> item list
+val run : item list -> item list

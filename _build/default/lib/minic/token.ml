@@ -1,0 +1,93 @@
+(** Tokens of the minic language. *)
+
+type t =
+  | INT (* "int" *)
+  | CHAR (* "char" *)
+  | EXTERN
+  | STATIC
+  | CTOR (* "ctor": marks a static initializer *)
+  | IF
+  | ELSE
+  | WHILE
+  | FOR
+  | RETURN
+  | BREAK
+  | CONTINUE
+  | IDENT of string
+  | NUM of int32
+  | STRING of string
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | SEMI
+  | COMMA
+  | ASSIGN (* = *)
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | AMP (* & *)
+  | PIPE (* | *)
+  | CARET (* ^ *)
+  | SHL (* << *)
+  | SHR (* >> *)
+  | LT
+  | LE
+  | GT
+  | GE
+  | EQ (* == *)
+  | NE (* != *)
+  | ANDAND
+  | OROR
+  | BANG (* ! *)
+  | EOF
+
+let to_string = function
+  | INT -> "int"
+  | CHAR -> "char"
+  | EXTERN -> "extern"
+  | STATIC -> "static"
+  | CTOR -> "ctor"
+  | IF -> "if"
+  | ELSE -> "else"
+  | WHILE -> "while"
+  | FOR -> "for"
+  | RETURN -> "return"
+  | BREAK -> "break"
+  | CONTINUE -> "continue"
+  | IDENT s -> s
+  | NUM n -> Int32.to_string n
+  | STRING s -> Printf.sprintf "%S" s
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | LBRACE -> "{"
+  | RBRACE -> "}"
+  | LBRACKET -> "["
+  | RBRACKET -> "]"
+  | SEMI -> ";"
+  | COMMA -> ","
+  | ASSIGN -> "="
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | STAR -> "*"
+  | SLASH -> "/"
+  | PERCENT -> "%"
+  | AMP -> "&"
+  | PIPE -> "|"
+  | CARET -> "^"
+  | SHL -> "<<"
+  | SHR -> ">>"
+  | LT -> "<"
+  | LE -> "<="
+  | GT -> ">"
+  | GE -> ">="
+  | EQ -> "=="
+  | NE -> "!="
+  | ANDAND -> "&&"
+  | OROR -> "||"
+  | BANG -> "!"
+  | EOF -> "<eof>"

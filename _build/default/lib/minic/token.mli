@@ -1,0 +1,48 @@
+(** Tokens of the minic language. *)
+
+type t =
+    INT
+  | CHAR
+  | EXTERN
+  | STATIC
+  | CTOR
+  | IF
+  | ELSE
+  | WHILE
+  | FOR
+  | RETURN
+  | BREAK
+  | CONTINUE
+  | IDENT of string
+  | NUM of int32
+  | STRING of string
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | SEMI
+  | COMMA
+  | ASSIGN
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | AMP
+  | PIPE
+  | CARET
+  | SHL
+  | SHR
+  | LT
+  | LE
+  | GT
+  | GE
+  | EQ
+  | NE
+  | ANDAND
+  | OROR
+  | BANG
+  | EOF
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/simos/addr_space.ml: Array Bytes Clock Cost List Phys Printf Svm

@@ -1,0 +1,1 @@
+lib/simos/addr_space.mli: Bytes Clock Cost Phys Svm

@@ -1,0 +1,1 @@
+lib/simos/fs.ml: Bytes Hashtbl List String

@@ -1,0 +1,1 @@
+lib/simos/kernel.ml: Addr_space Array Buffer Bytes Clock Cost Fs Hashtbl Int32 Linker List Phys Proc String Svm Syscall

@@ -1,0 +1,1 @@
+lib/simos/kernel.mli: Addr_space Bytes Clock Cost Fs Hashtbl Linker Phys Proc Svm

@@ -1,0 +1,1 @@
+lib/simos/phys.ml: Cost Format List

@@ -1,0 +1,1 @@
+lib/simos/proc.ml: Addr_space Buffer Bytes Hashtbl Svm

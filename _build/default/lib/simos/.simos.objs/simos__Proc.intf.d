@@ -1,0 +1,1 @@
+lib/simos/proc.mli: Addr_space Buffer Bytes Hashtbl Svm

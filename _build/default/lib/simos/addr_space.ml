@@ -1,0 +1,258 @@
+(** Per-process virtual address spaces with demand paging.
+
+    A space is a set of non-overlapping regions. Read-only regions can
+    be {e shared}: their backing bytes and physical frames belong to a
+    cached image and are referenced, not copied — this is where OMOS's
+    "same physical memory" clients come from. Writable regions are
+    private copies. Every region is demand-paged: the first touch of
+    each page charges a soft fault (resident backing) or a disk read
+    (first-ever load of a segment that is still "on disk").
+
+    Instruction fetch goes through a per-region decode cache so
+    simulated execution stays fast. *)
+
+exception Fault of string
+
+(* Residency of the segment's source, page by page, SHARED by every
+   process mapping the segment: the first process to touch a page pays
+   the disk read; everyone after that (and every later touch) pays only
+   a soft fault. An empty array means "always resident" (anonymous
+   memory, already-cached segments). *)
+type backing_state = { resident : bool array }
+
+type region = {
+  lo : int;
+  hi : int; (* exclusive *)
+  bytes : Bytes.t; (* backing store (shared or private) *)
+  writable : bool;
+  shared : bool;
+  label : string;
+  touched : bool array; (* per-page demand accounting *)
+  backing : backing_state; (* residency of the segment's source *)
+  frames : Phys.frame_group;
+  decode : Svm.Isa.instr option array; (* instruction cache *)
+  (* extra user-time charge on first touch of each page: models
+     deferred (page-wise lazy) relocation work a traditional dynamic
+     loader performs in the client, per process *)
+  touch_user_cost : float;
+}
+
+type stats = {
+  mutable soft_faults : int;
+  mutable disk_faults : int;
+}
+
+type t = {
+  mutable regions : region list; (* sorted by lo *)
+  phys : Phys.t;
+  clock : Clock.t;
+  cost : Cost.t;
+  stats : stats;
+  page_size : int;
+}
+
+let create ~(phys : Phys.t) ~(clock : Clock.t) ~(cost : Cost.t) () : t =
+  {
+    regions = [];
+    phys;
+    clock;
+    cost;
+    stats = { soft_faults = 0; disk_faults = 0 };
+    page_size = Cost.page_size;
+  }
+
+let regions (t : t) = t.regions
+
+(* Always-resident backing for anonymous regions. *)
+let resident_backing () : backing_state = { resident = [||] }
+
+(** Backing that must be demand-loaded from disk, for a segment of
+    [bytes] bytes. *)
+let disk_backing ~(bytes : int) : backing_state =
+  { resident = Array.make (max 1 ((bytes + Cost.page_size - 1) / Cost.page_size)) false }
+
+let check_overlap (t : t) lo hi label =
+  List.iter
+    (fun r ->
+      if lo < r.hi && r.lo < hi then
+        raise
+          (Fault
+             (Printf.sprintf "mapping %s [0x%x,0x%x) overlaps %s [0x%x,0x%x)" label lo
+                hi r.label r.lo r.hi)))
+    t.regions
+
+let insert (t : t) (r : region) =
+  let rec go = function
+    | [] -> [ r ]
+    | x :: rest -> if r.lo < x.lo then r :: x :: rest else x :: go rest
+  in
+  t.regions <- go t.regions
+
+(** [map_shared t ~vaddr ~bytes ~frames ~backing ~label] maps a
+    read-only shared segment: backing bytes and frames are referenced.
+    The caller (the server/kernel) owns [frames] and [backing]. *)
+let map_shared (t : t) ~(vaddr : int) ~(bytes : Bytes.t)
+    ~(frames : Phys.frame_group) ~(backing : backing_state)
+    ?(touch_user_cost = 0.0) ~(label : string) () : unit =
+  let hi = vaddr + Bytes.length bytes in
+  check_overlap t vaddr hi label;
+  Phys.addref frames;
+  let npages = max 1 ((Bytes.length bytes + t.page_size - 1) / t.page_size) in
+  insert t
+    {
+      lo = vaddr;
+      hi;
+      bytes;
+      writable = false;
+      shared = true;
+      label;
+      touched = Array.make npages false;
+      backing;
+      frames;
+      decode = Array.make (max 1 (Bytes.length bytes / Svm.Isa.width)) None;
+      touch_user_cost;
+    }
+
+(** [map_private t ~vaddr ~init ~size ~label ()] maps a private
+    writable region, initialized from [init] (zero-filled beyond it).
+    [backing] tracks residency of the init content's source; anonymous
+    regions omit it. *)
+let map_private (t : t) ~(vaddr : int) ?(init = Bytes.empty) ?backing
+    ?(touch_user_cost = 0.0) ~(size : int) ~(label : string) () : unit =
+  let size = max size (Bytes.length init) in
+  let hi = vaddr + size in
+  check_overlap t vaddr hi label;
+  let bytes = Bytes.make size '\000' in
+  Bytes.blit init 0 bytes 0 (Bytes.length init);
+  let npages = max 1 ((size + t.page_size - 1) / t.page_size) in
+  insert t
+    {
+      lo = vaddr;
+      hi;
+      bytes;
+      writable = true;
+      shared = false;
+      label;
+      touched = Array.make npages false;
+      backing = (match backing with Some b -> b | None -> resident_backing ());
+      frames = Phys.alloc t.phys ~label ~bytes:size;
+      decode = Array.make (max 1 (size / Svm.Isa.width)) None;
+      touch_user_cost;
+    }
+
+(** Release all mappings (process teardown). *)
+let destroy (t : t) : unit =
+  List.iter (fun r -> Phys.decref t.phys r.frames) t.regions;
+  t.regions <- []
+
+(** [unmap t ~lo] removes the region starting at [lo] (dynamic
+    unlinking). Raises {!Fault} if no region starts there. *)
+let unmap (t : t) ~(lo : int) : unit =
+  match List.find_opt (fun r -> r.lo = lo) t.regions with
+  | Some r ->
+      Phys.decref t.phys r.frames;
+      t.regions <- List.filter (fun r' -> r'.lo <> lo) t.regions
+  | None -> raise (Fault (Printf.sprintf "unmap: no region at 0x%x" lo))
+
+let find_region (t : t) (addr : int) : region =
+  let rec go = function
+    | [] -> raise (Fault (Printf.sprintf "unmapped address 0x%x" addr))
+    | r :: rest -> if addr >= r.lo && addr < r.hi then r else go rest
+  in
+  go t.regions
+
+(* Demand-paging charge on first touch of a page. *)
+let touch (t : t) (r : region) (off : int) : unit =
+  let page = off / t.page_size in
+  if not r.touched.(page) then begin
+    r.touched.(page) <- true;
+    if r.touch_user_cost > 0.0 then Clock.charge_user t.clock r.touch_user_cost;
+    let on_disk =
+      page < Array.length r.backing.resident && not r.backing.resident.(page)
+    in
+    if on_disk then begin
+      r.backing.resident.(page) <- true;
+      t.stats.disk_faults <- t.stats.disk_faults + 1;
+      Clock.charge_system t.clock t.cost.Cost.soft_fault;
+      Clock.charge_io t.clock t.cost.Cost.disk_read_page
+    end
+    else begin
+      t.stats.soft_faults <- t.stats.soft_faults + 1;
+      Clock.charge_system t.clock t.cost.Cost.soft_fault
+    end
+  end
+
+(** Pages touched in regions whose label satisfies [pred] — the working
+    set measure used by the reordering experiment. *)
+let touched_pages (t : t) ?(pred = fun _ -> true) () : int =
+  List.fold_left
+    (fun acc r ->
+      if pred r.label then
+        acc + Array.fold_left (fun a b -> if b then a + 1 else a) 0 r.touched
+      else acc)
+    0 t.regions
+
+let fault_stats (t : t) : int * int = (t.stats.soft_faults, t.stats.disk_faults)
+
+(* -- accessors wired into the CPU -------------------------------------- *)
+
+let load8 (t : t) (addr : int) : int =
+  let r = find_region t addr in
+  let off = addr - r.lo in
+  touch t r off;
+  Bytes.get_uint8 r.bytes off
+
+let store8 (t : t) (addr : int) (v : int) : unit =
+  let r = find_region t addr in
+  if not r.writable then
+    raise (Fault (Printf.sprintf "write to read-only %s at 0x%x" r.label addr));
+  let off = addr - r.lo in
+  touch t r off;
+  Bytes.set_uint8 r.bytes off (v land 0xff)
+
+let load32 (t : t) (addr : int) : int32 =
+  let r = find_region t addr in
+  let off = addr - r.lo in
+  if off + 4 > Bytes.length r.bytes then
+    raise (Fault (Printf.sprintf "load32 spans end of %s at 0x%x" r.label addr));
+  touch t r off;
+  Bytes.get_int32_le r.bytes off
+
+let store32 (t : t) (addr : int) (v : int32) : unit =
+  let r = find_region t addr in
+  if not r.writable then
+    raise (Fault (Printf.sprintf "write to read-only %s at 0x%x" r.label addr));
+  let off = addr - r.lo in
+  if off + 4 > Bytes.length r.bytes then
+    raise (Fault (Printf.sprintf "store32 spans end of %s at 0x%x" r.label addr));
+  touch t r off;
+  Bytes.set_int32_le r.bytes off v
+
+(* Writable regions can be modified (lazy-binding patches), so their
+   decode cache must be invalidated on store; rather than tracking
+   that, only read-only regions use the cache. *)
+let fetch (t : t) (addr : int) : Svm.Isa.instr =
+  let r = find_region t addr in
+  let off = addr - r.lo in
+  touch t r off;
+  if off mod Svm.Isa.width <> 0 || off + Svm.Isa.width > Bytes.length r.bytes then
+    raise (Fault (Printf.sprintf "misaligned or out-of-range fetch at 0x%x" addr));
+  let idx = off / Svm.Isa.width in
+  if r.writable then Svm.Encode.decode_at r.bytes off
+  else
+    match r.decode.(idx) with
+    | Some i -> i
+    | None ->
+        let i = Svm.Encode.decode_at r.bytes off in
+        r.decode.(idx) <- Some i;
+        i
+
+(** CPU memory interface for this address space. *)
+let mem (t : t) : Svm.Cpu.mem =
+  {
+    Svm.Cpu.load8 = load8 t;
+    store8 = store8 t;
+    load32 = load32 t;
+    store32 = store32 t;
+    fetch = fetch t;
+  }

@@ -1,0 +1,91 @@
+(** Per-process virtual address spaces with demand paging.
+
+    A space is a set of non-overlapping regions. Read-only regions can
+    be {e shared}: their backing bytes and physical frames belong to a
+    cached image and are referenced, not copied. Writable regions are
+    private copies. Every region is demand-paged: the first touch of
+    each page charges a soft fault (resident backing) or a disk read
+    (first-ever load of a segment still "on disk"), plus an optional
+    per-page user cost (deferred-relocation modelling). *)
+
+exception Fault of string
+
+(** Residency of a segment's source, page by page, SHARED by every
+    process mapping the segment: the first process to touch a page pays
+    the disk read. An empty array means "always resident". *)
+type backing_state = { resident : bool array }
+
+type region = {
+  lo : int;
+  hi : int; (* exclusive *)
+  bytes : Bytes.t;
+  writable : bool;
+  shared : bool;
+  label : string;
+  touched : bool array; (* per-page demand accounting *)
+  backing : backing_state;
+  frames : Phys.frame_group;
+  decode : Svm.Isa.instr option array; (* instruction cache *)
+  touch_user_cost : float;
+}
+
+type t
+
+val create : phys:Phys.t -> clock:Clock.t -> cost:Cost.t -> unit -> t
+
+val regions : t -> region list
+
+(** Backing that must be demand-loaded from disk, for a segment of
+    [bytes] bytes. *)
+val disk_backing : bytes:int -> backing_state
+
+(** Map a read-only shared segment: backing bytes and frames are
+    referenced, not copied. *)
+val map_shared :
+  t ->
+  vaddr:int ->
+  bytes:Bytes.t ->
+  frames:Phys.frame_group ->
+  backing:backing_state ->
+  ?touch_user_cost:float ->
+  label:string ->
+  unit ->
+  unit
+
+(** Map a private writable region, initialized from [init]
+    (zero-filled beyond it). *)
+val map_private :
+  t ->
+  vaddr:int ->
+  ?init:Bytes.t ->
+  ?backing:backing_state ->
+  ?touch_user_cost:float ->
+  size:int ->
+  label:string ->
+  unit ->
+  unit
+
+(** Release all mappings (process teardown). *)
+val destroy : t -> unit
+
+(** Remove the region starting at [lo] (dynamic unlinking).
+    @raise Fault if no region starts there. *)
+val unmap : t -> lo:int -> unit
+
+(** Pages touched in regions whose label satisfies [pred] — the
+    working-set measure used by the reordering experiment. *)
+val touched_pages : t -> ?pred:(string -> bool) -> unit -> int
+
+(** (soft faults, disk faults) so far. *)
+val fault_stats : t -> int * int
+
+(** Raw accessors (each may fault and charges demand-paging costs). *)
+
+val load8 : t -> int -> int
+val store8 : t -> int -> int -> unit
+val load32 : t -> int -> int32
+val store32 : t -> int -> int32 -> unit
+val fetch : t -> int -> Svm.Isa.instr
+
+(** CPU memory interface for this address space. *)
+val mem : t -> Svm.Cpu.mem

@@ -1,0 +1,100 @@
+(** The in-memory filesystem of the simulated OS.
+
+    Holds object files, meta-object sources, executables, and the data
+    directories the `ls` workload lists. Charging for I/O happens at
+    the syscall layer and in the exec paths, not here. *)
+
+exception Fs_error of string
+
+type node = File of Bytes.t | Dir of (string, node) Hashtbl.t
+
+type t = { root : (string, node) Hashtbl.t }
+
+let create () : t = { root = Hashtbl.create 16 }
+
+let split_path (path : string) : string list =
+  List.filter (fun s -> s <> "") (String.split_on_char '/' path)
+
+let rec lookup_in (dir : (string, node) Hashtbl.t) (parts : string list) : node option =
+  match parts with
+  | [] -> Some (Dir dir)
+  | p :: rest -> (
+      match Hashtbl.find_opt dir p with
+      | Some (Dir d) -> lookup_in d rest
+      | Some (File _ as f) -> if rest = [] then Some f else None
+      | None -> None)
+
+let lookup (t : t) (path : string) : node option = lookup_in t.root (split_path path)
+
+let exists (t : t) (path : string) : bool = lookup t path <> None
+
+(** Create all directories along [path]. *)
+let mkdir_p (t : t) (path : string) : unit =
+  let rec go dir = function
+    | [] -> ()
+    | p :: rest -> (
+        match Hashtbl.find_opt dir p with
+        | Some (Dir d) -> go d rest
+        | Some (File _) -> raise (Fs_error (path ^ ": component is a file"))
+        | None ->
+            let d = Hashtbl.create 8 in
+            Hashtbl.replace dir p (Dir d);
+            go d rest)
+  in
+  go t.root (split_path path)
+
+let write_file (t : t) (path : string) (data : Bytes.t) : unit =
+  let parts = split_path path in
+  match List.rev parts with
+  | [] -> raise (Fs_error "cannot write to /")
+  | name :: rev_dir ->
+      let dirpath = List.rev rev_dir in
+      let rec go dir = function
+        | [] -> Hashtbl.replace dir name (File data)
+        | p :: rest -> (
+            match Hashtbl.find_opt dir p with
+            | Some (Dir d) -> go d rest
+            | Some (File _) -> raise (Fs_error (path ^ ": component is a file"))
+            | None ->
+                let d = Hashtbl.create 8 in
+                Hashtbl.replace dir p (Dir d);
+                go d rest)
+      in
+      go t.root dirpath
+
+let read_file (t : t) (path : string) : Bytes.t =
+  match lookup t path with
+  | Some (File b) -> b
+  | Some (Dir _) -> raise (Fs_error (path ^ ": is a directory"))
+  | None -> raise (Fs_error (path ^ ": no such file"))
+
+let remove (t : t) (path : string) : unit =
+  match List.rev (split_path path) with
+  | [] -> raise (Fs_error "cannot remove /")
+  | name :: rev_dir -> (
+      match lookup_in t.root (List.rev rev_dir) with
+      | Some (Dir d) -> Hashtbl.remove d name
+      | _ -> raise (Fs_error (path ^ ": no such directory")))
+
+(** Directory entries, sorted (what readdir returns). *)
+let list_dir (t : t) (path : string) : string list =
+  match lookup t path with
+  | Some (Dir d) -> List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) d [])
+  | Some (File _) -> raise (Fs_error (path ^ ": not a directory"))
+  | None -> raise (Fs_error (path ^ ": no such directory"))
+
+(** File size, or directory entry count; [None] if absent. *)
+let stat (t : t) (path : string) : [ `File of int | `Dir of int ] option =
+  match lookup t path with
+  | Some (File b) -> Some (`File (Bytes.length b))
+  | Some (Dir d) -> Some (`Dir (Hashtbl.length d))
+  | None -> None
+
+(** Total bytes stored under [path] — disk-consumption accounting for
+    the cache experiments. *)
+let disk_usage (t : t) (path : string) : int =
+  let rec size = function
+    | File b -> Bytes.length b
+    | Dir d -> Hashtbl.fold (fun _ n acc -> acc + size n) d 0
+  in
+  match lookup t path with Some n -> size n | None -> 0

@@ -1,0 +1,34 @@
+(** The in-memory filesystem of the simulated OS: object files,
+    meta-object sources, executables, and the data directories the
+    workloads operate on. I/O costs are charged at the syscall layer,
+    not here. *)
+
+exception Fs_error of string
+
+type node = File of Bytes.t | Dir of (string, node) Hashtbl.t
+
+type t
+
+val create : unit -> t
+val lookup : t -> string -> node option
+val exists : t -> string -> bool
+
+(** Create all directories along a path. *)
+val mkdir_p : t -> string -> unit
+
+(** Write (or overwrite) a file, creating parent directories. *)
+val write_file : t -> string -> Bytes.t -> unit
+
+(** @raise Fs_error if absent or a directory. *)
+val read_file : t -> string -> Bytes.t
+
+val remove : t -> string -> unit
+
+(** Directory entries, sorted (what readdir returns). *)
+val list_dir : t -> string -> string list
+
+(** File size, or directory entry count; [None] if absent. *)
+val stat : t -> string -> [ `File of int | `Dir of int ] option
+
+(** Total bytes stored under a path (disk-consumption accounting). *)
+val disk_usage : t -> string -> int

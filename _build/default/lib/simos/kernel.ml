@@ -1,0 +1,345 @@
+(** The kernel of the simulated OS: processes, syscalls, the
+    traditional exec path, and the hooks OMOS plugs into.
+
+    Address-space layout convention for executables:
+    - text/data wherever the linker put them,
+    - heap: 256 KB anonymous region at {!heap_base},
+    - stack: 256 KB anonymous region ending at {!stack_top}.
+
+    The traditional [exec] reads a serialized image from the simulated
+    filesystem, charging open/parse costs proportional to file size —
+    the work the paper's integrated-exec experiment shows OMOS avoiding
+    ("it does not have to open files, parse complex object file
+    headers, etc."). *)
+
+exception Exec_error of string
+
+let heap_base = 0x60000000
+let heap_size = 0x40000
+let stack_top = 0x7FF00000
+let stack_size = 0x40000
+
+(* A file-backed shared segment in the OS page cache: every process
+   exec'ing the same binary shares its read-only frames. *)
+type cached_seg = {
+  cs_bytes : Bytes.t;
+  cs_frames : Phys.frame_group;
+  cs_backing : Addr_space.backing_state;
+}
+
+type t = {
+  fs : Fs.t;
+  phys : Phys.t;
+  clock : Clock.t;
+  cost : Cost.t;
+  mutable procs : Proc.t list;
+  mutable next_pid : int;
+  page_cache : (string, cached_seg) Hashtbl.t; (* key: path#segment *)
+  read_cached : (string, unit) Hashtbl.t; (* file data brought in by read() *)
+  mutable upcall : (t -> Proc.t -> Svm.Cpu.t -> int -> Svm.Cpu.sys_result) option;
+  (* "#!" interpreter handlers: the paper's `#! /bin/omos` feature.
+     Key = interpreter path; the handler receives the script's
+     parameter words and the exec arguments and must return a ready
+     process (charging its own costs). *)
+  interpreters :
+    (string, t -> params:string list -> args:string list -> Proc.t) Hashtbl.t;
+  mutable syscall_count : int;
+}
+
+let create ?(cost = Cost.hpux) () : t =
+  {
+    fs = Fs.create ();
+    phys = Phys.create ();
+    clock = Clock.create ();
+    cost;
+    procs = [];
+    next_pid = 1;
+    page_cache = Hashtbl.create 16;
+    read_cached = Hashtbl.create 16;
+    upcall = None;
+    interpreters = Hashtbl.create 4;
+    syscall_count = 0;
+  }
+
+(** Install the handler for syscalls >= {!Syscall.omos_base} (the OMOS
+    server and scheme runtimes use this). *)
+let set_upcall (k : t) f = k.upcall <- Some f
+
+let charge_sys (k : t) us = Clock.charge_system k.clock us
+let charge_io (k : t) us = Clock.charge_io k.clock us
+let charge_user (k : t) us = Clock.charge_user k.clock us
+
+(* -- syscall implementation -------------------------------------------- *)
+
+let reg = Svm.Cpu.get_reg
+let set_reg = Svm.Cpu.set_reg
+let ret cpu v = set_reg cpu Svm.Isa.reg_ret (Int32.of_int v)
+
+let do_open (k : t) (p : Proc.t) (cpu : Svm.Cpu.t) : unit =
+  let path = Svm.Cpu.read_cstring cpu (Int32.to_int (reg cpu 1)) in
+  charge_sys k k.cost.Cost.open_file;
+  match Fs.lookup k.fs path with
+  | Some (Fs.File data) ->
+      ret cpu (Proc.alloc_fd p (Proc.Fd_file { path; data; pos = 0 }))
+  | Some (Fs.Dir _) ->
+      let entries = Array.of_list (Fs.list_dir k.fs path) in
+      ret cpu (Proc.alloc_fd p (Proc.Fd_dir { path; entries }))
+  | None -> ret cpu (-1)
+
+let do_read (k : t) (p : Proc.t) (cpu : Svm.Cpu.t) : unit =
+  let fd = Int32.to_int (reg cpu 1) in
+  let buf = Int32.to_int (reg cpu 2) in
+  let len = Int32.to_int (reg cpu 3) in
+  match Proc.find_fd p fd with
+  | Some (Proc.Fd_file f) ->
+      let n = min len (Bytes.length f.data - f.pos) in
+      if n > 0 then begin
+        (* first read of a file pays for its pages; later reads hit the
+           buffer cache *)
+        if not (Hashtbl.mem k.read_cached f.path) then begin
+          Hashtbl.replace k.read_cached f.path ();
+          let pages = (Bytes.length f.data + Cost.page_size - 1) / Cost.page_size in
+          charge_io k (float_of_int (max 1 pages) *. k.cost.Cost.disk_read_page)
+        end;
+        Svm.Cpu.write_bytes cpu buf (Bytes.sub f.data f.pos n);
+        f.pos <- f.pos + n
+      end;
+      ret cpu n
+  | Some (Proc.Fd_dir _) | None -> ret cpu (-1)
+
+let do_write (k : t) (p : Proc.t) (cpu : Svm.Cpu.t) : unit =
+  let fd = Int32.to_int (reg cpu 1) in
+  let buf = Int32.to_int (reg cpu 2) in
+  let len = Int32.to_int (reg cpu 3) in
+  if len < 0 then ret cpu (-1)
+  else begin
+    let data = Svm.Cpu.read_bytes cpu buf len in
+    charge_sys k (0.02 *. float_of_int len);
+    if fd = 1 || fd = 2 then begin
+      Buffer.add_bytes p.Proc.stdout data;
+      ret cpu len
+    end
+    else ret cpu (-1)
+  end
+
+let do_stat (k : t) (cpu : Svm.Cpu.t) : unit =
+  let path = Svm.Cpu.read_cstring cpu (Int32.to_int (reg cpu 1)) in
+  let out = Int32.to_int (reg cpu 2) in
+  charge_sys k (k.cost.Cost.open_file *. 0.6);
+  match Fs.stat k.fs path with
+  | Some (`File size) ->
+      cpu.Svm.Cpu.mem.Svm.Cpu.store32 out 0l;
+      cpu.Svm.Cpu.mem.Svm.Cpu.store32 (out + 4) (Int32.of_int size);
+      ret cpu 0
+  | Some (`Dir n) ->
+      cpu.Svm.Cpu.mem.Svm.Cpu.store32 out 1l;
+      cpu.Svm.Cpu.mem.Svm.Cpu.store32 (out + 4) (Int32.of_int n);
+      ret cpu 0
+  | None -> ret cpu (-1)
+
+let do_readdir (p : Proc.t) (cpu : Svm.Cpu.t) : unit =
+  let fd = Int32.to_int (reg cpu 1) in
+  let idx = Int32.to_int (reg cpu 2) in
+  let buf = Int32.to_int (reg cpu 3) in
+  match Proc.find_fd p fd with
+  | Some (Proc.Fd_dir d) when idx >= 0 && idx < Array.length d.entries ->
+      let name = d.entries.(idx) in
+      Svm.Cpu.write_bytes cpu buf (Bytes.of_string (name ^ "\000"));
+      ret cpu (String.length name)
+  | Some _ | None -> ret cpu (-1)
+
+let do_argv (p : Proc.t) (cpu : Svm.Cpu.t) : unit =
+  let i = Int32.to_int (reg cpu 1) in
+  let buf = Int32.to_int (reg cpu 2) in
+  let maxlen = Int32.to_int (reg cpu 3) in
+  match List.nth_opt p.Proc.args i with
+  | Some arg when String.length arg + 1 <= maxlen ->
+      Svm.Cpu.write_bytes cpu buf (Bytes.of_string (arg ^ "\000"));
+      ret cpu (String.length arg)
+  | Some _ | None -> ret cpu (-1)
+
+let dispatch (k : t) (p : Proc.t) (cpu : Svm.Cpu.t) (n : int) : Svm.Cpu.sys_result =
+  k.syscall_count <- k.syscall_count + 1;
+  charge_sys k k.cost.Cost.syscall_overhead;
+  if n >= Syscall.omos_base then
+    match k.upcall with
+    | Some f -> f k p cpu n
+    | None ->
+        ret cpu (-1);
+        Svm.Cpu.Sys_continue
+  else begin
+    (if n = Syscall.sys_exit then ()
+     else if n = Syscall.sys_write then do_write k p cpu
+     else if n = Syscall.sys_open then do_open k p cpu
+     else if n = Syscall.sys_read then do_read k p cpu
+     else if n = Syscall.sys_close then (
+       Proc.close_fd p (Int32.to_int (reg cpu 1));
+       ret cpu 0)
+     else if n = Syscall.sys_stat then do_stat k cpu
+     else if n = Syscall.sys_readdir then do_readdir p cpu
+     else if n = Syscall.sys_getpid then ret cpu p.Proc.pid
+     else if n = Syscall.sys_argc then ret cpu (List.length p.Proc.args)
+     else if n = Syscall.sys_argv then do_argv p cpu
+     else ret cpu (-1));
+    if n = Syscall.sys_exit then Svm.Cpu.Sys_exit (Int32.to_int (reg cpu 1))
+    else Svm.Cpu.Sys_continue
+  end
+
+(* -- process setup ------------------------------------------------------ *)
+
+(** Create a process with an empty address space (the "empty task" the
+    integrated exec hands to OMOS). *)
+let create_process (k : t) ~(args : string list) : Proc.t =
+  let aspace = Addr_space.create ~phys:k.phys ~clock:k.clock ~cost:k.cost () in
+  let p = Proc.create ~pid:k.next_pid ~aspace ~args in
+  k.next_pid <- k.next_pid + 1;
+  k.procs <- p :: k.procs;
+  p
+
+(** Map heap and stack, attach a CPU at [entry]. Completes any exec
+    path. *)
+let finish_exec (k : t) (p : Proc.t) ~(entry : int) : unit =
+  Addr_space.map_private p.Proc.aspace ~vaddr:heap_base ~size:heap_size ~label:"heap" ();
+  Addr_space.map_private p.Proc.aspace ~vaddr:(stack_top - stack_size) ~size:stack_size
+    ~label:"stack" ();
+  let cpu = Svm.Cpu.create ~sys:(dispatch k p) (Addr_space.mem p.Proc.aspace) in
+  set_reg cpu Svm.Isa.reg_sp (Int32.of_int (stack_top - 16));
+  cpu.Svm.Cpu.pc <- entry;
+  p.Proc.cpu <- Some cpu
+
+(** Map an image into a process: read-only segments shared through
+    [share] (a cache of segment objects keyed by [key]), writable
+    segments private, bss anonymous. [fresh_from_disk] marks segment
+    sources as needing demand loads on first-ever touch. *)
+let map_image (k : t) (p : Proc.t) ~(key : string) ?(fresh_from_disk = false)
+    ?(touch_user_cost = 0.0) (img : Linker.Image.t) : unit =
+  charge_sys k (k.cost.Cost.map_segment *. float_of_int (List.length img.Linker.Image.segments));
+  List.iter
+    (fun (s : Linker.Image.segment) ->
+      if s.Linker.Image.writable then begin
+        (* private copy; residency of the source tracked per file+seg *)
+        let ck = key ^ "#" ^ s.Linker.Image.seg_name in
+        let backing =
+          match Hashtbl.find_opt k.page_cache ck with
+          | Some cs -> cs.cs_backing
+          | None ->
+              let backing =
+                if fresh_from_disk then
+                  Addr_space.disk_backing ~bytes:(Bytes.length s.Linker.Image.bytes)
+                else { Addr_space.resident = [||] }
+              in
+              Hashtbl.replace k.page_cache ck
+                {
+                  cs_bytes = s.Linker.Image.bytes;
+                  cs_frames = Phys.alloc k.phys ~label:ck ~bytes:0;
+                  cs_backing = backing;
+                };
+              backing
+        in
+        Addr_space.map_private p.Proc.aspace ~vaddr:s.Linker.Image.vaddr
+          ~init:s.Linker.Image.bytes ~backing ~touch_user_cost
+          ~size:(Bytes.length s.Linker.Image.bytes)
+          ~label:(key ^ "#" ^ s.Linker.Image.seg_name) ()
+      end
+      else begin
+        let ck = key ^ "#" ^ s.Linker.Image.seg_name in
+        let cs =
+          match Hashtbl.find_opt k.page_cache ck with
+          | Some cs -> cs
+          | None ->
+              let cs =
+                {
+                  cs_bytes = s.Linker.Image.bytes;
+                  cs_frames =
+                    Phys.alloc k.phys ~label:ck
+                      ~bytes:(Bytes.length s.Linker.Image.bytes);
+                  cs_backing =
+                    (if fresh_from_disk then
+                       Addr_space.disk_backing
+                         ~bytes:(Bytes.length s.Linker.Image.bytes)
+                     else { Addr_space.resident = [||] });
+                }
+              in
+              Hashtbl.replace k.page_cache ck cs;
+              cs
+        in
+        Addr_space.map_shared p.Proc.aspace ~vaddr:s.Linker.Image.vaddr
+          ~bytes:cs.cs_bytes ~frames:cs.cs_frames ~backing:cs.cs_backing
+          ~touch_user_cost ~label:ck ()
+      end)
+    img.Linker.Image.segments;
+  if img.Linker.Image.bss_size > 0 then
+    Addr_space.map_private p.Proc.aspace ~vaddr:img.Linker.Image.bss_vaddr
+      ~size:img.Linker.Image.bss_size ~label:(key ^ "#bss") ()
+
+(** Register a script interpreter ([#! <path> params...]). *)
+let register_interpreter (k : t) (path : string) handler : unit =
+  Hashtbl.replace k.interpreters path handler
+
+(** The traditional exec: open the executable, parse it, map it, run.
+    This is the baseline the OSF/1 comparison measures. A file starting
+    with [#!] dispatches to its registered interpreter instead — the
+    paper's portable way of exporting OMOS entries into the Unix
+    namespace. *)
+let rec exec (k : t) ~(path : string) ~(args : string list) : Proc.t =
+  let data0 =
+    try Fs.read_file k.fs path with Fs.Fs_error m -> raise (Exec_error m)
+  in
+  if Bytes.length data0 >= 2 && Bytes.get data0 0 = '#' && Bytes.get data0 1 = '!'
+  then begin
+    let line =
+      match String.index_opt (Bytes.to_string data0) '\n' with
+      | Some i -> Bytes.sub_string data0 2 (i - 2)
+      | None -> Bytes.sub_string data0 2 (Bytes.length data0 - 2)
+    in
+    match
+      List.filter (fun s -> s <> "") (String.split_on_char ' ' (String.trim line))
+    with
+    | interp :: params -> (
+        charge_sys k k.cost.Cost.open_file;
+        match Hashtbl.find_opt k.interpreters interp with
+        | Some handler -> handler k ~params ~args
+        | None when Fs.exists k.fs interp ->
+            (* a real interpreter binary: exec it with the script path
+               prepended, Unix-style *)
+            exec k ~path:interp ~args:(interp :: path :: List.tl args)
+        | None -> raise (Exec_error (path ^ ": bad interpreter " ^ interp)))
+    | [] -> raise (Exec_error (path ^ ": empty interpreter line"))
+  end
+  else begin
+  charge_sys k k.cost.Cost.fork_exec_base;
+  charge_sys k k.cost.Cost.open_file;
+  let data = data0 in
+  (* header + symbol parsing cost scales with file size *)
+  charge_sys k
+    (k.cost.Cost.parse_header_per_kb *. (float_of_int (Bytes.length data) /. 1024.0));
+  let img =
+    try Linker.Image.decode data
+    with Linker.Image.Decode_error m -> raise (Exec_error (path ^ ": " ^ m))
+  in
+  let p = create_process k ~args in
+  map_image k p ~key:path ~fresh_from_disk:(not (Hashtbl.mem k.read_cached path)) img;
+  Hashtbl.replace k.read_cached path ();
+  finish_exec k p ~entry:img.Linker.Image.entry;
+  p
+  end
+
+(** Run a process to completion, charging its instructions as user
+    time. Returns the exit code. *)
+let run (k : t) (p : Proc.t) ?(fuel = 50_000_000) () : int =
+  let cpu = Proc.cpu_exn p in
+  let before = cpu.Svm.Cpu.instr_count in
+  let outcome = Svm.Cpu.run ~fuel cpu in
+  charge_user k
+    (k.cost.Cost.user_instr *. float_of_int (cpu.Svm.Cpu.instr_count - before));
+  match outcome with
+  | Svm.Cpu.Exited code ->
+      p.Proc.exit_code <- Some code;
+      code
+  | Svm.Cpu.Halted -> raise (Exec_error "process halted without exiting")
+  | Svm.Cpu.Running -> raise (Exec_error "process ran out of fuel")
+
+(** Tear down a finished process's address space. *)
+let reap (k : t) (p : Proc.t) : unit =
+  Addr_space.destroy p.Proc.aspace;
+  k.procs <- List.filter (fun q -> q.Proc.pid <> p.Proc.pid) k.procs

@@ -1,0 +1,58 @@
+(** Physical-memory accounting.
+
+    The unit of sharing in OMOS is the read-only segment of a cached
+    image: every client that maps it references the same physical
+    frames. This module tracks frames and reference counts so the
+    benchmarks can report real memory use (the dispatch-table-vs-sharing
+    experiment) without scattering actual bytes across frame objects —
+    region contents stay in their backing [Bytes.t]. *)
+
+type frame_group = {
+  id : int;
+  label : string;
+  pages : int;
+  mutable refs : int; (* how many mappings share this group *)
+}
+
+type t = {
+  mutable groups : frame_group list;
+  mutable next_id : int;
+  page_size : int;
+}
+
+let create ?(page_size = Cost.page_size) () : t =
+  { groups = []; next_id = 0; page_size }
+
+let pages_for (t : t) (bytes : int) : int =
+  (bytes + t.page_size - 1) / t.page_size
+
+(** Allocate a group of frames backing [bytes] bytes. *)
+let alloc (t : t) ~(label : string) ~(bytes : int) : frame_group =
+  let g = { id = t.next_id; label; pages = max 1 (pages_for t bytes); refs = 1 } in
+  t.next_id <- t.next_id + 1;
+  t.groups <- g :: t.groups;
+  g
+
+(** Share an existing group (another process maps the same segment). *)
+let addref (g : frame_group) : unit = g.refs <- g.refs + 1
+
+(** Drop one reference; the group is freed when refs reach zero. *)
+let decref (t : t) (g : frame_group) : unit =
+  g.refs <- g.refs - 1;
+  if g.refs <= 0 then t.groups <- List.filter (fun g' -> g'.id <> g.id) t.groups
+
+(** Physical pages actually allocated. *)
+let resident_pages (t : t) : int =
+  List.fold_left (fun acc g -> acc + g.pages) 0 t.groups
+
+(** Pages as they appear summed over every process's mappings — the
+    no-sharing counterfactual. *)
+let mapped_pages (t : t) : int =
+  List.fold_left (fun acc g -> acc + (g.pages * g.refs)) 0 t.groups
+
+(** Pages saved by sharing. *)
+let saved_pages (t : t) : int = mapped_pages t - resident_pages t
+
+let pp ppf (t : t) =
+  Format.fprintf ppf "resident=%d mapped=%d saved=%d (pages)" (resident_pages t)
+    (mapped_pages t) (saved_pages t)

@@ -1,0 +1,43 @@
+(** Simulated processes: an address space, a CPU, file descriptors,
+    arguments, and captured stdout. *)
+
+type fd =
+  | Fd_file of { path : string; data : Bytes.t; mutable pos : int }
+  | Fd_dir of { path : string; entries : string array }
+
+type t = {
+  pid : int;
+  aspace : Addr_space.t;
+  mutable cpu : Svm.Cpu.t option; (* installed at exec time *)
+  args : string list; (* argv, argv[0] = program name *)
+  fds : (int, fd) Hashtbl.t;
+  mutable next_fd : int;
+  stdout : Buffer.t;
+  mutable exit_code : int option;
+}
+
+let create ~(pid : int) ~(aspace : Addr_space.t) ~(args : string list) : t =
+  {
+    pid;
+    aspace;
+    cpu = None;
+    args;
+    fds = Hashtbl.create 8;
+    next_fd = 3; (* 0,1,2 reserved *)
+    stdout = Buffer.create 256;
+    exit_code = None;
+  }
+
+let alloc_fd (p : t) (fd : fd) : int =
+  let n = p.next_fd in
+  p.next_fd <- n + 1;
+  Hashtbl.replace p.fds n fd;
+  n
+
+let find_fd (p : t) (n : int) : fd option = Hashtbl.find_opt p.fds n
+let close_fd (p : t) (n : int) : unit = Hashtbl.remove p.fds n
+
+let stdout_contents (p : t) : string = Buffer.contents p.stdout
+
+let cpu_exn (p : t) : Svm.Cpu.t =
+  match p.cpu with Some c -> c | None -> invalid_arg "process has no CPU (not exec'd)"

@@ -1,0 +1,31 @@
+(** Simulated processes: an address space, a CPU, file descriptors,
+    arguments, and captured stdout. *)
+
+type fd =
+  | Fd_file of { path : string; data : Bytes.t; mutable pos : int }
+  | Fd_dir of { path : string; entries : string array }
+
+type t = {
+  pid : int;
+  aspace : Addr_space.t;
+  mutable cpu : Svm.Cpu.t option;  (** installed at exec time *)
+  args : string list;  (** argv, argv.(0) = program name *)
+  fds : (int, fd) Hashtbl.t;
+  mutable next_fd : int;
+  stdout : Buffer.t;
+  mutable exit_code : int option;
+}
+
+val create : pid:int -> aspace:Addr_space.t -> args:string list -> t
+
+(** Allocate the next descriptor number for [fd]. *)
+val alloc_fd : t -> fd -> int
+
+val find_fd : t -> int -> fd option
+val close_fd : t -> int -> unit
+
+(** Everything the process wrote to fd 1/2. *)
+val stdout_contents : t -> string
+
+(** @raise Invalid_argument if the process was never exec'd. *)
+val cpu_exn : t -> Svm.Cpu.t

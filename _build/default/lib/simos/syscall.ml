@@ -1,0 +1,28 @@
+(** Syscall numbers of the simulated OS.
+
+    Numbers at or above {!omos_base} are forwarded to the handler the
+    OMOS server (or a shared-library scheme runtime) installs in the
+    kernel — the simulated equivalents of "contact OMOS via IPC" and of
+    the lazy-binding trap of the baseline dynamic scheme. *)
+
+let sys_exit = 0
+let sys_write = 1 (* write(fd, buf, len) -> len *)
+let sys_open = 2 (* open(path) -> fd | -1 *)
+let sys_read = 3 (* read(fd, buf, len) -> n *)
+let sys_close = 4 (* close(fd) -> 0 *)
+let sys_stat = 5 (* stat(path, out[2]: kind, size) -> 0 | -1 *)
+let sys_readdir = 6 (* readdir(fd, index, buf) -> namelen | -1 *)
+let sys_getpid = 8
+let sys_argc = 9 (* argc() -> n *)
+let sys_argv = 10 (* argv(i, buf, maxlen) -> len | -1 *)
+
+(** First syscall number owned by upcall handlers (OMOS / schemes). *)
+let omos_base = 100
+
+(** OMOS: load the shared library named by the string at r1; returns
+    the address of its entry-point hash table (partial-image scheme). *)
+let omos_load_library = 100
+
+(** Lazy PLT binding trap of the baseline dynamic scheme: r1 = module
+    id, r2 = import index; returns the bound address. *)
+let plt_bind = 110

@@ -1,0 +1,20 @@
+(** Syscall numbers of the simulated OS.
+
+    Numbers at or above {!omos_base} are forwarded to the handler the
+    OMOS server (or a shared-library scheme runtime) installs in the
+    kernel — the simulated equivalents of "contact OMOS via IPC" and of
+    the lazy-binding trap of the baseline dynamic scheme. *)
+
+val sys_exit : int
+val sys_write : int
+val sys_open : int
+val sys_read : int
+val sys_close : int
+val sys_stat : int
+val sys_readdir : int
+val sys_getpid : int
+val sys_argc : int
+val sys_argv : int
+val omos_base : int
+val omos_load_library : int
+val plt_bind : int

@@ -1,0 +1,1 @@
+lib/sof/aout.ml: Buffer Bytes Hashtbl Int32 List Object_file Printf Reloc Symbol

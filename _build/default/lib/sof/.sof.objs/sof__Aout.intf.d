@@ -1,0 +1,1 @@
+lib/sof/aout.mli: Buffer Bytes Hashtbl Object_file Symbol

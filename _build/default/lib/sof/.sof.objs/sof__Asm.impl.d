@@ -1,0 +1,1 @@
+lib/sof/asm.ml: Buffer Bytes Hashtbl List Object_file Reloc Svm Symbol

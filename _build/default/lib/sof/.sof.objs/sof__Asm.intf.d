@@ -1,0 +1,1 @@
+lib/sof/asm.mli: Buffer Bytes Object_file Reloc Svm Symbol

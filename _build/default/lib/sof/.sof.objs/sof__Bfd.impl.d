@@ -1,0 +1,1 @@
+lib/sof/bfd.ml: Aout Bytes Codec List Object_file String

@@ -1,0 +1,1 @@
+lib/sof/bfd.mli: Bytes Object_file

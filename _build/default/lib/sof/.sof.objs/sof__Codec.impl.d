@@ -1,0 +1,1 @@
+lib/sof/codec.ml: Buffer Bytes Digest Int32 List Object_file Printf Reloc String Symbol

@@ -1,0 +1,1 @@
+lib/sof/codec.mli: Bytes Object_file

@@ -1,0 +1,1 @@
+lib/sof/object_file.ml: Bytes Format Hashtbl List Reloc String Svm Symbol

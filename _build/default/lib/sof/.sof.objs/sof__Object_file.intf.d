@@ -1,0 +1,1 @@
+lib/sof/object_file.mli: Bytes Format Reloc Symbol

@@ -1,0 +1,1 @@
+lib/sof/reloc.mli: Format

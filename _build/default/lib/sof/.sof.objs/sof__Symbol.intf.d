@@ -1,0 +1,1 @@
+lib/sof/symbol.mli: Format

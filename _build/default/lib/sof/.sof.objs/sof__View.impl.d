@@ -1,0 +1,1 @@
+lib/sof/view.ml: Hashtbl List Object_file Option Reloc Symbol

@@ -1,0 +1,1 @@
+lib/sof/view.mli: Object_file

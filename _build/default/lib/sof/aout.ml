@@ -1,0 +1,190 @@
+(** An a.out-style second object-file format.
+
+    The paper's OMOS understood HP SOM and a.out, and was being fitted
+    with GNU BFD as a portability layer (§7). This module is the
+    reproduction's second backend: a classic fixed-header layout —
+    header with section sizes and table counts, fixed-size symbol and
+    relocation records referencing a trailing string table — quite
+    unlike {!Codec}'s length-prefixed stream. {!Bfd} dispatches between
+    the two by magic. *)
+
+exception Decode_error of string
+
+let magic = "AOUT"
+
+(* header: magic, text, data, bss, nsyms, nrelocs, nctors, strtab size,
+   name offset — 9 * 4 bytes *)
+let header_size = 36
+let sym_entry_size = 16 (* name_off, binding|kind, value, size *)
+let rel_entry_size = 16 (* target|kind, offset, name_off, addend *)
+
+(* string table builder with interning *)
+type strtab = { buf : Buffer.t; index : (string, int) Hashtbl.t }
+
+let strtab_create () = { buf = Buffer.create 64; index = Hashtbl.create 16 }
+
+let strtab_add (t : strtab) (s : string) : int =
+  match Hashtbl.find_opt t.index s with
+  | Some off -> off
+  | None ->
+      let off = Buffer.length t.buf in
+      Buffer.add_string t.buf s;
+      Buffer.add_char t.buf '\000';
+      Hashtbl.replace t.index s off;
+      off
+
+let binding_code = function Symbol.Local -> 0 | Symbol.Global -> 1 | Symbol.Weak -> 2
+
+let kind_code = function
+  | Symbol.Text -> 0
+  | Symbol.Data -> 1
+  | Symbol.Bss -> 2
+  | Symbol.Abs -> 3
+  | Symbol.Undef -> 4
+
+(** [encode o] lays out [o] in the a.out-style format:
+    header | text | data | symbols | relocs | ctor name offsets | strtab. *)
+let encode (o : Object_file.t) : Bytes.t =
+  let strtab = strtab_create () in
+  let name_off = strtab_add strtab o.Object_file.name in
+  let syms =
+    List.map
+      (fun (s : Symbol.t) ->
+        (strtab_add strtab s.name, binding_code s.binding, kind_code s.kind, s.value, s.size))
+      o.Object_file.symbols
+  in
+  let rels =
+    List.map
+      (fun (r : Reloc.t) ->
+        let t = match r.target with Reloc.In_text -> 0 | Reloc.In_data -> 1 in
+        let k = match r.kind with Reloc.Abs32 -> 0 | Reloc.Pcrel32 -> 1 in
+        ((t lsl 1) lor k, r.offset, strtab_add strtab r.symbol, r.addend))
+      o.Object_file.relocs
+  in
+  let ctor_offs = List.map (strtab_add strtab) o.Object_file.ctors in
+  let strtab_bytes = Buffer.to_bytes strtab.buf in
+  let total =
+    header_size + Bytes.length o.Object_file.text + Bytes.length o.Object_file.data
+    + (List.length syms * sym_entry_size)
+    + (List.length rels * rel_entry_size)
+    + (List.length ctor_offs * 4)
+    + Bytes.length strtab_bytes
+  in
+  let out = Bytes.create total in
+  let pos = ref 0 in
+  let put32 v =
+    Bytes.set_int32_le out !pos (Int32.of_int v);
+    pos := !pos + 4
+  in
+  Bytes.blit_string magic 0 out 0 4;
+  pos := 4;
+  put32 (Bytes.length o.Object_file.text);
+  put32 (Bytes.length o.Object_file.data);
+  put32 o.Object_file.bss_size;
+  put32 (List.length syms);
+  put32 (List.length rels);
+  put32 (List.length ctor_offs);
+  put32 (Bytes.length strtab_bytes);
+  put32 name_off;
+  Bytes.blit o.Object_file.text 0 out !pos (Bytes.length o.Object_file.text);
+  pos := !pos + Bytes.length o.Object_file.text;
+  Bytes.blit o.Object_file.data 0 out !pos (Bytes.length o.Object_file.data);
+  pos := !pos + Bytes.length o.Object_file.data;
+  List.iter
+    (fun (noff, b, k, v, sz) ->
+      put32 noff;
+      put32 ((b lsl 8) lor k);
+      put32 v;
+      put32 sz)
+    syms;
+  List.iter
+    (fun (tk, off, noff, add) ->
+      put32 tk;
+      put32 off;
+      put32 noff;
+      put32 (add land 0xFFFFFFFF))
+    rels;
+  List.iter put32 ctor_offs;
+  Bytes.blit strtab_bytes 0 out !pos (Bytes.length strtab_bytes);
+  out
+
+(** [decode b] parses bytes produced by {!encode}. *)
+let decode (b : Bytes.t) : Object_file.t =
+  if Bytes.length b < header_size then raise (Decode_error "truncated a.out header");
+  if Bytes.sub_string b 0 4 <> magic then raise (Decode_error "bad a.out magic");
+  let get32 off = Int32.to_int (Bytes.get_int32_le b off) land 0xFFFFFFFF in
+  let geti32 off = Int32.to_int (Bytes.get_int32_le b off) in
+  let text_size = get32 4 in
+  let data_size = get32 8 in
+  let bss_size = get32 12 in
+  let nsyms = get32 16 in
+  let nrels = get32 20 in
+  let nctors = get32 24 in
+  let strtab_size = get32 28 in
+  let name_off = get32 32 in
+  let text_off = header_size in
+  let data_off = text_off + text_size in
+  let syms_off = data_off + data_size in
+  let rels_off = syms_off + (nsyms * sym_entry_size) in
+  let ctors_off = rels_off + (nrels * rel_entry_size) in
+  let strtab_off = ctors_off + (nctors * 4) in
+  if strtab_off + strtab_size > Bytes.length b then
+    raise (Decode_error "truncated a.out file");
+  let string_at off =
+    if off >= strtab_size then raise (Decode_error "string offset out of range");
+    let abs = strtab_off + off in
+    let rec find_end i =
+      if i >= Bytes.length b then raise (Decode_error "unterminated string")
+      else if Bytes.get b i = '\000' then i
+      else find_end (i + 1)
+    in
+    Bytes.sub_string b abs (find_end abs - abs)
+  in
+  let binding_of = function
+    | 0 -> Symbol.Local
+    | 1 -> Symbol.Global
+    | 2 -> Symbol.Weak
+    | n -> raise (Decode_error (Printf.sprintf "bad binding %d" n))
+  in
+  let kind_of = function
+    | 0 -> Symbol.Text
+    | 1 -> Symbol.Data
+    | 2 -> Symbol.Bss
+    | 3 -> Symbol.Abs
+    | 4 -> Symbol.Undef
+    | n -> raise (Decode_error (Printf.sprintf "bad kind %d" n))
+  in
+  let symbols =
+    List.init nsyms (fun i ->
+        let base = syms_off + (i * sym_entry_size) in
+        let bk = get32 (base + 4) in
+        {
+          Symbol.name = string_at (get32 base);
+          binding = binding_of (bk lsr 8);
+          kind = kind_of (bk land 0xff);
+          value = get32 (base + 8);
+          size = get32 (base + 12);
+        })
+  in
+  let relocs =
+    List.init nrels (fun i ->
+        let base = rels_off + (i * rel_entry_size) in
+        let tk = get32 base in
+        {
+          Reloc.target = (if tk lsr 1 = 0 then Reloc.In_text else Reloc.In_data);
+          kind = (if tk land 1 = 0 then Reloc.Abs32 else Reloc.Pcrel32);
+          offset = get32 (base + 4);
+          symbol = string_at (get32 (base + 8));
+          addend = geti32 (base + 12);
+        })
+  in
+  let ctors = List.init nctors (fun i -> string_at (get32 (ctors_off + (i * 4)))) in
+  {
+    Object_file.name = string_at name_off;
+    text = Bytes.sub b text_off text_size;
+    data = Bytes.sub b data_off data_size;
+    bss_size;
+    symbols;
+    relocs;
+    ctors;
+  }

@@ -1,0 +1,22 @@
+(** An a.out-style second object-file format.
+
+    The paper's OMOS understood HP SOM and a.out, and was being fitted
+    with GNU BFD as a portability layer (§7). This module is the
+    reproduction's second backend: a classic fixed-header layout —
+    header with section sizes and table counts, fixed-size symbol and
+    relocation records referencing a trailing string table — quite
+    unlike {!Codec}'s length-prefixed stream. {!Bfd} dispatches between
+    the two by magic. *)
+
+exception Decode_error of string
+val magic : string
+val header_size : int
+val sym_entry_size : int
+val rel_entry_size : int
+type strtab = { buf : Buffer.t; index : (string, int) Hashtbl.t; }
+val strtab_create : unit -> strtab
+val strtab_add : strtab -> string -> int
+val binding_code : Symbol.binding -> int
+val kind_code : Symbol.kind -> int
+val encode : Object_file.t -> Bytes.t
+val decode : Bytes.t -> Object_file.t

@@ -1,0 +1,165 @@
+(** Binary serialization of SOF object files.
+
+    The on-"disk" representation used by the simulated filesystem and by
+    the image cache's digests. The format is deliberately simple — a
+    magic, then length-prefixed fields — because the point of the
+    reproduction is what the server does {e with} object files, not the
+    encoding itself. *)
+
+exception Decode_error of string
+
+let magic = "SOF1"
+
+(* -- encoding ---------------------------------------------------------- *)
+
+let put_u8 buf v = Buffer.add_uint8 buf (v land 0xff)
+let put_u32 buf v = Buffer.add_int32_le buf (Int32.of_int v)
+
+let put_string buf s =
+  put_u32 buf (String.length s);
+  Buffer.add_string buf s
+
+let put_bytes buf b =
+  put_u32 buf (Bytes.length b);
+  Buffer.add_bytes buf b
+
+let binding_code = function Symbol.Local -> 0 | Symbol.Global -> 1 | Symbol.Weak -> 2
+
+let kind_code = function
+  | Symbol.Text -> 0
+  | Symbol.Data -> 1
+  | Symbol.Bss -> 2
+  | Symbol.Abs -> 3
+  | Symbol.Undef -> 4
+
+let put_symbol buf (s : Symbol.t) =
+  put_string buf s.name;
+  put_u8 buf (binding_code s.binding);
+  put_u8 buf (kind_code s.kind);
+  put_u32 buf s.value;
+  put_u32 buf s.size
+
+let put_reloc buf (r : Reloc.t) =
+  put_u8 buf (match r.target with Reloc.In_text -> 0 | Reloc.In_data -> 1);
+  put_u8 buf (match r.kind with Reloc.Abs32 -> 0 | Reloc.Pcrel32 -> 1);
+  put_u32 buf r.offset;
+  put_string buf r.symbol;
+  Buffer.add_int32_le buf (Int32.of_int r.addend)
+
+(** [encode o] serializes [o] to bytes. *)
+let encode (o : Object_file.t) : Bytes.t =
+  let buf = Buffer.create (Object_file.total_size o + 256) in
+  Buffer.add_string buf magic;
+  put_string buf o.name;
+  put_bytes buf o.text;
+  put_bytes buf o.data;
+  put_u32 buf o.bss_size;
+  put_u32 buf (List.length o.symbols);
+  List.iter (put_symbol buf) o.symbols;
+  put_u32 buf (List.length o.relocs);
+  List.iter (put_reloc buf) o.relocs;
+  put_u32 buf (List.length o.ctors);
+  List.iter (put_string buf) o.ctors;
+  Buffer.to_bytes buf
+
+(* -- decoding ---------------------------------------------------------- *)
+
+type cursor = { src : Bytes.t; mutable pos : int }
+
+let need c n =
+  if c.pos + n > Bytes.length c.src then raise (Decode_error "truncated object file")
+
+let get_u8 c =
+  need c 1;
+  let v = Bytes.get_uint8 c.src c.pos in
+  c.pos <- c.pos + 1;
+  v
+
+let get_u32 c =
+  need c 4;
+  let v = Bytes.get_int32_le c.src c.pos in
+  c.pos <- c.pos + 4;
+  Int32.to_int v land 0xFFFFFFFF
+
+let get_i32 c =
+  need c 4;
+  let v = Bytes.get_int32_le c.src c.pos in
+  c.pos <- c.pos + 4;
+  Int32.to_int v
+
+let get_string c =
+  let n = get_u32 c in
+  need c n;
+  let s = Bytes.sub_string c.src c.pos n in
+  c.pos <- c.pos + n;
+  s
+
+let get_bytes c =
+  let n = get_u32 c in
+  need c n;
+  let b = Bytes.sub c.src c.pos n in
+  c.pos <- c.pos + n;
+  b
+
+let binding_of_code = function
+  | 0 -> Symbol.Local
+  | 1 -> Symbol.Global
+  | 2 -> Symbol.Weak
+  | n -> raise (Decode_error (Printf.sprintf "bad binding code %d" n))
+
+let kind_of_code = function
+  | 0 -> Symbol.Text
+  | 1 -> Symbol.Data
+  | 2 -> Symbol.Bss
+  | 3 -> Symbol.Abs
+  | 4 -> Symbol.Undef
+  | n -> raise (Decode_error (Printf.sprintf "bad kind code %d" n))
+
+let get_symbol c : Symbol.t =
+  let name = get_string c in
+  let binding = binding_of_code (get_u8 c) in
+  let kind = kind_of_code (get_u8 c) in
+  let value = get_u32 c in
+  let size = get_u32 c in
+  { name; binding; kind; value; size }
+
+let get_reloc c : Reloc.t =
+  let target =
+    match get_u8 c with
+    | 0 -> Reloc.In_text
+    | 1 -> Reloc.In_data
+    | n -> raise (Decode_error (Printf.sprintf "bad reloc target %d" n))
+  in
+  let kind =
+    match get_u8 c with
+    | 0 -> Reloc.Abs32
+    | 1 -> Reloc.Pcrel32
+    | n -> raise (Decode_error (Printf.sprintf "bad reloc kind %d" n))
+  in
+  let offset = get_u32 c in
+  let symbol = get_string c in
+  let addend = get_i32 c in
+  { target; offset; kind; symbol; addend }
+
+let rec get_list c n f = if n = 0 then [] else let x = f c in x :: get_list c (n - 1) f
+
+(** [decode b] parses bytes produced by {!encode}. Raises
+    {!Decode_error} on malformed input. *)
+let decode (b : Bytes.t) : Object_file.t =
+  let c = { src = b; pos = 0 } in
+  need c 4;
+  let m = Bytes.sub_string b 0 4 in
+  if m <> magic then raise (Decode_error ("bad magic " ^ String.escaped m));
+  c.pos <- 4;
+  let name = get_string c in
+  let text = get_bytes c in
+  let data = get_bytes c in
+  let bss_size = get_u32 c in
+  let symbols = get_list c (get_u32 c) get_symbol in
+  let relocs = get_list c (get_u32 c) get_reloc in
+  let ctors = get_list c (get_u32 c) get_string in
+  { name; text; data; bss_size; symbols; relocs; ctors }
+
+(** Stable content digest of an object file, used as a cache key
+    component. *)
+let digest (o : Object_file.t) : string = Digest.to_hex (Digest.bytes (encode o))

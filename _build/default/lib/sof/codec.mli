@@ -1,0 +1,17 @@
+(** Binary serialization of SOF object files — the native on-"disk"
+    representation (magic ["SOF1"], length-prefixed fields) used by the
+    simulated filesystem and the image cache's digests. The a.out-style
+    alternative lives in {!Aout}; {!Bfd} switches between them. *)
+
+exception Decode_error of string
+
+(** The native format's magic, ["SOF1"]. *)
+val magic : string
+
+val encode : Object_file.t -> Bytes.t
+
+(** @raise Decode_error on malformed input. *)
+val decode : Bytes.t -> Object_file.t
+
+(** Stable content digest, used as a cache key component. *)
+val digest : Object_file.t -> string

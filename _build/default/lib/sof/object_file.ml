@@ -1,0 +1,135 @@
+(** SOF relocatable object files.
+
+    SOF plays the role a.out/SOM played for the original OMOS: the
+    "convenient intermediate form" between source and the executing
+    memory image. An object file bundles a text section (SVM code), an
+    initialized data section, a bss size, a symbol table, relocations,
+    and the list of static-initializer entry points (the paper's C++
+    constructor problem, consumed by the [initializers] operator). *)
+
+exception Invalid of string
+
+type t = {
+  name : string; (* provenance label, e.g. "/obj/ls.o" *)
+  text : Bytes.t;
+  data : Bytes.t;
+  bss_size : int;
+  symbols : Symbol.t list;
+  relocs : Reloc.t list;
+  ctors : string list; (* static-initializer functions, in run order *)
+}
+
+let section_size (o : t) = function
+  | Symbol.Text -> Bytes.length o.text
+  | Symbol.Data -> Bytes.length o.data
+  | Symbol.Bss -> o.bss_size
+  | Symbol.Abs | Symbol.Undef -> max_int
+
+(** [validate o] checks internal consistency: symbol values within their
+    sections, relocation sites within their sections, every relocation
+    symbol present in the symbol table, and instruction-aligned text
+    relocations. Raises {!Invalid} with a diagnostic on failure. *)
+let validate (o : t) : t =
+  let fail fmt = Format.kasprintf (fun s -> raise (Invalid (o.name ^ ": " ^ s))) fmt in
+  let names = Hashtbl.create 16 in
+  List.iter
+    (fun (s : Symbol.t) ->
+      Hashtbl.replace names s.name ();
+      if Symbol.is_defined s && s.kind <> Symbol.Abs then
+        if s.value < 0 || s.value > section_size o s.kind then
+          fail "symbol %s out of section range (0x%x)" s.name s.value)
+    o.symbols;
+  List.iter
+    (fun (r : Reloc.t) ->
+      let size =
+        match r.target with
+        | Reloc.In_text -> Bytes.length o.text
+        | Reloc.In_data -> Bytes.length o.data
+      in
+      if r.offset < 0 || r.offset + 4 > size then
+        fail "relocation site out of range (0x%x)" r.offset;
+      (match r.target with
+      | Reloc.In_text ->
+          if r.offset mod Svm.Isa.width <> Svm.Isa.imm_offset then
+            fail "text relocation at 0x%x not on an immediate field" r.offset
+      | Reloc.In_data -> ());
+      if not (Hashtbl.mem names r.symbol) then
+        fail "relocation references unknown symbol %s" r.symbol)
+    o.relocs;
+  if Bytes.length o.text mod Svm.Isa.width <> 0 then
+    fail "text size %d not instruction-aligned" (Bytes.length o.text);
+  o
+
+let make ?(data = Bytes.empty) ?(bss_size = 0) ?(relocs = []) ?(ctors = [])
+    ~name ~text symbols =
+  validate { name; text; data; bss_size; symbols; relocs; ctors }
+
+let empty name =
+  { name; text = Bytes.empty; data = Bytes.empty; bss_size = 0;
+    symbols = []; relocs = []; ctors = [] }
+
+(** Definitions exported from this object (global or weak, defined). *)
+let exported (o : t) : Symbol.t list = List.filter Symbol.is_exported o.symbols
+
+(** All defined symbols, including locals. *)
+let defined (o : t) : Symbol.t list = List.filter Symbol.is_defined o.symbols
+
+(** Names this object references but does not define: explicit [Undef]
+    symbol-table entries plus any relocation symbols that lack a
+    definition. *)
+let undefined (o : t) : string list =
+  let defs = Hashtbl.create 16 in
+  List.iter
+    (fun (s : Symbol.t) -> if Symbol.is_defined s then Hashtbl.replace defs s.name ())
+    o.symbols;
+  let seen = Hashtbl.create 16 in
+  let out = ref [] in
+  let add n =
+    if (not (Hashtbl.mem defs n)) && not (Hashtbl.mem seen n) then (
+      Hashtbl.replace seen n ();
+      out := n :: !out)
+  in
+  List.iter (fun (s : Symbol.t) -> if s.kind = Symbol.Undef then add s.name) o.symbols;
+  List.iter (fun (r : Reloc.t) -> add r.symbol) o.relocs;
+  List.rev !out
+
+(** [find_exported o name] returns the exported definition of [name],
+    if any. A [Global] definition wins over a [Weak] one. *)
+let find_exported (o : t) (name : string) : Symbol.t option =
+  let candidates =
+    List.filter (fun (s : Symbol.t) -> s.name = name && Symbol.is_exported s) o.symbols
+  in
+  match List.find_opt (fun (s : Symbol.t) -> s.binding = Symbol.Global) candidates with
+  | Some s -> Some s
+  | None -> ( match candidates with s :: _ -> Some s | [] -> None)
+
+let find_symbol (o : t) (name : string) : Symbol.t option =
+  List.find_opt (fun (s : Symbol.t) -> s.name = name) o.symbols
+
+(** Does [o] define [name] (at any visibility)? *)
+let defines (o : t) (name : string) : bool =
+  List.exists (fun (s : Symbol.t) -> s.name = name && Symbol.is_defined s) o.symbols
+
+(** Number of relocations — the quantity the paper's timing argument
+    revolves around (work proportional to external references). *)
+let reloc_count (o : t) : int = List.length o.relocs
+
+(** External relocations: those whose symbol is not defined locally. *)
+let external_reloc_count (o : t) : int =
+  let defs = Hashtbl.create 16 in
+  List.iter
+    (fun (s : Symbol.t) -> if Symbol.is_defined s then Hashtbl.replace defs s.name ())
+    o.symbols;
+  List.length (List.filter (fun (r : Reloc.t) -> not (Hashtbl.mem defs r.symbol)) o.relocs)
+
+let total_size (o : t) : int = Bytes.length o.text + Bytes.length o.data + o.bss_size
+
+let pp ppf (o : t) =
+  Format.fprintf ppf "@[<v>object %s: text=%d data=%d bss=%d@,symbols:@," o.name
+    (Bytes.length o.text) (Bytes.length o.data) o.bss_size;
+  List.iter (fun s -> Format.fprintf ppf "  %a@," Symbol.pp s) o.symbols;
+  Format.fprintf ppf "relocs:@,";
+  List.iter (fun r -> Format.fprintf ppf "  %a@," Reloc.pp r) o.relocs;
+  if o.ctors <> [] then
+    Format.fprintf ppf "ctors: %s@," (String.concat ", " o.ctors);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,70 @@
+(** SOF relocatable object files.
+
+    SOF plays the role a.out/SOM played for the original OMOS: the
+    "convenient intermediate form" between source and the executing
+    memory image. An object file bundles a text section (SVM code), an
+    initialized data section, a bss size, a symbol table, relocations,
+    and the list of static-initializer entry points. *)
+
+exception Invalid of string
+
+type t = {
+  name : string;  (** provenance label, e.g. "/obj/ls.o" *)
+  text : Bytes.t;
+  data : Bytes.t;
+  bss_size : int;
+  symbols : Symbol.t list;
+  relocs : Reloc.t list;
+  ctors : string list;  (** static-initializer functions, in run order *)
+}
+
+(** Byte capacity of the section a symbol kind addresses. *)
+val section_size : t -> Symbol.kind -> int
+
+(** Check internal consistency: symbol values within their sections,
+    relocation sites in range and on instruction immediates, every
+    relocation symbol present, instruction-aligned text.
+    @raise Invalid with a diagnostic on failure. *)
+val validate : t -> t
+
+(** Build and {!validate} an object file. *)
+val make :
+  ?data:Bytes.t ->
+  ?bss_size:int ->
+  ?relocs:Reloc.t list ->
+  ?ctors:string list ->
+  name:string ->
+  text:Bytes.t ->
+  Symbol.t list ->
+  t
+
+val empty : string -> t
+
+(** Definitions exported from this object (global or weak, defined). *)
+val exported : t -> Symbol.t list
+
+(** All defined symbols, including locals. *)
+val defined : t -> Symbol.t list
+
+(** Names this object references but does not define. *)
+val undefined : t -> string list
+
+(** The exported definition of a name, if any (Global beats Weak). *)
+val find_exported : t -> string -> Symbol.t option
+
+val find_symbol : t -> string -> Symbol.t option
+
+(** Does the object define [name] (at any visibility)? *)
+val defines : t -> string -> bool
+
+(** Number of relocations — the quantity the paper's timing argument
+    revolves around. *)
+val reloc_count : t -> int
+
+(** Relocations whose symbol is not defined locally. *)
+val external_reloc_count : t -> int
+
+(** text + data + bss bytes. *)
+val total_size : t -> int
+
+val pp : Format.formatter -> t -> unit

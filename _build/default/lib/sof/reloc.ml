@@ -1,0 +1,27 @@
+(** Relocation entries of the SOF format.
+
+    A relocation names a 32-bit patch site within the text or data
+    section and the symbol whose final address (plus [addend]) is to be
+    written there. Text-section sites always fall on the immediate field
+    of an SVM instruction; data-section sites are pointers embedded in
+    initialized data. *)
+
+type target = In_text | In_data
+
+type kind =
+  | Abs32 (* patch site := address(symbol) + addend *)
+  | Pcrel32 (* patch site := address(symbol) + addend - (site_base + 8) *)
+
+type t = { target : target; offset : int; kind : kind; symbol : string; addend : int }
+
+let make ?(addend = 0) ~target ~offset ~kind symbol =
+  { target; offset; kind; symbol; addend }
+
+let target_to_string = function In_text -> "text" | In_data -> "data"
+let kind_to_string = function Abs32 -> "ABS32" | Pcrel32 -> "PCREL32"
+
+let pp ppf r =
+  Format.fprintf ppf "%s+0x%x %s %s%+d" (target_to_string r.target) r.offset
+    (kind_to_string r.kind) r.symbol r.addend
+
+let equal (a : t) (b : t) = a = b

@@ -1,0 +1,23 @@
+(** Relocation entries of the SOF format.
+
+    A relocation names a 32-bit patch site within the text or data
+    section and the symbol whose final address (plus [addend]) is to be
+    written there. Text-section sites always fall on the immediate field
+    of an SVM instruction; data-section sites are pointers embedded in
+    initialized data. *)
+
+type target = In_text | In_data
+type kind = Abs32 | Pcrel32
+type t = {
+  target : target;
+  offset : int;
+  kind : kind;
+  symbol : string;
+  addend : int;
+}
+val make :
+  ?addend:int -> target:target -> offset:int -> kind:kind -> string -> t
+val target_to_string : target -> string
+val kind_to_string : kind -> string
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool

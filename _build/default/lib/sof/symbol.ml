@@ -1,0 +1,46 @@
+(** Symbols of the SOF relocatable object format.
+
+    A symbol is either a {e definition} (it names a location in the
+    text, data, or bss section of its object file, or an absolute
+    value), or an {e undefined} reference to be satisfied by another
+    object at merge/link time. *)
+
+type binding =
+  | Local (* invisible outside the defining object *)
+  | Global (* exported; duplicate globals are a link error *)
+  | Weak (* exported; loses against a Global of the same name *)
+
+type kind =
+  | Text (* value = offset into the text section *)
+  | Data (* value = offset into the data section *)
+  | Bss (* value = offset into the bss segment *)
+  | Abs (* value = literal constant *)
+  | Undef (* reference; value ignored *)
+
+type t = { name : string; binding : binding; kind : kind; value : int; size : int }
+
+let make ?(binding = Global) ?(size = 0) ~kind ~value name =
+  { name; binding; kind; value; size }
+
+let undef name = { name; binding = Global; kind = Undef; value = 0; size = 0 }
+
+let is_defined s = s.kind <> Undef
+let is_exported s = is_defined s && (s.binding = Global || s.binding = Weak)
+
+let binding_to_string = function
+  | Local -> "local"
+  | Global -> "global"
+  | Weak -> "weak"
+
+let kind_to_string = function
+  | Text -> "text"
+  | Data -> "data"
+  | Bss -> "bss"
+  | Abs -> "abs"
+  | Undef -> "undef"
+
+let pp ppf s =
+  Format.fprintf ppf "%s %s %s 0x%x/%d" s.name (binding_to_string s.binding)
+    (kind_to_string s.kind) s.value s.size
+
+let equal (a : t) (b : t) = a = b

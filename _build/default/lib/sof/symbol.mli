@@ -1,0 +1,25 @@
+(** Symbols of the SOF relocatable object format.
+
+    A symbol is either a {e definition} (it names a location in the
+    text, data, or bss section of its object file, or an absolute
+    value), or an {e undefined} reference to be satisfied by another
+    object at merge/link time. *)
+
+type binding = Local | Global | Weak
+type kind = Text | Data | Bss | Abs | Undef
+type t = {
+  name : string;
+  binding : binding;
+  kind : kind;
+  value : int;
+  size : int;
+}
+val make :
+  ?binding:binding -> ?size:int -> kind:kind -> value:int -> string -> t
+val undef : string -> t
+val is_defined : t -> bool
+val is_exported : t -> bool
+val binding_to_string : binding -> string
+val kind_to_string : kind -> string
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool

@@ -1,0 +1,1 @@
+lib/svm/cpu.ml: Array Buffer Bytes Char Encode Int32 Isa Printf

@@ -1,0 +1,1 @@
+lib/svm/cpu.mli: Bytes Isa

@@ -1,0 +1,1 @@
+lib/svm/disasm.ml: Bytes Encode Format Isa List Printf

@@ -1,0 +1,1 @@
+lib/svm/disasm.mli: Bytes Format Isa

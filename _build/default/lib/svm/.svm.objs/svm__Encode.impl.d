@@ -1,0 +1,1 @@
+lib/svm/encode.ml: Bytes Isa List Printf

@@ -1,0 +1,1 @@
+lib/svm/encode.mli: Bytes Isa

@@ -1,0 +1,60 @@
+(** Pretty-printing of SVM instructions and code sections, used by the
+    OFE tool and by error messages. *)
+
+let reg_name r =
+  if r = Isa.reg_fp then "fp"
+  else if r = Isa.reg_sp then "sp"
+  else if r = Isa.reg_ra then "ra"
+  else Printf.sprintf "r%d" r
+
+let pp_instr ppf (i : Isa.instr) =
+  let p fmt = Format.fprintf ppf fmt in
+  let r = reg_name in
+  match i with
+  | Isa.Halt -> p "halt"
+  | Isa.Nop -> p "nop"
+  | Isa.Movi (rd, imm) -> p "movi %s, %ld" (r rd) imm
+  | Isa.Mov (rd, rs1) -> p "mov %s, %s" (r rd) (r rs1)
+  | Isa.Add (d, a, b) -> p "add %s, %s, %s" (r d) (r a) (r b)
+  | Isa.Sub (d, a, b) -> p "sub %s, %s, %s" (r d) (r a) (r b)
+  | Isa.Mul (d, a, b) -> p "mul %s, %s, %s" (r d) (r a) (r b)
+  | Isa.Div (d, a, b) -> p "div %s, %s, %s" (r d) (r a) (r b)
+  | Isa.Mod (d, a, b) -> p "mod %s, %s, %s" (r d) (r a) (r b)
+  | Isa.And_ (d, a, b) -> p "and %s, %s, %s" (r d) (r a) (r b)
+  | Isa.Or_ (d, a, b) -> p "or %s, %s, %s" (r d) (r a) (r b)
+  | Isa.Xor (d, a, b) -> p "xor %s, %s, %s" (r d) (r a) (r b)
+  | Isa.Shl (d, a, b) -> p "shl %s, %s, %s" (r d) (r a) (r b)
+  | Isa.Shr (d, a, b) -> p "shr %s, %s, %s" (r d) (r a) (r b)
+  | Isa.Addi (d, a, imm) -> p "addi %s, %s, %ld" (r d) (r a) imm
+  | Isa.Cmpeq (d, a, b) -> p "cmpeq %s, %s, %s" (r d) (r a) (r b)
+  | Isa.Cmplt (d, a, b) -> p "cmplt %s, %s, %s" (r d) (r a) (r b)
+  | Isa.Cmple (d, a, b) -> p "cmple %s, %s, %s" (r d) (r a) (r b)
+  | Isa.Ld (d, a, imm) -> p "ld %s, [%s%+ld]" (r d) (r a) imm
+  | Isa.St (a, s, imm) -> p "st [%s%+ld], %s" (r a) imm (r s)
+  | Isa.Ldb (d, a, imm) -> p "ldb %s, [%s%+ld]" (r d) (r a) imm
+  | Isa.Stb (a, s, imm) -> p "stb [%s%+ld], %s" (r a) imm (r s)
+  | Isa.Lea (d, imm) -> p "lea %s, 0x%lx" (r d) imm
+  | Isa.Jmp imm -> p "jmp 0x%lx" imm
+  | Isa.Jz (a, imm) -> p "jz %s, %+ld" (r a) imm
+  | Isa.Jnz (a, imm) -> p "jnz %s, %+ld" (r a) imm
+  | Isa.Call imm -> p "call 0x%lx" imm
+  | Isa.Callr a -> p "callr %s" (r a)
+  | Isa.Jmpr a -> p "jmpr %s" (r a)
+  | Isa.Ret -> p "ret"
+  | Isa.Sys imm -> p "sys %ld" imm
+  | Isa.Br imm -> p "br %+ld" imm
+
+let instr_to_string (i : Isa.instr) : string =
+  Format.asprintf "%a" pp_instr i
+
+(** [pp_code ?base ppf code] disassembles a code buffer, one instruction
+    per line, with addresses starting at [base]. *)
+let pp_code ?(base = 0) ppf (code : Bytes.t) =
+  let instrs = Encode.disassemble code in
+  List.iteri
+    (fun idx i ->
+      Format.fprintf ppf "%08x:  %a@." (base + (idx * Isa.width)) pp_instr i)
+    instrs
+
+let code_to_string ?base (code : Bytes.t) : string =
+  Format.asprintf "%a" (pp_code ?base) code

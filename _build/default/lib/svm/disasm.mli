@@ -1,0 +1,8 @@
+(** Pretty-printing of SVM instructions and code sections, used by the
+    OFE tool and by error messages. *)
+
+val reg_name : int -> string
+val pp_instr : Format.formatter -> Isa.instr -> unit
+val instr_to_string : Isa.instr -> string
+val pp_code : ?base:int -> Format.formatter -> Bytes.t -> unit
+val code_to_string : ?base:int -> Bytes.t -> string

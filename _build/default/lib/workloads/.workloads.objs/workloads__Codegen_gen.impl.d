@@ -1,0 +1,1 @@
+lib/workloads/codegen_gen.ml: Buffer Format List Minic Printf Sof

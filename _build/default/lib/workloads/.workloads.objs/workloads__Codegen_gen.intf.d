@@ -1,0 +1,1 @@
+lib/workloads/codegen_gen.mli: Buffer Format Sof

@@ -1,0 +1,1 @@
+lib/workloads/crt0.ml: Int32 Simos Sof Svm

@@ -1,0 +1,1 @@
+lib/workloads/crt0.mli: Sof

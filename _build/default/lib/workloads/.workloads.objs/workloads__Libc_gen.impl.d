@@ -1,0 +1,1 @@
+lib/workloads/libc_gen.ml: Buffer Format List Minic Sof

@@ -1,0 +1,1 @@
+lib/workloads/libc_gen.mli: Buffer Format Sof

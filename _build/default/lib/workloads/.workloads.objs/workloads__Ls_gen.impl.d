@@ -1,0 +1,1 @@
+lib/workloads/ls_gen.ml: Minic Sof

@@ -1,0 +1,1 @@
+lib/workloads/ls_gen.mli: Sof

@@ -1,0 +1,157 @@
+(** The `codegen` workload — the paper's large test program.
+
+    The original is part of the Alpha_1 geometric modeling system:
+    5,240 lines in 32 files, roughly 1,000 functions, ~289 KB of
+    (debuggable) text and ~348 KB of data, linked against six libraries
+    (two Alpha_1 libraries, libm, libl, libC, and libc). This generator
+    reproduces those dimensions: 32 generated translation units with a
+    deep cross-file call graph and fat per-file data tables, plus the
+    four auxiliary libraries, all on top of the synthetic libc.
+
+    Its run protocol also follows the paper: "a small input dataset
+    which required reading three small files, and generated a single
+    small file" — main reads /input/{a,b,c}, pushes values through a
+    slice of the call graph, and writes a result. *)
+
+let nfiles = 32
+let funcs_per_file = 30
+
+let b = Buffer.create 8192
+
+let line fmt = Format.kasprintf (fun s -> Buffer.add_string b s; Buffer.add_char b '\n') fmt
+
+let take () =
+  let s = Buffer.contents b in
+  Buffer.clear b;
+  s
+
+let mix seed i = ((seed * 48271) + (i * 16807) + 0x9E3779B) land 0x3FFFFFF
+
+(* One generated function. Cross-file calls target the previous file's
+   same-index function, in-file calls the previous function; every
+   function touches its file's data table. Occasional calls into the
+   auxiliary libraries create the cross-library references. *)
+let gen_func ~file ~index =
+  let k1 = (mix 3 ((file * 100) + index) mod 89) + 2 in
+  let k2 = mix 5 ((file * 100) + index) mod 4093 in
+  line "int cg_%d_%d(int x) {" file index;
+  line "  int a;";
+  line "  a = x * %d + %d + cg_table_%d[x & 127];" k1 k2 file;
+  (if index > 0 then
+     line "  if ((a & 3) != 1) { a = a + cg_%d_%d(a %% 11); }" file (index - 1)
+   else if file > 0 then
+     line "  if ((a & 3) != 1) { a = a + cg_%d_%d(a %% 11); }" (file - 1)
+       (funcs_per_file - 1));
+  (match index mod 7 with
+  | 0 -> line "  a = a + m_scale(x, %d);" (k1 + 1)
+  | 2 -> line "  a = a + al_transform(x & 63);"
+  | 4 -> line "  a = a + lc_box(x & 31);"
+  | _ -> ());
+  line "  return a ^ (a >> 3);";
+  line "}"
+
+(** Source of generated file [i] (unit /obj/codegen/file<i>.o). *)
+let file_source (file : int) : string =
+  line "int cg_table_%d[128];" file;
+  for i = 0 to funcs_per_file - 1 do
+    gen_func ~file ~index:i
+  done;
+  take ()
+
+(* main: read the three input files, run values through entry functions
+   of every fourth file, print a small result. *)
+let main_source : string =
+  let buf = Buffer.create 2048 in
+  let l fmt = Format.kasprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  l "int __inbuf[128];";
+  l "int read_input(int path) {";
+  l "  int fd; int n;";
+  l "  fd = open(path);";
+  l "  if (fd < 0) return 0;";
+  l "  n = read(fd, &__inbuf, 256);";
+  l "  close(fd);";
+  l "  if (n <= 0) return 0;";
+  l "  return atoi(&__inbuf);";
+  l "}";
+  l "int main() {";
+  l "  int a; int b; int c; int acc; int i; int pass;";
+  l "  a = read_input(\"/input/a\");";
+  l "  b = read_input(\"/input/b\");";
+  l "  c = read_input(\"/input/c\");";
+  l "  acc = a + b * 3 + c * 7;";
+  l "  pass = 0;";
+  l "  while (pass < 120) {";
+  l "    i = 0;";
+  l "    while (i < %d) {" nfiles;
+  l "      acc = acc ^ cg_dispatch(i, (acc + pass) & 1023);";
+  l "      i = i + 2;";
+  l "    }";
+  l "    pass = pass + 1;";
+  l "  }";
+  l "  putstr(\"codegen: \");";
+  l "  putint(acc);";
+  l "  putstr(\"\\n\");";
+  l "  return 0;";
+  l "}";
+  (* dispatcher: static call sites into the head function of each file *)
+  l "int cg_dispatch(int which, int x) {";
+  for f = 0 to nfiles - 1 do
+    l "  if (which == %d) return cg_%d_%d(x);" f f (funcs_per_file - 1)
+  done;
+  l "  return 0;";
+  l "}";
+  Buffer.contents buf
+
+(* -- auxiliary libraries -------------------------------------------------- *)
+
+let lib_source ~prefix ~pads ~(real : string) : string =
+  line "int %s_aux[64];" prefix;
+  for i = 0 to pads - 1 do
+    let k = (mix 17 i mod 61) + 2 in
+    line "int %s_pad_%d(int x) {" prefix i;
+    line "  int a;";
+    line "  a = x * %d + %s_aux[x & 63];" k prefix;
+    if i > 0 then line "  if ((a & 31) == 3) { a = a + %s_pad_%d(a %% 7); }" prefix (i - 1);
+    line "  return a;";
+    line "}"
+  done;
+  Buffer.add_string b real;
+  take ()
+
+(** The six libraries codegen links against (beyond crt0):
+    [/lib/libm], [/lib/libl], [/lib/libC], [/lib/libal1], [/lib/libal2]
+    — libc comes from {!Libc_gen}. *)
+let libraries () : (string * Sof.Object_file.t) list =
+  let compile path src = (path, Minic.Driver.compile ~name:path src) in
+  [
+    compile "/lib/libm"
+      (lib_source ~prefix:"m" ~pads:24
+         ~real:
+           "int m_scale(int x, int k) { return x * k + (x >> 1); }\n\
+            int m_sqrt_approx(int x) { int r; r = x; \
+            while (r * r > x && r > 1) { r = (r + x / r) / 2; } return r; }\n");
+    compile "/lib/libl"
+      (lib_source ~prefix:"l" ~pads:12
+         ~real:"int l_scan(int x) { return (x << 1) ^ (x >> 3); }\n");
+    compile "/lib/libC"
+      (lib_source ~prefix:"lc" ~pads:30
+         ~real:"int lc_box(int x) { return x * 2 + 1; }\n\
+                int lc_unbox(int x) { return (x - 1) / 2; }\n");
+    compile "/lib/libal1"
+      (lib_source ~prefix:"al" ~pads:40
+         ~real:
+           "int al_transform(int x) { return (x * 13 + 7) ^ (x >> 2); }\n\
+            int al_compose(int x, int y) { return al_transform(x) + al_transform(y); }\n");
+    compile "/lib/libal2"
+      (lib_source ~prefix:"ag" ~pads:40
+         ~real:"int ag_mesh(int x) { return al_transform(x) * 3; }\n");
+  ]
+
+(** The 32 generated translation units plus main, as [/obj/codegen/*]. *)
+let objects () : (string * Sof.Object_file.t) list =
+  let files =
+    List.init nfiles (fun f ->
+        let path = Printf.sprintf "/obj/codegen/file%02d.o" f in
+        (path, Minic.Driver.compile ~name:path (file_source f)))
+  in
+  files @ [ ("/obj/codegen/main.o", Minic.Driver.compile ~name:"/obj/codegen/main.o" main_source) ]

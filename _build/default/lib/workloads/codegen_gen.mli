@@ -1,0 +1,27 @@
+(** The `codegen` workload — the paper's large test program.
+
+    The original is part of the Alpha_1 geometric modeling system:
+    5,240 lines in 32 files, roughly 1,000 functions, ~289 KB of
+    (debuggable) text and ~348 KB of data, linked against six libraries
+    (two Alpha_1 libraries, libm, libl, libC, and libc). This generator
+    reproduces those dimensions: 32 generated translation units with a
+    deep cross-file call graph and fat per-file data tables, plus the
+    four auxiliary libraries, all on top of the synthetic libc.
+
+    Its run protocol also follows the paper: "a small input dataset
+    which required reading three small files, and generated a single
+    small file" — main reads /input/{a,b,c}, pushes values through a
+    slice of the call graph, and writes a result. *)
+
+val nfiles : int
+val funcs_per_file : int
+val b : Buffer.t
+val line : ('a, Format.formatter, unit, unit) format4 -> 'a
+val take : unit -> string
+val mix : int -> int -> int
+val gen_func : file:int -> index:int -> unit
+val file_source : int -> string
+val main_source : string
+val lib_source : prefix:string -> pads:int -> real:string -> string
+val libraries : unit -> (string * Sof.Object_file.t) list
+val objects : unit -> (string * Sof.Object_file.t) list

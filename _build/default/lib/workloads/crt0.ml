@@ -1,0 +1,20 @@
+(** The C runtime startup object, [/lib/crt0.o] in the paper's
+    meta-objects: run static initializers, call [main], exit with its
+    result.
+
+    [__init] has a weak empty default here; the [initializers] module
+    operator overrides it with a generated driver when the program has
+    constructors. *)
+
+let obj () : Sof.Object_file.t =
+  let a = Sof.Asm.create "/lib/crt0.o" in
+  Sof.Asm.label a "_start";
+  Sof.Asm.call a "__init";
+  Sof.Asm.call a "main";
+  Sof.Asm.instr a (Svm.Isa.Mov (1, Svm.Isa.reg_ret));
+  Sof.Asm.instr a (Svm.Isa.Sys (Int32.of_int Simos.Syscall.sys_exit));
+  (* unreachable; exit never returns *)
+  Sof.Asm.instr a Svm.Isa.Halt;
+  Sof.Asm.label ~binding:Sof.Symbol.Weak a "__init";
+  Sof.Asm.instr a Svm.Isa.Ret;
+  Sof.Asm.finish a

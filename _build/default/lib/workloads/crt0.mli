@@ -1,0 +1,9 @@
+(** The C runtime startup object, [/lib/crt0.o] in the paper's
+    meta-objects: run static initializers, call [main], exit with its
+    result.
+
+    [__init] has a weak empty default here; the [initializers] module
+    operator overrides it with a generated driver when the program has
+    constructors. *)
+
+val obj : unit -> Sof.Object_file.t

@@ -1,0 +1,34 @@
+(** Filesystem datasets for the workloads.
+
+    The paper's protocols: plain `ls` lists "a directory with a single
+    entry"; `ls -laF` runs over a populated directory; codegen reads
+    three small input files and writes one small output. *)
+
+(** /data/one: the single-entry directory of the plain-ls timing. *)
+let dir_single = "/data/one"
+
+(** /data/many: the populated directory for ls -laF. *)
+let dir_many = "/data/many"
+
+let default_many_entries = 64
+
+(** Install the datasets into a simulated filesystem. *)
+let install ?(many_entries = default_many_entries) (fs : Simos.Fs.t) : unit =
+  Simos.Fs.mkdir_p fs dir_single;
+  Simos.Fs.write_file fs (dir_single ^ "/README")
+    (Bytes.of_string "the single entry\n");
+  Simos.Fs.mkdir_p fs dir_many;
+  for i = 0 to many_entries - 1 do
+    let name = Printf.sprintf "%s/file%03d.dat" dir_many i in
+    Simos.Fs.write_file fs name (Bytes.make ((i mod 7) + 1) 'x')
+  done;
+  (* a few dot files and subdirectories for -a and -F *)
+  Simos.Fs.write_file fs (dir_many ^ "/.hidden") (Bytes.of_string "h\n");
+  Simos.Fs.write_file fs (dir_many ^ "/.profile") (Bytes.of_string "p\n");
+  Simos.Fs.mkdir_p fs (dir_many ^ "/subdir");
+  Simos.Fs.mkdir_p fs (dir_many ^ "/lib");
+  (* codegen inputs *)
+  Simos.Fs.mkdir_p fs "/input";
+  Simos.Fs.write_file fs "/input/a" (Bytes.of_string "137\n");
+  Simos.Fs.write_file fs "/input/b" (Bytes.of_string "4099\n");
+  Simos.Fs.write_file fs "/input/c" (Bytes.of_string "77\n")

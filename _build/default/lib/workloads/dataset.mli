@@ -1,0 +1,10 @@
+(** Filesystem datasets for the workloads.
+
+    The paper's protocols: plain `ls` lists "a directory with a single
+    entry"; `ls -laF` runs over a populated directory; codegen reads
+    three small input files and writes one small output. *)
+
+val dir_single : string
+val dir_many : string
+val default_many_entries : int
+val install : ?many_entries:int -> Simos.Fs.t -> unit

@@ -1,0 +1,34 @@
+(** The synthetic C library.
+
+    Mirrors the paper's Figure 1 libc: eight sections (gen, stdio,
+    string, stdlib, hppa, net, quad, rpc) that OMOS merges into one
+    library meta-object. The sections carry:
+
+    - real, executable implementations of the routines the workloads
+      need (string ops, stdio, allocator, syscall wrappers), and
+    - deterministic generated "bulk" functions that give the library a
+      realistic size, internal call chains, and data-table references —
+      the unused code whose page-scattering the paper's working-set and
+      reordering discussions are about.
+
+    Each section is a separate translation unit; cross-section calls
+    resolve at merge time exactly like the real libc members. *)
+
+val b : Buffer.t
+val line : ('a, Format.formatter, unit, unit) format4 -> 'a
+val take : unit -> string
+val mix : int -> int -> int
+val gen_pad : section:string -> index:int -> unit
+val gen_section_preamble : section:string -> pads:int -> unit
+val src_string : unit -> string
+val src_stdio : unit -> string
+val src_stdlib : unit -> string
+val src_gen : unit -> string
+val src_quad : unit -> string
+val src_net : unit -> string
+val src_rpc : unit -> string
+val src_hppa : unit -> string
+val section_names : string list
+val section_source : string -> string
+val objects : unit -> (string * Sof.Object_file.t) list
+val split_objects : string -> Sof.Object_file.t list

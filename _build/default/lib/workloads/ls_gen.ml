@@ -1,0 +1,134 @@
+(** The `ls` workload — the paper's small test program.
+
+    A faithful miniature of BSD ls built on the synthetic libc: lists a
+    directory given as an argument, with the [-l] / [-a] / [-F] flags
+    the paper's "ls -laF" measurement turns on. The plain listing is a
+    thin readdir/write loop; the long listing does what the real one
+    does — collect and {e sort} the entries (libc [sort_strings]),
+    then per entry: stat, format a mode string ([fmt_mode]), print a
+    right-aligned size column ([pad_int]), look up an owner name
+    ([getuser]). The two variants therefore differ exactly where the
+    paper's do: syscall count {e and} the amount of libc exercised. *)
+
+let source : string =
+  {|
+int __flag_l = 0;
+int __flag_a = 0;
+int __flag_F = 0;
+int __pathbuf[64];
+int __namebuf[64];
+int __linebuf[96];
+int __statbuf[2];
+int __modebuf[4];
+int __arena[2048];    /* 8 KB of entry-name storage */
+int __ptrs[256];      /* entry pointers, sorted for -l */
+int __arena_next = 0;
+
+/* stash one entry name in the arena; returns its address */
+int stash_name() {
+  int p;
+  p = &__arena + __arena_next;
+  strcpy(p, &__namebuf);
+  __arena_next = __arena_next + ((strlen(p) + 4) / 4) * 4;
+  return p;
+}
+
+int full_path(int name) {
+  strcpy(&__linebuf, &__pathbuf);
+  strcat(&__linebuf, "/");
+  strcat(&__linebuf, name);
+  return &__linebuf;
+}
+
+int print_short(int name) {
+  putstr(name);
+  if (__flag_F) {
+    if (stat(full_path(name), &__statbuf) == 0) {
+      if (__statbuf[0] == 1) putstr("/");
+    }
+  }
+  putstr("\n");
+  return 0;
+}
+
+int print_long(int idx, int name) {
+  if (stat(full_path(name), &__statbuf) != 0) return 0;
+  fmt_mode(__statbuf[0], 493, &__modebuf);
+  putstr(&__modebuf);
+  putstr(" ");
+  putstr(getuser(idx));
+  putstr(" ");
+  pad_int(__statbuf[1], 6);
+  putstr(" ");
+  putstr(name);
+  if (__flag_F && __statbuf[0] == 1) putstr("/");
+  putstr("\n");
+  return 0;
+}
+
+int main() {
+  int ac; int j; int fd; int i; int len; int c; int r; int n;
+  ac = argc();
+  j = 1;
+  if (ac > j) {
+    len = getarg(j, &__namebuf, 255);
+    if (__load8(&__namebuf) == 45) {
+      i = 1;
+      while (i < len) {
+        c = __load8(&__namebuf + i);
+        if (c == 108) __flag_l = 1;
+        if (c == 97) __flag_a = 1;
+        if (c == 70) __flag_F = 1;
+        i = i + 1;
+      }
+      j = j + 1;
+    }
+  }
+  if (ac > j) {
+    getarg(j, &__pathbuf, 255);
+  } else {
+    strcpy(&__pathbuf, ".");
+  }
+  fd = open(&__pathbuf);
+  if (fd < 0) {
+    putstr("ls: cannot open ");
+    puts(&__pathbuf);
+    return 1;
+  }
+  /* collect entries (respecting -a) */
+  n = 0;
+  i = 0;
+  r = 0;
+  while (r >= 0 && n < 256) {
+    r = readdir(fd, i, &__namebuf);
+    if (r >= 0) {
+      c = __load8(&__namebuf);
+      if (c != 46 || __flag_a) {
+        __ptrs[n] = stash_name();
+        n = n + 1;
+      }
+    }
+    i = i + 1;
+  }
+  close(fd);
+  if (__flag_l) {
+    /* long listing: sorted, with mode/owner/size columns */
+    sort_strings(&__ptrs, n);
+    i = 0;
+    while (i < n) {
+      print_long(i, __ptrs[i]);
+      i = i + 1;
+    }
+  } else {
+    i = 0;
+    while (i < n) {
+      print_short(__ptrs[i]);
+      i = i + 1;
+    }
+  }
+  return 0;
+}
+|}
+
+(** The relocatable object, [/obj/ls.o] in the paper's example. *)
+let obj () : Sof.Object_file.t = Minic.Driver.compile ~name:"/obj/ls.o" source

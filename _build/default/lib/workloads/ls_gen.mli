@@ -1,0 +1,14 @@
+(** The `ls` workload — the paper's small test program.
+
+    A faithful miniature of BSD ls built on the synthetic libc: lists a
+    directory given as an argument, with the [-l] / [-a] / [-F] flags
+    the paper's "ls -laF" measurement turns on. The plain listing is a
+    thin readdir/write loop; the long listing does what the real one
+    does — collect and {e sort} the entries (libc [sort_strings]),
+    then per entry: stat, format a mode string ([fmt_mode]), print a
+    right-aligned size column ([pad_int]), look up an owner name
+    ([getuser]). The two variants therefore differ exactly where the
+    paper's do: syscall count {e and} the amount of libc exercised. *)
+
+val source : string
+val obj : unit -> Sof.Object_file.t

@@ -1,0 +1,1 @@
+test/test_blueprint.ml: Alcotest Blueprint Constraints Hashtbl Jigsaw List Sof Str Svm

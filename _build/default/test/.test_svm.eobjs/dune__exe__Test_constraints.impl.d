@@ -1,0 +1,1 @@
+test/test_constraints.ml: Alcotest Constraints Deltablue Gen List Placement QCheck QCheck_alcotest

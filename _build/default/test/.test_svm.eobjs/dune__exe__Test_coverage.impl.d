@@ -1,0 +1,1 @@
+test/test_coverage.ml: Alcotest Array Blueprint Bytes Int32 Jigsaw Linker List Minic Omos Option Printf QCheck QCheck_alcotest Simos Sof String Svm Workloads

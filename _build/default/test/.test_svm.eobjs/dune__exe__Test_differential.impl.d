@@ -1,0 +1,1 @@
+test/test_differential.ml: Alcotest Buffer Lazy Linker List Minic Omos Printf QCheck QCheck_alcotest Simos String Workloads

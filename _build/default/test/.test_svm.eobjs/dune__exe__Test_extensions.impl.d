@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Astring Blueprint Bytes Linker List Minic Omos Printf QCheck QCheck_alcotest Simos Sof Svm Workloads

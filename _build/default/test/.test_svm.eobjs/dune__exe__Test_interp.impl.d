@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Astring Bytes List Omos Printf Simos Workloads

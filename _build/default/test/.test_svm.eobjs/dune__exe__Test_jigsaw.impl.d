@@ -1,0 +1,1 @@
+test/test_jigsaw.ml: Alcotest Jigsaw Linker List QCheck QCheck_alcotest Sof Svm

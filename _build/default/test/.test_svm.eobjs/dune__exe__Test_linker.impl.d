@@ -1,0 +1,1 @@
+test/test_linker.ml: Alcotest Int32 Linker List Option Printf QCheck QCheck_alcotest Sof Svm

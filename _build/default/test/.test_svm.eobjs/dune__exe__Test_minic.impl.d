@@ -1,0 +1,1 @@
+test/test_minic.ml: Alcotest Astring Buffer Int32 Linker List Minic Printf QCheck QCheck_alcotest Sof Str String Svm

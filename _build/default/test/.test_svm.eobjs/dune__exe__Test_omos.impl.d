@@ -1,0 +1,1 @@
+test/test_omos.ml: Alcotest Blueprint Bytes Constraints Jigsaw Linker List Minic Omos Option Printf Simos Sof String Svm Workloads

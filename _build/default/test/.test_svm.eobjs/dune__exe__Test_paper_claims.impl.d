@@ -1,0 +1,1 @@
+test/test_paper_claims.ml: Alcotest Blueprint Buffer Linker List Minic Omos Option Printf Simos Sof Workloads

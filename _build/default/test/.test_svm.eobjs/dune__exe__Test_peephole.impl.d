@@ -1,0 +1,1 @@
+test/test_peephole.ml: Alcotest Buffer Bytes Linker List Minic Printf Simos Sof Svm Workloads

@@ -1,0 +1,1 @@
+test/test_schemes.ml: Alcotest Hashtbl List Omos Printf Simos Workloads

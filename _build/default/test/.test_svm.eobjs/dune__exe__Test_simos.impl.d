@@ -1,0 +1,1 @@
+test/test_simos.ml: Alcotest Bytes Int32 Linker Simos Sof Svm

@@ -1,0 +1,1 @@
+test/test_sof.ml: Alcotest Bytes Gen List Option QCheck QCheck_alcotest Sof Svm

@@ -1,0 +1,1 @@
+test/test_svm.ml: Alcotest Bytes Cpu Disasm Encode Gen Int32 Isa List Printf QCheck QCheck_alcotest Svm

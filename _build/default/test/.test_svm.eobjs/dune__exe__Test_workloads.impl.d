@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Astring Bytes Jigsaw List Minic Omos Simos Sof Workloads

@@ -1,0 +1,23 @@
+  $ cat > hello.c <<'EOF'
+  > char greeting[] = "hello, omos";
+  > int secret = 17;
+  > static int internal(int x) { return x * 2; }
+  > int visible(int x) { return internal(x) + secret; }
+  > EOF
+  $ ofe compile hello.c hello.sof
+  $ ofe size hello.sof
+  $ ofe strings hello.sof
+  $ ofe nm hello.sof
+  $ ofe exports hello.sof
+  $ ofe undefined hello.sof
+  $ ofe rename '^\(.*\)$' 'pkg_\1' hello.sof renamed.sof
+  $ ofe exports renamed.sof
+  $ ofe hide '^visible$' hello.sof hidden.sof
+  $ ofe exports hidden.sof
+  $ ofe convert aout hello.sof hello.aout
+  $ ofe exports hello.aout
+  $ ofe info /dev/null
+  $ cat > broken.c <<'EOF'
+  > int f( { return 1; }
+  > EOF
+  $ ofe compile broken.c broken.sof

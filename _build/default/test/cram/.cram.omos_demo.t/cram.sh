@@ -1,0 +1,8 @@
+  $ omos_demo run --scheme static ls /data/one | head -1
+  $ omos_demo run --scheme dynamic ls /data/one | head -1
+  $ omos_demo run --scheme omos ls /data/one | head -1
+  $ omos_demo run --scheme partial ls /data/one | head -1
+  $ omos_demo run --scheme omos -- ls -laF /data/many 2>/dev/null | head -4
+  $ omos_demo run --scheme omos-integrated --personality mach codegen | head -1
+  $ omos_demo ns
+  $ omos_demo run nosuch 2>&1 | head -1

@@ -1,0 +1,82 @@
+The Object File Editor end to end: compile minic source, inspect it,
+apply module operators, convert between object formats.
+
+  $ cat > hello.c <<'EOF'
+  > char greeting[] = "hello, omos";
+  > int secret = 17;
+  > static int internal(int x) { return x * 2; }
+  > int visible(int x) { return internal(x) + secret; }
+  > EOF
+
+  $ ofe compile hello.c hello.sof
+  wrote hello.sof
+
+size and strings behave like their Unix namesakes:
+
+  $ ofe size hello.sof
+     text	   data	    bss	    dec	    hex	filename
+      384	     16	      0	    400	    190	hello.sof
+
+  $ ofe strings hello.sof
+  hello, omos
+
+nm shows bindings (lowercase = local) and kinds:
+
+  $ ofe nm hello.sof
+  00000000 D greeting
+  00000000 t internal
+  0000000c D secret
+  000000a8 T visible
+
+exports and undefined references:
+
+  $ ofe exports hello.sof
+  visible
+  greeting
+  secret
+
+  $ ofe undefined hello.sof
+
+module operators produce new objects; rename with a group template:
+
+  $ ofe rename '^\(.*\)$' 'pkg_\1' hello.sof renamed.sof
+  wrote renamed.sof
+
+  $ ofe exports renamed.sof
+  pkg_visible
+  pkg_greeting
+  pkg_secret
+
+hide removes an export but keeps the code reachable through a mangled
+private alias (the freeze mechanism — unique, link-time-only names):
+
+  $ ofe hide '^visible$' hello.sof hidden.sof
+  wrote hidden.sof
+
+  $ ofe exports hidden.sof
+  visible$hid1
+  greeting
+  secret
+
+format conversion through the BFD-style switch:
+
+  $ ofe convert aout hello.sof hello.aout
+  wrote hello.aout (aout format)
+
+  $ ofe exports hello.aout
+  visible
+  greeting
+  secret
+
+errors are reported, not crashed on:
+
+  $ ofe info /dev/null
+  ofe: unrecognized object file magic
+  [1]
+
+  $ cat > broken.c <<'EOF'
+  > int f( { return 1; }
+  > EOF
+  $ ofe compile broken.c broken.sof
+  ofe: parse error (line 1): expected int, got {
+  [1]

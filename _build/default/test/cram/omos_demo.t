@@ -1,0 +1,49 @@
+The simulated-machine driver: run the paper's workloads under each
+shared-library scheme, on each OS personality.
+
+ls over the single-entry directory, four schemes, identical output:
+
+  $ omos_demo run --scheme static ls /data/one | head -1
+  README
+
+  $ omos_demo run --scheme dynamic ls /data/one | head -1
+  README
+
+  $ omos_demo run --scheme omos ls /data/one | head -1
+  README
+
+  $ omos_demo run --scheme partial ls /data/one | head -1
+  README
+
+the long listing goes through sort/stat/owner/mode machinery:
+
+  $ omos_demo run --scheme omos -- ls -laF /data/many 2>/dev/null | head -4
+  -rwxr-xr-x root      2 .hidden
+  -rwxr-xr-x daemon      2 .profile
+  -rwxr-xr-x bin      1 file000.dat
+  -rwxr-xr-x sys      2 file001.dat
+
+codegen runs on the Mach personality through the integrated exec:
+
+  $ omos_demo run --scheme omos-integrated --personality mach codegen | head -1
+  codegen: 124646
+
+the namespace exported by the server:
+
+  $ omos_demo ns
+  meta-objects:
+    /lib/libC
+    /lib/libal1
+    /lib/libal2
+    /lib/libc
+    /lib/libl
+    /lib/libm
+  directories:
+    /lib: crt0.o libC libC.o libal1 libal1.o libal2 libal2.o libc libl libl.o libm libm.o
+    /libc: gen hppa net quad rpc stdio stdlib string
+    /obj: codegen ls.o
+
+unknown programs fail cleanly:
+
+  $ omos_demo run nosuch 2>&1 | head -1
+  omos_demo: internal error, uncaught exception:

@@ -1,0 +1,129 @@
+(* Tests of the #!/bin/omos interpreter path (§5) and the i386 Mach
+   personality (§8.2's "33% faster" note). *)
+
+let test_publish_and_exec () =
+  let w = Omos.World.create () in
+  let s = w.Omos.World.server in
+  let k = w.Omos.World.kernel in
+  let reg = Omos.Boot.install_interpreter s in
+  (* build ls self-contained and export it as /bin/ls *)
+  let libc = Omos.Server.build_library s ~path:"/lib/libc" () in
+  let client =
+    Omos.Server.build_static s ~name:"ls"
+      ~externals:[ libc.Omos.Server.entry.Omos.Cache.image ]
+      (Omos.Schemes.graph_of_objs (Omos.World.ls_client w))
+  in
+  Omos.Boot.publish reg ~path:"/bin/ls" ~name:"/bin/ls-meta" (fun () ->
+      Omos.Server.loadable_entry [ libc; client ]);
+  (* the script is an ordinary file ... *)
+  Alcotest.(check bool) "script on disk" true
+    (Astring.String.is_prefix ~affix:"#! /bin/omos"
+       (Bytes.to_string (Simos.Fs.read_file k.Simos.Kernel.fs "/bin/ls")));
+  (* ... and plain exec reaches OMOS through it *)
+  let p = Simos.Kernel.exec k ~path:"/bin/ls" ~args:Omos.World.ls_single_args in
+  let code = Simos.Kernel.run k p () in
+  Alcotest.(check int) "exit" 0 code;
+  Alcotest.(check string) "listing" "README\n" (Simos.Proc.stdout_contents p)
+
+let test_unknown_program () =
+  let w = Omos.World.create () in
+  let reg = Omos.Boot.install_interpreter w.Omos.World.server in
+  ignore reg;
+  Simos.Fs.write_file w.Omos.World.kernel.Simos.Kernel.fs "/bin/ghost"
+    (Bytes.of_string "#! /bin/omos /no/such/meta\n");
+  try
+    ignore (Simos.Kernel.exec w.Omos.World.kernel ~path:"/bin/ghost" ~args:[]);
+    Alcotest.fail "expected Exec_error"
+  with Simos.Kernel.Exec_error msg ->
+    Alcotest.(check bool) "names the program" true
+      (Astring.String.is_infix ~affix:"/no/such/meta" msg)
+
+let test_unknown_interpreter () =
+  let k = Simos.Kernel.create () in
+  Simos.Fs.write_file k.Simos.Kernel.fs "/bin/odd"
+    (Bytes.of_string "#! /bin/missing\n");
+  try
+    ignore (Simos.Kernel.exec k ~path:"/bin/odd" ~args:[]);
+    Alcotest.fail "expected Exec_error"
+  with Simos.Kernel.Exec_error _ -> ()
+
+let test_script_exec_charges_less_than_build () =
+  (* second exec through the script is a pure cache hit *)
+  let w = Omos.World.create () in
+  let s = w.Omos.World.server in
+  let k = w.Omos.World.kernel in
+  let reg = Omos.Boot.install_interpreter s in
+  let libc = Omos.Server.build_library s ~path:"/lib/libc" () in
+  let client =
+    Omos.Server.build_static s ~name:"ls"
+      ~externals:[ libc.Omos.Server.entry.Omos.Cache.image ]
+      (Omos.Schemes.graph_of_objs (Omos.World.ls_client w))
+  in
+  Omos.Boot.publish reg ~path:"/bin/ls" ~name:"ls" (fun () ->
+      Omos.Server.loadable_entry [ libc; client ]);
+  let run () =
+    let snap = Simos.Clock.snapshot k.Simos.Kernel.clock in
+    let p = Simos.Kernel.exec k ~path:"/bin/ls" ~args:Omos.World.ls_single_args in
+    ignore (Simos.Kernel.run k p ());
+    Simos.Kernel.reap k p;
+    let _, _, e = Simos.Clock.since k.Simos.Kernel.clock snap in
+    e
+  in
+  let first = run () in
+  let second = run () in
+  Alcotest.(check bool) "steady state cheaper" true (second <= first)
+
+(* -- the i386 Mach data point ----------------------------------------------- *)
+
+let test_mach_386_integrated_ratio () =
+  (* §8.2: "On tests made on the 386 version of Mach, OMOS integrated
+     exec performed 33% faster than the native version" — ratio ~0.67,
+     smaller than PA-RISC's 0.44. *)
+  let kernel = Simos.Kernel.create ~cost:Simos.Cost.mach_386 () in
+  Workloads.Dataset.install kernel.Simos.Kernel.fs;
+  let server = Omos.Server.create ~kernel () in
+  List.iter
+    (fun (path, o) -> Omos.Server.add_fragment server path o)
+    (Workloads.Libc_gen.objects ());
+  Omos.Server.add_fragment server "/lib/crt0.o" (Workloads.Crt0.obj ());
+  Omos.Server.add_fragment server "/obj/ls.o" (Workloads.Ls_gen.obj ());
+  Omos.Server.add_meta_source server "/lib/libc" Omos.World.libc_meta_source;
+  let upcalls = Omos.Upcalls.install kernel in
+  let rt = Omos.Schemes.runtime ~upcalls server in
+  let client = [ Workloads.Crt0.obj (); Workloads.Ls_gen.obj () ] in
+  let base = Omos.Schemes.dynamic_program rt ~name:"ls" ~client ~libs:[ "/lib/libc" ] in
+  let integ =
+    Omos.Schemes.self_contained_program rt ~style:Omos.Schemes.Integrated ~name:"ls"
+      ~client ~libs:[ "/lib/libc" ] ()
+  in
+  let time prog =
+    ignore (Omos.Schemes.invoke rt prog ~args:Omos.World.ls_single_args);
+    let snap = Simos.Clock.snapshot kernel.Simos.Kernel.clock in
+    for _ = 1 to 10 do
+      ignore (Omos.Schemes.invoke rt prog ~args:Omos.World.ls_single_args)
+    done;
+    let _, _, e = Simos.Clock.since kernel.Simos.Kernel.clock snap in
+    e
+  in
+  let tb = time base and ti = time integ in
+  let ratio = ti /. tb in
+  Alcotest.(check bool)
+    (Printf.sprintf "386 ratio %.2f in [0.55, 0.80] (paper ~0.67)" ratio)
+    true
+    (ratio >= 0.55 && ratio <= 0.80);
+  (* and weaker than the PA-RISC Mach win, as the paper reports *)
+  Alcotest.(check bool) "weaker than PA-RISC's 0.44" true (ratio > 0.46)
+
+let () =
+  Alcotest.run "interp"
+    [
+      ( "hashbang",
+        [
+          Alcotest.test_case "publish and exec" `Quick test_publish_and_exec;
+          Alcotest.test_case "unknown program" `Quick test_unknown_program;
+          Alcotest.test_case "unknown interpreter" `Quick test_unknown_interpreter;
+          Alcotest.test_case "cache across execs" `Quick test_script_exec_charges_less_than_build;
+        ] );
+      ( "mach386",
+        [ Alcotest.test_case "integrated ratio" `Quick test_mach_386_integrated_ratio ] );
+    ]

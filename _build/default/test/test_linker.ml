@@ -1,0 +1,295 @@
+(* Tests of the link engine: layout, resolution, relocation application
+   (verified by actually executing linked images on the SVM), external
+   images, and partial links. *)
+
+let layout = { Linker.Link.text_base = 0x1000; data_base = 0x8000 }
+
+(* Fragment: _start calls f, stores result to `out`, halts. *)
+let main_frag () =
+  let a = Sof.Asm.create "main.o" in
+  Sof.Asm.label a "_start";
+  Sof.Asm.call a "f";
+  Sof.Asm.lea a 2 "out";
+  Sof.Asm.instr a (Svm.Isa.St (2, 0, 0l));
+  Sof.Asm.instr a Svm.Isa.Halt;
+  Sof.Asm.data_label a "out";
+  Sof.Asm.data_word a 0l;
+  Sof.Asm.finish a
+
+(* Fragment: f returns g() + constant from its own data. *)
+let f_frag () =
+  let a = Sof.Asm.create "f.o" in
+  Sof.Asm.label a "f";
+  Sof.Asm.instrs a
+    [ Svm.Isa.Addi (Svm.Isa.reg_sp, Svm.Isa.reg_sp, -4l);
+      Svm.Isa.St (Svm.Isa.reg_sp, Svm.Isa.reg_ra, 0l) ];
+  Sof.Asm.call a "g";
+  Sof.Asm.lea a 2 "f_const";
+  Sof.Asm.instrs a
+    [ Svm.Isa.Ld (2, 2, 0l); Svm.Isa.Add (0, 0, 2);
+      Svm.Isa.Ld (Svm.Isa.reg_ra, Svm.Isa.reg_sp, 0l);
+      Svm.Isa.Addi (Svm.Isa.reg_sp, Svm.Isa.reg_sp, 4l); Svm.Isa.Ret ];
+  Sof.Asm.data_label a ~binding:Sof.Symbol.Local "f_const";
+  Sof.Asm.data_word a 10l;
+  Sof.Asm.finish a
+
+let g_frag () =
+  let a = Sof.Asm.create "g.o" in
+  Sof.Asm.label a "g";
+  Sof.Asm.instrs a [ Svm.Isa.Movi (0, 32l); Svm.Isa.Ret ];
+  Sof.Asm.finish a
+
+let run_image (img : Linker.Image.t) =
+  let mem, buf = Svm.Cpu.flat_mem 0x20000 in
+  Linker.Image.load_into_flat img buf;
+  let cpu = Svm.Cpu.create mem in
+  Svm.Cpu.set_reg cpu Svm.Isa.reg_sp 0x1F000l;
+  cpu.Svm.Cpu.pc <- img.Linker.Image.entry;
+  ignore (Svm.Cpu.run ~fuel:10_000 cpu);
+  cpu
+
+let test_link_and_run () =
+  let img, stats =
+    Linker.Link.link ~layout [ main_frag (); f_frag (); g_frag () ]
+  in
+  Alcotest.(check int) "three fragments" 3 stats.Linker.Link.fragments;
+  Alcotest.(check bool) "entry found" true (img.Linker.Image.entry = 0x1000);
+  let cpu = run_image img in
+  let out_addr = Option.get (Linker.Image.find_symbol img "out") in
+  Alcotest.(check int32) "g()+10 stored" 42l (cpu.Svm.Cpu.mem.Svm.Cpu.load32 out_addr)
+
+let test_undefined_raises () =
+  try
+    ignore (Linker.Link.link ~layout [ main_frag (); f_frag () ]);
+    Alcotest.fail "expected undefined g"
+  with Linker.Link.Link_error (Linker.Link.Undefined [ "g" ]) -> ()
+
+let test_allow_undefined () =
+  let _, stats =
+    Linker.Link.link ~layout ~allow_undefined:true [ main_frag (); f_frag () ]
+  in
+  Alcotest.(check (list string)) "g reported" [ "g" ] stats.Linker.Link.undefined
+
+let test_duplicate_global_raises () =
+  try
+    ignore (Linker.Link.link ~layout [ g_frag (); g_frag () ]);
+    Alcotest.fail "expected duplicate"
+  with Linker.Link.Link_error (Linker.Link.Duplicate ("g", _, _)) -> ()
+
+let test_weak_loses_to_global () =
+  let weak_g =
+    let a = Sof.Asm.create "weak_g.o" in
+    Sof.Asm.label a ~binding:Sof.Symbol.Weak "g";
+    Sof.Asm.instrs a [ Svm.Isa.Movi (0, 1l); Svm.Isa.Ret ];
+    Sof.Asm.finish a
+  in
+  let img, _ = Linker.Link.link ~layout [ main_frag (); f_frag (); weak_g; g_frag () ] in
+  let cpu = run_image img in
+  let out_addr = Option.get (Linker.Image.find_symbol img "out") in
+  Alcotest.(check int32) "strong g used" 42l (cpu.Svm.Cpu.mem.Svm.Cpu.load32 out_addr)
+
+let test_weak_used_when_alone () =
+  let weak_g =
+    let a = Sof.Asm.create "weak_g.o" in
+    Sof.Asm.label a ~binding:Sof.Symbol.Weak "g";
+    Sof.Asm.instrs a [ Svm.Isa.Movi (0, 5l); Svm.Isa.Ret ];
+    Sof.Asm.finish a
+  in
+  let img, _ = Linker.Link.link ~layout [ main_frag (); f_frag (); weak_g ] in
+  let cpu = run_image img in
+  let out_addr = Option.get (Linker.Image.find_symbol img "out") in
+  Alcotest.(check int32) "weak g used" 15l (cpu.Svm.Cpu.mem.Svm.Cpu.load32 out_addr)
+
+let test_local_resolution_is_per_fragment () =
+  (* two fragments each with a Local `c` data word holding different
+     values; each fragment's reader must see its own *)
+  let frag tag value =
+    let a = Sof.Asm.create (tag ^ ".o") in
+    Sof.Asm.label a ("read_" ^ tag);
+    Sof.Asm.lea a 2 "c";
+    Sof.Asm.instrs a [ Svm.Isa.Ld (0, 2, 0l); Svm.Isa.Ret ];
+    Sof.Asm.data_label a ~binding:Sof.Symbol.Local "c";
+    Sof.Asm.data_word a value;
+    Sof.Asm.finish a
+  in
+  let main =
+    let a = Sof.Asm.create "m.o" in
+    Sof.Asm.label a "_start";
+    Sof.Asm.call a "read_a";
+    Sof.Asm.instr a (Svm.Isa.Mov (5, 0));
+    Sof.Asm.call a "read_b";
+    Sof.Asm.instr a (Svm.Isa.Add (6, 5, 0));
+    Sof.Asm.instr a Svm.Isa.Halt;
+    Sof.Asm.finish a
+  in
+  let img, _ = Linker.Link.link ~layout [ main; frag "a" 100l; frag "b" 23l ] in
+  let cpu = run_image img in
+  Alcotest.(check int32) "a's c" 100l (Svm.Cpu.get_reg cpu 5);
+  Alcotest.(check int32) "sum" 123l (Svm.Cpu.get_reg cpu 6)
+
+let test_external_image_binding () =
+  (* link the library alone, then link a client against the positioned
+     library image: the self-contained shared library path *)
+  let lib_img, _ =
+    Linker.Link.link ~layout:{ Linker.Link.text_base = 0x100000; data_base = 0x140000 }
+      [ f_frag (); g_frag () ]
+  in
+  let img, _ = Linker.Link.link ~layout ~externals:[ lib_img ] [ main_frag () ] in
+  (* execute with both images loaded *)
+  let mem, buf = Svm.Cpu.flat_mem 0x200000 in
+  Linker.Image.load_into_flat lib_img buf;
+  Linker.Image.load_into_flat img buf;
+  let cpu = Svm.Cpu.create mem in
+  Svm.Cpu.set_reg cpu Svm.Isa.reg_sp 0x1F000l;
+  cpu.Svm.Cpu.pc <- img.Linker.Image.entry;
+  ignore (Svm.Cpu.run ~fuel:10_000 cpu);
+  let out_addr = Option.get (Linker.Image.find_symbol img "out") in
+  Alcotest.(check int32) "bound across images" 42l (cpu.Svm.Cpu.mem.Svm.Cpu.load32 out_addr)
+
+let test_reloc_work_counted () =
+  let _, stats = Linker.Link.link ~layout [ main_frag (); f_frag (); g_frag () ] in
+  (* main: call f, lea out; f: call g, lea f_const = 4 relocations *)
+  Alcotest.(check int) "reloc work" 4 stats.Linker.Link.relocs_applied
+
+let test_entry_fallback_to_main () =
+  let m =
+    let a = Sof.Asm.create "onlymain.o" in
+    Sof.Asm.label a "main";
+    Sof.Asm.instr a Svm.Isa.Halt;
+    Sof.Asm.finish a
+  in
+  let img, _ = Linker.Link.link ~layout [ m ] in
+  Alcotest.(check int) "entry=main" 0x1000 img.Linker.Image.entry
+
+let test_image_extent_and_digest () =
+  let img, _ = Linker.Link.link ~layout [ main_frag (); f_frag (); g_frag () ] in
+  let lo, hi = Linker.Image.extent img in
+  Alcotest.(check int) "lo" 0x1000 lo;
+  Alcotest.(check bool) "hi past data" true (hi > 0x8000);
+  let img2, _ = Linker.Link.link ~layout [ main_frag (); f_frag (); g_frag () ] in
+  Alcotest.(check string) "digest deterministic" (Linker.Image.digest img)
+    (Linker.Image.digest img2);
+  let img3, _ =
+    Linker.Link.link ~layout:{ Linker.Link.text_base = 0x2000; data_base = 0x8000 }
+      [ main_frag (); f_frag (); g_frag () ]
+  in
+  Alcotest.(check bool) "placement is identity" true
+    (Linker.Image.digest img <> Linker.Image.digest img3)
+
+(* -- combine (partial link) -------------------------------------------- *)
+
+let test_combine_then_link () =
+  let lib = Linker.Link.combine ~name:"lib.o" [ f_frag (); g_frag () ] in
+  Alcotest.(check bool) "f exported" true (Sof.Object_file.defines lib "f");
+  Alcotest.(check bool) "g exported" true (Sof.Object_file.defines lib "g");
+  (* internal ref f->g is preserved symbolically *)
+  let img, _ = Linker.Link.link ~layout [ main_frag (); lib ] in
+  let cpu = run_image img in
+  let out_addr = Option.get (Linker.Image.find_symbol img "out") in
+  Alcotest.(check int32) "combined lib works" 42l (cpu.Svm.Cpu.mem.Svm.Cpu.load32 out_addr)
+
+let test_combine_mangles_locals () =
+  (* two fragments with same-named locals must not collide *)
+  let frag tag value =
+    let a = Sof.Asm.create (tag ^ ".o") in
+    Sof.Asm.label a ("get_" ^ tag);
+    Sof.Asm.lea a 2 "secret";
+    Sof.Asm.instrs a [ Svm.Isa.Ld (0, 2, 0l); Svm.Isa.Ret ];
+    Sof.Asm.data_label a ~binding:Sof.Symbol.Local "secret";
+    Sof.Asm.data_word a value;
+    Sof.Asm.finish a
+  in
+  let lib = Linker.Link.combine ~name:"two.o" [ frag "a" 1l; frag "b" 2l ] in
+  let main =
+    let a = Sof.Asm.create "m.o" in
+    Sof.Asm.label a "_start";
+    Sof.Asm.call a "get_a";
+    Sof.Asm.instr a (Svm.Isa.Mov (5, 0));
+    Sof.Asm.call a "get_b";
+    Sof.Asm.instr a (Svm.Isa.Mov (6, 0));
+    Sof.Asm.instr a Svm.Isa.Halt;
+    Sof.Asm.finish a
+  in
+  let img, _ = Linker.Link.link ~layout [ main; lib ] in
+  let cpu = run_image img in
+  Alcotest.(check int32) "a sees 1" 1l (Svm.Cpu.get_reg cpu 5);
+  Alcotest.(check int32) "b sees 2" 2l (Svm.Cpu.get_reg cpu 6)
+
+let test_combine_preserves_ctors () =
+  let a = Sof.Asm.create "c1.o" in
+  Sof.Asm.label a "init_x";
+  Sof.Asm.instr a Svm.Isa.Ret;
+  Sof.Asm.ctor a "init_x";
+  let c1 = Sof.Asm.finish a in
+  let b = Sof.Asm.create "c2.o" in
+  Sof.Asm.label b "init_y";
+  Sof.Asm.instr b Svm.Isa.Ret;
+  Sof.Asm.ctor b "init_y";
+  let c2 = Sof.Asm.finish b in
+  let lib = Linker.Link.combine ~name:"lib.o" [ c1; c2 ] in
+  Alcotest.(check (list string)) "ctors in order" [ "init_x"; "init_y" ]
+    lib.Sof.Object_file.ctors
+
+let test_combine_is_associative_behaviour () =
+  (* combine [a;b;c] behaves like combine [combine [a;b]; c] when linked *)
+  let frags () = [ main_frag (); f_frag (); g_frag () ] in
+  let all = Linker.Link.combine ~name:"all.o" (frags ()) in
+  let ab =
+    match frags () with
+    | [ a; b; c ] -> Linker.Link.combine ~name:"abc.o" [ Linker.Link.combine ~name:"ab.o" [ a; b ]; c ]
+    | _ -> assert false
+  in
+  let img1, _ = Linker.Link.link ~layout [ all ] in
+  let img2, _ = Linker.Link.link ~layout [ ab ] in
+  let run img =
+    let cpu = run_image img in
+    cpu.Svm.Cpu.mem.Svm.Cpu.load32 (Option.get (Linker.Image.find_symbol img "out"))
+  in
+  Alcotest.(check int32) "same behaviour" (run img1) (run img2)
+
+(* -- properties --------------------------------------------------------- *)
+
+let prop_layout_no_symbol_below_base =
+  QCheck.Test.make ~count:50 ~name:"all symbols placed at/above their base"
+    (QCheck.int_range 1 40)
+    (fun n ->
+      let frags =
+        List.init n (fun i ->
+            let a = Sof.Asm.create (Printf.sprintf "f%d.o" i) in
+            Sof.Asm.label a (Printf.sprintf "fn%d" i);
+            Sof.Asm.instr a Svm.Isa.Ret;
+            Sof.Asm.data_label a (Printf.sprintf "d%d" i);
+            Sof.Asm.data_word a (Int32.of_int i);
+            Sof.Asm.finish a)
+      in
+      let img, _ =
+        Linker.Link.link ~layout:{ Linker.Link.text_base = 0x4000; data_base = 0x40000 } frags
+      in
+      List.for_all (fun (_, addr) -> addr >= 0x4000) img.Linker.Image.symtab)
+
+let () =
+  Alcotest.run "linker"
+    [
+      ( "link",
+        [
+          Alcotest.test_case "link and run" `Quick test_link_and_run;
+          Alcotest.test_case "undefined raises" `Quick test_undefined_raises;
+          Alcotest.test_case "allow undefined" `Quick test_allow_undefined;
+          Alcotest.test_case "duplicate raises" `Quick test_duplicate_global_raises;
+          Alcotest.test_case "weak loses" `Quick test_weak_loses_to_global;
+          Alcotest.test_case "weak alone" `Quick test_weak_used_when_alone;
+          Alcotest.test_case "local per fragment" `Quick test_local_resolution_is_per_fragment;
+          Alcotest.test_case "external image" `Quick test_external_image_binding;
+          Alcotest.test_case "reloc work" `Quick test_reloc_work_counted;
+          Alcotest.test_case "entry fallback" `Quick test_entry_fallback_to_main;
+          Alcotest.test_case "extent and digest" `Quick test_image_extent_and_digest;
+        ] );
+      ( "combine",
+        [
+          Alcotest.test_case "combine then link" `Quick test_combine_then_link;
+          Alcotest.test_case "mangles locals" `Quick test_combine_mangles_locals;
+          Alcotest.test_case "preserves ctors" `Quick test_combine_preserves_ctors;
+          Alcotest.test_case "nesting" `Quick test_combine_is_associative_behaviour;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest [ prop_layout_no_symbol_below_base ]);
+    ]

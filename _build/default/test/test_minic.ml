@@ -1,0 +1,413 @@
+(* Tests of the minic compiler: lexer, parser, and — most importantly —
+   end-to-end semantics, checked by compiling, linking against a tiny
+   crt0, and executing on the SVM. *)
+
+let layout = { Linker.Link.text_base = 0x1000; data_base = 0x20000 }
+
+(* crt0: set up the stack, call main, exit(r0) via syscall 0. *)
+let crt0 () =
+  let a = Sof.Asm.create "crt0.o" in
+  Sof.Asm.label a "_start";
+  Sof.Asm.instr a (Svm.Isa.Movi (Svm.Isa.reg_sp, 0x7F000l));
+  Sof.Asm.call a "main";
+  Sof.Asm.instr a (Svm.Isa.Mov (1, 0));
+  Sof.Asm.instr a (Svm.Isa.Sys 0l);
+  Sof.Asm.finish a
+
+(* Run a compiled program. Syscall 0 = exit(code); syscall 1 =
+   write(addr, len) appends to an output buffer; syscall 2 = putint. *)
+let run_src ?(fuel = 2_000_000) (src : string) : int * string =
+  let obj = Minic.Driver.compile ~name:"test.o" src in
+  let img, _ = Linker.Link.link ~layout [ crt0 (); obj ] in
+  let mem, buf = Svm.Cpu.flat_mem 0x80000 in
+  Linker.Image.load_into_flat img buf;
+  let out = Buffer.create 64 in
+  let sys (cpu : Svm.Cpu.t) n =
+    match n with
+    | 0 -> Svm.Cpu.Sys_exit (Int32.to_int (Svm.Cpu.get_reg cpu 1))
+    | 1 ->
+        let addr = Int32.to_int (Svm.Cpu.get_reg cpu 1) in
+        let len = Int32.to_int (Svm.Cpu.get_reg cpu 2) in
+        Buffer.add_bytes out (Svm.Cpu.read_bytes cpu addr len);
+        Svm.Cpu.Sys_continue
+    | 2 ->
+        Buffer.add_string out (Int32.to_string (Svm.Cpu.get_reg cpu 1));
+        Svm.Cpu.Sys_continue
+    | _ -> Svm.Cpu.Sys_continue
+  in
+  let cpu = Svm.Cpu.create ~sys mem in
+  cpu.Svm.Cpu.pc <- img.Linker.Image.entry;
+  match Svm.Cpu.run ~fuel cpu with
+  | Svm.Cpu.Exited code -> (code, Buffer.contents out)
+  | Svm.Cpu.Halted -> Alcotest.fail "program halted instead of exiting"
+  | Svm.Cpu.Running -> Alcotest.fail "program ran out of fuel"
+
+let check_exit name expected src =
+  let code, _ = run_src src in
+  Alcotest.(check int) name expected code
+
+let check_out name expected src =
+  let _, out = run_src src in
+  Alcotest.(check string) name expected out
+
+(* -- lexer -------------------------------------------------------------- *)
+
+let test_lex_basic () =
+  let toks = Minic.Lexer.all "int x = 0x10; // comment\n/* multi\nline */ x" in
+  Alcotest.(check bool) "tokens" true
+    (toks
+    = [ Minic.Token.INT; Minic.Token.IDENT "x"; Minic.Token.ASSIGN;
+        Minic.Token.NUM 16l; Minic.Token.SEMI; Minic.Token.IDENT "x";
+        Minic.Token.EOF ])
+
+let test_lex_operators () =
+  let toks = Minic.Lexer.all "<< >> <= >= == != && || < > = ! & |" in
+  Alcotest.(check bool) "ops" true
+    (toks
+    = [ Minic.Token.SHL; Minic.Token.SHR; Minic.Token.LE; Minic.Token.GE;
+        Minic.Token.EQ; Minic.Token.NE; Minic.Token.ANDAND; Minic.Token.OROR;
+        Minic.Token.LT; Minic.Token.GT; Minic.Token.ASSIGN; Minic.Token.BANG;
+        Minic.Token.AMP; Minic.Token.PIPE; Minic.Token.EOF ])
+
+let test_lex_string_escapes () =
+  match Minic.Lexer.all {|"a\n\t\"b"|} with
+  | [ Minic.Token.STRING s; Minic.Token.EOF ] ->
+      Alcotest.(check string) "escapes" "a\n\t\"b" s
+  | _ -> Alcotest.fail "expected one string"
+
+let test_lex_error () =
+  try
+    ignore (Minic.Lexer.all "int @;");
+    Alcotest.fail "expected Lex_error"
+  with Minic.Lexer.Lex_error _ -> ()
+
+(* -- parser ------------------------------------------------------------- *)
+
+let test_parse_error_reports_line () =
+  try
+    ignore (Minic.Driver.parse "int f() {\n  return +;\n}");
+    Alcotest.fail "expected error"
+  with Minic.Driver.Compile_error msg ->
+    Alcotest.(check bool) "mentions line 2" true
+      (Astring.String.is_infix ~affix:"line 2" msg
+       || String.length msg > 0 && Str.string_match (Str.regexp ".*line 2.*") msg 0)
+
+let test_parse_structures () =
+  let prog =
+    Minic.Driver.parse
+      "extern int foo(int a); int g = 3; int arr[10]; char s[] = \"hi\";\n\
+       static int helper(int x) { return x; }\n\
+       ctor int setup() { return 0; }\n\
+       int main() { return helper(g); }"
+  in
+  Alcotest.(check int) "seven decls" 7 (List.length prog)
+
+(* -- semantics (executed) ----------------------------------------------- *)
+
+let test_return_constant () = check_exit "42" 42 "int main() { return 42; }"
+
+let test_arith_precedence () =
+  check_exit "prec" 14 "int main() { return 2 + 3 * 4; }";
+  check_exit "paren" 20 "int main() { return (2 + 3) * 4; }";
+  check_exit "sub assoc" 1 "int main() { return 7 - 4 - 2; }";
+  check_exit "div" 5 "int main() { return 17 / 3; }";
+  check_exit "mod" 2 "int main() { return 17 % 3; }";
+  check_exit "unary minus" 250 "int main() { return 255 + -5; }";
+  check_exit "shift" 40 "int main() { return 5 << 3; }";
+  check_exit "bitops" 14 "int main() { return (12 & 10) | (12 ^ 10); }"
+
+let test_comparisons () =
+  check_exit "lt" 1 "int main() { return 3 < 4; }";
+  check_exit "ge" 0 "int main() { return 3 >= 4; }";
+  check_exit "eq" 1 "int main() { return 5 == 5; }";
+  check_exit "ne" 1 "int main() { return 5 != 4; }";
+  check_exit "not" 1 "int main() { return !0; }";
+  check_exit "not2" 0 "int main() { return !7; }"
+
+let test_short_circuit () =
+  (* g must not be touched when && short-circuits *)
+  check_exit "and shortcircuit" 5
+    "int g = 5; int touch() { g = 9; return 1; } \
+     int main() { int x; x = 0 && touch(); return g; }";
+  check_exit "or shortcircuit" 5
+    "int g = 5; int touch() { g = 9; return 1; } \
+     int main() { int x; x = 1 || touch(); return g; }";
+  check_exit "and value" 1 "int main() { return 2 && 3; }";
+  check_exit "or value" 1 "int main() { return 0 || 7; }"
+
+let test_locals_and_params () =
+  check_exit "locals" 30
+    "int add(int a, int b) { int s; s = a + b; return s; } \
+     int main() { return add(10, 20); }";
+  check_exit "param order" 3
+    "int sub(int a, int b) { return a - b; } int main() { return sub(10, 7); }"
+
+let test_globals () =
+  check_exit "global init" 7 "int g = 7; int main() { return g; }";
+  check_exit "global write" 12
+    "int g = 7; int main() { g = g + 5; return g; }";
+  check_exit "global default zero" 0 "int g; int main() { return g; }"
+
+let test_arrays () =
+  check_exit "array rw" 99
+    "int a[10]; int main() { a[3] = 99; return a[3]; }";
+  check_exit "array loop" 45
+    "int a[10]; int main() { int i; int s; i = 0; \
+     while (i < 10) { a[i] = i; i = i + 1; } \
+     s = 0; i = 0; while (i < 10) { s = s + a[i]; i = i + 1; } return s; }";
+  check_exit "array via pointer param" 5
+    "int a[4]; int get(int p, int i) { return p[i]; } \
+     int main() { a[2] = 5; return get(&a, 2); }"
+
+let test_strings_and_bytes () =
+  check_exit "load8" 104 (* 'h' *)
+    "int main() { int s; s = \"hi\"; return __load8(s); }";
+  check_exit "store8" 72
+    "char buf[] = \"xyz\"; int main() { __store8(&buf, 72); return __load8(&buf); }";
+  check_out "write syscall" "hello"
+    "int main() { __syscall(1, \"hello\", 5); return 0; }"
+
+let test_string_dedup () =
+  (* same literal twice: interned once; program still works *)
+  check_out "dedup" "abab"
+    "int main() { __syscall(1, \"ab\", 2); __syscall(1, \"ab\", 2); return 0; }"
+
+let test_control_flow () =
+  check_exit "if" 1 "int main() { if (3 < 4) return 1; return 2; }";
+  check_exit "else" 2 "int main() { if (4 < 3) return 1; else return 2; }";
+  check_exit "nested if" 3
+    "int main() { if (1) { if (0) return 2; else return 3; } return 4; }";
+  check_exit "while sum" 55
+    "int main() { int i; int s; i = 1; s = 0; \
+     while (i <= 10) { s = s + i; i = i + 1; } return s; }";
+  check_exit "break" 5
+    "int main() { int i; i = 0; while (1) { if (i == 5) break; i = i + 1; } return i; }";
+  check_exit "continue" 25
+    "int main() { int i; int s; i = 0; s = 0; \
+     while (i < 10) { i = i + 1; if (i % 2 == 0) continue; s = s + i; } return s; }"
+
+let test_for_loops () =
+  check_exit "for sum" 45
+    "int main() { int i; int s; s = 0; for (i = 0; i < 10; i = i + 1) { s = s + i; } return s; }";
+  check_exit "for no init" 10
+    "int main() { int i; int s; i = 0; s = 0; for (; i < 10; i = i + 2) { s = s + 2; } return s; }";
+  check_exit "for continue hits step" 25
+    "int main() { int i; int s; s = 0; \
+     for (i = 1; i <= 10; i = i + 1) { if (i % 2 == 0) continue; s = s + i; } return s; }";
+  check_exit "for break" 4
+    "int main() { int i; for (i = 0; ; i = i + 1) { if (i == 4) break; } return i; }";
+  check_exit "nested for" 100
+    "int main() { int i; int j; int s; s = 0; \
+     for (i = 0; i < 10; i = i + 1) for (j = 0; j < 10; j = j + 1) s = s + 1; return s; }";
+  check_exit "for with array store step" 3
+    "int a[4]; int main() { int i; for (i = 0; i < 4; a[i] = i) { i = i + 1; } return a[3]; }"
+
+let test_char_literals () =
+  check_exit "plain" 97 "int main() { return 'a'; }";
+  check_exit "escape newline" 10 "int main() { return '\\n'; }";
+  check_exit "escape nul" 0 "int main() { return '\\0'; }";
+  check_exit "in comparison" 1
+    "int main() { int c; c = __load8(\"hat\"); return c == 'h'; }"
+
+let test_recursion () =
+  check_exit "fib" 55
+    "int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); } \
+     int main() { return fib(10); }";
+  check_exit "mutual" 1
+    "int is_odd(int n) { if (n == 0) return 0; return is_even(n - 1); } \
+     int is_even(int n) { if (n == 0) return 1; return is_odd(n - 1); } \
+     int main() { return is_even(10); }"
+
+let test_fall_off_returns_zero () =
+  check_exit "implicit return" 0 "int main() { int x; x = 5; }"
+
+let test_function_address () =
+  (* taking a function's address and reading the first word of its code *)
+  check_exit "fn addr nonzero" 1
+    "int f() { return 3; } int main() { int p; p = f; return p != 0; }"
+
+let test_static_function_is_local () =
+  let obj =
+    Minic.Driver.compile ~name:"s.o"
+      "static int hidden(int x) { return x; } int main() { return hidden(4); }"
+  in
+  (match Sof.Object_file.find_symbol obj "hidden" with
+  | Some s ->
+      Alcotest.(check bool) "local binding" true (s.Sof.Symbol.binding = Sof.Symbol.Local)
+  | None -> Alcotest.fail "hidden missing");
+  check_exit "still callable internally" 4
+    "static int hidden(int x) { return x; } int main() { return hidden(4); }"
+
+let test_ctor_recorded () =
+  let obj =
+    Minic.Driver.compile ~name:"c.o"
+      "int g = 0; ctor int boot() { g = 1; return 0; } int main() { return g; }"
+  in
+  Alcotest.(check (list string)) "ctors" [ "boot" ] obj.Sof.Object_file.ctors
+
+let test_extern_and_undefined () =
+  let obj =
+    Minic.Driver.compile ~name:"e.o"
+      "extern int puts(int s); int main() { return puts(\"x\"); }"
+  in
+  Alcotest.(check bool) "puts undefined" true
+    (List.mem "puts" (Sof.Object_file.undefined obj))
+
+let test_arity_check () =
+  try
+    ignore (Minic.Driver.compile ~name:"a.o"
+              "int f(int a, int b) { return a + b; } int main() { return f(1); }");
+    Alcotest.fail "expected arity error"
+  with Minic.Driver.Compile_error msg ->
+    Alcotest.(check bool) "mentions f" true (String.length msg > 0)
+
+let test_undeclared_variable () =
+  try
+    ignore (Minic.Driver.compile ~name:"u.o" "int main() { return zzz; }");
+    Alcotest.fail "expected error"
+  with Minic.Driver.Compile_error _ -> ()
+
+let test_duplicate_global () =
+  try
+    ignore (Minic.Driver.compile ~name:"d.o" "int g = 1; int g = 2; int main() { return g; }");
+    Alcotest.fail "expected error"
+  with Minic.Driver.Compile_error _ -> ()
+
+let test_symbol_sizes_recorded () =
+  let obj =
+    Minic.Driver.compile ~name:"sz.o"
+      "int small() { return 1; } int big(int a) { int b; b = a; \
+       if (b) { b = b + 1; } while (b < 10) { b = b + 1; } return b; } \
+       int main() { return big(small()); }"
+  in
+  let size name =
+    match Sof.Object_file.find_symbol obj name with
+    | Some s -> s.Sof.Symbol.size
+    | None -> Alcotest.fail (name ^ " missing")
+  in
+  Alcotest.(check bool) "sizes positive" true (size "small" > 0 && size "big" > 0);
+  Alcotest.(check bool) "big bigger" true (size "big" > size "small")
+
+(* -- split compilation --------------------------------------------------- *)
+
+let test_split_compiles_per_function () =
+  let objs =
+    Minic.Driver.compile_split ~name:"lib.c"
+      "int one() { return 1; } int two() { return one() + 1; } int g = 5;"
+  in
+  Alcotest.(check int) "two functions + globals" 3 (List.length objs);
+  let names = List.map (fun o -> o.Sof.Object_file.name) objs in
+  Alcotest.(check bool) "per-function names" true
+    (List.exists (fun n -> n = "lib.one.o") names
+     && List.exists (fun n -> n = "lib.two.o") names)
+
+let test_split_links_and_runs () =
+  let objs =
+    Minic.Driver.compile_split ~name:"lib.c"
+      "int g = 5; int one() { return g; } int two() { return one() + 1; } \
+       int main() { return two(); }"
+  in
+  let img, _ = Linker.Link.link ~layout (crt0 () :: objs) in
+  let mem, buf = Svm.Cpu.flat_mem 0x80000 in
+  Linker.Image.load_into_flat img buf;
+  let sys (cpu : Svm.Cpu.t) n =
+    if n = 0 then Svm.Cpu.Sys_exit (Int32.to_int (Svm.Cpu.get_reg cpu 1))
+    else Svm.Cpu.Sys_continue
+  in
+  let cpu = Svm.Cpu.create ~sys mem in
+  cpu.Svm.Cpu.pc <- img.Linker.Image.entry;
+  (match Svm.Cpu.run ~fuel:100_000 cpu with
+  | Svm.Cpu.Exited 6 -> ()
+  | o ->
+      Alcotest.failf "unexpected outcome %s"
+        (match o with
+        | Svm.Cpu.Exited n -> Printf.sprintf "exit %d" n
+        | Svm.Cpu.Halted -> "halt"
+        | Svm.Cpu.Running -> "running"))
+
+let test_split_rejects_static () =
+  try
+    ignore (Minic.Driver.compile_split ~name:"s.c" "static int f() { return 1; }");
+    Alcotest.fail "expected error"
+  with Minic.Driver.Compile_error _ -> ()
+
+(* -- properties ---------------------------------------------------------- *)
+
+let prop_constant_expressions =
+  (* compile-and-run evaluates arithmetic the same way OCaml does
+     (within int32) *)
+  let gen = QCheck.Gen.(pair (int_range 0 1000) (int_range 1 1000)) in
+  QCheck.Test.make ~count:40 ~name:"compiled arithmetic agrees with host"
+    (QCheck.make ~print:(fun (a, b) -> Printf.sprintf "(%d,%d)" a b) gen)
+    (fun (a, b) ->
+      let src =
+        Printf.sprintf
+          "int main() { return ((%d + %d) * 3 - %d / 2) %% 256; }" a b b
+      in
+      let expected = ((a + b) * 3 - (b / 2)) mod 256 in
+      fst (run_src src) = expected)
+
+let prop_fib_matches =
+  QCheck.Test.make ~count:10 ~name:"recursive fib agrees with host"
+    (QCheck.int_range 0 15)
+    (fun n ->
+      let rec fib n = if n < 2 then n else fib (n - 1) + fib (n - 2) in
+      let src =
+        Printf.sprintf
+          "int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); } \
+           int main() { return fib(%d); }" n
+      in
+      fst (run_src src) = fib n)
+
+let () =
+  Alcotest.run "minic"
+    [
+      ( "lexer",
+        [
+          Alcotest.test_case "basics" `Quick test_lex_basic;
+          Alcotest.test_case "operators" `Quick test_lex_operators;
+          Alcotest.test_case "string escapes" `Quick test_lex_string_escapes;
+          Alcotest.test_case "error" `Quick test_lex_error;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "error line" `Quick test_parse_error_reports_line;
+          Alcotest.test_case "structures" `Quick test_parse_structures;
+        ] );
+      ( "semantics",
+        [
+          Alcotest.test_case "constant" `Quick test_return_constant;
+          Alcotest.test_case "precedence" `Quick test_arith_precedence;
+          Alcotest.test_case "comparisons" `Quick test_comparisons;
+          Alcotest.test_case "short circuit" `Quick test_short_circuit;
+          Alcotest.test_case "locals/params" `Quick test_locals_and_params;
+          Alcotest.test_case "globals" `Quick test_globals;
+          Alcotest.test_case "arrays" `Quick test_arrays;
+          Alcotest.test_case "strings/bytes" `Quick test_strings_and_bytes;
+          Alcotest.test_case "string dedup" `Quick test_string_dedup;
+          Alcotest.test_case "control flow" `Quick test_control_flow;
+          Alcotest.test_case "for loops" `Quick test_for_loops;
+          Alcotest.test_case "char literals" `Quick test_char_literals;
+          Alcotest.test_case "recursion" `Quick test_recursion;
+          Alcotest.test_case "implicit return" `Quick test_fall_off_returns_zero;
+          Alcotest.test_case "function address" `Quick test_function_address;
+        ] );
+      ( "declarations",
+        [
+          Alcotest.test_case "static local binding" `Quick test_static_function_is_local;
+          Alcotest.test_case "ctor" `Quick test_ctor_recorded;
+          Alcotest.test_case "extern" `Quick test_extern_and_undefined;
+          Alcotest.test_case "arity" `Quick test_arity_check;
+          Alcotest.test_case "undeclared" `Quick test_undeclared_variable;
+          Alcotest.test_case "duplicate global" `Quick test_duplicate_global;
+          Alcotest.test_case "symbol sizes" `Quick test_symbol_sizes_recorded;
+        ] );
+      ( "split",
+        [
+          Alcotest.test_case "per function" `Quick test_split_compiles_per_function;
+          Alcotest.test_case "links and runs" `Quick test_split_links_and_runs;
+          Alcotest.test_case "rejects static" `Quick test_split_rejects_static;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_constant_expressions; prop_fib_matches ] );
+    ]

@@ -1,0 +1,215 @@
+(* Tests of the shared-library schemes: behavioural equivalence across
+   all four, lazy-binding mechanics, dispatch-table accounting, memory
+   sharing, and the performance shapes the paper's Table 1 depends on. *)
+
+let all_schemes (w : Omos.World.t) ~name ~client ~libs =
+  [
+    Omos.Schemes.static_program w.Omos.World.rt ~name ~client ~libs;
+    Omos.Schemes.dynamic_program w.Omos.World.rt ~name ~client ~libs;
+    Omos.Schemes.self_contained_program w.Omos.World.rt ~name ~client ~libs ();
+    Omos.Schemes.self_contained_program w.Omos.World.rt ~style:Omos.Schemes.Integrated
+      ~name ~client ~libs ();
+    Omos.Schemes.partial_image_program w.Omos.World.rt ~name ~client ~libs;
+  ]
+
+(* -- behavioural equivalence ----------------------------------------------- *)
+
+let test_ls_equivalent_across_schemes () =
+  let w = Omos.World.create ~many_entries:5 () in
+  let progs = all_schemes w ~name:"ls" ~client:(Omos.World.ls_client w) ~libs:Omos.World.ls_libs in
+  List.iter
+    (fun args ->
+      let results =
+        List.map (fun p -> Omos.Schemes.invoke w.Omos.World.rt p ~args) progs
+      in
+      match results with
+      | ((c0, o0) as r0) :: rest ->
+          ignore r0;
+          List.iteri
+            (fun i (c, o) ->
+              Alcotest.(check int) (Printf.sprintf "exit[%d]" i) c0 c;
+              Alcotest.(check string) (Printf.sprintf "out[%d]" i) o0 o)
+            rest
+      | [] -> assert false)
+    [ Omos.World.ls_single_args;
+      [ "ls"; "-a"; Workloads.Dataset.dir_many ];
+      Omos.World.ls_laf_args ]
+
+let test_codegen_equivalent_across_schemes () =
+  let w = Omos.World.create () in
+  let progs =
+    all_schemes w ~name:"codegen" ~client:(Omos.World.codegen_client w)
+      ~libs:Omos.World.codegen_libs
+  in
+  let results =
+    List.map (fun p -> Omos.Schemes.invoke w.Omos.World.rt p ~args:Omos.World.codegen_args) progs
+  in
+  match results with
+  | (c0, o0) :: rest ->
+      Alcotest.(check int) "exit 0" 0 c0;
+      List.iteri
+        (fun i (c, o) ->
+          Alcotest.(check int) (Printf.sprintf "exit[%d]" i) c0 c;
+          Alcotest.(check string) (Printf.sprintf "out[%d]" i) o0 o)
+        rest
+  | [] -> assert false
+
+(* -- dispatch machinery ------------------------------------------------------ *)
+
+let test_dispatch_accounting () =
+  let w = Omos.World.create () in
+  let client = Omos.World.ls_client w and libs = Omos.World.ls_libs in
+  let stat = Omos.Schemes.static_program w.Omos.World.rt ~name:"ls" ~client ~libs in
+  let dyn = Omos.Schemes.dynamic_program w.Omos.World.rt ~name:"ls" ~client ~libs in
+  let sc = Omos.Schemes.self_contained_program w.Omos.World.rt ~name:"ls" ~client ~libs () in
+  let pi = Omos.Schemes.partial_image_program w.Omos.World.rt ~name:"ls" ~client ~libs in
+  Alcotest.(check int) "static: none" 0 stat.Omos.Schemes.dispatch_bytes;
+  Alcotest.(check int) "self-contained: none" 0 sc.Omos.Schemes.dispatch_bytes;
+  Alcotest.(check bool) "dynamic: tables" true (dyn.Omos.Schemes.dispatch_bytes > 0);
+  Alcotest.(check bool) "partial: tables" true (pi.Omos.Schemes.dispatch_bytes > 0);
+  Alcotest.(check bool) "imports found" true (dyn.Omos.Schemes.imports >= 8);
+  Alcotest.(check bool) "eager relocs counted" true (dyn.Omos.Schemes.eager_relocs > 20)
+
+let test_lazy_binding_counts () =
+  (* -laF calls more distinct libc routines, so the dynamic scheme
+     performs more lazy binds per invocation — the paper's explanation
+     for HP-UX's growing user time *)
+  let w = Omos.World.create () in
+  let dyn =
+    Omos.Schemes.dynamic_program w.Omos.World.rt ~name:"ls"
+      ~client:(Omos.World.ls_client w) ~libs:Omos.World.ls_libs
+  in
+  let binds args =
+    let p = dyn.Omos.Schemes.launch ~args in
+    let code = Simos.Kernel.run w.Omos.World.kernel p () in
+    Alcotest.(check bool) "ran" true (code = 0);
+    let st = Hashtbl.find w.Omos.World.rt.Omos.Schemes.table p.Simos.Proc.pid in
+    Hashtbl.remove w.Omos.World.rt.Omos.Schemes.table p.Simos.Proc.pid;
+    Simos.Kernel.reap w.Omos.World.kernel p;
+    st.Omos.Schemes.binds
+  in
+  let plain = binds Omos.World.ls_single_args in
+  let laf = binds Omos.World.ls_laf_args in
+  Alcotest.(check bool) "some binds" true (plain > 0);
+  Alcotest.(check bool) "laF binds more" true (laf > plain)
+
+let test_partial_image_lazy_library_mapping () =
+  (* the library must not be mapped before the first stub fires *)
+  let w = Omos.World.create () in
+  let pi =
+    Omos.Schemes.partial_image_program w.Omos.World.rt ~name:"ls"
+      ~client:(Omos.World.ls_client w) ~libs:Omos.World.ls_libs
+  in
+  let p = pi.Omos.Schemes.launch ~args:Omos.World.ls_single_args in
+  let regions_before = List.length (Simos.Addr_space.regions p.Simos.Proc.aspace) in
+  let st = Hashtbl.find w.Omos.World.rt.Omos.Schemes.table p.Simos.Proc.pid in
+  Alcotest.(check bool) "not yet mapped" false st.Omos.Schemes.libs_mapped;
+  let code = Simos.Kernel.run w.Omos.World.kernel p () in
+  Alcotest.(check int) "ran" 0 code;
+  Alcotest.(check bool) "mapped on demand" true st.Omos.Schemes.libs_mapped;
+  Alcotest.(check bool) "more regions after" true
+    (List.length (Simos.Addr_space.regions p.Simos.Proc.aspace) > regions_before);
+  Simos.Kernel.reap w.Omos.World.kernel p
+
+(* -- sharing -------------------------------------------------------------------- *)
+
+let test_self_contained_text_sharing () =
+  (* two concurrent clients of the same library share its text frames *)
+  let w = Omos.World.create () in
+  let sc =
+    Omos.Schemes.self_contained_program w.Omos.World.rt ~name:"ls"
+      ~client:(Omos.World.ls_client w) ~libs:Omos.World.ls_libs ()
+  in
+  let p1 = sc.Omos.Schemes.launch ~args:Omos.World.ls_single_args in
+  let p2 = sc.Omos.Schemes.launch ~args:Omos.World.ls_single_args in
+  Alcotest.(check bool) "pages saved by sharing" true
+    (Simos.Phys.saved_pages w.Omos.World.kernel.Simos.Kernel.phys > 10);
+  ignore (Simos.Kernel.run w.Omos.World.kernel p1 ());
+  ignore (Simos.Kernel.run w.Omos.World.kernel p2 ());
+  Simos.Kernel.reap w.Omos.World.kernel p1;
+  Simos.Kernel.reap w.Omos.World.kernel p2
+
+(* -- performance shapes (Table 1 pre-checks) -------------------------------------- *)
+
+(* invoke n times and return total elapsed simulated time *)
+let time_invocations (w : Omos.World.t) prog ~args n =
+  let snap = Simos.Clock.snapshot w.Omos.World.kernel.Simos.Kernel.clock in
+  for _ = 1 to n do
+    let code, _ = Omos.Schemes.invoke w.Omos.World.rt prog ~args in
+    if code <> 0 then Alcotest.fail "nonzero exit"
+  done;
+  let _, _, e = Simos.Clock.since w.Omos.World.kernel.Simos.Kernel.clock snap in
+  e
+
+let test_codegen_omos_beats_dynamic () =
+  (* Table 1c's shape: on the relocation-heavy program, OMOS
+     self-contained wins clearly *)
+  let w = Omos.World.create () in
+  let client = Omos.World.codegen_client w and libs = Omos.World.codegen_libs in
+  let dyn = Omos.Schemes.dynamic_program w.Omos.World.rt ~name:"codegen" ~client ~libs in
+  let sc = Omos.Schemes.self_contained_program w.Omos.World.rt ~name:"codegen" ~client ~libs () in
+  (* warm both *)
+  ignore (time_invocations w dyn ~args:Omos.World.codegen_args 1);
+  ignore (time_invocations w sc ~args:Omos.World.codegen_args 1);
+  let td = time_invocations w dyn ~args:Omos.World.codegen_args 5 in
+  let ts = time_invocations w sc ~args:Omos.World.codegen_args 5 in
+  Alcotest.(check bool)
+    (Printf.sprintf "omos (%.0f) < dynamic (%.0f)" ts td)
+    true (ts < td)
+
+let test_ls_small_roughly_par () =
+  (* Table 1a's shape: for tiny ls the two schemes are comparable —
+     OMOS within ~25% either way *)
+  let w = Omos.World.create () in
+  let client = Omos.World.ls_client w and libs = Omos.World.ls_libs in
+  let dyn = Omos.Schemes.dynamic_program w.Omos.World.rt ~name:"ls" ~client ~libs in
+  let sc = Omos.Schemes.self_contained_program w.Omos.World.rt ~name:"ls" ~client ~libs () in
+  ignore (time_invocations w dyn ~args:Omos.World.ls_single_args 1);
+  ignore (time_invocations w sc ~args:Omos.World.ls_single_args 1);
+  let td = time_invocations w dyn ~args:Omos.World.ls_single_args 10 in
+  let ts = time_invocations w sc ~args:Omos.World.ls_single_args 10 in
+  let ratio = ts /. td in
+  Alcotest.(check bool)
+    (Printf.sprintf "ratio %.2f in [0.6,1.25]" ratio)
+    true
+    (ratio > 0.6 && ratio < 1.25)
+
+let test_static_install_pays_write_io () =
+  (* §2.1: static linking's dominant cost is writing the huge binary *)
+  let w = Omos.World.create () in
+  let k = w.Omos.World.kernel in
+  let io_before = k.Simos.Kernel.clock.Simos.Clock.io in
+  ignore
+    (Omos.Schemes.static_program w.Omos.World.rt ~name:"codegen"
+       ~client:(Omos.World.codegen_client w) ~libs:Omos.World.codegen_libs);
+  let static_io = k.Simos.Kernel.clock.Simos.Clock.io -. io_before in
+  let io_before2 = k.Simos.Kernel.clock.Simos.Clock.io in
+  ignore
+    (Omos.Schemes.self_contained_program w.Omos.World.rt ~name:"codegen"
+       ~client:(Omos.World.codegen_client w) ~libs:Omos.World.codegen_libs ());
+  let sc_io = k.Simos.Kernel.clock.Simos.Clock.io -. io_before2 in
+  Alcotest.(check bool) "static writes big binary" true (static_io > 100_000.0);
+  Alcotest.(check bool) "omos writes nothing" true (sc_io < static_io /. 10.0)
+
+let () =
+  Alcotest.run "schemes"
+    [
+      ( "equivalence",
+        [
+          Alcotest.test_case "ls all schemes" `Quick test_ls_equivalent_across_schemes;
+          Alcotest.test_case "codegen all schemes" `Quick test_codegen_equivalent_across_schemes;
+        ] );
+      ( "mechanics",
+        [
+          Alcotest.test_case "dispatch accounting" `Quick test_dispatch_accounting;
+          Alcotest.test_case "lazy binding counts" `Quick test_lazy_binding_counts;
+          Alcotest.test_case "partial image lazy map" `Quick test_partial_image_lazy_library_mapping;
+        ] );
+      ("sharing", [ Alcotest.test_case "text frames shared" `Quick test_self_contained_text_sharing ]);
+      ( "shapes",
+        [
+          Alcotest.test_case "codegen: omos wins" `Quick test_codegen_omos_beats_dynamic;
+          Alcotest.test_case "small ls: parity" `Quick test_ls_small_roughly_par;
+          Alcotest.test_case "static link io" `Quick test_static_install_pays_write_io;
+        ] );
+    ]

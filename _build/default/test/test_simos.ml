@@ -1,0 +1,312 @@
+(* Tests of the simulated OS: filesystem, clock, physical-memory
+   accounting, demand paging, syscalls, and the traditional exec path. *)
+
+(* -- fs ----------------------------------------------------------------- *)
+
+let test_fs_basic () =
+  let fs = Simos.Fs.create () in
+  Simos.Fs.mkdir_p fs "/a/b/c";
+  Simos.Fs.write_file fs "/a/b/c/x.txt" (Bytes.of_string "hello");
+  Alcotest.(check bool) "exists" true (Simos.Fs.exists fs "/a/b/c/x.txt");
+  Alcotest.(check string) "content" "hello"
+    (Bytes.to_string (Simos.Fs.read_file fs "/a/b/c/x.txt"));
+  Alcotest.(check (list string)) "listing" [ "x.txt" ] (Simos.Fs.list_dir fs "/a/b/c")
+
+let test_fs_stat_and_remove () =
+  let fs = Simos.Fs.create () in
+  Simos.Fs.write_file fs "/f" (Bytes.create 10);
+  (match Simos.Fs.stat fs "/f" with
+  | Some (`File 10) -> ()
+  | _ -> Alcotest.fail "bad stat");
+  Simos.Fs.remove fs "/f";
+  Alcotest.(check bool) "gone" false (Simos.Fs.exists fs "/f")
+
+let test_fs_errors () =
+  let fs = Simos.Fs.create () in
+  (try
+     ignore (Simos.Fs.read_file fs "/missing");
+     Alcotest.fail "expected Fs_error"
+   with Simos.Fs.Fs_error _ -> ());
+  Simos.Fs.write_file fs "/file" Bytes.empty;
+  try
+    Simos.Fs.mkdir_p fs "/file/sub";
+    Alcotest.fail "expected Fs_error"
+  with Simos.Fs.Fs_error _ -> ()
+
+let test_fs_disk_usage () =
+  let fs = Simos.Fs.create () in
+  Simos.Fs.write_file fs "/cache/a" (Bytes.create 100);
+  Simos.Fs.write_file fs "/cache/b" (Bytes.create 50);
+  Simos.Fs.write_file fs "/other" (Bytes.create 7);
+  Alcotest.(check int) "usage" 150 (Simos.Fs.disk_usage fs "/cache")
+
+(* -- clock --------------------------------------------------------------- *)
+
+let test_clock () =
+  let c = Simos.Clock.create () in
+  Simos.Clock.charge_user c 10.0;
+  Simos.Clock.charge_system c 5.0;
+  Simos.Clock.charge_io c 100.0;
+  Alcotest.(check (float 0.001)) "elapsed" 115.0 (Simos.Clock.elapsed c);
+  let snap = Simos.Clock.snapshot c in
+  Simos.Clock.charge_user c 1.0;
+  let u, s, e = Simos.Clock.since c snap in
+  Alcotest.(check (float 0.001)) "du" 1.0 u;
+  Alcotest.(check (float 0.001)) "ds" 0.0 s;
+  Alcotest.(check (float 0.001)) "de" 1.0 e
+
+(* -- phys ----------------------------------------------------------------- *)
+
+let test_phys_sharing () =
+  let phys = Simos.Phys.create () in
+  let g = Simos.Phys.alloc phys ~label:"libc.text" ~bytes:(3 * 4096) in
+  Simos.Phys.addref g;
+  Simos.Phys.addref g;
+  Alcotest.(check int) "resident" 3 (Simos.Phys.resident_pages phys);
+  Alcotest.(check int) "mapped" 9 (Simos.Phys.mapped_pages phys);
+  Alcotest.(check int) "saved" 6 (Simos.Phys.saved_pages phys);
+  Simos.Phys.decref phys g;
+  Simos.Phys.decref phys g;
+  Simos.Phys.decref phys g;
+  Alcotest.(check int) "freed" 0 (Simos.Phys.resident_pages phys)
+
+(* -- addr_space ------------------------------------------------------------ *)
+
+let mk_space () =
+  let phys = Simos.Phys.create () in
+  let clock = Simos.Clock.create () in
+  let space = Simos.Addr_space.create ~phys ~clock ~cost:Simos.Cost.hpux () in
+  (space, clock, phys)
+
+let test_paging_faults_once_per_page () =
+  let space, clock, _ = mk_space () in
+  Simos.Addr_space.map_private space ~vaddr:0x10000 ~size:0x3000 ~label:"anon" ();
+  let before = Simos.Clock.elapsed clock in
+  ignore (Simos.Addr_space.load8 space 0x10000);
+  let after_first = Simos.Clock.elapsed clock in
+  Alcotest.(check bool) "first touch charged" true (after_first > before);
+  ignore (Simos.Addr_space.load8 space 0x10004);
+  Alcotest.(check (float 0.0001)) "second touch free" after_first
+    (Simos.Clock.elapsed clock);
+  ignore (Simos.Addr_space.load8 space 0x12000);
+  Alcotest.(check bool) "new page charged" true
+    (Simos.Clock.elapsed clock > after_first);
+  let soft, disk = Simos.Addr_space.fault_stats space in
+  Alcotest.(check (pair int int)) "fault counts" (2, 0) (soft, disk)
+
+let test_disk_backing_charges_io () =
+  let space, clock, _ = mk_space () in
+  let backing = Simos.Addr_space.disk_backing ~bytes:0x2000 in
+  Simos.Addr_space.map_private space ~vaddr:0x10000
+    ~init:(Bytes.make 0x2000 'a') ~backing ~size:0x2000 ~label:"filedata" ();
+  ignore (Simos.Addr_space.load8 space 0x10000);
+  Alcotest.(check bool) "io charged" true (clock.Simos.Clock.io > 0.0);
+  let _, disk = Simos.Addr_space.fault_stats space in
+  Alcotest.(check int) "disk fault" 1 disk
+
+let test_disk_backing_shared_residency () =
+  (* two processes mapping the same segment: only the first touch pays
+     the disk read *)
+  let phys = Simos.Phys.create () in
+  let clock = Simos.Clock.create () in
+  let cost = Simos.Cost.hpux in
+  let s1 = Simos.Addr_space.create ~phys ~clock ~cost () in
+  let s2 = Simos.Addr_space.create ~phys ~clock ~cost () in
+  let bytes = Bytes.make 0x1000 'c' in
+  let frames = Simos.Phys.alloc phys ~label:"seg" ~bytes:0x1000 in
+  let backing = Simos.Addr_space.disk_backing ~bytes:0x1000 in
+  Simos.Addr_space.map_shared s1 ~vaddr:0x4000 ~bytes ~frames ~backing ~label:"seg" ();
+  Simos.Addr_space.map_shared s2 ~vaddr:0x4000 ~bytes ~frames ~backing ~label:"seg" ();
+  ignore (Simos.Addr_space.load8 s1 0x4000);
+  let io_after_first = clock.Simos.Clock.io in
+  ignore (Simos.Addr_space.load8 s2 0x4000);
+  Alcotest.(check (float 0.0001)) "second process: no disk read" io_after_first
+    clock.Simos.Clock.io;
+  Alcotest.(check bool) "but charged a soft fault" true
+    (fst (Simos.Addr_space.fault_stats s2) = 1)
+
+let test_write_to_readonly_faults () =
+  let space, _, phys = mk_space () in
+  let bytes = Bytes.make 0x1000 'x' in
+  let frames = Simos.Phys.alloc phys ~label:"ro" ~bytes:0x1000 in
+  Simos.Addr_space.map_shared space ~vaddr:0x4000 ~bytes ~frames
+    ~backing:{ Simos.Addr_space.resident = [||] } ~label:"ro" ();
+  try
+    Simos.Addr_space.store8 space 0x4000 1;
+    Alcotest.fail "expected fault"
+  with Simos.Addr_space.Fault _ -> ()
+
+let test_unmapped_fault () =
+  let space, _, _ = mk_space () in
+  try
+    ignore (Simos.Addr_space.load32 space 0xDEAD000);
+    Alcotest.fail "expected fault"
+  with Simos.Addr_space.Fault _ -> ()
+
+let test_overlap_rejected () =
+  let space, _, _ = mk_space () in
+  Simos.Addr_space.map_private space ~vaddr:0x10000 ~size:0x2000 ~label:"a" ();
+  try
+    Simos.Addr_space.map_private space ~vaddr:0x11000 ~size:0x2000 ~label:"b" ();
+    Alcotest.fail "expected fault"
+  with Simos.Addr_space.Fault _ -> ()
+
+let test_touched_pages_working_set () =
+  let space, _, _ = mk_space () in
+  Simos.Addr_space.map_private space ~vaddr:0x10000 ~size:0x10000 ~label:"lib.text" ();
+  ignore (Simos.Addr_space.load8 space 0x10000);
+  ignore (Simos.Addr_space.load8 space 0x15000);
+  ignore (Simos.Addr_space.load8 space 0x15800);
+  Alcotest.(check int) "working set" 2
+    (Simos.Addr_space.touched_pages space ~pred:(fun l -> l = "lib.text") ())
+
+(* -- kernel: exec + syscalls ------------------------------------------------ *)
+
+(* A hand-assembled program exercising write/open/readdir/stat/argv. *)
+let hello_image () =
+  let a = Sof.Asm.create "hello" in
+  Sof.Asm.label a "_start";
+  (* write(1, msg, 6) *)
+  Sof.Asm.instr a (Svm.Isa.Movi (1, 1l));
+  Sof.Asm.lea a 2 "msg";
+  Sof.Asm.instr a (Svm.Isa.Movi (3, 6l));
+  Sof.Asm.instr a (Svm.Isa.Sys (Int32.of_int Simos.Syscall.sys_write));
+  (* exit(7) *)
+  Sof.Asm.instr a (Svm.Isa.Movi (1, 7l));
+  Sof.Asm.instr a (Svm.Isa.Sys (Int32.of_int Simos.Syscall.sys_exit));
+  Sof.Asm.data_label a "msg";
+  Sof.Asm.data_string a "hello\n";
+  let obj = Sof.Asm.finish a in
+  fst (Linker.Link.link ~layout:{ Linker.Link.text_base = 0x100000; data_base = 0x200000 } [ obj ])
+
+let test_exec_and_run () =
+  let k = Simos.Kernel.create () in
+  let img = hello_image () in
+  Simos.Fs.mkdir_p k.Simos.Kernel.fs "/bin";
+  Simos.Fs.write_file k.Simos.Kernel.fs "/bin/hello" (Linker.Image.encode img);
+  let p = Simos.Kernel.exec k ~path:"/bin/hello" ~args:[ "hello" ] in
+  let code = Simos.Kernel.run k p () in
+  Alcotest.(check int) "exit code" 7 code;
+  Alcotest.(check string) "stdout" "hello\n" (Simos.Proc.stdout_contents p);
+  Alcotest.(check bool) "time charged" true (Simos.Clock.elapsed k.Simos.Kernel.clock > 0.0)
+
+let test_exec_missing_file () =
+  let k = Simos.Kernel.create () in
+  try
+    ignore (Simos.Kernel.exec k ~path:"/bin/nope" ~args:[]);
+    Alcotest.fail "expected Exec_error"
+  with Simos.Kernel.Exec_error _ -> ()
+
+let test_exec_text_sharing () =
+  (* exec the same binary twice: the second run shares text frames *)
+  let k = Simos.Kernel.create () in
+  let img = hello_image () in
+  Simos.Fs.mkdir_p k.Simos.Kernel.fs "/bin";
+  Simos.Fs.write_file k.Simos.Kernel.fs "/bin/hello" (Linker.Image.encode img);
+  let p1 = Simos.Kernel.exec k ~path:"/bin/hello" ~args:[] in
+  ignore (Simos.Kernel.run k p1 ());
+  let resident_one = Simos.Phys.resident_pages k.Simos.Kernel.phys in
+  let p2 = Simos.Kernel.exec k ~path:"/bin/hello" ~args:[] in
+  ignore (Simos.Kernel.run k p2 ());
+  let saved = Simos.Phys.saved_pages k.Simos.Kernel.phys in
+  Alcotest.(check bool) "text shared" true (saved >= 1);
+  Alcotest.(check bool) "resident grows less than double" true
+    (Simos.Phys.resident_pages k.Simos.Kernel.phys < 2 * resident_one)
+
+let test_second_exec_cheaper_io () =
+  let k = Simos.Kernel.create () in
+  let img = hello_image () in
+  Simos.Fs.mkdir_p k.Simos.Kernel.fs "/bin";
+  Simos.Fs.write_file k.Simos.Kernel.fs "/bin/hello" (Linker.Image.encode img);
+  let snap1 = Simos.Clock.snapshot k.Simos.Kernel.clock in
+  let p1 = Simos.Kernel.exec k ~path:"/bin/hello" ~args:[] in
+  ignore (Simos.Kernel.run k p1 ());
+  let _, _, e1 = Simos.Clock.since k.Simos.Kernel.clock snap1 in
+  let snap2 = Simos.Clock.snapshot k.Simos.Kernel.clock in
+  let p2 = Simos.Kernel.exec k ~path:"/bin/hello" ~args:[] in
+  ignore (Simos.Kernel.run k p2 ());
+  let _, _, e2 = Simos.Clock.since k.Simos.Kernel.clock snap2 in
+  Alcotest.(check bool) "warm exec faster" true (e2 < e1)
+
+let test_syscall_args_and_dirs () =
+  let k = Simos.Kernel.create () in
+  Simos.Fs.mkdir_p k.Simos.Kernel.fs "/d";
+  Simos.Fs.write_file k.Simos.Kernel.fs "/d/zfile" (Bytes.of_string "abc");
+  Simos.Fs.write_file k.Simos.Kernel.fs "/d/afile" (Bytes.of_string "x");
+  (* program: open arg1, readdir entries 0 and 1, print names *)
+  let a = Sof.Asm.create "lsmini" in
+  Sof.Asm.label a "_start";
+  (* getarg(1, buf, 64) *)
+  Sof.Asm.instr a (Svm.Isa.Movi (1, 1l));
+  Sof.Asm.lea a 2 "buf";
+  Sof.Asm.instr a (Svm.Isa.Movi (3, 64l));
+  Sof.Asm.instr a (Svm.Isa.Sys (Int32.of_int Simos.Syscall.sys_argv));
+  (* fd = open(buf) *)
+  Sof.Asm.lea a 1 "buf";
+  Sof.Asm.instr a (Svm.Isa.Sys (Int32.of_int Simos.Syscall.sys_open));
+  Sof.Asm.instr a (Svm.Isa.Mov (5, 0));
+  (* readdir(fd, 0, buf) ; write(1, buf, r0) *)
+  Sof.Asm.instr a (Svm.Isa.Mov (1, 5));
+  Sof.Asm.instr a (Svm.Isa.Movi (2, 0l));
+  Sof.Asm.lea a 3 "buf";
+  Sof.Asm.instr a (Svm.Isa.Sys (Int32.of_int Simos.Syscall.sys_readdir));
+  Sof.Asm.instr a (Svm.Isa.Movi (1, 1l));
+  Sof.Asm.lea a 2 "buf";
+  Sof.Asm.instr a (Svm.Isa.Mov (3, 0));
+  Sof.Asm.instr a (Svm.Isa.Sys (Int32.of_int Simos.Syscall.sys_write));
+  (* readdir(fd, 1, buf) ; write *)
+  Sof.Asm.instr a (Svm.Isa.Mov (1, 5));
+  Sof.Asm.instr a (Svm.Isa.Movi (2, 1l));
+  Sof.Asm.lea a 3 "buf";
+  Sof.Asm.instr a (Svm.Isa.Sys (Int32.of_int Simos.Syscall.sys_readdir));
+  Sof.Asm.instr a (Svm.Isa.Movi (1, 1l));
+  Sof.Asm.lea a 2 "buf";
+  Sof.Asm.instr a (Svm.Isa.Mov (3, 0));
+  Sof.Asm.instr a (Svm.Isa.Sys (Int32.of_int Simos.Syscall.sys_write));
+  (* exit(0) *)
+  Sof.Asm.instr a (Svm.Isa.Movi (1, 0l));
+  Sof.Asm.instr a (Svm.Isa.Sys (Int32.of_int Simos.Syscall.sys_exit));
+  Sof.Asm.bss a "buf" 64;
+  let obj = Sof.Asm.finish a in
+  let img, _ =
+    Linker.Link.link ~layout:{ Linker.Link.text_base = 0x100000; data_base = 0x200000 }
+      [ obj ]
+  in
+  Simos.Fs.mkdir_p k.Simos.Kernel.fs "/bin";
+  Simos.Fs.write_file k.Simos.Kernel.fs "/bin/lsmini" (Linker.Image.encode img);
+  let p = Simos.Kernel.exec k ~path:"/bin/lsmini" ~args:[ "lsmini"; "/d" ] in
+  ignore (Simos.Kernel.run k p ());
+  (* entries come back sorted *)
+  Alcotest.(check string) "dir entries" "afilezfile" (Simos.Proc.stdout_contents p)
+
+let () =
+  Alcotest.run "simos"
+    [
+      ( "fs",
+        [
+          Alcotest.test_case "basic" `Quick test_fs_basic;
+          Alcotest.test_case "stat/remove" `Quick test_fs_stat_and_remove;
+          Alcotest.test_case "errors" `Quick test_fs_errors;
+          Alcotest.test_case "disk usage" `Quick test_fs_disk_usage;
+        ] );
+      ("clock", [ Alcotest.test_case "charging" `Quick test_clock ]);
+      ("phys", [ Alcotest.test_case "sharing" `Quick test_phys_sharing ]);
+      ( "paging",
+        [
+          Alcotest.test_case "fault once per page" `Quick test_paging_faults_once_per_page;
+          Alcotest.test_case "disk backing" `Quick test_disk_backing_charges_io;
+          Alcotest.test_case "shared residency" `Quick test_disk_backing_shared_residency;
+          Alcotest.test_case "readonly write" `Quick test_write_to_readonly_faults;
+          Alcotest.test_case "unmapped" `Quick test_unmapped_fault;
+          Alcotest.test_case "overlap" `Quick test_overlap_rejected;
+          Alcotest.test_case "working set" `Quick test_touched_pages_working_set;
+        ] );
+      ( "kernel",
+        [
+          Alcotest.test_case "exec and run" `Quick test_exec_and_run;
+          Alcotest.test_case "missing file" `Quick test_exec_missing_file;
+          Alcotest.test_case "text sharing" `Quick test_exec_text_sharing;
+          Alcotest.test_case "warm exec" `Quick test_second_exec_cheaper_io;
+          Alcotest.test_case "args and dirs" `Quick test_syscall_args_and_dirs;
+        ] );
+    ]

@@ -1,0 +1,245 @@
+(* Tests of the synthetic workloads: libc completeness, ls behaviour
+   against the simulated filesystem, codegen shape and determinism. *)
+
+(* Statically link client objects + libc and run under the kernel. *)
+let run_static ?(args = []) (client : Sof.Object_file.t list) : int * string =
+  let w = Omos.World.create () in
+  let prog =
+    Omos.Schemes.static_program w.Omos.World.rt ~name:"t" ~client
+      ~libs:[ "/lib/libc" ]
+  in
+  Omos.Schemes.invoke w.Omos.World.rt prog ~args
+
+let compile name src = Minic.Driver.compile ~name src
+
+let crt0 = Workloads.Crt0.obj
+
+(* -- libc ----------------------------------------------------------------- *)
+
+let test_libc_sections_compile () =
+  let objs = Workloads.Libc_gen.objects () in
+  Alcotest.(check int) "eight sections" 8 (List.length objs);
+  List.iter
+    (fun (path, (o : Sof.Object_file.t)) ->
+      Alcotest.(check bool) (path ^ " nonempty") true (Bytes.length o.Sof.Object_file.text > 0))
+    objs
+
+let test_libc_merges_without_conflict () =
+  let objs = List.map snd (Workloads.Libc_gen.objects ()) in
+  let m = Jigsaw.Module_ops.of_objects ~label:"libc" objs in
+  let merged = Jigsaw.Module_ops.merge_list [ m ] in
+  Alcotest.(check bool) "has strlen" true
+    (List.mem "strlen" (Jigsaw.Module_ops.exports merged));
+  Alcotest.(check bool) "self-contained" true
+    (Jigsaw.Module_ops.undefined merged = [])
+
+let test_libc_size_realistic () =
+  let objs = List.map snd (Workloads.Libc_gen.objects ()) in
+  let text = List.fold_left (fun a (o : Sof.Object_file.t) -> a + Bytes.length o.Sof.Object_file.text) 0 objs in
+  let nfuncs =
+    List.fold_left
+      (fun a (o : Sof.Object_file.t) ->
+        a
+        + List.length
+            (List.filter
+               (fun (s : Sof.Symbol.t) ->
+                 Sof.Symbol.is_exported s && s.Sof.Symbol.kind = Sof.Symbol.Text)
+               o.Sof.Object_file.symbols))
+      0 objs
+  in
+  Alcotest.(check bool) "200+ functions" true (nfuncs >= 200);
+  Alcotest.(check bool) "50KB+ of text" true (text >= 50_000)
+
+let test_libc_string_functions () =
+  let code, out =
+    run_static
+      [ crt0 ();
+        compile "t.o"
+          "int main() { \
+           int b; b = malloc(32); \
+           strcpy(b, \"abc\"); strcat(b, \"def\"); \
+           putstr(b); \
+           putint(strlen(b)); \
+           putint(strcmp(b, \"abcdef\")); \
+           putint(atoi(\"451x\")); \
+           return imax(3, imin(9, 7)); }" ]
+  in
+  Alcotest.(check string) "output" "abcdef60451" out;
+  Alcotest.(check int) "exit" 7 code
+
+let test_libc_putint_negative () =
+  let _, out =
+    run_static
+      [ crt0 (); compile "t.o" "int main() { putint(0 - 45); putint(0); return 0; }" ]
+  in
+  Alcotest.(check string) "negatives and zero" "-450" out
+
+let test_libc_split_objects () =
+  let objs = Workloads.Libc_gen.split_objects "string" in
+  Alcotest.(check bool) "many fragments" true (List.length objs > 20);
+  Alcotest.(check bool) "strlen alone" true
+    (List.exists
+       (fun (o : Sof.Object_file.t) ->
+         Sof.Object_file.defines o "strlen" && not (Sof.Object_file.defines o "strcpy"))
+       objs)
+
+(* -- ls -------------------------------------------------------------------- *)
+
+let test_ls_single_dir () =
+  let w = Omos.World.create () in
+  let prog =
+    Omos.Schemes.static_program w.Omos.World.rt ~name:"ls"
+      ~client:(Omos.World.ls_client w) ~libs:Omos.World.ls_libs
+  in
+  let code, out = Omos.Schemes.invoke w.Omos.World.rt prog ~args:Omos.World.ls_single_args in
+  Alcotest.(check int) "exit 0" 0 code;
+  Alcotest.(check string) "one entry" "README\n" out
+
+let test_ls_flags () =
+  let w = Omos.World.create ~many_entries:3 () in
+  let prog =
+    Omos.Schemes.static_program w.Omos.World.rt ~name:"ls"
+      ~client:(Omos.World.ls_client w) ~libs:Omos.World.ls_libs
+  in
+  let run args = snd (Omos.Schemes.invoke w.Omos.World.rt prog ~args) in
+  let plain = run [ "ls"; Workloads.Dataset.dir_many ] in
+  let all = run [ "ls"; "-a"; Workloads.Dataset.dir_many ] in
+  let laf = run [ "ls"; "-laF"; Workloads.Dataset.dir_many ] in
+  Alcotest.(check bool) "no dotfiles" false
+    (Astring.String.is_infix ~affix:".hidden" plain);
+  Alcotest.(check bool) "-a shows dotfiles" true
+    (Astring.String.is_infix ~affix:".hidden" all);
+  Alcotest.(check bool) "-l sizes" true
+    (Astring.String.is_infix ~affix:"2 file001.dat" laf);
+  Alcotest.(check bool) "-F marks dirs" true
+    (Astring.String.is_infix ~affix:"subdir/" laf)
+
+let test_ls_missing_dir () =
+  let w = Omos.World.create () in
+  let prog =
+    Omos.Schemes.static_program w.Omos.World.rt ~name:"ls"
+      ~client:(Omos.World.ls_client w) ~libs:Omos.World.ls_libs
+  in
+  let code, out = Omos.Schemes.invoke w.Omos.World.rt prog ~args:[ "ls"; "/nope" ] in
+  Alcotest.(check int) "exit 1" 1 code;
+  Alcotest.(check bool) "error message" true
+    (Astring.String.is_infix ~affix:"cannot open" out)
+
+let test_ls_laf_does_more_work () =
+  (* the paper's premise: -laF makes many more syscalls *)
+  let w = Omos.World.create () in
+  let prog =
+    Omos.Schemes.static_program w.Omos.World.rt ~name:"ls"
+      ~client:(Omos.World.ls_client w) ~libs:Omos.World.ls_libs
+  in
+  let count args =
+    let k = w.Omos.World.kernel in
+    let before = k.Simos.Kernel.syscall_count in
+    ignore (Omos.Schemes.invoke w.Omos.World.rt prog ~args);
+    k.Simos.Kernel.syscall_count - before
+  in
+  let plain = count Omos.World.ls_single_args in
+  let laf = count Omos.World.ls_laf_args in
+  Alcotest.(check bool) "laF >> plain" true (laf > 5 * plain)
+
+(* -- codegen ----------------------------------------------------------------- *)
+
+let test_codegen_dimensions () =
+  let objs = Workloads.Codegen_gen.objects () in
+  Alcotest.(check int) "32 files + main" 33 (List.length objs);
+  let text =
+    List.fold_left (fun a (_, (o : Sof.Object_file.t)) -> a + Bytes.length o.Sof.Object_file.text) 0 objs
+  in
+  let funcs =
+    List.fold_left
+      (fun a (_, (o : Sof.Object_file.t)) ->
+        a
+        + List.length
+            (List.filter
+               (fun (s : Sof.Symbol.t) ->
+                 Sof.Symbol.is_exported s && s.Sof.Symbol.kind = Sof.Symbol.Text)
+               o.Sof.Object_file.symbols))
+      0 objs
+  in
+  (* the paper: roughly 1,000 functions, 289KB debuggable text on
+     PA-RISC (4-byte instructions); SVM instructions are 8 bytes and the
+     compiler is unoptimized, so allow roughly 2x *)
+  Alcotest.(check bool) "about 1000 functions" true (funcs >= 900 && funcs <= 1100);
+  Alcotest.(check bool) "300KB..800KB text" true (text >= 300_000 && text <= 800_000)
+
+let test_codegen_runs_and_is_deterministic () =
+  let w = Omos.World.create () in
+  let prog =
+    Omos.Schemes.static_program w.Omos.World.rt ~name:"codegen"
+      ~client:(Omos.World.codegen_client w) ~libs:Omos.World.codegen_libs
+  in
+  let c1, o1 = Omos.Schemes.invoke w.Omos.World.rt prog ~args:Omos.World.codegen_args in
+  let c2, o2 = Omos.Schemes.invoke w.Omos.World.rt prog ~args:Omos.World.codegen_args in
+  Alcotest.(check int) "exit 0" 0 c1;
+  Alcotest.(check int) "same exit" c1 c2;
+  Alcotest.(check string) "same output" o1 o2;
+  Alcotest.(check bool) "prints a result" true
+    (Astring.String.is_prefix ~affix:"codegen: " o1)
+
+let test_codegen_reads_inputs () =
+  let w = Omos.World.create () in
+  Simos.Fs.write_file w.Omos.World.kernel.Simos.Kernel.fs "/input/a"
+    (Bytes.of_string "999\n");
+  let prog =
+    Omos.Schemes.static_program w.Omos.World.rt ~name:"codegen"
+      ~client:(Omos.World.codegen_client w) ~libs:Omos.World.codegen_libs
+  in
+  let _, out1 = Omos.Schemes.invoke w.Omos.World.rt prog ~args:Omos.World.codegen_args in
+  Simos.Fs.write_file w.Omos.World.kernel.Simos.Kernel.fs "/input/a"
+    (Bytes.of_string "1\n");
+  let _, out2 = Omos.Schemes.invoke w.Omos.World.rt prog ~args:Omos.World.codegen_args in
+  Alcotest.(check bool) "input affects output" true (out1 <> out2)
+
+let test_aux_libraries () =
+  let libs = Workloads.Codegen_gen.libraries () in
+  Alcotest.(check int) "five libraries" 5 (List.length libs);
+  List.iter
+    (fun (path, (o : Sof.Object_file.t)) ->
+      Alcotest.(check bool) (path ^ " has exports") true
+        (Sof.Object_file.exported o <> []))
+    libs
+
+(* -- dataset -------------------------------------------------------------------- *)
+
+let test_dataset () =
+  let fs = Simos.Fs.create () in
+  Workloads.Dataset.install ~many_entries:10 fs;
+  Alcotest.(check int) "single-entry dir" 1
+    (List.length (Simos.Fs.list_dir fs Workloads.Dataset.dir_single));
+  let many = Simos.Fs.list_dir fs Workloads.Dataset.dir_many in
+  Alcotest.(check bool) "many entries" true (List.length many >= 12);
+  Alcotest.(check bool) "inputs exist" true (Simos.Fs.exists fs "/input/a")
+
+let () =
+  Alcotest.run "workloads"
+    [
+      ( "libc",
+        [
+          Alcotest.test_case "sections compile" `Quick test_libc_sections_compile;
+          Alcotest.test_case "merges clean" `Quick test_libc_merges_without_conflict;
+          Alcotest.test_case "realistic size" `Quick test_libc_size_realistic;
+          Alcotest.test_case "string functions" `Quick test_libc_string_functions;
+          Alcotest.test_case "putint negative" `Quick test_libc_putint_negative;
+          Alcotest.test_case "split objects" `Quick test_libc_split_objects;
+        ] );
+      ( "ls",
+        [
+          Alcotest.test_case "single dir" `Quick test_ls_single_dir;
+          Alcotest.test_case "flags" `Quick test_ls_flags;
+          Alcotest.test_case "missing dir" `Quick test_ls_missing_dir;
+          Alcotest.test_case "-laF work factor" `Quick test_ls_laf_does_more_work;
+        ] );
+      ( "codegen",
+        [
+          Alcotest.test_case "dimensions" `Quick test_codegen_dimensions;
+          Alcotest.test_case "runs deterministically" `Quick test_codegen_runs_and_is_deterministic;
+          Alcotest.test_case "reads inputs" `Quick test_codegen_reads_inputs;
+          Alcotest.test_case "aux libraries" `Quick test_aux_libraries;
+        ] );
+      ("dataset", [ Alcotest.test_case "install" `Quick test_dataset ]);
+    ]
