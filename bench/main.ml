@@ -42,7 +42,13 @@ let time_invocations (w : Omos.World.t) (prog : Omos.Schemes.program)
   done;
   let u, s, e = Simos.Clock.since clock snap in
   let scale = float_of_int paper_iters /. float_of_int n /. 1_000_000.0 in
-  { label; user = u *. scale; system = s *. scale; elapsed = e *. scale }
+  let r = { label; user = u *. scale; system = s *. scale; elapsed = e *. scale } in
+  (* mirror every timed row into the metrics registry so the BENCH_*.json
+     snapshots carry the numbers in a stable schema *)
+  Telemetry.Gauge.set (Printf.sprintf "bench.%s.user_s" label) r.user;
+  Telemetry.Gauge.set (Printf.sprintf "bench.%s.system_s" label) r.system;
+  Telemetry.Gauge.set (Printf.sprintf "bench.%s.elapsed_s" label) r.elapsed;
+  r
 
 let print_table ~title ~iters (rows : row list) ~(paper_ratios : (string * float) list)
     =
@@ -352,7 +358,7 @@ let cache () =
   Printf.printf "  libc instantiation, cold (evaluate+link+place): %8.2f ms\n" cold;
   Printf.printf "  libc instantiation, warm (cache hit):           %8.2f ms\n" warm;
   Printf.printf "  speedup: %.0fx\n" (cold /. (warm +. 0.0001));
-  let st = Omos.Cache.stats s.Omos.Server.cache in
+  let st = Omos.Server.cache_stats s in
   Printf.printf "  cache: %d hits, %d misses, %d entries, %d KB on disk\n"
     st.Omos.Cache.hits st.Omos.Cache.misses st.Omos.Cache.entries
     (st.Omos.Cache.disk_bytes_total / 1024);
@@ -409,7 +415,7 @@ let constraints () =
   in
   let stable = List.for_all2 (fun (_, a) b -> a = b) placements again in
   Printf.printf "  placements stable across re-instantiation: %b\n" stable;
-  let st = Omos.Cache.stats s.Omos.Server.cache in
+  let st = Omos.Server.cache_stats s in
   Printf.printf "  placements per construction (max): %d (paper: few versions is key)\n"
     st.Omos.Cache.versions_max
 
@@ -703,11 +709,22 @@ let () =
       ("micro", micro);
     ]
   in
-  let run_all () = List.iter (fun (_, f) -> f ()) experiments in
+  (* Each experiment runs against a zeroed registry and leaves a
+     BENCH_<name>.json snapshot (schema omos.metrics/1): the counters
+     the run accumulated plus the gauges the tables record. *)
+  let run_one (name, f) =
+    Telemetry.reset ();
+    f ();
+    let oc = open_out (Printf.sprintf "BENCH_%s.json" name) in
+    output_string oc (Telemetry.Export.metrics_json ());
+    output_string oc "\n";
+    close_out oc
+  in
+  let run_all () = List.iter run_one experiments in
   match Array.to_list Sys.argv with
   | [ _ ] | [ _; "all" ] -> run_all ()
   | [ _; name ] -> (
       match List.assoc_opt name experiments with
-      | Some f -> f ()
+      | Some f -> run_one (name, f)
       | None -> usage ())
   | _ -> usage ()

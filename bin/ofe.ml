@@ -53,6 +53,12 @@ let handle f =
   | Jigsaw.Module_ops.Module_error m ->
       Printf.eprintf "ofe: %s\n" m;
       1
+  | Omos.Server.Server_error m | Blueprint.Mgraph.Eval_error m ->
+      Printf.eprintf "ofe: %s\n" m;
+      1
+  | Linker.Link.Link_error e ->
+      Printf.eprintf "ofe: %s\n" (Linker.Link.error_to_string e);
+      1
   | Sys_error m ->
       Printf.eprintf "ofe: %s\n" m;
       1
@@ -271,6 +277,99 @@ let merge_cmd =
   Cmd.v (Cmd.info "merge" ~doc:"merge objects (partial link)")
     Term.(const run $ out $ inputs)
 
+(* -- the OMOS request path: tracing & metrics ------------------------------ *)
+
+(* Build the quickstart world, reset telemetry (world construction does
+   no instantiation work), and serve one request with tracing on. *)
+let traced_instantiate (meta : string) : Omos.World.t * Omos.Server.response =
+  let w = Omos.World.create () in
+  let s = w.Omos.World.server in
+  Telemetry.reset ();
+  Telemetry.set_enabled true;
+  let root =
+    Telemetry.Span.enter "ofe.trace" ~attrs:[ ("meta", Telemetry.S meta) ]
+  in
+  let resp = Omos.Server.instantiate s (Omos.Server.library_request meta) in
+  let p = Simos.Kernel.create_process (Omos.Server.kernel s) ~args:[ "trace" ] in
+  Omos.Server.map_into s p resp.Omos.Server.built;
+  Telemetry.Span.exit root;
+  Telemetry.set_enabled false;
+  (w, resp)
+
+let trace_cmd =
+  let meta =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"META" ~doc:"library meta-object path (e.g. /lib/libc)")
+  in
+  let out =
+    Arg.(value & opt string "trace.json"
+         & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Chrome trace_event output file")
+  in
+  let run meta out =
+    handle (fun () ->
+        let w, resp = traced_instantiate meta in
+        let s = w.Omos.World.server in
+        let json = Telemetry.Export.chrome () in
+        let oc = open_out out in
+        output_string oc json;
+        output_string oc "\n";
+        close_out oc;
+        (* self-validation: parse the export back and inspect the span
+           tree, so the command fails loudly if the exporter regresses *)
+        let parsed = Telemetry.Json.parse json in
+        let names =
+          match Telemetry.Json.member "traceEvents" parsed with
+          | Some (Telemetry.Json.Arr evs) ->
+              List.filter_map
+                (fun ev ->
+                  match
+                    (Telemetry.Json.member "ph" ev, Telemetry.Json.member "name" ev)
+                  with
+                  | Some (Telemetry.Json.Str "X"), Some (Telemetry.Json.Str n) ->
+                      Some n
+                  | _ -> None)
+                evs
+          | _ -> []
+        in
+        let have n = List.mem n names in
+        let st = Omos.Server.cache_stats s in
+        Printf.printf "wrote %s\n" out;
+        Printf.printf "cache_hit=%b\n" resp.Omos.Server.cache_hit;
+        Printf.printf "phases: eval=%b place=%b link=%b map=%b\n"
+          (have "blueprint.eval") (have "constraints.place") (have "linker.link")
+          (have "kernel.map_image");
+        Printf.printf "cache counters agree: hits=%b misses=%b\n"
+          (Telemetry.Counter.get "cache.hits" = st.Omos.Cache.hits)
+          (Telemetry.Counter.get "cache.misses" = st.Omos.Cache.misses))
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "instantiate a library meta-object in the quickstart world and export \
+          a Chrome trace_event file of the request path")
+    Term.(const run $ meta $ out)
+
+let stats_cmd =
+  let meta =
+    Arg.(value & pos 0 string "/lib/libc"
+         & info [] ~docv:"META" ~doc:"meta-object to instantiate before dumping metrics")
+  in
+  let run meta =
+    handle (fun () ->
+        let w = Omos.World.create () in
+        let s = w.Omos.World.server in
+        Telemetry.reset ();
+        ignore (Omos.Server.instantiate s (Omos.Server.library_request meta));
+        ignore s;
+        print_endline (Telemetry.Export.metrics_json ()))
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "instantiate a meta-object in the quickstart world and dump the \
+          metrics registry (omos.metrics/1 schema)")
+    Term.(const run $ meta)
+
 let main =
   Cmd.group
     (Cmd.info "ofe" ~doc:"the Object File Editor: inspect and transform SOF objects")
@@ -278,6 +377,7 @@ let main =
       info_cmd; symbols_cmd; relocs_cmd; disasm_cmd; exports_cmd; undefined_cmd;
       nm_cmd; size_cmd; strings_cmd;
       compile_cmd; convert_cmd; rename_cmd; copy_as_cmd; merge_cmd;
+      trace_cmd; stats_cmd;
       unary_op "hide" "hide definitions, freezing internal references" Jigsaw.Module_ops.hide;
       unary_op "restrict" "virtualize definitions (remove, keep references)" Jigsaw.Module_ops.restrict;
       unary_op "show" "hide all but the selected definitions" Jigsaw.Module_ops.show;

@@ -65,7 +65,7 @@ let run_cmd =
 let ns_cmd =
   let run () =
     let w = Omos.World.create () in
-    let ns = w.Omos.World.server.Omos.Server.ns in
+    let ns = Omos.Server.namespace w.Omos.World.server in
     print_endline "meta-objects:";
     List.iter (Printf.printf "  %s\n") (Omos.Namespace.all_metas ns);
     print_endline "directories:";
@@ -91,7 +91,7 @@ let stats_cmd =
     Printf.printf "clock: %s\n" (Format.asprintf "%a" Simos.Clock.pp k.Simos.Kernel.clock);
     Printf.printf "syscalls: %d\n" k.Simos.Kernel.syscall_count;
     Printf.printf "physical: %s\n" (Format.asprintf "%a" Simos.Phys.pp k.Simos.Kernel.phys);
-    let st = Omos.Cache.stats w.Omos.World.server.Omos.Server.cache in
+    let st = Omos.Server.cache_stats w.Omos.World.server in
     Printf.printf "cache: %d hits, %d misses, %d entries, %d KB\n" st.Omos.Cache.hits
       st.Omos.Cache.misses st.Omos.Cache.entries (st.Omos.Cache.disk_bytes_total / 1024);
     Printf.printf "dispatch: %d bytes, %d imports, %d eager relocs\n"

@@ -42,7 +42,7 @@ let () =
 
   (* the same file is visible to ordinary tools as a tiny script, while
      the real images live in the server's cache *)
-  let st = Omos.Cache.stats s.Omos.Server.cache in
+  let st = Omos.Server.cache_stats s in
   Printf.printf
     "\n'/bin' holds %d bytes; the server cache holds the real %d KB.\n\
      (\"/bin ... can become a filesystem backed only by OMOS\")\n"

@@ -44,7 +44,7 @@ let () =
     (String.split_on_char '\n' out);
   Printf.printf "... (%.2f simulated ms)\n" (e2 /. 1000.0);
 
-  let st = Omos.Cache.stats w.Omos.World.server.Omos.Server.cache in
+  let st = Omos.Server.cache_stats w.Omos.World.server in
   Printf.printf "\nimage cache: %d hits, %d misses, %d KB\n" st.Omos.Cache.hits
     st.Omos.Cache.misses
     (st.Omos.Cache.disk_bytes_total / 1024);

@@ -135,7 +135,9 @@ let no_constraints (m : Jigsaw.Module_ops.t) : result = { m; constraints = [] }
 let rec flatten_operands (ns : node list) : node list =
   List.concat_map (function Lst xs -> flatten_operands xs | n -> [ n ]) ns
 
-let rec eval (env : env) (n : node) : result =
+let tm_source_compiles = Telemetry.Counter.make "blueprint.source_compiles"
+
+let rec eval_node (env : env) (n : node) : result =
   match n with
   | Leaf o -> no_constraints (Jigsaw.Module_ops.of_object o)
   | Name path ->
@@ -143,15 +145,19 @@ let rec eval (env : env) (n : node) : result =
         fail "cyclic meta-object reference through %s" path;
       let sub = env.resolve path in
       env.visiting <- path :: env.visiting;
-      let r = eval env sub in
+      let r =
+        Telemetry.with_span "blueprint.resolve"
+          ~attrs:[ ("path", Telemetry.S path) ]
+          (fun () -> eval_node env sub)
+      in
       env.visiting <- List.tl env.visiting;
       r
   | Merge operands ->
-      let rs = List.map (eval env) (flatten_operands operands) in
+      let rs = List.map (eval_node env) (flatten_operands operands) in
       let m = Jigsaw.Module_ops.merge_list (List.map (fun r -> r.m) rs) in
       { m; constraints = List.concat_map (fun r -> r.constraints) rs }
   | Override (a, b) ->
-      let ra = eval env a and rb = eval env b in
+      let ra = eval_node env a and rb = eval_node env b in
       { m = Jigsaw.Module_ops.override ra.m rb.m;
         constraints = ra.constraints @ rb.constraints }
   | Freeze (p, x) -> map_module env x (Jigsaw.Module_ops.freeze (Jigsaw.Select.compile p))
@@ -168,6 +174,10 @@ let rec eval (env : env) (n : node) : result =
       match lang with
       | "c" | "C" ->
           let obj =
+            Telemetry.with_span "blueprint.compile"
+              ~attrs:[ ("lang", Telemetry.S lang) ]
+            @@ fun () ->
+            Telemetry.Counter.incr tm_source_compiles;
             try Minic.Driver.compile ~name:"(source)" text
             with Minic.Driver.Compile_error msg -> fail "source: %s" msg
           in
@@ -175,10 +185,13 @@ let rec eval (env : env) (n : node) : result =
       | other -> fail "source: unsupported language %S" other)
   | Specialize (style, args, x) -> (
       match Hashtbl.find_opt env.specializers style with
-      | Some f -> f env args x
+      | Some f ->
+          Telemetry.with_span "blueprint.specialize"
+            ~attrs:[ ("style", Telemetry.S style) ]
+            (fun () -> f env args x)
       | None -> fail "unknown specialization %S" style)
   | Constrain (seg, addr, x) ->
-      let r = eval env x in
+      let r = eval_node env x in
       let prefs =
         [
           { seg; priority = 6; pref = Constraints.Placement.At addr };
@@ -189,9 +202,16 @@ let rec eval (env : env) (n : node) : result =
   | Lst _ -> fail "list is only meaningful as an operand of another operation"
 
 and map_module env (x : node) (f : Jigsaw.Module_ops.t -> Jigsaw.Module_ops.t) : result =
-  let r = eval env x in
+  let r = eval_node env x in
   try { r with m = f r.m }
   with Jigsaw.Module_ops.Module_error msg -> fail "%s" msg
+
+(** Evaluate an m-graph. The public entry point wraps the recursive
+    evaluator in a ["blueprint.eval"] span, so every specializer that
+    re-enters through it (the server's library styles do) nests a fresh
+    span under its ["blueprint.specialize"] parent. *)
+let eval (env : env) (n : node) : result =
+  Telemetry.with_span "blueprint.eval" (fun () -> eval_node env n)
 
 (* -- base specializers ----------------------------------------------------- *)
 

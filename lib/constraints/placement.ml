@@ -143,7 +143,10 @@ type decision = {
     the paper's "highly desired" constraint that gives physical sharing.
     [prefs] are (priority, preference) pairs; higher priority first.
     Raises {!No_space} if the arena cannot fit [size] at all. *)
-let place (t : t) ~size ~owner ?existing ?(prefs = []) () : decision =
+let tm_placements = Telemetry.Counter.make "constraints.placements"
+let tm_reuses = Telemetry.Counter.make "constraints.reuses"
+
+let place_raw (t : t) ~size ~owner ?existing ?(prefs = []) () : decision =
   let size = align_up (max size 1) t.align in
   let reuse =
     match existing with
@@ -180,3 +183,22 @@ let place (t : t) ~size ~owner ?existing ?(prefs = []) () : decision =
       | Some (base, satisfied) ->
           insert t { lo = base; hi = base + size; owner };
           { base; reused = false; satisfied })
+
+(* The traced entry point: a span per placement decision plus the
+   arena-level counters. *)
+let place (t : t) ~size ~owner ?existing ?(prefs = []) () : decision =
+  let span =
+    Telemetry.Span.enter "constraints.place"
+      ~attrs:[ ("owner", Telemetry.S owner); ("size", Telemetry.I size) ]
+  in
+  match place_raw t ~size ~owner ?existing ~prefs () with
+  | d ->
+      Telemetry.Counter.incr tm_placements;
+      if d.reused then Telemetry.Counter.incr tm_reuses;
+      Telemetry.Span.add_attr span "base" (Telemetry.I d.base);
+      Telemetry.Span.add_attr span "reused" (Telemetry.B d.reused);
+      Telemetry.Span.exit span;
+      d
+  | exception e ->
+      Telemetry.Span.exit span;
+      raise e

@@ -34,7 +34,7 @@ let charge_bootstrap_load (k : Simos.Kernel.t) : unit =
     (run it with {!Simos.Kernel.run}). *)
 let bootstrap_exec (server : Server.t) (l : Server.loadable) ~(args : string list) :
     Simos.Proc.t =
-  let k = server.Server.kernel in
+  let k = Server.kernel server in
   let cost = k.Simos.Kernel.cost in
   Simos.Kernel.charge_sys k cost.Simos.Cost.fork_exec_base;
   charge_bootstrap_load k;
@@ -61,7 +61,7 @@ let interpreter_path = "/bin/omos"
 
 let install_interpreter (server : Server.t) : registry =
   let reg = { server; programs = Hashtbl.create 8 } in
-  Simos.Kernel.register_interpreter server.Server.kernel interpreter_path
+  Simos.Kernel.register_interpreter (Server.kernel server) interpreter_path
     (fun _k ~params ~args ->
       match params with
       | [ name ] -> (
@@ -77,13 +77,13 @@ let install_interpreter (server : Server.t) : registry =
 let publish (reg : registry) ~(path : string) ~(name : string)
     (loadable : unit -> Server.loadable) : unit =
   Hashtbl.replace reg.programs name loadable;
-  Simos.Fs.write_file reg.server.Server.kernel.Simos.Kernel.fs path
+  Simos.Fs.write_file (Server.kernel reg.server).Simos.Kernel.fs path
     (Bytes.of_string (Printf.sprintf "#! %s %s\n" interpreter_path name))
 
 (** Launch [l] through the OMOS-integrated exec. *)
 let integrated_exec (server : Server.t) (l : Server.loadable) ~(args : string list) :
     Simos.Proc.t =
-  let k = server.Server.kernel in
+  let k = Server.kernel server in
   let cost = k.Simos.Kernel.cost in
   (* empty-task setup; OMOS is handed the task directly — half an IPC,
      no bootstrap, no file work, none of the exec server's binary

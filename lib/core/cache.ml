@@ -12,6 +12,14 @@
     the cache can report disk use, and hit/miss counters feed the
     caching experiment (E3). *)
 
+(* Global telemetry: a process hosts one server cache at a time, so
+   these track the per-cache counts below one-for-one. *)
+let tm_hits = Telemetry.Counter.make "cache.hits"
+let tm_misses = Telemetry.Counter.make "cache.misses"
+let tm_insertions = Telemetry.Counter.make "cache.insertions"
+let tm_evictions = Telemetry.Counter.make "cache.evictions"
+let tm_entry_bytes = Telemetry.Histogram.make "cache.entry_bytes"
+
 type entry = {
   key : string; (* construction digest *)
   image : Linker.Image.t;
@@ -42,9 +50,11 @@ let find (t : t) (key : string) ~(acceptable : entry -> bool) : entry option =
   | Some e ->
       e.hits <- e.hits + 1;
       t.hit_count <- t.hit_count + 1;
+      Telemetry.Counter.incr tm_hits;
       Some e
   | None ->
       t.miss_count <- t.miss_count + 1;
+      Telemetry.Counter.incr tm_misses;
       None
 
 (** Record a freshly built image. *)
@@ -64,6 +74,8 @@ let insert (t : t) ~(key : string) ~(text_base : int) ~(data_base : int)
   | Some r -> r := e :: !r
   | None -> Hashtbl.replace t.entries key (ref [ e ]));
   t.insertions <- t.insertions + 1;
+  Telemetry.Counter.incr tm_insertions;
+  Telemetry.Histogram.observe tm_entry_bytes (float_of_int e.disk_bytes);
   e
 
 (** Drop every placement of a construction (e.g. after its sources
@@ -110,6 +122,7 @@ let evict_to_budget (t : t) ~(bytes : int) : entry list =
       Hashtbl.fold (fun k r acc -> if !r = [] then k :: acc else acc) t.entries []
     in
     List.iter (Hashtbl.remove t.entries) empty;
+    Telemetry.Counter.incr tm_evictions ~by:(List.length victim_set);
     victim_set
   end
 

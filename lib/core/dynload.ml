@@ -51,19 +51,19 @@ let images_of (t : t) (p : Simos.Proc.t) : proc_classes =
 let load (t : t) (p : Simos.Proc.t) ~(client_images : Linker.Image.t list)
     ~(graph : Blueprint.Mgraph.node) ~(symbols : string list) : (string * int) list =
   let server = t.server in
-  let k = server.Server.kernel in
+  let k = Server.kernel server in
   Simos.Kernel.charge_sys k k.Simos.Kernel.cost.Simos.Cost.ipc_round_trip;
   let classes = images_of t p in
   let externals = client_images @ classes.images in
   let r = Server.eval server graph in
   let text_size, data_size = Server.module_sizes r.Blueprint.Mgraph.m in
   let tdec =
-    Constraints.Placement.place server.Server.text_arena ~size:(max 1 text_size)
+    Constraints.Placement.place (Server.text_arena server) ~size:(max 1 text_size)
       ~owner:(Printf.sprintf "dynload-pid%d" p.Simos.Proc.pid)
       ()
   in
   let ddec =
-    Constraints.Placement.place server.Server.data_arena ~size:(max 1 data_size)
+    Constraints.Placement.place (Server.data_arena server) ~size:(max 1 data_size)
       ~owner:(Printf.sprintf "dynload-pid%d" p.Simos.Proc.pid)
       ()
   in
@@ -108,12 +108,12 @@ let unload (t : t) (p : Simos.Proc.t) (img : Linker.Image.t) : unit =
     Simos.Addr_space.unmap p.Simos.Proc.aspace ~lo:img.Linker.Image.bss_vaddr;
   (match Linker.Image.text_segment img with
   | Some seg ->
-      Constraints.Placement.release t.server.Server.text_arena
+      Constraints.Placement.release (Server.text_arena t.server)
         ~lo:seg.Linker.Image.vaddr
   | None -> ());
   (match Linker.Image.data_segment img with
   | Some seg ->
-      Constraints.Placement.release t.server.Server.data_arena
+      Constraints.Placement.release (Server.data_arena t.server)
         ~lo:seg.Linker.Image.vaddr
   | None -> ());
   classes.images <- List.filter (fun i -> not (i == img)) classes.images

@@ -139,7 +139,7 @@ let handle_bind (rt : t) (k : Simos.Kernel.t) (p : Simos.Proc.t) (cpu : Svm.Cpu.
 let runtime ?(upcalls : Upcalls.t option) (server : Server.t) : t =
   let rt = { server; table = Hashtbl.create 16 } in
   let upcalls =
-    match upcalls with Some u -> u | None -> Upcalls.install server.Server.kernel
+    match upcalls with Some u -> u | None -> Upcalls.install (Server.kernel server)
   in
   Upcalls.register upcalls Simos.Syscall.plt_bind (handle_bind rt);
   Upcalls.register upcalls Simos.Syscall.omos_load_library (handle_bind rt);
@@ -172,7 +172,7 @@ let exe_path ~scheme ~name = Printf.sprintf "/bin/%s.%s" name scheme
    development-environment argument). *)
 let install_executable (server : Server.t) ~(path : string) (img : Linker.Image.t) :
     unit =
-  let k = server.Server.kernel in
+  let k = Server.kernel server in
   let bytes = Linker.Image.encode img in
   (if not (Simos.Fs.exists k.Simos.Kernel.fs path) then
      let pages = (Bytes.length bytes + Simos.Cost.page_size - 1) / Simos.Cost.page_size in
@@ -243,7 +243,7 @@ let static_program (rt : t) ~(name : string) ~(client : Sof.Object_file.t list)
     prog_name = name;
     scheme = "static";
     launch =
-      (fun ~args -> Simos.Kernel.exec server.Server.kernel ~path ~args);
+      (fun ~args -> Simos.Kernel.exec (Server.kernel server) ~path ~args);
     dispatch_bytes = 0;
     eager_relocs = 0;
     imports = 0;
@@ -282,7 +282,7 @@ let dynamic_program (rt : t) ~(name : string) ~(client : Sof.Object_file.t list)
   (* deferred (page-wise lazy) relocation density of each library: the
      -B deferred model — a library page is relocated, privately, the
      first time each process touches it *)
-  let cost = server.Server.kernel.Simos.Kernel.cost in
+  let cost = (Server.kernel server).Simos.Kernel.cost in
   (* the traditional loader opens each shared library and processes its
      headers/symbol tables on every exec; OMOS pre-parses once. The
      0.08 factor approximates header+symbol-table share of the file. *)
@@ -321,7 +321,7 @@ let dynamic_program (rt : t) ~(name : string) ~(client : Sof.Object_file.t list)
     | None -> raise (Scheme_error ("missing slot for " ^ n))
   in
   let imports_arr = Array.of_list imports in
-  let k = server.Server.kernel in
+  let k = Server.kernel server in
   {
     prog_name = name;
     scheme = "dynamic";
@@ -415,7 +415,7 @@ let partial_image_program (rt : t) ~(name : string)
     | None -> raise (Scheme_error ("missing slot for " ^ n))
   in
   let imports_arr = Array.of_list imports in
-  let k = server.Server.kernel in
+  let k = Server.kernel server in
   {
     prog_name = name;
     scheme = "omos-partial";
@@ -443,7 +443,7 @@ let partial_image_program (rt : t) ~(name : string)
 
 (** Run one invocation to completion; returns (exit code, stdout). *)
 let invoke (rt : t) (prog : program) ~(args : string list) : int * string =
-  let k = rt.server.Server.kernel in
+  let k = Server.kernel rt.server in
   let p = prog.launch ~args in
   let code = Simos.Kernel.run k p () in
   let out = Simos.Proc.stdout_contents p in

@@ -48,13 +48,20 @@ type t = {
   data_arena : Constraints.Placement.t;
   kernel : Simos.Kernel.t;
   env : Blueprint.Mgraph.env;
-  stats : work_stats;
+  work : work_stats;
   mutable conflicts : conflict list;
   (* charge server-side build work to the simulated clock? The paper's
      common case is install-time generation, so misses normally charge;
      benches can turn it off to isolate steady state. *)
   mutable charge_build_work : bool;
 }
+
+(* Request-path telemetry. *)
+let tm_instantiations = Telemetry.Counter.make "server.instantiations"
+let tm_arena_conflicts = Telemetry.Counter.make "server.arena_conflicts"
+let tm_instantiate_us = Telemetry.Histogram.make "server.us.instantiate"
+let tm_eval_us = Telemetry.Histogram.make "server.us.eval"
+let tm_link_us = Telemetry.Histogram.make "server.us.link"
 
 (* -- construction --------------------------------------------------------- *)
 
@@ -72,6 +79,9 @@ let create ~(kernel : Simos.Kernel.t) () : t =
             raise (Blueprint.Mgraph.Eval_error ("unknown server object " ^ path)))
       ()
   in
+  (* Telemetry timestamps follow the simulated clock from here on, so
+     spans and phase histograms are in simulated microseconds. *)
+  Telemetry.set_clock (fun () -> Simos.Clock.elapsed kernel.Simos.Kernel.clock);
   {
     ns;
     cache = Cache.create ();
@@ -81,10 +91,37 @@ let create ~(kernel : Simos.Kernel.t) () : t =
       Constraints.Placement.create ~region_lo:lib_data_lo ~region_hi:lib_data_hi ();
     kernel;
     env;
-    stats = { links = 0; relocs = 0; source_compiles = 0; instantiations = 0 };
+    work = { links = 0; relocs = 0; source_compiles = 0; instantiations = 0 };
     conflicts = [];
     charge_build_work = true;
   }
+
+(* -- read-only views ------------------------------------------------------- *)
+
+(** Immutable snapshot of the work counters. *)
+type stats = {
+  links : int;
+  relocs : int;
+  source_compiles : int;
+  instantiations : int;
+}
+
+let stats (t : t) : stats =
+  {
+    links = t.work.links;
+    relocs = t.work.relocs;
+    (* source compiles happen inside the blueprint evaluator; one server
+       per process, so the global counter is this server's count *)
+    source_compiles = Telemetry.Counter.get "blueprint.source_compiles";
+    instantiations = t.work.instantiations;
+  }
+
+let namespace (t : t) : Namespace.t = t.ns
+let cache_stats (t : t) : Cache.stats = Cache.stats t.cache
+let kernel (t : t) : Simos.Kernel.t = t.kernel
+let text_arena (t : t) : Constraints.Placement.t = t.text_arena
+let data_arena (t : t) : Constraints.Placement.t = t.data_arena
+let set_charge_build_work (t : t) (b : bool) : unit = t.charge_build_work <- b
 
 let add_fragment (t : t) (path : string) (o : Sof.Object_file.t) : unit =
   Namespace.bind_fragment t.ns path o
@@ -119,13 +156,16 @@ let find_meta (t : t) (path : string) : Blueprint.Meta.t =
 (* -- evaluation & linking -------------------------------------------------- *)
 
 let eval (t : t) (node : Blueprint.Mgraph.node) : Blueprint.Mgraph.result =
-  Blueprint.Mgraph.eval t.env node
+  let t0 = Telemetry.now_us () in
+  let r = Blueprint.Mgraph.eval t.env node in
+  Telemetry.Histogram.observe tm_eval_us (Telemetry.now_us () -. t0);
+  r
 
 (* Charge the cost of a full link to the simulated clock: this is the
    work a cache hit avoids. *)
 let charge_link (t : t) (stats : Linker.Link.stats) : unit =
-  t.stats.links <- t.stats.links + 1;
-  t.stats.relocs <- t.stats.relocs + stats.Linker.Link.relocs_applied;
+  t.work.links <- t.work.links + 1;
+  t.work.relocs <- t.work.relocs + stats.Linker.Link.relocs_applied;
   if t.charge_build_work then begin
     let cost = t.kernel.Simos.Kernel.cost in
     Simos.Kernel.charge_sys t.kernel
@@ -199,6 +239,7 @@ let link_in_arena (t : t) ~(name : string) ~(cache_key : string)
         let dec = Constraints.Placement.place arena ~size ~owner:name ~prefs () in
         (match List.sort (fun (p1, _) (p2, _) -> compare p2 p1) prefs with
         | (_, wanted) :: _ when dec.Constraints.Placement.satisfied <> Some wanted ->
+            Telemetry.Counter.incr tm_arena_conflicts;
             t.conflicts <-
               { c_owner = name; c_seg = seg; c_wanted = wanted;
                 c_got = dec.Constraints.Placement.base }
@@ -214,6 +255,7 @@ let link_in_arena (t : t) ~(name : string) ~(cache_key : string)
         place_noting t.data_arena Blueprint.Mgraph.Seg_data (max data_size 1)
           (prefs_for Blueprint.Mgraph.Seg_data r.Blueprint.Mgraph.constraints)
       in
+      let t0 = Telemetry.now_us () in
       let img, lstats =
         Linker.Link.link ~externals ~allow_undefined:true
           ~layout:
@@ -224,6 +266,7 @@ let link_in_arena (t : t) ~(name : string) ~(cache_key : string)
           (Jigsaw.Module_ops.fragments r.Blueprint.Mgraph.m)
       in
       charge_link t lstats;
+      Telemetry.Histogram.observe tm_link_us (Telemetry.now_us () -. t0);
       let e =
         Cache.insert t.cache ~key:cache_key
           ~text_base:tdec.Constraints.Placement.base
@@ -237,7 +280,7 @@ let link_in_arena (t : t) ~(name : string) ~(cache_key : string)
     symbols are allowed (libraries may reference client symbols — the
     paper's "furthest downstream" discussion) unless [externals]
     satisfy them. *)
-let build_library (t : t) ~(path : string)
+let build_library_raw (t : t) ~(path : string)
     ?(spec : (string * Blueprint.Mgraph.value list) option) ?(externals = []) () :
     built =
   let meta = find_meta t path in
@@ -247,7 +290,7 @@ let build_library (t : t) ~(path : string)
     ^ String.concat "" (List.map (fun i -> ":" ^ Linker.Image.digest i) externals)
   in
   if Cache.candidates t.cache cache_key = [] then begin
-    t.stats.instantiations <- t.stats.instantiations + 1;
+    t.work.instantiations <- t.work.instantiations + 1;
     let r = eval t graph in
     link_in_arena t ~name:path ~cache_key ~externals r
   end
@@ -258,7 +301,7 @@ let build_library (t : t) ~(path : string)
 (** Build (or fetch) a fully static image of an arbitrary graph at the
     client base addresses — generic instantiation (also the static
     scheme and the interposition examples). *)
-let build_static (t : t) ~(name : string) ?(entry_symbol : string option)
+let build_static_raw (t : t) ~(name : string) ?(entry_symbol : string option)
     ?(externals = []) (graph : Blueprint.Mgraph.node) : built =
   let cache_key =
     "static:" ^ name ^ ":" ^ Blueprint.Mgraph.digest graph
@@ -267,8 +310,9 @@ let build_static (t : t) ~(name : string) ?(entry_symbol : string option)
   match Cache.find t.cache cache_key ~acceptable:(fun _ -> true) with
   | Some e -> { entry = e; key = cache_key ^ "@" ^ Linker.Image.digest e.Cache.image }
   | None ->
-      t.stats.instantiations <- t.stats.instantiations + 1;
+      t.work.instantiations <- t.work.instantiations + 1;
       let r = eval t graph in
+      let t0 = Telemetry.now_us () in
       let img, lstats =
         Linker.Link.link ?entry:entry_symbol ~externals
           ~layout:
@@ -276,12 +320,86 @@ let build_static (t : t) ~(name : string) ?(entry_symbol : string option)
           (Jigsaw.Module_ops.fragments r.Blueprint.Mgraph.m)
       in
       charge_link t lstats;
+      Telemetry.Histogram.observe tm_link_us (Telemetry.now_us () -. t0);
       let e =
         Cache.insert t.cache ~key:cache_key ~text_base:client_text_base
           ~data_base:client_data_base
           { img with Linker.Image.name }
       in
       { entry = e; key = cache_key ^ "@" ^ Linker.Image.digest img }
+
+(* -- the unified request API ------------------------------------------------ *)
+
+(** What a client asks the server to instantiate. *)
+type target =
+  | Library of {
+      path : string;
+      spec : (string * Blueprint.Mgraph.value list) option;
+    }
+  | Static of {
+      name : string;
+      graph : Blueprint.Mgraph.node;
+      entry_symbol : string option;
+    }
+
+type request = { target : target; externals : Linker.Image.t list }
+
+type response = {
+  built : built;
+  cache_hit : bool; (* served from the image cache, no link performed *)
+  sim_us : float; (* simulated time the request took *)
+}
+
+let library_request ?spec ?(externals = []) (path : string) : request =
+  { target = Library { path; spec }; externals }
+
+let static_request ?entry_symbol ?(externals = []) ~(name : string)
+    (graph : Blueprint.Mgraph.node) : request =
+  { target = Static { name; graph; entry_symbol }; externals }
+
+let target_label = function
+  | Library l -> "lib:" ^ l.path
+  | Static s -> "static:" ^ s.name
+
+(** Serve one instantiation request: the single entry point of the OMOS
+    request path. Opens the root ["omos.instantiate"] span; everything
+    below (m-graph evaluation, placement, linking, caching) nests under
+    it. *)
+let instantiate (t : t) (req : request) : response =
+  let span =
+    Telemetry.Span.enter "omos.instantiate"
+      ~attrs:[ ("target", Telemetry.S (target_label req.target)) ]
+  in
+  Fun.protect ~finally:(fun () -> Telemetry.Span.exit span) @@ fun () ->
+  let t0 = Telemetry.now_us () in
+  let links0 = t.work.links in
+  let built =
+    match req.target with
+    | Library { path; spec } ->
+        build_library_raw t ~path ?spec ~externals:req.externals ()
+    | Static { name; graph; entry_symbol } ->
+        build_static_raw t ~name ?entry_symbol ~externals:req.externals graph
+  in
+  let cache_hit = t.work.links = links0 in
+  let sim_us = Telemetry.now_us () -. t0 in
+  Telemetry.Counter.incr tm_instantiations;
+  Telemetry.Histogram.observe tm_instantiate_us sim_us;
+  Telemetry.Span.add_attr span "cache_hit" (Telemetry.B cache_hit);
+  { built; cache_hit; sim_us }
+
+(** Build (or fetch) the image of a {e library} meta-object — a thin
+    wrapper over {!instantiate}. *)
+let build_library (t : t) ~(path : string)
+    ?(spec : (string * Blueprint.Mgraph.value list) option) ?(externals = []) () :
+    built =
+  (instantiate t { target = Library { path; spec }; externals }).built
+
+(** Build (or fetch) a fully static image of an arbitrary graph — a thin
+    wrapper over {!instantiate}. *)
+let build_static (t : t) ~(name : string) ?(entry_symbol : string option)
+    ?(externals = []) (graph : Blueprint.Mgraph.node) : built =
+  (instantiate t { target = Static { name; graph; entry_symbol }; externals })
+    .built
 
 (** Register a specialization style (the schemes install theirs here). *)
 let register_specializer (t : t) (style : string) (f : Blueprint.Mgraph.specializer) :

@@ -4,7 +4,9 @@
     simulated program invocations) that owns the namespace, the image
     cache, the address-space constraint arenas, and the blueprint
     evaluation environment. Program linking and loading are the special
-    case of generic object instantiation. *)
+    case of generic object instantiation, and every instantiation goes
+    through one entry point: {!instantiate}, which opens the root
+    telemetry span of the request path. *)
 
 exception Server_error of string
 
@@ -19,14 +21,6 @@ val lib_data_hi : int
 val client_text_base : int
 val client_data_base : int
 
-(** Work the server has performed (for the caching experiments). *)
-type work_stats = {
-  mutable links : int;
-  mutable relocs : int;
-  mutable source_compiles : int;
-  mutable instantiations : int;
-}
-
 (** A recorded placement conflict: an object wanted an address it could
     not have (paper §4.1: "OMOS could easily record the conflicts
     found"). *)
@@ -37,21 +31,37 @@ type conflict = {
   c_got : int;
 }
 
-type t = {
-  ns : Namespace.t;
-  cache : Cache.t;
-  text_arena : Constraints.Placement.t;
-  data_arena : Constraints.Placement.t;
-  kernel : Simos.Kernel.t;
-  env : Blueprint.Mgraph.env;
-  stats : work_stats;
-  mutable conflicts : conflict list;
-  (* charge server-side build work to the simulated clock? benches can
-     turn it off to isolate steady state *)
-  mutable charge_build_work : bool;
-}
+type t
 
 val create : kernel:Simos.Kernel.t -> unit -> t
+
+(** {1 Read-only views}
+
+    The server's internals are not exposed; read state through these. *)
+
+(** Snapshot of the work the server has performed (for the caching
+    experiments). [source_compiles] counts blueprint [source] nodes
+    compiled anywhere in this process. *)
+type stats = {
+  links : int;
+  relocs : int;
+  source_compiles : int;
+  instantiations : int;
+}
+
+val stats : t -> stats
+val namespace : t -> Namespace.t
+val cache_stats : t -> Cache.stats
+val kernel : t -> Simos.Kernel.t
+val text_arena : t -> Constraints.Placement.t
+val data_arena : t -> Constraints.Placement.t
+
+(** Charge server-side build work (relocations, symbol lookups) to the
+    simulated clock? On by default; benches turn it off to isolate
+    steady state. *)
+val set_charge_build_work : t -> bool -> unit
+
+(** {1 Namespace population} *)
 
 (** Bind objects into the server's namespace. *)
 val add_fragment : t -> string -> Sof.Object_file.t -> unit
@@ -72,6 +82,8 @@ val load_fragment_file : t -> fs_path:string -> ns_path:string -> unit
 (** @raise Server_error if the path is absent or not a meta-object. *)
 val find_meta : t -> string -> Blueprint.Meta.t
 
+(** {1 Instantiation} *)
+
 (** Evaluate an m-graph in the server's environment. *)
 val eval : t -> Blueprint.Mgraph.node -> Blueprint.Mgraph.result
 
@@ -82,9 +94,55 @@ val module_sizes : Jigsaw.Module_ops.t -> int * int
     for mapping into tasks. *)
 type built = { entry : Cache.entry; key : string }
 
-(** Build (or fetch) the image of a {e library} meta-object: fully
-    bound, placed by the constraint system, cached, shared. Undefined
-    symbols are allowed unless [externals] satisfy them. *)
+(** What a client asks the server to instantiate:
+
+    - [Library]: a library meta-object by namespace path, optionally
+      specialized — fully bound, placed by the constraint system in the
+      shared arenas, cached, shared. Undefined symbols are allowed
+      (libraries may reference client symbols) unless [externals]
+      satisfy them.
+    - [Static]: an arbitrary m-graph linked at the client base
+      addresses — generic instantiation (also the static scheme and the
+      interposition examples). *)
+type target =
+  | Library of {
+      path : string;
+      spec : (string * Blueprint.Mgraph.value list) option;
+    }
+  | Static of {
+      name : string;
+      graph : Blueprint.Mgraph.node;
+      entry_symbol : string option;
+    }
+
+type request = { target : target; externals : Linker.Image.t list }
+
+type response = {
+  built : built;
+  cache_hit : bool; (* served from the image cache, no link performed *)
+  sim_us : float; (* simulated time the request took *)
+}
+
+val library_request :
+  ?spec:string * Blueprint.Mgraph.value list ->
+  ?externals:Linker.Image.t list ->
+  string ->
+  request
+
+val static_request :
+  ?entry_symbol:string ->
+  ?externals:Linker.Image.t list ->
+  name:string ->
+  Blueprint.Mgraph.node ->
+  request
+
+(** Serve one instantiation request — the single entry point of the
+    OMOS request path. Opens the root ["omos.instantiate"] telemetry
+    span; evaluation, placement, linking and caching all nest under
+    it. *)
+val instantiate : t -> request -> response
+
+(** [build_library t ~path ()] = [(instantiate t (library_request path)).built]. *)
 val build_library :
   t ->
   path:string ->
@@ -93,9 +151,8 @@ val build_library :
   unit ->
   built
 
-(** Build (or fetch) a fully static image of an arbitrary graph at the
-    client base addresses — generic instantiation (also the static
-    scheme and the interposition examples). *)
+(** [build_static t ~name graph] — thin wrapper over {!instantiate}
+    with a [Static] target. *)
 val build_static :
   t ->
   name:string ->

@@ -18,6 +18,14 @@ exception Module_error of string
 
 let fail fmt = Format.kasprintf (fun s -> raise (Module_error s)) fmt
 
+(* Every operator runs inside a "jigsaw.<op>" span and bumps the shared
+   operator counter. *)
+let tm_ops = Telemetry.Counter.make "jigsaw.ops"
+
+let traced (op : string) (f : unit -> 'a) : 'a =
+  Telemetry.Counter.incr tm_ops;
+  Telemetry.with_span ("jigsaw." ^ op) f
+
 type t = { label : string; fragments : Sof.View.t list }
 
 let v ?(label = "<module>") (fragments : Sof.View.t list) : t = { label; fragments }
@@ -84,6 +92,7 @@ let global_names_of_frag (o : Sof.Object_file.t) : string list =
     references found in the other. Multiple {e global} definitions of a
     symbol constitute an error (weak definitions coexist). *)
 let merge (a : t) (b : t) : t =
+  traced "merge" @@ fun () ->
   let seen = Hashtbl.create 64 in
   List.iter
     (fun o ->
@@ -107,12 +116,14 @@ let merge_list (ms : t list) : t =
 (** [restrict sel m] virtualizes the selected bindings: definitions are
     removed, references to them become (or stay) unbound. *)
 let restrict (sel : Select.t) (m : t) : t =
+  traced "restrict" @@ fun () ->
   let m' = push_all m (Sof.View.Undefine (Select.matches sel)) in
   { m' with label = Printf.sprintf "(restrict %s %s)" (Select.pattern sel) m.label }
 
 (** [project sel m] is the complement: virtualize all {e but} the
     selected bindings. *)
 let project (sel : Select.t) (m : t) : t =
+  traced "project" @@ fun () ->
   let m' = push_all m (Sof.View.Undefine (fun n -> not (Select.matches sel n))) in
   { m' with label = Printf.sprintf "(project %s %s)" (Select.pattern sel) m.label }
 
@@ -120,6 +131,7 @@ let project (sel : Select.t) (m : t) : t =
     of [b]: [a]'s conflicting definitions are virtualized first, so
     [a]'s references rebind to [b]'s implementations. *)
 let override (a : t) (b : t) : t =
+  traced "override" @@ fun () ->
   let b_exports = Hashtbl.create 32 in
   List.iter
     (fun o -> List.iter (fun n -> Hashtbl.replace b_exports n ())
@@ -133,6 +145,7 @@ let override (a : t) (b : t) : t =
     definition(s) under a new name ([new_name] may use [\1]-style group
     references against [sel]). *)
 let copy_as (sel : Select.t) (new_name : string) (m : t) : t =
+  traced "copy_as" @@ fun () ->
   let m' = push_all m (Sof.View.Copy_defs (Select.rewrite sel new_name)) in
   { m' with
     label = Printf.sprintf "(copy_as %s %s %s)" (Select.pattern sel) new_name m.label }
@@ -169,17 +182,20 @@ let freeze_like ~keep_public (sel : Select.t) (m : t) : t =
     later [override]/[restrict], while the public definition remains
     exported. *)
 let freeze (sel : Select.t) (m : t) : t =
+  traced "freeze" @@ fun () ->
   let m' = freeze_like ~keep_public:true sel m in
   { m' with label = Printf.sprintf "(freeze %s %s)" (Select.pattern sel) m.label }
 
 (** [hide sel m] removes the selected definitions from the exported
     symbol table, freezing internal references to them in the process. *)
 let hide (sel : Select.t) (m : t) : t =
+  traced "hide" @@ fun () ->
   let m' = freeze_like ~keep_public:false sel m in
   { m' with label = Printf.sprintf "(hide %s %s)" (Select.pattern sel) m.label }
 
 (** [show sel m] hides all but the selected definitions. *)
 let show (sel : Select.t) (m : t) : t =
+  traced "show" @@ fun () ->
   let keep = Select.matches sel in
   let victims = List.filter (fun n -> not (keep n)) (exports m) in
   let m' =
@@ -195,6 +211,7 @@ type rename_scope = Defs_only | Refs_only | Both
 (** [rename sel template m] systematically changes names in the operand
     symbol table. Names may be references, definitions, or both. *)
 let rename ?(scope = Both) (sel : Select.t) (template : string) (m : t) : t =
+  traced "rename" @@ fun () ->
   let map = Select.rewrite sel template in
   let m' =
     match scope with
@@ -212,6 +229,7 @@ let rename ?(scope = Both) (sel : Select.t) (template : string) (m : t) : t =
     order. The synthesized definition is merged in, overriding the weak
     default provided by crt0. *)
 let initializers (m : t) : t =
+  traced "initializers" @@ fun () ->
   let ctors = List.concat_map (fun o -> o.Sof.Object_file.ctors) (fragments m) in
   let a = Sof.Asm.create "(initializers)" in
   Sof.Asm.label a "__init";

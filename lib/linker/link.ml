@@ -86,8 +86,18 @@ type stats = {
     against self-contained shared libraries). With [allow_undefined],
     unresolved references are left as zero words and reported in
     [stats] instead of raising. *)
+let tm_links = Telemetry.Counter.make "linker.links"
+let tm_relocs = Telemetry.Counter.make "linker.relocs_applied"
+let tm_symbols = Telemetry.Counter.make "linker.symbols_resolved"
+let tm_combines = Telemetry.Counter.make "linker.combines"
+
 let link ?entry ?(externals : Image.t list = []) ?(allow_undefined = false)
     ~(layout : layout) (frags : Sof.Object_file.t list) : Image.t * stats =
+  let span =
+    Telemetry.Span.enter "linker.link"
+      ~attrs:[ ("fragments", Telemetry.I (List.length frags)) ]
+  in
+  Fun.protect ~finally:(fun () -> Telemetry.Span.exit span) @@ fun () ->
   let placed, text_size, data_size, bss_size = place_fragments frags in
   let text_base = layout.text_base and data_base = layout.data_base in
   let bss_base = align_up (data_base + data_size) 4 in
@@ -232,6 +242,11 @@ let link ?entry ?(externals : Image.t list = []) ?(allow_undefined = false)
       reloc_work = !relocs_applied;
     }
   in
+  Telemetry.Counter.incr tm_links;
+  Telemetry.Counter.incr tm_relocs ~by:!relocs_applied;
+  Telemetry.Counter.incr tm_symbols ~by:!resolved;
+  Telemetry.Span.add_attr span "relocs_applied" (Telemetry.I !relocs_applied);
+  Telemetry.Span.add_attr span "symbols_resolved" (Telemetry.I !resolved);
   ( img,
     {
       fragments = List.length frags;
@@ -247,6 +262,11 @@ let link ?entry ?(externals : Image.t list = []) ?(allow_undefined = false)
     collide, and each fragment's references to its own locals follow the
     mangling. *)
 let combine ~name (frags : Sof.Object_file.t list) : Sof.Object_file.t =
+  Telemetry.with_span "linker.combine"
+    ~attrs:
+      [ ("name", Telemetry.S name); ("fragments", Telemetry.I (List.length frags)) ]
+  @@ fun () ->
+  Telemetry.Counter.incr tm_combines;
   let placed, text_size, data_size, bss_size = place_fragments frags in
   let text = Bytes.make text_size '\000' in
   let data = Bytes.make data_size '\000' in

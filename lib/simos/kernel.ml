@@ -158,12 +158,18 @@ let do_argv (p : Proc.t) (cpu : Svm.Cpu.t) : unit =
       ret cpu (String.length arg)
   | Some _ | None -> ret cpu (-1)
 
+let tm_syscalls = Telemetry.Counter.make "kernel.syscalls"
+
 let dispatch (k : t) (p : Proc.t) (cpu : Svm.Cpu.t) (n : int) : Svm.Cpu.sys_result =
   k.syscall_count <- k.syscall_count + 1;
+  Telemetry.Counter.incr tm_syscalls;
   charge_sys k k.cost.Cost.syscall_overhead;
   if n >= Syscall.omos_base then
     match k.upcall with
-    | Some f -> f k p cpu n
+    | Some f ->
+        Telemetry.with_span "kernel.upcall"
+          ~attrs:[ ("syscall", Telemetry.I n) ]
+          (fun () -> f k p cpu n)
     | None ->
         ret cpu (-1);
         Svm.Cpu.Sys_continue
@@ -213,6 +219,13 @@ let finish_exec (k : t) (p : Proc.t) ~(entry : int) : unit =
     sources as needing demand loads on first-ever touch. *)
 let map_image (k : t) (p : Proc.t) ~(key : string) ?(fresh_from_disk = false)
     ?(touch_user_cost = 0.0) (img : Linker.Image.t) : unit =
+  Telemetry.with_span "kernel.map_image"
+    ~attrs:
+      [
+        ("key", Telemetry.S key);
+        ("segments", Telemetry.I (List.length img.Linker.Image.segments));
+      ]
+  @@ fun () ->
   charge_sys k (k.cost.Cost.map_segment *. float_of_int (List.length img.Linker.Image.segments));
   List.iter
     (fun (s : Linker.Image.segment) ->
@@ -282,6 +295,8 @@ let register_interpreter (k : t) (path : string) handler : unit =
     paper's portable way of exporting OMOS entries into the Unix
     namespace. *)
 let rec exec (k : t) ~(path : string) ~(args : string list) : Proc.t =
+  Telemetry.with_span "kernel.exec" ~attrs:[ ("path", Telemetry.S path) ]
+  @@ fun () ->
   let data0 =
     try Fs.read_file k.fs path with Fs.Fs_error m -> raise (Exec_error m)
   in

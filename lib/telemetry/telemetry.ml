@@ -1,0 +1,509 @@
+(** Structured tracing and metrics for the OMOS request path.
+
+    The paper sells OMOS on {e measured} wins — link work avoided, cache
+    hits, map-time costs (§3.1, §5) — so the reproduction carries a
+    first-class observation layer: hierarchical spans over every request
+    phase (blueprint eval → merge/override → placement → relocation →
+    map), plus a registry of monotonic counters, gauges, and histograms
+    that the server, linker, cache, constraint system, and simulated
+    kernel all feed.
+
+    Design points:
+
+    - One global collector. The simulation is single-threaded and a
+      process hosts one "world" at a time; a global sink keeps
+      instrumentation call sites to a single line.
+    - Counters/gauges/histograms are {e always on} (a few word writes).
+      Spans are recorded only while {!set_enabled}[ true], so steady-state
+      benchmarks pay nothing for the tracing machinery.
+    - Span timestamps come from a pluggable clock ({!set_clock});
+      {!Server.create} points it at the simulated clock, so exported
+      traces are in {e simulated} microseconds — the unit every table in
+      the paper uses.
+    - Two exporters: line-oriented JSON events ({!Export.events_json})
+      and the Chrome [trace_event] format ({!Export.chrome}) loadable in
+      about://tracing or Perfetto. *)
+
+(* -- attribute values ----------------------------------------------------- *)
+
+type value = S of string | I of int | F of float | B of bool
+
+type attr = string * value
+
+(* -- global collector state ----------------------------------------------- *)
+
+type span = {
+  id : int;
+  parent : int;  (** id of the enclosing span, or -1 for a root *)
+  depth : int;
+  name : string;
+  start_us : float;
+  mutable end_us : float;  (** nan while the span is open *)
+  mutable attrs : attr list;
+}
+
+let enabled = ref false
+let clock : (unit -> float) ref = ref (fun () -> 0.0)
+let next_id = ref 0
+let open_stack : span list ref = ref []
+let completed : span list ref = ref [] (* reverse completion order *)
+
+let set_enabled b = enabled := b
+let is_enabled () = !enabled
+let set_clock f = clock := f
+let now_us () = !clock ()
+
+(* -- spans ----------------------------------------------------------------- *)
+
+module Span = struct
+  type t = span option
+
+  let null : t = None
+
+  let enter ?(attrs = []) (name : string) : t =
+    if not !enabled then None
+    else begin
+      incr next_id;
+      let parent, depth =
+        match !open_stack with [] -> (-1, 0) | p :: _ -> (p.id, p.depth + 1)
+      in
+      let s =
+        { id = !next_id; parent; depth; name; start_us = now_us ();
+          end_us = Float.nan; attrs }
+      in
+      open_stack := s :: !open_stack;
+      Some s
+    end
+
+  let add_attr (t : t) (key : string) (v : value) : unit =
+    match t with None -> () | Some s -> s.attrs <- s.attrs @ [ (key, v) ]
+
+  (* Exit [s], force-closing any children left open (exception unwind):
+     they share [s]'s end timestamp so the tree stays well nested. *)
+  let exit (t : t) : unit =
+    match t with
+    | None -> ()
+    | Some s ->
+        if Float.is_nan s.end_us then begin
+          s.end_us <- now_us ();
+          let rec pop = function
+            | [] -> []
+            | x :: rest ->
+                if x == s then rest
+                else begin
+                  if Float.is_nan x.end_us then x.end_us <- s.end_us;
+                  completed := x :: !completed;
+                  pop rest
+                end
+          in
+          open_stack := pop !open_stack;
+          completed := s :: !completed
+        end
+end
+
+let with_span ?attrs (name : string) (f : unit -> 'a) : 'a =
+  let s = Span.enter ?attrs name in
+  Fun.protect ~finally:(fun () -> Span.exit s) f
+
+(** Completed spans, in completion order (children before parents). *)
+let spans () : span list = List.rev !completed
+
+(** Completed spans with [name], oldest first. *)
+let spans_named (name : string) : span list =
+  List.filter (fun s -> s.name = name) (spans ())
+
+(* -- metrics registry ------------------------------------------------------- *)
+
+module Counter = struct
+  type t = { c_name : string; mutable count : int }
+
+  let registry : (string, t) Hashtbl.t = Hashtbl.create 32
+
+  (* Interned: the same name always yields the same counter, so module
+     initializers can hold a handle while exporters walk the registry. *)
+  let make (name : string) : t =
+    match Hashtbl.find_opt registry name with
+    | Some c -> c
+    | None ->
+        let c = { c_name = name; count = 0 } in
+        Hashtbl.replace registry name c;
+        c
+
+  let incr ?(by = 1) (c : t) : unit = c.count <- c.count + by
+  let value (c : t) : int = c.count
+  let get (name : string) : int = (make name).count
+end
+
+module Gauge = struct
+  let registry : (string, float) Hashtbl.t = Hashtbl.create 32
+  let set (name : string) (v : float) : unit = Hashtbl.replace registry name v
+  let get (name : string) : float option = Hashtbl.find_opt registry name
+end
+
+module Histogram = struct
+  (* Bounded memory: count/sum/min/max only, no raw reservoir — safe to
+     feed from per-syscall paths that fire millions of times. *)
+  type t = {
+    h_name : string;
+    mutable n : int;
+    mutable sum : float;
+    mutable minv : float;
+    mutable maxv : float;
+  }
+
+  let registry : (string, t) Hashtbl.t = Hashtbl.create 32
+
+  let make (name : string) : t =
+    match Hashtbl.find_opt registry name with
+    | Some h -> h
+    | None ->
+        let h = { h_name = name; n = 0; sum = 0.0; minv = infinity; maxv = neg_infinity } in
+        Hashtbl.replace registry name h;
+        h
+
+  let observe (h : t) (v : float) : unit =
+    h.n <- h.n + 1;
+    h.sum <- h.sum +. v;
+    if v < h.minv then h.minv <- v;
+    if v > h.maxv then h.maxv <- v
+
+  let count (h : t) : int = h.n
+  let sum (h : t) : float = h.sum
+  let mean (h : t) : float = if h.n = 0 then 0.0 else h.sum /. float_of_int h.n
+  let min_value (h : t) : float = if h.n = 0 then 0.0 else h.minv
+  let max_value (h : t) : float = if h.n = 0 then 0.0 else h.maxv
+end
+
+(** Zero every metric in place (interned handles stay valid) and drop
+    all recorded spans. The clock and enabled flag are left alone. *)
+let reset () : unit =
+  Hashtbl.iter (fun _ (c : Counter.t) -> c.Counter.count <- 0) Counter.registry;
+  Hashtbl.reset Gauge.registry;
+  Hashtbl.iter
+    (fun _ (h : Histogram.t) ->
+      h.Histogram.n <- 0;
+      h.Histogram.sum <- 0.0;
+      h.Histogram.minv <- infinity;
+      h.Histogram.maxv <- neg_infinity)
+    Histogram.registry;
+  open_stack := [];
+  completed := [];
+  next_id := 0
+
+(* -- JSON ------------------------------------------------------------------- *)
+
+(** A deliberately small JSON reader/writer: enough to emit the two
+    export formats with correct escaping and to parse them back for
+    validation (tests, [ofe trace]) without an external dependency. *)
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  exception Parse_error of string
+
+  (* -- writing -- *)
+
+  let escape (s : string) : string =
+    let b = Buffer.create (String.length s + 2) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | '\r' -> Buffer.add_string b "\\r"
+        | '\t' -> Buffer.add_string b "\\t"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+
+  let number (f : float) : string =
+    if Float.is_integer f && Float.abs f < 1e15 then
+      Printf.sprintf "%.0f" f
+    else Printf.sprintf "%.6g" f
+
+  let rec to_string (j : t) : string =
+    match j with
+    | Null -> "null"
+    | Bool b -> if b then "true" else "false"
+    | Num f -> number f
+    | Str s -> "\"" ^ escape s ^ "\""
+    | Arr xs -> "[" ^ String.concat "," (List.map to_string xs) ^ "]"
+    | Obj kvs ->
+        "{"
+        ^ String.concat ","
+            (List.map (fun (k, v) -> "\"" ^ escape k ^ "\":" ^ to_string v) kvs)
+        ^ "}"
+
+  (* -- parsing -- *)
+
+  let parse (src : string) : t =
+    let n = String.length src in
+    let pos = ref 0 in
+    let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
+    let peek () = if !pos < n then Some src.[!pos] else None in
+    let advance () = incr pos in
+    let rec skip_ws () =
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r') -> advance (); skip_ws ()
+      | _ -> ()
+    in
+    let expect c =
+      match peek () with
+      | Some c' when c' = c -> advance ()
+      | _ -> fail (Printf.sprintf "expected %c" c)
+    in
+    let literal word v =
+      if !pos + String.length word <= n && String.sub src !pos (String.length word) = word
+      then begin pos := !pos + String.length word; v end
+      else fail ("bad literal, wanted " ^ word)
+    in
+    let parse_string () =
+      expect '"';
+      let b = Buffer.create 16 in
+      let rec loop () =
+        if !pos >= n then fail "unterminated string";
+        let c = src.[!pos] in
+        advance ();
+        if c = '"' then Buffer.contents b
+        else if c = '\\' then begin
+          (if !pos >= n then fail "unterminated escape");
+          let e = src.[!pos] in
+          advance ();
+          (match e with
+          | '"' -> Buffer.add_char b '"'
+          | '\\' -> Buffer.add_char b '\\'
+          | '/' -> Buffer.add_char b '/'
+          | 'n' -> Buffer.add_char b '\n'
+          | 'r' -> Buffer.add_char b '\r'
+          | 't' -> Buffer.add_char b '\t'
+          | 'b' -> Buffer.add_char b '\b'
+          | 'f' -> Buffer.add_char b '\012'
+          | 'u' ->
+              if !pos + 4 > n then fail "bad \\u escape";
+              let hex = String.sub src !pos 4 in
+              pos := !pos + 4;
+              let code = int_of_string ("0x" ^ hex) in
+              (* keep it simple: only BMP code points below 0x80 decode
+                 to themselves; others round-trip as '?' *)
+              Buffer.add_char b (if code < 0x80 then Char.chr code else '?')
+          | _ -> fail "bad escape");
+          loop ()
+        end
+        else begin Buffer.add_char b c; loop () end
+      in
+      loop ()
+    in
+    let parse_number () =
+      let start = !pos in
+      let is_num_char c =
+        (c >= '0' && c <= '9') || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
+      in
+      while (match peek () with Some c when is_num_char c -> true | _ -> false) do
+        advance ()
+      done;
+      if !pos = start then fail "expected a number";
+      match float_of_string_opt (String.sub src start (!pos - start)) with
+      | Some f -> f
+      | None -> fail "malformed number"
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | None -> fail "unexpected end of input"
+      | Some '"' -> Str (parse_string ())
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some 'n' -> literal "null" Null
+      | Some '[' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some ']' then begin advance (); Arr [] end
+          else begin
+            let rec items acc =
+              let v = parse_value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' -> advance (); items (v :: acc)
+              | Some ']' -> advance (); List.rev (v :: acc)
+              | _ -> fail "expected ',' or ']'"
+            in
+            Arr (items [])
+          end
+      | Some '{' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some '}' then begin advance (); Obj [] end
+          else begin
+            let rec members acc =
+              skip_ws ();
+              let k = parse_string () in
+              skip_ws ();
+              expect ':';
+              let v = parse_value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' -> advance (); members ((k, v) :: acc)
+              | Some '}' -> advance (); List.rev ((k, v) :: acc)
+              | _ -> fail "expected ',' or '}'"
+            in
+            Obj (members [])
+          end
+      | Some _ -> Num (parse_number ())
+    in
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage";
+    v
+
+  let member (key : string) (j : t) : t option =
+    match j with Obj kvs -> List.assoc_opt key kvs | _ -> None
+end
+
+let json_of_value : value -> Json.t = function
+  | S s -> Json.Str s
+  | I i -> Json.Num (float_of_int i)
+  | F f -> Json.Num f
+  | B b -> Json.Bool b
+
+(* -- exporters -------------------------------------------------------------- *)
+
+module Export = struct
+  let sorted_counters () =
+    Hashtbl.fold (fun k (c : Counter.t) acc -> (k, c.Counter.count) :: acc)
+      Counter.registry []
+    |> List.sort compare
+
+  let sorted_gauges () =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) Gauge.registry []
+    |> List.sort compare
+
+  let sorted_histograms () =
+    Hashtbl.fold (fun k (h : Histogram.t) acc -> (k, h) :: acc) Histogram.registry []
+    |> List.sort compare
+
+  let span_obj (s : span) : Json.t =
+    Json.Obj
+      ([ ("type", Json.Str "span");
+         ("id", Json.Num (float_of_int s.id));
+         ("parent", if s.parent < 0 then Json.Null else Json.Num (float_of_int s.parent));
+         ("depth", Json.Num (float_of_int s.depth));
+         ("name", Json.Str s.name);
+         ("ts", Json.Num s.start_us);
+         ("dur", Json.Num (s.end_us -. s.start_us)) ]
+      @
+      if s.attrs = [] then []
+      else [ ("attrs", Json.Obj (List.map (fun (k, v) -> (k, json_of_value v)) s.attrs)) ])
+
+  (** Line-oriented JSON: one event object per line — spans in
+      completion order, then counters, gauges, and histograms. *)
+  let events_json () : string =
+    let b = Buffer.create 4096 in
+    let line (j : Json.t) =
+      Buffer.add_string b (Json.to_string j);
+      Buffer.add_char b '\n'
+    in
+    List.iter (fun s -> line (span_obj s)) (spans ());
+    List.iter
+      (fun (k, v) ->
+        line (Json.Obj [ ("type", Json.Str "counter"); ("name", Json.Str k);
+                         ("value", Json.Num (float_of_int v)) ]))
+      (sorted_counters ());
+    List.iter
+      (fun (k, v) ->
+        line (Json.Obj [ ("type", Json.Str "gauge"); ("name", Json.Str k);
+                         ("value", Json.Num v) ]))
+      (sorted_gauges ());
+    List.iter
+      (fun (k, (h : Histogram.t)) ->
+        line
+          (Json.Obj
+             [ ("type", Json.Str "histogram"); ("name", Json.Str k);
+               ("count", Json.Num (float_of_int h.Histogram.n));
+               ("sum", Json.Num h.Histogram.sum);
+               ("min", Json.Num (Histogram.min_value h));
+               ("max", Json.Num (Histogram.max_value h)) ]))
+      (sorted_histograms ());
+    Buffer.contents b
+
+  (** Chrome [trace_event] JSON (about://tracing, Perfetto): complete
+      ("X") events for spans, counter ("C") samples at the trace end,
+      and process metadata. Timestamps are the collector clock's
+      microseconds — simulated time when the server installed the
+      simulated clock. *)
+  let chrome () : string =
+    let all = spans () in
+    let by_start =
+      List.sort
+        (fun a b ->
+          match compare a.start_us b.start_us with 0 -> compare a.id b.id | c -> c)
+        all
+    in
+    let end_ts =
+      List.fold_left (fun acc s -> Float.max acc s.end_us) 0.0 all
+    in
+    let meta =
+      Json.Obj
+        [ ("ph", Json.Str "M"); ("pid", Json.Num 1.0); ("tid", Json.Num 1.0);
+          ("name", Json.Str "process_name");
+          ("args", Json.Obj [ ("name", Json.Str "omos") ]) ]
+    in
+    let span_event (s : span) =
+      Json.Obj
+        [ ("ph", Json.Str "X"); ("pid", Json.Num 1.0); ("tid", Json.Num 1.0);
+          ("cat", Json.Str "omos");
+          ("name", Json.Str s.name);
+          ("ts", Json.Num s.start_us);
+          ("dur", Json.Num (s.end_us -. s.start_us));
+          ("args",
+           Json.Obj
+             ([ ("id", Json.Num (float_of_int s.id));
+                ("parent", Json.Num (float_of_int s.parent)) ]
+             @ List.map (fun (k, v) -> (k, json_of_value v)) s.attrs)) ]
+    in
+    let counter_event (k, v) =
+      Json.Obj
+        [ ("ph", Json.Str "C"); ("pid", Json.Num 1.0); ("tid", Json.Num 1.0);
+          ("name", Json.Str k); ("ts", Json.Num end_ts);
+          ("args", Json.Obj [ ("value", Json.Num (float_of_int v)) ]) ]
+    in
+    Json.to_string
+      (Json.Obj
+         [ ("traceEvents",
+            Json.Arr
+              ((meta :: List.map span_event by_start)
+              @ List.map counter_event (sorted_counters ())));
+           ("displayTimeUnit", Json.Str "ms") ])
+
+  (** The full metrics registry as one JSON object with a stable schema
+      — what the benchmark harness writes as BENCH_*.json. *)
+  let metrics_json () : string =
+    Json.to_string
+      (Json.Obj
+         [ ("schema", Json.Str "omos.metrics/1");
+           ("counters",
+            Json.Obj
+              (List.map (fun (k, v) -> (k, Json.Num (float_of_int v)))
+                 (sorted_counters ())));
+           ("gauges",
+            Json.Obj (List.map (fun (k, v) -> (k, Json.Num v)) (sorted_gauges ())));
+           ("histograms",
+            Json.Obj
+              (List.map
+                 (fun (k, (h : Histogram.t)) ->
+                   ( k,
+                     Json.Obj
+                       [ ("count", Json.Num (float_of_int h.Histogram.n));
+                         ("sum", Json.Num h.Histogram.sum);
+                         ("mean", Json.Num (Histogram.mean h));
+                         ("min", Json.Num (Histogram.min_value h));
+                         ("max", Json.Num (Histogram.max_value h)) ] ))
+                 (sorted_histograms ()))) ])
+end

@@ -1,0 +1,129 @@
+(** Structured tracing and metrics for the OMOS request path.
+
+    One global collector: hierarchical spans (recorded only while
+    enabled), plus always-on counters/gauges/histograms, and exporters
+    for line-oriented JSON events and the Chrome [trace_event] format.
+    Span timestamps come from a pluggable clock; the server points it at
+    the simulated clock so traces are in simulated microseconds. *)
+
+(** Attribute values attached to spans. *)
+type value = S of string | I of int | F of float | B of bool
+
+type attr = string * value
+
+(** A completed (or open) span. [end_us] is [nan] while open; [parent]
+    is [-1] for roots. *)
+type span = {
+  id : int;
+  parent : int;
+  depth : int;
+  name : string;
+  start_us : float;
+  mutable end_us : float;
+  mutable attrs : attr list;
+}
+
+(** Span recording is off by default; metrics are always on. *)
+val set_enabled : bool -> unit
+
+val is_enabled : unit -> bool
+
+(** Install the time source (microseconds). The default returns 0. *)
+val set_clock : (unit -> float) -> unit
+
+val now_us : unit -> float
+
+module Span : sig
+  type t
+
+  (** The no-op span (what {!enter} returns while disabled). *)
+  val null : t
+
+  val enter : ?attrs:attr list -> string -> t
+  val add_attr : t -> string -> value -> unit
+
+  (** Close the span; children left open by an exception unwind are
+      force-closed at the same timestamp. Idempotent. *)
+  val exit : t -> unit
+end
+
+(** [with_span name f] runs [f] inside a span, closing it on exceptions
+    too. *)
+val with_span : ?attrs:attr list -> string -> (unit -> 'a) -> 'a
+
+(** Completed spans, in completion order (children before parents). *)
+val spans : unit -> span list
+
+(** Completed spans with this name, oldest first. *)
+val spans_named : string -> span list
+
+module Counter : sig
+  type t
+
+  (** Interned by name: the same name always yields the same counter. *)
+  val make : string -> t
+
+  val incr : ?by:int -> t -> unit
+  val value : t -> int
+
+  (** Current value by name (0 if never incremented). *)
+  val get : string -> int
+end
+
+module Gauge : sig
+  val set : string -> float -> unit
+  val get : string -> float option
+end
+
+module Histogram : sig
+  type t
+
+  (** Interned by name. Bounded memory: count/sum/min/max only. *)
+  val make : string -> t
+
+  val observe : t -> float -> unit
+  val count : t -> int
+  val sum : t -> float
+  val mean : t -> float
+  val min_value : t -> float
+  val max_value : t -> float
+end
+
+(** Zero every metric in place (interned handles stay valid) and drop
+    all recorded spans. Clock and enabled flag are untouched. *)
+val reset : unit -> unit
+
+(** A small JSON reader/writer used by the exporters and by tests to
+    validate exporter output. *)
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  exception Parse_error of string
+
+  val escape : string -> string
+  val to_string : t -> string
+
+  (** @raise Parse_error on malformed input. *)
+  val parse : string -> t
+
+  val member : string -> t -> t option
+end
+
+module Export : sig
+  (** One JSON object per line: spans, then counters, gauges,
+      histograms. *)
+  val events_json : unit -> string
+
+  (** Chrome [trace_event] JSON for about://tracing / Perfetto. *)
+  val chrome : unit -> string
+
+  (** The metrics registry as one stable-schema JSON object
+      ([omos.metrics/1]) — the BENCH_*.json payload. *)
+  val metrics_json : unit -> string
+end

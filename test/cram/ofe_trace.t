@@ -1,0 +1,41 @@
+The request-path tracer: instantiate /lib/libc in the quickstart world,
+export a Chrome trace_event file, and self-validate it. A cold build
+must show the full phase tree and globally-consistent cache counters.
+
+  $ ofe trace /lib/libc
+  wrote trace.json
+  cache_hit=false
+  phases: eval=true place=true link=true map=true
+  cache counters agree: hits=true misses=true
+
+The file is one JSON object wrapping a traceEvents array, starting with
+the process-name metadata record:
+
+  $ head -c 15 trace.json && echo
+  {"traceEvents":
+
+The root request span and the phase spans are all present as "X"
+(complete) events:
+
+  $ grep -c '"name":"omos.instantiate"' trace.json
+  1
+  $ grep -o '"name":"blueprint.eval"' trace.json | head -1
+  "name":"blueprint.eval"
+  $ grep -o '"name":"constraints.place"' trace.json | head -1
+  "name":"constraints.place"
+  $ grep -o '"name":"linker.link"' trace.json | head -1
+  "name":"linker.link"
+  $ grep -o '"name":"kernel.map_image"' trace.json | head -1
+  "name":"kernel.map_image"
+
+An unknown meta-object fails cleanly:
+
+  $ ofe trace /lib/nosuch
+  ofe: unknown meta-object /lib/nosuch
+  [1]
+
+The stats command dumps the metrics registry in the stable
+omos.metrics/1 schema:
+
+  $ ofe stats | head -c 24 && echo
+  {"schema":"omos.metrics/

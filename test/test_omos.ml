@@ -73,9 +73,9 @@ let test_build_library_cached () =
   let w = Omos.World.create () in
   let s = w.Omos.World.server in
   let b1 = Omos.Server.build_library s ~path:"/lib/libc" () in
-  let links_after_first = s.Omos.Server.stats.Omos.Server.links in
+  let links_after_first = (Omos.Server.stats s).Omos.Server.links in
   let b2 = Omos.Server.build_library s ~path:"/lib/libc" () in
-  Alcotest.(check int) "no relink" links_after_first s.Omos.Server.stats.Omos.Server.links;
+  Alcotest.(check int) "no relink" links_after_first (Omos.Server.stats s).Omos.Server.links;
   Alcotest.(check bool) "same image" true
     (b1.Omos.Server.entry.Omos.Cache.image == b2.Omos.Server.entry.Omos.Cache.image)
 
@@ -83,7 +83,7 @@ let test_conflicting_library_gets_alternate_placement () =
   let w = Omos.World.create () in
   let s = w.Omos.World.server in
   (match
-     Constraints.Placement.reserve s.Omos.Server.text_arena ~lo:0x100000
+     Constraints.Placement.reserve (Omos.Server.text_arena s) ~lo:0x100000
        ~size:0x20000 "squatter"
    with
   | Ok () -> ()

@@ -1,0 +1,275 @@
+(* The telemetry subsystem: span nesting, metric semantics, reset
+   behaviour, and exporter round-trips through the built-in JSON
+   parser. *)
+
+module T = Telemetry
+
+(* A fake clock the tests can step manually. *)
+let now = ref 0.0
+let install_clock () = T.set_clock (fun () -> !now)
+let tick us = now := !now +. us
+
+let fresh () =
+  install_clock ();
+  now := 0.0;
+  T.reset ();
+  T.set_enabled true
+
+(* -- spans ----------------------------------------------------------------- *)
+
+let test_span_nesting () =
+  fresh ();
+  let a = T.Span.enter "a" in
+  tick 10.0;
+  let b = T.Span.enter "b" in
+  tick 5.0;
+  let c = T.Span.enter "c" in
+  tick 1.0;
+  T.Span.exit c;
+  T.Span.exit b;
+  tick 4.0;
+  T.Span.exit a;
+  let spans = T.spans () in
+  Alcotest.(check int) "three spans" 3 (List.length spans);
+  let find n = List.find (fun (s : T.span) -> s.T.name = n) spans in
+  let sa = find "a" and sb = find "b" and sc = find "c" in
+  Alcotest.(check int) "a is a root" (-1) sa.T.parent;
+  Alcotest.(check int) "b under a" sa.T.id sb.T.parent;
+  Alcotest.(check int) "c under b" sb.T.id sc.T.parent;
+  Alcotest.(check int) "depths" 2 sc.T.depth;
+  Alcotest.(check (float 0.001)) "a start" 0.0 sa.T.start_us;
+  Alcotest.(check (float 0.001)) "a duration" 20.0 (sa.T.end_us -. sa.T.start_us);
+  Alcotest.(check (float 0.001)) "b duration" 6.0 (sb.T.end_us -. sb.T.start_us)
+
+let test_span_disabled () =
+  fresh ();
+  T.set_enabled false;
+  T.with_span "ghost" (fun () -> ());
+  Alcotest.(check int) "nothing recorded" 0 (List.length (T.spans ()));
+  T.set_enabled true
+
+let test_span_exception_unwind () =
+  fresh ();
+  (try
+     T.with_span "outer" (fun () ->
+         let inner = T.Span.enter "inner" in
+         ignore inner;
+         failwith "boom")
+   with Failure _ -> ());
+  (* with_span closed "outer" on the way out; the abandoned "inner" was
+     force-closed with it *)
+  Alcotest.(check int) "both closed" 2 (List.length (T.spans ()));
+  let names =
+    List.sort compare (List.map (fun (s : T.span) -> s.T.name) (T.spans ()))
+  in
+  Alcotest.(check (list string)) "names" [ "inner"; "outer" ] names
+
+let test_span_attrs () =
+  fresh ();
+  let s = T.Span.enter "x" ~attrs:[ ("k", T.I 1) ] in
+  T.Span.add_attr s "later" (T.S "v");
+  T.Span.exit s;
+  match T.spans_named "x" with
+  | [ sp ] ->
+      Alcotest.(check bool) "k kept" true (List.mem_assoc "k" sp.T.attrs);
+      Alcotest.(check bool) "later kept" true (List.mem_assoc "later" sp.T.attrs)
+  | l -> Alcotest.failf "expected one span, got %d" (List.length l)
+
+(* -- counters / gauges / histograms ---------------------------------------- *)
+
+let test_counter () =
+  fresh ();
+  let c = T.Counter.make "t.c" in
+  let c' = T.Counter.make "t.c" in
+  T.Counter.incr c;
+  T.Counter.incr c' ~by:4;
+  Alcotest.(check int) "interned: same counter" 5 (T.Counter.value c);
+  Alcotest.(check int) "get by name" 5 (T.Counter.get "t.c");
+  Alcotest.(check int) "unknown name is 0" 0 (T.Counter.get "t.none")
+
+let test_histogram () =
+  fresh ();
+  let h = T.Histogram.make "t.h" in
+  List.iter (T.Histogram.observe h) [ 2.0; 8.0; 5.0 ];
+  Alcotest.(check int) "count" 3 (T.Histogram.count h);
+  Alcotest.(check (float 0.001)) "sum" 15.0 (T.Histogram.sum h);
+  Alcotest.(check (float 0.001)) "mean" 5.0 (T.Histogram.mean h);
+  Alcotest.(check (float 0.001)) "min" 2.0 (T.Histogram.min_value h);
+  Alcotest.(check (float 0.001)) "max" 8.0 (T.Histogram.max_value h)
+
+let test_reset_keeps_handles () =
+  fresh ();
+  let c = T.Counter.make "t.keep" in
+  T.Counter.incr c ~by:7;
+  ignore (T.with_span "s" (fun () -> ()));
+  T.reset ();
+  Alcotest.(check int) "zeroed in place" 0 (T.Counter.value c);
+  Alcotest.(check int) "spans dropped" 0 (List.length (T.spans ()));
+  (* the interned handle still works after reset *)
+  T.Counter.incr c;
+  Alcotest.(check int) "handle alive" 1 (T.Counter.get "t.keep")
+
+(* -- json ------------------------------------------------------------------- *)
+
+let test_json_roundtrip () =
+  let src = {|{"a":[1,2.5,-3],"b":"q\"uo\\te\n","c":{"d":true,"e":null}}|} in
+  match T.Json.parse src with
+  | T.Json.Obj fields ->
+      Alcotest.(check bool) "a is arr" true
+        (match List.assoc "a" fields with T.Json.Arr _ -> true | _ -> false);
+      Alcotest.(check string) "escapes decode" "q\"uo\\te\n"
+        (match List.assoc "b" fields with T.Json.Str s -> s | _ -> "?");
+      (* printing and reparsing is stable *)
+      let again = T.Json.parse (T.Json.to_string (T.Json.Obj fields)) in
+      Alcotest.(check bool) "reparse equal" true (again = T.Json.Obj fields)
+  | _ -> Alcotest.fail "expected an object"
+
+let test_json_errors () =
+  List.iter
+    (fun s ->
+      Alcotest.check_raises ("rejects " ^ s) (T.Json.Parse_error "")
+        (fun () ->
+          try ignore (T.Json.parse s)
+          with T.Json.Parse_error _ -> raise (T.Json.Parse_error "")))
+    [ "{"; "[1,]"; "tru"; "\"unterminated"; "{\"a\" 1}"; "1 2" ]
+
+(* -- exporters --------------------------------------------------------------- *)
+
+let test_events_export () =
+  fresh ();
+  T.with_span "phase" (fun () -> tick 3.0);
+  T.Counter.incr (T.Counter.make "t.ev") ~by:2;
+  T.Gauge.set "t.g" 1.5;
+  T.Histogram.observe (T.Histogram.make "t.evh") 4.0;
+  let lines =
+    List.filter (fun l -> l <> "") (String.split_on_char '\n' (T.Export.events_json ()))
+  in
+  (* every line parses, and all record kinds appear *)
+  let kinds =
+    List.map
+      (fun l ->
+        match T.Json.member "type" (T.Json.parse l) with
+        | Some (T.Json.Str k) -> k
+        | _ -> Alcotest.fail ("line missing type: " ^ l))
+      lines
+  in
+  List.iter
+    (fun k -> Alcotest.(check bool) ("has " ^ k) true (List.mem k kinds))
+    [ "span"; "counter"; "gauge"; "histogram" ]
+
+let test_chrome_export () =
+  fresh ();
+  T.with_span "outer" (fun () ->
+      tick 2.0;
+      T.with_span "inner" (fun () -> tick 1.0));
+  T.Counter.incr (T.Counter.make "t.ch");
+  let j = T.Json.parse (T.Export.chrome ()) in
+  let events =
+    match T.Json.member "traceEvents" j with
+    | Some (T.Json.Arr evs) -> evs
+    | _ -> Alcotest.fail "no traceEvents"
+  in
+  let xs =
+    List.filter_map
+      (fun ev ->
+        match (T.Json.member "ph" ev, T.Json.member "name" ev) with
+        | Some (T.Json.Str "X"), Some (T.Json.Str n) -> Some (n, ev)
+        | _ -> None)
+      events
+  in
+  Alcotest.(check int) "two complete events" 2 (List.length xs);
+  (* X events are sorted by start time: outer first *)
+  Alcotest.(check string) "outer first" "outer" (fst (List.hd xs));
+  let dur ev =
+    match T.Json.member "dur" ev with Some (T.Json.Num d) -> d | _ -> nan
+  in
+  Alcotest.(check (float 0.001)) "outer spans both ticks" 3.0 (dur (List.assoc "outer" xs));
+  Alcotest.(check bool) "counter event present" true
+    (List.exists
+       (fun ev ->
+         match (T.Json.member "ph" ev, T.Json.member "name" ev) with
+         | Some (T.Json.Str "C"), Some (T.Json.Str "t.ch") -> true
+         | _ -> false)
+       events)
+
+let test_metrics_export () =
+  fresh ();
+  T.Counter.incr (T.Counter.make "t.m") ~by:9;
+  T.Gauge.set "t.mg" 0.5;
+  T.Histogram.observe (T.Histogram.make "t.mh") 7.0;
+  let j = T.Json.parse (T.Export.metrics_json ()) in
+  (match T.Json.member "schema" j with
+  | Some (T.Json.Str s) -> Alcotest.(check string) "schema" "omos.metrics/1" s
+  | _ -> Alcotest.fail "no schema field");
+  (match Option.bind (T.Json.member "counters" j) (T.Json.member "t.m") with
+  | Some (T.Json.Num n) -> Alcotest.(check (float 0.001)) "counter" 9.0 n
+  | _ -> Alcotest.fail "counter missing");
+  match Option.bind (T.Json.member "histograms" j) (T.Json.member "t.mh") with
+  | Some h -> (
+      match T.Json.member "count" h with
+      | Some (T.Json.Num c) -> Alcotest.(check (float 0.001)) "hist count" 1.0 c
+      | _ -> Alcotest.fail "histogram count missing")
+  | None -> Alcotest.fail "histogram missing"
+
+(* -- the instrumented request path ------------------------------------------ *)
+
+let test_request_path_trace () =
+  (* a real instantiation produces the nested span tree the trace
+     command relies on, and the global cache counters track Cache.stats *)
+  let w = Omos.World.create () in
+  let s = w.Omos.World.server in
+  T.reset ();
+  T.set_enabled true;
+  let resp = Omos.Server.instantiate s (Omos.Server.library_request "/lib/libc") in
+  T.set_enabled false;
+  Alcotest.(check bool) "cold build" false resp.Omos.Server.cache_hit;
+  let names = List.map (fun (sp : T.span) -> sp.T.name) (T.spans ()) in
+  List.iter
+    (fun n -> Alcotest.(check bool) ("span " ^ n) true (List.mem n names))
+    [ "omos.instantiate"; "blueprint.eval"; "constraints.place"; "linker.link" ];
+  let st = Omos.Server.cache_stats s in
+  Alcotest.(check int) "hits agree" st.Omos.Cache.hits (T.Counter.get "cache.hits");
+  Alcotest.(check int) "misses agree" st.Omos.Cache.misses (T.Counter.get "cache.misses");
+  (* the root span is the instantiate *)
+  let root =
+    List.find (fun (sp : T.span) -> sp.T.parent = -1) (T.spans ())
+  in
+  Alcotest.(check string) "root" "omos.instantiate" root.T.name;
+  (* warm request: a hit, no new link span *)
+  T.reset ();
+  T.set_enabled true;
+  let resp2 = Omos.Server.instantiate s (Omos.Server.library_request "/lib/libc") in
+  T.set_enabled false;
+  Alcotest.(check bool) "warm hit" true resp2.Omos.Server.cache_hit;
+  Alcotest.(check int) "no link on hit" 0 (T.Counter.get "linker.links")
+
+let () =
+  Alcotest.run "telemetry"
+    [
+      ( "spans",
+        [
+          Alcotest.test_case "nesting" `Quick test_span_nesting;
+          Alcotest.test_case "disabled" `Quick test_span_disabled;
+          Alcotest.test_case "exception unwind" `Quick test_span_exception_unwind;
+          Alcotest.test_case "attributes" `Quick test_span_attrs;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counter" `Quick test_counter;
+          Alcotest.test_case "histogram" `Quick test_histogram;
+          Alcotest.test_case "reset keeps handles" `Quick test_reset_keeps_handles;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "errors" `Quick test_json_errors;
+        ] );
+      ( "exporters",
+        [
+          Alcotest.test_case "events" `Quick test_events_export;
+          Alcotest.test_case "chrome" `Quick test_chrome_export;
+          Alcotest.test_case "metrics" `Quick test_metrics_export;
+        ] );
+      ( "request-path",
+        [ Alcotest.test_case "trace" `Quick test_request_path_trace ] );
+    ]
