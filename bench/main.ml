@@ -373,7 +373,21 @@ let cache () =
     time (fun () -> Omos.Schemes.invoke w.Omos.World.rt prog ~args:Omos.World.ls_single_args)
   in
   Printf.printf "  ls first invocation:  %8.2f ms (demand loads)\n" first;
-  Printf.printf "  ls steady state:      %8.2f ms\n" second
+  Printf.printf "  ls steady state:      %8.2f ms\n" second;
+  (* eviction round trip: trim everything, rebuild, and verify the
+     cache and the arenas stayed coherent throughout *)
+  let evicted = Omos.Server.evict_to_budget s ~bytes:0 in
+  let _, rebuild = time (fun () -> Omos.Server.build_library s ~path:"/lib/libc" ()) in
+  Printf.printf "  evicted %d entries; rebuild after eviction:     %8.2f ms\n"
+    evicted rebuild;
+  let viols = Omos.Residency.check_invariants (Omos.Server.residency s) in
+  Printf.printf
+    "  residency: %d placed, %d evicted, %d checks, %d violations (%d here)\n"
+    (Telemetry.Counter.get "residency.placed")
+    (Telemetry.Counter.get "residency.evicted")
+    (Telemetry.Counter.get "residency.invariant_checks")
+    (Telemetry.Counter.get "residency.invariant_violations")
+    (List.length viols)
 
 (* -- E4: constraint system ---------------------------------------------------------- *)
 

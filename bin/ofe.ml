@@ -359,9 +359,19 @@ let stats_cmd =
         let w = Omos.World.create () in
         let s = w.Omos.World.server in
         Telemetry.reset ();
+        (* exercise the full residency lifecycle so the residency.*
+           counters carry signal: build, evict, rebuild *)
         ignore (Omos.Server.instantiate s (Omos.Server.library_request meta));
-        ignore s;
-        print_endline (Telemetry.Export.metrics_json ()))
+        ignore (Omos.Server.evict_to_budget s ~bytes:0);
+        ignore (Omos.Server.instantiate s (Omos.Server.library_request meta));
+        let viols = Omos.Residency.check_invariants (Omos.Server.residency s) in
+        List.iter
+          (fun v ->
+            Printf.eprintf "ofe: residency violation: %s\n"
+              (Omos.Residency.violation_message v))
+          viols;
+        print_endline (Telemetry.Export.metrics_json ());
+        if viols <> [] then exit 2)
   in
   Cmd.v
     (Cmd.info "stats"

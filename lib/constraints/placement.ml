@@ -50,6 +50,11 @@ let create ?(region_lo = 0x1000) ?(region_hi = 0x7FFF_F000) ?(align = 0x1000) ()
 let intervals (t : t) : (int * int * string) list =
   List.map (fun i -> (i.lo, i.hi, i.owner)) t.occupied
 
+(** Base alignment of every placement in this arena (callers that
+    [reserve] ranges a [place] may later have to coexist with should
+    align their sizes the same way). *)
+let align (t : t) : int = t.align
+
 let align_up v a = (v + a - 1) / a * a
 
 let overlaps t lo hi =

@@ -28,6 +28,9 @@ val create : ?region_lo:int -> ?region_hi:int -> ?align:int -> unit -> t
 (** Occupied intervals, as (lo, hi, owner). *)
 val intervals : t -> (int * int * string) list
 
+(** Base alignment of every placement in this arena. *)
+val align : t -> int
+
 (** Is [lo, hi) completely unoccupied? *)
 val free : t -> lo:int -> hi:int -> bool
 

@@ -18,6 +18,20 @@
 (* The bootstrap loader binary is tiny: two pages of text+data. *)
 let bootstrap_binary_bytes = 2 * Simos.Cost.page_size
 
+(* Refuse to map a loadable whose parts lost their cache entries: an
+   evicted image no longer owns its address range, so mapping it could
+   land on top of whatever was placed there since. *)
+let assert_resident (l : Server.loadable) : unit =
+  List.iter
+    (fun (b : Server.built) ->
+      if Server.built_evicted b then
+        raise
+          (Server.Server_error
+             ("exec of evicted image "
+             ^ b.Server.entry.Cache.image.Linker.Image.name
+             ^ "; re-request the loadable")))
+    l.Server.parts
+
 let charge_bootstrap_load (k : Simos.Kernel.t) : unit =
   let cost = k.Simos.Kernel.cost in
   Simos.Kernel.charge_sys k cost.Simos.Cost.open_file;
@@ -34,6 +48,7 @@ let charge_bootstrap_load (k : Simos.Kernel.t) : unit =
     (run it with {!Simos.Kernel.run}). *)
 let bootstrap_exec (server : Server.t) (l : Server.loadable) ~(args : string list) :
     Simos.Proc.t =
+  assert_resident l;
   let k = Server.kernel server in
   let cost = k.Simos.Kernel.cost in
   Simos.Kernel.charge_sys k cost.Simos.Cost.fork_exec_base;
@@ -83,6 +98,7 @@ let publish (reg : registry) ~(path : string) ~(name : string)
 (** Launch [l] through the OMOS-integrated exec. *)
 let integrated_exec (server : Server.t) (l : Server.loadable) ~(args : string list) :
     Simos.Proc.t =
+  assert_resident l;
   let k = Server.kernel server in
   let cost = k.Simos.Kernel.cost in
   (* empty-task setup; OMOS is handed the task directly — half an IPC,

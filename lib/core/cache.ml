@@ -20,6 +20,18 @@ let tm_insertions = Telemetry.Counter.make "cache.insertions"
 let tm_evictions = Telemetry.Counter.make "cache.evictions"
 let tm_entry_bytes = Telemetry.Histogram.make "cache.entry_bytes"
 
+(** Residency of an entry relative to the server's arenas: [Placed]
+    entries hold live text/data reservations, [Evicted] entries have
+    lost them (a demoted candidate awaiting revival), [Static] entries
+    live at fixed client bases and never claim arena ranges. The
+    {!Residency} layer owns the transitions. *)
+type residency = Placed | Evicted | Static
+
+let residency_to_string = function
+  | Placed -> "placed"
+  | Evicted -> "evicted"
+  | Static -> "static"
+
 type entry = {
   key : string; (* construction digest *)
   image : Linker.Image.t;
@@ -27,6 +39,7 @@ type entry = {
   data_base : int;
   disk_bytes : int;
   mutable hits : int;
+  mutable residency : residency;
 }
 
 type t = {
@@ -59,7 +72,7 @@ let find (t : t) (key : string) ~(acceptable : entry -> bool) : entry option =
 
 (** Record a freshly built image. *)
 let insert (t : t) ~(key : string) ~(text_base : int) ~(data_base : int)
-    (image : Linker.Image.t) : entry =
+    ?(residency = Static) (image : Linker.Image.t) : entry =
   let e =
     {
       key;
@@ -68,6 +81,7 @@ let insert (t : t) ~(key : string) ~(text_base : int) ~(data_base : int)
       data_base;
       disk_bytes = Bytes.length (Linker.Image.encode image);
       hits = 0;
+      residency;
     }
   in
   (match Hashtbl.find_opt t.entries key with
@@ -81,6 +95,10 @@ let insert (t : t) ~(key : string) ~(text_base : int) ~(data_base : int)
 (** Drop every placement of a construction (e.g. after its sources
     changed). *)
 let invalidate (t : t) (key : string) : unit = Hashtbl.remove t.entries key
+
+(** Every live entry, across all keys and placements. *)
+let to_list (t : t) : entry list =
+  Hashtbl.fold (fun _ r acc -> List.rev_append !r acc) t.entries []
 
 let clear (t : t) : unit =
   Hashtbl.reset t.entries;
@@ -97,17 +115,32 @@ let clear (t : t) : unit =
     reservations. *)
 let evict_to_budget (t : t) ~(bytes : int) : entry list =
   let all =
-    Hashtbl.fold (fun _ r acc -> List.rev_append !r acc) t.entries []
+    (* a key's list is newest-first, so its primary (first-built)
+       placement is the last element; tag each entry accordingly *)
+    Hashtbl.fold
+      (fun _ r acc ->
+        match List.rev !r with
+        | [] -> acc
+        | primary :: alternates ->
+            ((primary, true) :: List.map (fun e -> (e, false)) alternates) @ acc)
+      t.entries []
   in
-  let total = List.fold_left (fun a e -> a + e.disk_bytes) 0 all in
+  let total = List.fold_left (fun a (e, _) -> a + e.disk_bytes) 0 all in
   if total <= bytes then []
   else begin
-    (* least hits evicted first *)
-    let by_use = List.sort (fun a b -> compare a.hits b.hits) all in
+    (* least hits first; among equal hits, alternates before primaries *)
+    let by_use =
+      List.sort
+        (fun ((a : entry), a_primary) ((b : entry), b_primary) ->
+          match compare a.hits b.hits with
+          | 0 -> compare a_primary b_primary
+          | c -> c)
+        all
+    in
     let victims = ref [] in
     let excess = ref (total - bytes) in
     List.iter
-      (fun e ->
+      (fun (e, _) ->
         if !excess > 0 then begin
           victims := e :: !victims;
           excess := !excess - e.disk_bytes

@@ -6,6 +6,15 @@
     specialization); several entries may exist per key when address
     conflicts forced alternate placements. *)
 
+(** Residency of an entry relative to the server's address-space
+    arenas: [Placed] entries hold live text/data reservations, [Evicted]
+    entries have lost them and must be re-placed before mapping,
+    [Static] entries live at fixed client bases and never claim arena
+    ranges. Transitions go through {!Residency}. *)
+type residency = Placed | Evicted | Static
+
+val residency_to_string : residency -> string
+
 type entry = {
   key : string;  (** construction digest *)
   image : Linker.Image.t;
@@ -13,6 +22,7 @@ type entry = {
   data_base : int;
   disk_bytes : int;  (** serialized size (disk-consumption accounting) *)
   mutable hits : int;
+  mutable residency : residency;
 }
 
 type t
@@ -26,18 +36,29 @@ val candidates : t -> string -> entry list
     satisfies [acceptable], counting a hit or miss. *)
 val find : t -> string -> acceptable:(entry -> bool) -> entry option
 
-(** Record a freshly built image. *)
+(** Record a freshly built image ([residency] defaults to [Static];
+    the residency layer promotes arena-placed entries). *)
 val insert :
-  t -> key:string -> text_base:int -> data_base:int -> Linker.Image.t -> entry
+  t ->
+  key:string ->
+  text_base:int ->
+  data_base:int ->
+  ?residency:residency ->
+  Linker.Image.t ->
+  entry
 
 (** Drop every placement of a construction (its sources changed). *)
 val invalidate : t -> string -> unit
 
+(** Every live entry, across all keys and placements. *)
+val to_list : t -> entry list
+
 val clear : t -> unit
 
 (** [evict_to_budget t ~bytes] trims the cache to at most [bytes] of
-    serialized image data, least-used entries first. Returns the
-    evicted entries so the caller can release their reservations. *)
+    serialized image data, least-used entries first (and among
+    equally-used ones, alternate placements before primaries). Returns
+    the evicted entries so the caller can release their reservations. *)
 val evict_to_budget : t -> bytes:int -> entry list
 
 type stats = {

@@ -82,6 +82,9 @@ let load (t : t) (p : Simos.Proc.t) ~(client_images : Linker.Image.t list)
   (* map it into the running task *)
   Simos.Kernel.map_image k p ~key:("dynload@" ^ Linker.Image.digest img) img;
   classes.images <- img :: classes.images;
+  (* dynload reservations are per-process, outside the cache, so they
+     are unmanaged — but loading must never break cache/arena coherence *)
+  Residency.self_check (Server.residency server);
   List.map
     (fun s ->
       match Linker.Image.find_symbol img s with
@@ -116,7 +119,8 @@ let unload (t : t) (p : Simos.Proc.t) (img : Linker.Image.t) : unit =
       Constraints.Placement.release (Server.data_arena t.server)
         ~lo:seg.Linker.Image.vaddr
   | None -> ());
-  classes.images <- List.filter (fun i -> not (i == img)) classes.images
+  classes.images <- List.filter (fun i -> not (i == img)) classes.images;
+  Residency.self_check (Server.residency t.server)
 
 (** Images currently loaded into [p] through this loader. *)
 let loaded (t : t) (p : Simos.Proc.t) : Linker.Image.t list = (images_of t p).images

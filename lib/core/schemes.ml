@@ -322,6 +322,10 @@ let dynamic_program (rt : t) ~(name : string) ~(client : Sof.Object_file.t list)
   in
   let imports_arr = Array.of_list imports in
   let k = Server.kernel server in
+  (* builts can go stale if the cache is trimmed between invocations;
+     re-requested ones land at the same addresses via the reuse
+     constraint, so [resolve] stays valid *)
+  let live_builts = ref lib_builts in
   {
     prog_name = name;
     scheme = "dynamic";
@@ -331,12 +335,15 @@ let dynamic_program (rt : t) ~(name : string) ~(client : Sof.Object_file.t list)
         let p = Simos.Kernel.exec k ~path ~args in
         (* the dynamic loader opens and processes the library files … *)
         Simos.Kernel.charge_sys k lib_open_parse;
+        if List.exists Server.built_evicted !live_builts then
+          live_builts :=
+            List.map (fun l -> Server.build_library server ~path:l ()) libs;
         (* … and maps them; each library page this process touches pays
            deferred relocation work *)
         List.iter2
           (fun (lb : Server.built) tc ->
             Server.map_into server ~touch_user_cost:tc p lb)
-          lib_builts lib_touch_costs;
+          !live_builts lib_touch_costs;
         (* … plus the eager client-side data relocations, in user
            space, on every invocation — the per-start cost OMOS avoids *)
         Simos.Kernel.charge_user k
@@ -366,13 +373,27 @@ type exec_style = Bootstrap | Integrated
 let self_contained_program (rt : t) ?(style = Bootstrap) ~(name : string)
     ~(client : Sof.Object_file.t list) ~(libs : string list) () : program =
   let server = rt.server in
-  let lib_builts = List.map (fun l -> Server.build_library server ~path:l ()) libs in
-  let lib_imgs = List.map (fun (b : Server.built) -> b.Server.entry.Cache.image) lib_builts in
-  let b =
-    Server.build_static server ~name:(name ^ ".sc") ~externals:lib_imgs
-      (graph_of_objs client)
+  let mk () =
+    let lib_builts = List.map (fun l -> Server.build_library server ~path:l ()) libs in
+    let lib_imgs =
+      List.map (fun (b : Server.built) -> b.Server.entry.Cache.image) lib_builts
+    in
+    let b =
+      Server.build_static server ~name:(name ^ ".sc") ~externals:lib_imgs
+        (graph_of_objs client)
+    in
+    Server.loadable_entry (lib_builts @ [ b ])
   in
-  let loadable = Server.loadable_entry (lib_builts @ [ b ]) in
+  let loadable = ref (mk ()) in
+  (* a cache eviction (budget trim, injected storm) between invocations
+     invalidates the builts; re-request them — still-resident parts are
+     warm cache hits, evicted ones rebuild, usually at the same
+     addresses via the reuse constraint *)
+  let current () =
+    if List.exists Server.built_evicted !loadable.Server.parts then
+      loadable := mk ();
+    !loadable
+  in
   {
     prog_name = name;
     scheme =
@@ -380,8 +401,8 @@ let self_contained_program (rt : t) ?(style = Bootstrap) ~(name : string)
     launch =
       (fun ~args ->
         match style with
-        | Bootstrap -> Boot.bootstrap_exec server loadable ~args
-        | Integrated -> Boot.integrated_exec server loadable ~args);
+        | Bootstrap -> Boot.bootstrap_exec server (current ()) ~args
+        | Integrated -> Boot.integrated_exec server (current ()) ~args);
     dispatch_bytes = 0;
     eager_relocs = 0;
     imports = 0;

@@ -46,6 +46,7 @@ type t = {
   cache : Cache.t;
   text_arena : Constraints.Placement.t;
   data_arena : Constraints.Placement.t;
+  residency : Residency.t; (* joint owner of cache <-> arena coherence *)
   kernel : Simos.Kernel.t;
   env : Blueprint.Mgraph.env;
   work : work_stats;
@@ -65,7 +66,8 @@ let tm_link_us = Telemetry.Histogram.make "server.us.link"
 
 (* -- construction --------------------------------------------------------- *)
 
-let create ~(kernel : Simos.Kernel.t) () : t =
+let create ~(kernel : Simos.Kernel.t) ?(faults : Residency.faults option) () : t
+    =
   let ns = Namespace.create () in
   let env =
     Blueprint.Mgraph.make_env
@@ -82,13 +84,24 @@ let create ~(kernel : Simos.Kernel.t) () : t =
   (* Telemetry timestamps follow the simulated clock from here on, so
      spans and phase histograms are in simulated microseconds. *)
   Telemetry.set_clock (fun () -> Simos.Clock.elapsed kernel.Simos.Kernel.clock);
+  let cache = Cache.create () in
+  let text_arena =
+    Constraints.Placement.create ~region_lo:lib_text_lo ~region_hi:lib_text_hi ()
+  in
+  let data_arena =
+    Constraints.Placement.create ~region_lo:lib_data_lo ~region_hi:lib_data_hi ()
+  in
+  let residency =
+    Residency.create ~cache ~text_arena ~data_arena
+      ~clock:(fun () -> Simos.Clock.elapsed kernel.Simos.Kernel.clock)
+      ?faults ()
+  in
   {
     ns;
-    cache = Cache.create ();
-    text_arena =
-      Constraints.Placement.create ~region_lo:lib_text_lo ~region_hi:lib_text_hi ();
-    data_arena =
-      Constraints.Placement.create ~region_lo:lib_data_lo ~region_hi:lib_data_hi ();
+    cache;
+    text_arena;
+    data_arena;
+    residency;
     kernel;
     env;
     work = { links = 0; relocs = 0; source_compiles = 0; instantiations = 0 };
@@ -121,7 +134,11 @@ let cache_stats (t : t) : Cache.stats = Cache.stats t.cache
 let kernel (t : t) : Simos.Kernel.t = t.kernel
 let text_arena (t : t) : Constraints.Placement.t = t.text_arena
 let data_arena (t : t) : Constraints.Placement.t = t.data_arena
+let residency (t : t) : Residency.t = t.residency
 let set_charge_build_work (t : t) (b : bool) : unit = t.charge_build_work <- b
+
+let set_self_check (t : t) (b : bool) : unit =
+  Residency.set_self_check t.residency b
 
 let add_fragment (t : t) (path : string) (o : Sof.Object_file.t) : unit =
   Namespace.bind_fragment t.ns path o
@@ -201,79 +218,94 @@ let prefs_for (seg : Blueprint.Mgraph.seg) (cs : Blueprint.Mgraph.constraint_pre
     for mapping into tasks. *)
 type built = { entry : Cache.entry; key : string }
 
+(** Has this built's cache entry been evicted since it was handed out?
+    Stale builts must be re-requested before mapping. *)
+let built_evicted (b : built) : bool =
+  b.entry.Cache.residency = Cache.Evicted
+
 (* Place and link an evaluated module into the shared arenas (library
    path). Reuses a cached placement when the constraint system allows —
-   the paper's "highly desired" reuse constraint. *)
+   the paper's "highly desired" reuse constraint. [r] is forced only
+   when no cached placement can be revived, so warm hits never
+   re-evaluate the graph, and rebuilds always link the real module. *)
 let link_in_arena (t : t) ~(name : string) ~(cache_key : string)
-    ?(externals = []) (r : Blueprint.Mgraph.result) : built =
-  (* acceptable = its reservation is still intact or re-reservable *)
-  let acceptable (e : Cache.entry) =
-    let lo, hi = Linker.Image.extent e.Cache.image in
-    ignore lo;
-    ignore hi;
-    (* text segment present in arena at its base? *)
-    Constraints.Placement.intervals t.text_arena
-    |> List.exists (fun (lo, _, owner) -> owner = name && lo = e.Cache.text_base)
-    || Constraints.Placement.free t.text_arena ~lo:e.Cache.text_base
-         ~hi:(e.Cache.text_base + 1)
+    ?(externals = []) (r : Blueprint.Mgraph.result Lazy.t) : built =
+  let build_fresh () =
+    let r = Lazy.force r in
+    let text_size, data_size = module_sizes r.Blueprint.Mgraph.m in
+    (* record when the strongest preference could not be honoured; the
+       residency fault hook may block that preference first *)
+    let place_noting arena seg size prefs =
+      Residency.with_place_conflict t.residency ~arena ~prefs @@ fun () ->
+      let dec = Constraints.Placement.place arena ~size ~owner:name ~prefs () in
+      (match List.sort (fun (p1, _) (p2, _) -> compare p2 p1) prefs with
+      | (_, wanted) :: _ when dec.Constraints.Placement.satisfied <> Some wanted ->
+          Telemetry.Counter.incr tm_arena_conflicts;
+          t.conflicts <-
+            { c_owner = name; c_seg = seg; c_wanted = wanted;
+              c_got = dec.Constraints.Placement.base }
+            :: t.conflicts
+      | _ -> ());
+      dec
+    in
+    let tdec =
+      place_noting t.text_arena Blueprint.Mgraph.Seg_text (max text_size 1)
+        (prefs_for Blueprint.Mgraph.Seg_text r.Blueprint.Mgraph.constraints)
+    in
+    let ddec =
+      place_noting t.data_arena Blueprint.Mgraph.Seg_data (max data_size 1)
+        (prefs_for Blueprint.Mgraph.Seg_data r.Blueprint.Mgraph.constraints)
+    in
+    let t0 = Telemetry.now_us () in
+    let img, lstats =
+      Linker.Link.link ~externals ~allow_undefined:true
+        ~layout:
+          {
+            Linker.Link.text_base = tdec.Constraints.Placement.base;
+            data_base = ddec.Constraints.Placement.base;
+          }
+        (Jigsaw.Module_ops.fragments r.Blueprint.Mgraph.m)
+    in
+    charge_link t lstats;
+    Telemetry.Histogram.observe tm_link_us (Telemetry.now_us () -. t0);
+    let e =
+      Cache.insert t.cache ~key:cache_key
+        ~text_base:tdec.Constraints.Placement.base
+        ~data_base:ddec.Constraints.Placement.base
+        { img with Linker.Image.name }
+    in
+    Residency.note_placed t.residency e;
+    { entry = e; key = cache_key ^ "@" ^ Linker.Image.digest img }
   in
+  let acceptable = Residency.acceptable t.residency ~owner:name in
   match Cache.find t.cache cache_key ~acceptable with
-  | Some e ->
-      (* make sure the reservation is (re)established *)
-      let img = e.Cache.image in
-      let tseg = Option.get (Linker.Image.text_segment img) in
-      let dseg = Option.get (Linker.Image.data_segment img) in
-      let reserve arena lo size owner =
-        match Constraints.Placement.reserve arena ~lo ~size owner with
-        | Ok () | Error _ -> ()
-      in
-      reserve t.text_arena tseg.Linker.Image.vaddr
-        (Bytes.length tseg.Linker.Image.bytes) name;
-      reserve t.data_arena dseg.Linker.Image.vaddr
-        (Bytes.length dseg.Linker.Image.bytes + img.Linker.Image.bss_size) name;
-      { entry = e; key = cache_key ^ "@" ^ Linker.Image.digest img }
-  | None ->
-      let text_size, data_size = module_sizes r.Blueprint.Mgraph.m in
-      (* record when the strongest preference could not be honoured *)
-      let place_noting arena seg size prefs =
-        let dec = Constraints.Placement.place arena ~size ~owner:name ~prefs () in
-        (match List.sort (fun (p1, _) (p2, _) -> compare p2 p1) prefs with
-        | (_, wanted) :: _ when dec.Constraints.Placement.satisfied <> Some wanted ->
-            Telemetry.Counter.incr tm_arena_conflicts;
-            t.conflicts <-
-              { c_owner = name; c_seg = seg; c_wanted = wanted;
-                c_got = dec.Constraints.Placement.base }
-              :: t.conflicts
-        | _ -> ());
-        dec
-      in
-      let tdec =
-        place_noting t.text_arena Blueprint.Mgraph.Seg_text (max text_size 1)
-          (prefs_for Blueprint.Mgraph.Seg_text r.Blueprint.Mgraph.constraints)
-      in
-      let ddec =
-        place_noting t.data_arena Blueprint.Mgraph.Seg_data (max data_size 1)
-          (prefs_for Blueprint.Mgraph.Seg_data r.Blueprint.Mgraph.constraints)
-      in
-      let t0 = Telemetry.now_us () in
-      let img, lstats =
-        Linker.Link.link ~externals ~allow_undefined:true
-          ~layout:
+  | Some e -> (
+      (* re-establish the reservation of the revived placement *)
+      match Residency.reacquire t.residency ~owner:name e with
+      | Ok () -> { entry = e; key = cache_key ^ "@" ^ Linker.Image.digest e.Cache.image }
+      | Error _conflicting ->
+          (* the range was taken between the acceptability check and
+             the reservation (or a reserve fault fired): a placement
+             conflict — rebuild as an alternate placement and record
+             where the image wanted to be vs. where it went *)
+          let b = build_fresh () in
+          Telemetry.Counter.incr tm_arena_conflicts;
+          t.conflicts <-
             {
-              Linker.Link.text_base = tdec.Constraints.Placement.base;
-              data_base = ddec.Constraints.Placement.base;
+              c_owner = name;
+              c_seg = Blueprint.Mgraph.Seg_text;
+              c_wanted = Constraints.Placement.At e.Cache.text_base;
+              c_got = b.entry.Cache.text_base;
             }
-          (Jigsaw.Module_ops.fragments r.Blueprint.Mgraph.m)
-      in
-      charge_link t lstats;
-      Telemetry.Histogram.observe tm_link_us (Telemetry.now_us () -. t0);
-      let e =
-        Cache.insert t.cache ~key:cache_key
-          ~text_base:tdec.Constraints.Placement.base
-          ~data_base:ddec.Constraints.Placement.base
-          { img with Linker.Image.name }
-      in
-      { entry = e; key = cache_key ^ "@" ^ Linker.Image.digest img }
+            :: t.conflicts;
+          b)
+  | None ->
+      (* stale candidates whose reservations are gone drop to Evicted
+         so they can never shadow the fresh construction *)
+      List.iter
+        (fun e -> ignore (Residency.demote_if_lost t.residency e))
+        (Cache.candidates t.cache cache_key);
+      build_fresh ()
 
 (** Build (or fetch) the image of a {e library} meta-object: fully
     bound, placed by the constraint system, cached, shared. Undefined
@@ -289,14 +321,12 @@ let build_library_raw (t : t) ~(path : string)
     "lib:" ^ path ^ ":" ^ Blueprint.Mgraph.digest graph
     ^ String.concat "" (List.map (fun i -> ":" ^ Linker.Image.digest i) externals)
   in
-  if Cache.candidates t.cache cache_key = [] then begin
-    t.work.instantiations <- t.work.instantiations + 1;
-    let r = eval t graph in
-    link_in_arena t ~name:path ~cache_key ~externals r
-  end
-  else
-    link_in_arena t ~name:path ~cache_key ~externals
-      { Blueprint.Mgraph.m = Jigsaw.Module_ops.v []; constraints = [] }
+  let r =
+    lazy
+      (t.work.instantiations <- t.work.instantiations + 1;
+       eval t graph)
+  in
+  link_in_arena t ~name:path ~cache_key ~externals r
 
 (** Build (or fetch) a fully static image of an arbitrary graph at the
     client base addresses — generic instantiation (also the static
@@ -326,6 +356,7 @@ let build_static_raw (t : t) ~(name : string) ?(entry_symbol : string option)
           ~data_base:client_data_base
           { img with Linker.Image.name }
       in
+      Residency.note_static t.residency e;
       { entry = e; key = cache_key ^ "@" ^ Linker.Image.digest img }
 
 (* -- the unified request API ------------------------------------------------ *)
@@ -373,6 +404,9 @@ let instantiate (t : t) (req : request) : response =
   Fun.protect ~finally:(fun () -> Telemetry.Span.exit span) @@ fun () ->
   let t0 = Telemetry.now_us () in
   let links0 = t.work.links in
+  (* the eviction-storm fault, when enabled, empties the cache here —
+     the request below must then rebuild and re-place everything *)
+  ignore (Residency.maybe_evict_storm t.residency);
   let built =
     match req.target with
     | Library { path; spec } ->
@@ -385,6 +419,7 @@ let instantiate (t : t) (req : request) : response =
   Telemetry.Counter.incr tm_instantiations;
   Telemetry.Histogram.observe tm_instantiate_us sim_us;
   Telemetry.Span.add_attr span "cache_hit" (Telemetry.B cache_hit);
+  Residency.self_check t.residency;
   { built; cache_hit; sim_us }
 
 (** Build (or fetch) the image of a {e library} meta-object — a thin
@@ -407,17 +442,12 @@ let register_specializer (t : t) (style : string) (f : Blueprint.Mgraph.speciali
   Blueprint.Mgraph.register t.env style f
 
 (** Trim the image cache to a disk budget, releasing the arena
-    reservations of evicted libraries so their address ranges can be
+    reservations of evicted libraries (and only those — [static:]
+    entries never held lib-arena ranges) so their address ranges can be
     reused. A later request for an evicted construction rebuilds it
     (and, via the reuse constraint, usually at the same addresses). *)
 let evict_to_budget (t : t) ~(bytes : int) : int =
-  let victims = Cache.evict_to_budget t.cache ~bytes in
-  List.iter
-    (fun (e : Cache.entry) ->
-      Constraints.Placement.release t.text_arena ~lo:e.Cache.text_base;
-      Constraints.Placement.release t.data_arena ~lo:e.Cache.data_base)
-    victims;
-  List.length victims
+  List.length (Residency.evict_to_budget t.residency ~bytes)
 
 (** Recorded placement conflicts, most recent first. *)
 let conflicts (t : t) : conflict list = t.conflicts
@@ -436,6 +466,9 @@ let suggest_placements (t : t) : (string * Blueprint.Mgraph.seg * int) list =
     — no file opening, no header parsing, no disk reads. *)
 let map_into (t : t) ?(touch_user_cost = 0.0) ?(fresh_from_disk = false)
     (p : Simos.Proc.t) (b : built) : unit =
+  if b.entry.Cache.residency = Cache.Evicted then
+    fail "map_into: cached image of %s was evicted; re-instantiate it"
+      b.entry.Cache.image.Linker.Image.name;
   Simos.Kernel.map_image t.kernel p ~key:b.key ~fresh_from_disk ~touch_user_cost
     b.entry.Cache.image
 

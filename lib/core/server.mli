@@ -33,7 +33,10 @@ type conflict = {
 
 type t
 
-val create : kernel:Simos.Kernel.t -> unit -> t
+(** [create ~kernel ()] starts a server. [faults] configures the
+    residency layer's deterministic fault injection (placement
+    conflicts, eviction storms, reserve failures); omit it for none. *)
+val create : kernel:Simos.Kernel.t -> ?faults:Residency.faults -> unit -> t
 
 (** {1 Read-only views}
 
@@ -56,10 +59,18 @@ val kernel : t -> Simos.Kernel.t
 val text_arena : t -> Constraints.Placement.t
 val data_arena : t -> Constraints.Placement.t
 
+(** The residency layer that keeps the cache and the arenas coherent
+    (see {!Residency}); use it to run {!Residency.check_invariants}. *)
+val residency : t -> Residency.t
+
 (** Charge server-side build work (relocations, symbol lookups) to the
     simulated clock? On by default; benches turn it off to isolate
     steady state. *)
 val set_charge_build_work : t -> bool -> unit
+
+(** Enable/disable the automatic residency invariant check after every
+    instantiate/evict (on by default). *)
+val set_self_check : t -> bool -> unit
 
 (** {1 Namespace population} *)
 
@@ -93,6 +104,10 @@ val module_sizes : Jigsaw.Module_ops.t -> int * int
 (** A built, positioned, cached image together with its page-cache key
     for mapping into tasks. *)
 type built = { entry : Cache.entry; key : string }
+
+(** Has this built's cache entry been evicted since it was handed out?
+    Stale builts must be re-requested before mapping. *)
+val built_evicted : built -> bool
 
 (** What a client asks the server to instantiate:
 
@@ -165,7 +180,8 @@ val build_static :
 val register_specializer : t -> string -> Blueprint.Mgraph.specializer -> unit
 
 (** Trim the image cache to a disk budget, releasing evicted libraries'
-    arena reservations. Returns the number of entries evicted. *)
+    arena reservations (and only those — [static:] entries never held
+    lib-arena ranges). Returns the number of entries evicted. *)
 val evict_to_budget : t -> bytes:int -> int
 
 (** Recorded placement conflicts, most recent first. *)

@@ -28,8 +28,8 @@ type t = {
   personality : personality;
 }
 
-let create ?(personality = Hpux) ?(many_entries = Workloads.Dataset.default_many_entries)
-    () : t =
+let create ?(personality = Hpux) ?(faults : Residency.faults option)
+    ?(many_entries = Workloads.Dataset.default_many_entries) () : t =
   let cost =
     match personality with
     | Hpux -> Simos.Cost.hpux
@@ -38,7 +38,7 @@ let create ?(personality = Hpux) ?(many_entries = Workloads.Dataset.default_many
   in
   let kernel = Simos.Kernel.create ~cost () in
   Workloads.Dataset.install ~many_entries kernel.Simos.Kernel.fs;
-  let server = Server.create ~kernel () in
+  let server = Server.create ~kernel ?faults () in
   (* fragments *)
   Server.add_fragment server "/lib/crt0.o" (Lazy.force compiled_crt0);
   Server.add_fragment server "/obj/ls.o" (Lazy.force compiled_ls);

@@ -18,7 +18,10 @@ type t = {
   personality : personality;
 }
 
-val create : ?personality:personality -> ?many_entries:int -> unit -> t
+(** [faults] configures the server's residency fault injection (see
+    {!Residency.faults}); omit it for none. *)
+val create :
+  ?personality:personality -> ?faults:Residency.faults -> ?many_entries:int -> unit -> t
 
 (** Client objects of the `ls` program (crt0 + /obj/ls.o). *)
 val ls_client : t -> Sof.Object_file.t list

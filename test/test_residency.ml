@@ -1,0 +1,418 @@
+(* Tests of the residency layer: cache <-> arena coherence, the
+   invariant checker, deterministic fault injection, and regressions
+   for the historical divergence bugs (each of which failed against the
+   pre-residency server):
+
+   - a stale cached candidate caused the server to link an *empty*
+     module instead of re-evaluating the real graph;
+   - the hit-path acceptability check looked at one byte of the text
+     arena and ignored the data arena entirely;
+   - the hit-path re-reservation swallowed [Error _] from
+     [Placement.reserve], silently mapping over another owner's range;
+   - evicting a [static:] entry released lib-arena intervals it never
+     owned, and the eviction tie-break ignored its documented
+     alternates-before-primaries order. *)
+
+module Placement = Constraints.Placement
+
+let build_libc s = Omos.Server.build_library s ~path:"/lib/libc" ()
+
+let text_size (b : Omos.Server.built) : int =
+  match Linker.Image.text_segment b.Omos.Server.entry.Omos.Cache.image with
+  | Some seg -> Bytes.length seg.Linker.Image.bytes
+  | None -> 0
+
+let has_symbol (b : Omos.Server.built) (name : string) : bool =
+  Linker.Image.find_symbol b.Omos.Server.entry.Omos.Cache.image name <> None
+
+let check_clean s =
+  Alcotest.(check (list string))
+    "invariants hold" []
+    (List.map Omos.Residency.violation_message
+       (Omos.Residency.check_invariants (Omos.Server.residency s)))
+
+let owner_intervals arena owner =
+  List.filter (fun (_, _, o) -> o = owner) (Placement.intervals arena)
+
+(* -- evict-then-reinstantiate round trip -------------------------------- *)
+
+let test_round_trip () =
+  let w = Omos.World.create () in
+  let s = w.Omos.World.server in
+  let b1 = build_libc s in
+  Alcotest.(check string)
+    "placed" "placed"
+    (Omos.Cache.residency_to_string b1.Omos.Server.entry.Omos.Cache.residency);
+  check_clean s;
+  let n = Omos.Server.evict_to_budget s ~bytes:0 in
+  Alcotest.(check bool) "something evicted" true (n >= 1);
+  Alcotest.(check bool) "built is stale" true (Omos.Server.built_evicted b1);
+  Alcotest.(check (list string))
+    "text reservation released" []
+    (List.map (fun _ -> "iv") (owner_intervals (Omos.Server.text_arena s) "/lib/libc"));
+  Alcotest.(check (list string))
+    "data reservation released" []
+    (List.map (fun _ -> "iv") (owner_intervals (Omos.Server.data_arena s) "/lib/libc"));
+  (* a stale built must be refused, not silently mapped *)
+  let p =
+    Simos.Kernel.create_process (Omos.Server.kernel s) ~args:[ "stale" ]
+  in
+  Alcotest.(check bool) "stale map refused" true
+    (try
+       Omos.Server.map_into s p b1;
+       false
+     with Omos.Server.Server_error _ -> true);
+  (* re-instantiation rebuilds, back at the preferred addresses *)
+  let b2 = build_libc s in
+  Alcotest.(check int)
+    "same text base after round trip" b1.Omos.Server.entry.Omos.Cache.text_base
+    b2.Omos.Server.entry.Omos.Cache.text_base;
+  Alcotest.(check bool) "image non-empty" true (text_size b2 > 0);
+  check_clean s
+
+(* -- regression: stale candidate must not shadow the real graph --------- *)
+
+let test_stale_candidate_rebuilds_real_graph () =
+  let w = Omos.World.create () in
+  let s = w.Omos.World.server in
+  let b1 = build_libc s in
+  Alcotest.(check bool) "cold build has strlen" true (has_symbol b1 "strlen");
+  (* steal libc's text range: release it and squat its base *)
+  let base = b1.Omos.Server.entry.Omos.Cache.text_base in
+  Placement.release (Omos.Server.text_arena s) ~lo:base;
+  (match Placement.reserve (Omos.Server.text_arena s) ~lo:base ~size:0x1000 "squatter" with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "squat failed");
+  (* pre-fix: the unacceptable candidate sent the server down a path
+     that linked Jigsaw.Module_ops.v [] — an empty image *)
+  let b2 = build_libc s in
+  Alcotest.(check bool) "rebuild is not empty" true (text_size b2 > 0);
+  Alcotest.(check bool) "rebuild has strlen" true (has_symbol b2 "strlen");
+  Alcotest.(check bool)
+    "rebuilt at an alternate base" true
+    (b2.Omos.Server.entry.Omos.Cache.text_base <> base);
+  check_clean s
+
+(* -- regression: acceptability must cover the full text extent ---------- *)
+
+let test_full_extent_acceptable_text () =
+  let w = Omos.World.create () in
+  let s = w.Omos.World.server in
+  let b1 = build_libc s in
+  let base = b1.Omos.Server.entry.Omos.Cache.text_base in
+  Alcotest.(check bool)
+    "libc text spans multiple pages" true (text_size b1 > 0x1000);
+  (* free libc's range but squat a page in its *tail*: the first byte
+     of the old placement stays free, the full extent does not *)
+  Placement.release (Omos.Server.text_arena s) ~lo:base;
+  (match
+     Placement.reserve (Omos.Server.text_arena s) ~lo:(base + 0x1000) ~size:0x1000
+       "squatter"
+   with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "squat failed");
+  (* pre-fix: the 1-byte check revived the entry and the swallowed
+     reserve error left it mapped over the squatter *)
+  let b2 = build_libc s in
+  Alcotest.(check bool)
+    "not revived over the squatter" true
+    (b2.Omos.Server.entry.Omos.Cache.text_base <> base);
+  let squatter_alive =
+    owner_intervals (Omos.Server.text_arena s) "squatter" <> []
+  in
+  Alcotest.(check bool) "squatter interval intact" true squatter_alive;
+  check_clean s
+
+(* -- regression: acceptability must also cover the data arena ----------- *)
+
+let test_full_extent_acceptable_data () =
+  let w = Omos.World.create () in
+  let s = w.Omos.World.server in
+  let b1 = build_libc s in
+  let dbase = b1.Omos.Server.entry.Omos.Cache.data_base in
+  (* steal the data placement outright; text left untouched *)
+  Placement.release (Omos.Server.data_arena s) ~lo:dbase;
+  (match
+     Placement.reserve (Omos.Server.data_arena s) ~lo:dbase ~size:0x1000 "squatter"
+   with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "squat failed");
+  (* pre-fix: the data arena was never consulted — the entry was
+     revived at a data base now owned by someone else *)
+  let b2 = build_libc s in
+  Alcotest.(check bool)
+    "not revived over the data squatter" true
+    (b2.Omos.Server.entry.Omos.Cache.data_base <> dbase);
+  check_clean s
+
+(* -- regression: static eviction must not release foreign intervals ----- *)
+
+let test_static_eviction_preserves_foreign_intervals () =
+  let w = Omos.World.create () in
+  let s = w.Omos.World.server in
+  (* an unrelated interval that happens to start at the static bases
+     (pre-fix, evicting a static: entry blindly released these) *)
+  (match
+     Placement.reserve (Omos.Server.text_arena s) ~lo:Omos.Server.client_text_base
+       ~size:0x1000 "external"
+   with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "external text reserve failed");
+  (match
+     Placement.reserve (Omos.Server.data_arena s) ~lo:Omos.Server.client_data_base
+       ~size:0x1000 "external"
+   with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "external data reserve failed");
+  let obj = Minic.Driver.compile ~name:"app" "int main() { return 7; }" in
+  let b =
+    Omos.Server.build_static s ~name:"app" (Blueprint.Mgraph.Leaf obj)
+  in
+  Alcotest.(check string)
+    "static entry" "static"
+    (Omos.Cache.residency_to_string b.Omos.Server.entry.Omos.Cache.residency);
+  let n = Omos.Server.evict_to_budget s ~bytes:0 in
+  Alcotest.(check bool) "static entry evicted" true (n >= 1);
+  Alcotest.(check int)
+    "external text interval survives" 1
+    (List.length (owner_intervals (Omos.Server.text_arena s) "external"));
+  Alcotest.(check int)
+    "external data interval survives" 1
+    (List.length (owner_intervals (Omos.Server.data_arena s) "external"));
+  check_clean s
+
+(* -- regression: eviction tie-break (alternates before primaries) ------- *)
+
+let dummy_image name =
+  let a = Sof.Asm.create name in
+  Sof.Asm.label a "e";
+  Sof.Asm.instr a Svm.Isa.Halt;
+  fst
+    (Linker.Link.link ~layout:{ Linker.Link.text_base = 0x1000; data_base = 0x2000 }
+       [ Sof.Asm.finish a ])
+
+let test_evict_tiebreak_alternates_first () =
+  let c = Omos.Cache.create () in
+  let primary =
+    Omos.Cache.insert c ~key:"k" ~text_base:0x1000 ~data_base:0x2000
+      (dummy_image "primary")
+  in
+  let alternate =
+    Omos.Cache.insert c ~key:"k" ~text_base:0x9000 ~data_base:0xA000
+      (dummy_image "alternate")
+  in
+  Alcotest.(check int) "equal hit counts" primary.Omos.Cache.hits
+    alternate.Omos.Cache.hits;
+  let total = (Omos.Cache.stats c).Omos.Cache.disk_bytes_total in
+  (* force exactly one eviction: with equal hits, the documented order
+     evicts the alternate placement, not the primary *)
+  let victims = Omos.Cache.evict_to_budget c ~bytes:(total - 1) in
+  Alcotest.(check (list int))
+    "alternate evicted first" [ 0x9000 ]
+    (List.map (fun (e : Omos.Cache.entry) -> e.Omos.Cache.text_base) victims);
+  Alcotest.(check (list int))
+    "primary survives" [ 0x1000 ]
+    (List.map
+       (fun (e : Omos.Cache.entry) -> e.Omos.Cache.text_base)
+       (Omos.Cache.candidates c "k"))
+
+(* -- fault injection: reserve failure on the hit path ------------------- *)
+
+let faults_only ?(seed = 42) ?(place_conflict = 0.0) ?(evict_storm = 0.0)
+    ?(reserve_fail = 0.0) () : Omos.Residency.faults =
+  { Omos.Residency.seed; place_conflict; evict_storm; reserve_fail }
+
+let test_fault_reserve_fail () =
+  let w = Omos.World.create ~faults:(faults_only ~reserve_fail:1.0 ()) () in
+  let s = w.Omos.World.server in
+  let b1 = build_libc s in
+  let conflicts0 = List.length (Omos.Server.conflicts s) in
+  let fails0 = Telemetry.Counter.get "residency.faults.reserve_fail" in
+  (* warm request: the hit revives a candidate, the injected reserve
+     failure turns it into a recorded conflict + alternate rebuild *)
+  let b2 = build_libc s in
+  Alcotest.(check bool)
+    "alternate placement" true
+    (b2.Omos.Server.entry.Omos.Cache.text_base
+    <> b1.Omos.Server.entry.Omos.Cache.text_base);
+  Alcotest.(check bool) "rebuild is real" true (has_symbol b2 "strlen");
+  Alcotest.(check bool)
+    "conflict recorded" true
+    (List.length (Omos.Server.conflicts s) > conflicts0);
+  Alcotest.(check bool)
+    "fault counted" true
+    (Telemetry.Counter.get "residency.faults.reserve_fail" > fails0);
+  check_clean s
+
+(* -- fault injection: eviction storms ----------------------------------- *)
+
+let test_fault_evict_storm () =
+  let w = Omos.World.create ~faults:(faults_only ~seed:7 ~evict_storm:1.0 ()) () in
+  let s = w.Omos.World.server in
+  let storms0 = Telemetry.Counter.get "residency.faults.evict_storm" in
+  let r1 = Omos.Server.instantiate s (Omos.Server.library_request "/lib/libc") in
+  Alcotest.(check bool) "cold build" false r1.Omos.Server.cache_hit;
+  (* the storm fires before the second request, so it can never be a
+     cache hit: the whole cache was just evicted *)
+  let r2 = Omos.Server.instantiate s (Omos.Server.library_request "/lib/libc") in
+  Alcotest.(check bool) "storm forces rebuild" false r2.Omos.Server.cache_hit;
+  Alcotest.(check bool)
+    "storms counted" true
+    (Telemetry.Counter.get "residency.faults.evict_storm" >= storms0 + 2);
+  check_clean s
+
+(* -- fault injection: placement conflicts ------------------------------- *)
+
+let test_fault_place_conflict () =
+  let w = Omos.World.create ~faults:(faults_only ~seed:3 ~place_conflict:1.0 ()) () in
+  let s = w.Omos.World.server in
+  let b1 = build_libc s in
+  (* libc's constraint list wants T at 0x100000; the injected blocker
+     forces an alternate and a recorded conflict *)
+  Alcotest.(check bool)
+    "preferred base denied" true
+    (b1.Omos.Server.entry.Omos.Cache.text_base <> 0x100000);
+  Alcotest.(check bool)
+    "conflict recorded" true
+    (Omos.Server.conflicts s <> []);
+  Alcotest.(check bool)
+    "fault counted" true
+    (Telemetry.Counter.get "residency.faults.place_conflict" > 0);
+  (* blockers never outlive the placement they perturb *)
+  Alcotest.(check (list int))
+    "no blocker left in text arena" []
+    (List.map
+       (fun (lo, _, _) -> lo)
+       (owner_intervals (Omos.Server.text_arena s) "fault:conflict"));
+  check_clean s
+
+(* -- fault determinism --------------------------------------------------- *)
+
+let test_fault_determinism () =
+  let run () =
+    let w =
+      Omos.World.create ~faults:(faults_only ~seed:42 ~reserve_fail:0.6 ()) ()
+    in
+    let s = w.Omos.World.server in
+    for _ = 1 to 5 do
+      ignore (build_libc s)
+    done;
+    (List.length (Omos.Server.conflicts s), (Omos.Server.stats s).Omos.Server.links)
+  in
+  let c1, l1 = run () in
+  let c2, l2 = run () in
+  Alcotest.(check int) "same conflicts" c1 c2;
+  Alcotest.(check int) "same links" l1 l2
+
+(* -- the checker detects each seeded violation class --------------------- *)
+
+let codes vs =
+  List.sort_uniq compare (List.map (fun v -> v.Omos.Residency.v_code) vs)
+
+let with_corrupted kind =
+  let w = Omos.World.create () in
+  let s = w.Omos.World.server in
+  ignore (build_libc s);
+  check_clean s;
+  Omos.Residency.inject (Omos.Server.residency s) kind;
+  Omos.Residency.check_invariants (Omos.Server.residency s)
+
+let test_detects_lost_reservation () =
+  let vs = with_corrupted Omos.Residency.Lost_reservation in
+  Alcotest.(check (list string)) "unreserved detected" [ "unreserved" ] (codes vs)
+
+let test_detects_orphaned_interval () =
+  let vs = with_corrupted Omos.Residency.Orphaned_interval in
+  Alcotest.(check (list string)) "orphans detected" [ "orphan" ] (codes vs)
+
+let test_detects_overlap () =
+  let vs = with_corrupted Omos.Residency.Overlapping_entries in
+  Alcotest.(check (list string)) "overlap detected" [ "overlap" ] (codes vs);
+  (* and the exception variant raises *)
+  let w = Omos.World.create () in
+  let s = w.Omos.World.server in
+  ignore (build_libc s);
+  Omos.Residency.inject (Omos.Server.residency s) Omos.Residency.Overlapping_entries;
+  Alcotest.(check bool) "check_exn raises" true
+    (try
+       Omos.Residency.check_exn (Omos.Server.residency s);
+       false
+     with Omos.Residency.Violation _ -> true)
+
+(* -- the self-check runs on the request and eviction paths --------------- *)
+
+let test_self_check_coverage () =
+  let w = Omos.World.create () in
+  let s = w.Omos.World.server in
+  let checks0 = Telemetry.Counter.get "residency.invariant_checks" in
+  ignore (build_libc s);
+  let checks1 = Telemetry.Counter.get "residency.invariant_checks" in
+  Alcotest.(check bool) "instantiate self-checks" true (checks1 > checks0);
+  ignore (Omos.Server.evict_to_budget s ~bytes:0);
+  let checks2 = Telemetry.Counter.get "residency.invariant_checks" in
+  Alcotest.(check bool) "evict self-checks" true (checks2 > checks1);
+  (* and it can be turned off for perf runs *)
+  Omos.Server.set_self_check s false;
+  ignore (build_libc s);
+  let checks3 = Telemetry.Counter.get "residency.invariant_checks" in
+  Alcotest.(check int) "disabled self-check is silent" checks2 checks3
+
+(* -- schemes survive eviction between invocations ------------------------ *)
+
+let test_scheme_survives_eviction () =
+  let w = Omos.World.create () in
+  let rt = w.Omos.World.rt in
+  let prog =
+    Omos.Schemes.self_contained_program rt ~name:"ls"
+      ~client:(Omos.World.ls_client w) ~libs:Omos.World.ls_libs ()
+  in
+  let code1, out1 = Omos.Schemes.invoke rt prog ~args:Omos.World.ls_single_args in
+  (* everything the program was built from disappears from the cache *)
+  ignore (Omos.Server.evict_to_budget w.Omos.World.server ~bytes:0);
+  let code2, out2 = Omos.Schemes.invoke rt prog ~args:Omos.World.ls_single_args in
+  Alcotest.(check int) "exit code unchanged" code1 code2;
+  Alcotest.(check string) "output unchanged" out1 out2;
+  check_clean w.Omos.World.server
+
+let () =
+  Alcotest.run "residency"
+    [
+      ( "lifecycle",
+        [
+          Alcotest.test_case "evict-then-reinstantiate round trip" `Quick
+            test_round_trip;
+          Alcotest.test_case "self-check on request and evict paths" `Quick
+            test_self_check_coverage;
+          Alcotest.test_case "schemes survive eviction" `Quick
+            test_scheme_survives_eviction;
+        ] );
+      ( "regressions",
+        [
+          Alcotest.test_case "stale candidate rebuilds real graph" `Quick
+            test_stale_candidate_rebuilds_real_graph;
+          Alcotest.test_case "full text extent checked" `Quick
+            test_full_extent_acceptable_text;
+          Alcotest.test_case "data arena checked" `Quick
+            test_full_extent_acceptable_data;
+          Alcotest.test_case "static eviction leaves foreign intervals" `Quick
+            test_static_eviction_preserves_foreign_intervals;
+          Alcotest.test_case "tie-break evicts alternates first" `Quick
+            test_evict_tiebreak_alternates_first;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "reserve failure -> conflict + rebuild" `Quick
+            test_fault_reserve_fail;
+          Alcotest.test_case "eviction storm" `Quick test_fault_evict_storm;
+          Alcotest.test_case "placement conflict" `Quick test_fault_place_conflict;
+          Alcotest.test_case "deterministic under a seed" `Quick
+            test_fault_determinism;
+        ] );
+      ( "detection",
+        [
+          Alcotest.test_case "lost reservation" `Quick test_detects_lost_reservation;
+          Alcotest.test_case "orphaned interval" `Quick
+            test_detects_orphaned_interval;
+          Alcotest.test_case "overlapping entries" `Quick test_detects_overlap;
+        ] );
+    ]
