@@ -1,0 +1,113 @@
+(* The bench regression gate: compare a fresh BENCH_*.json snapshot
+   against a committed baseline and exit non-zero when a simulated cost
+   regressed by more than the tolerance.
+
+     compare.exe BASELINE CURRENT
+
+   Only simulated quantities are gated — the "bench.*" gauges
+   (simulated seconds of the paper tables) and the sums of the "*.us.*"
+   phase histograms (simulated microseconds). Wall-clock numbers vary
+   with the host and are reported but never gated. Work counters
+   (links, relocations, cache misses) are compared exactly: they are
+   deterministic, so any drift is a behaviour change worth a look —
+   reported, but only cost regressions fail the gate. *)
+
+let tolerance = 0.20
+
+(* quantities this small are formatting noise, not regressions *)
+let abs_floor = 1e-3
+
+let read_json (path : string) : Telemetry.Json.t =
+  let ic = open_in path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Telemetry.Json.parse s
+
+let fields = function Telemetry.Json.Obj f -> f | _ -> []
+
+let contains ~(sub : string) (s : string) : bool =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n > 0 && go 0
+
+let starts ~(prefix : string) (s : string) : bool =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+(* (label, value) pairs of the gated simulated costs in a snapshot. *)
+let gated_costs (j : Telemetry.Json.t) : (string * float) list =
+  let gauges =
+    match Telemetry.Json.member "gauges" j with
+    | Some g ->
+        List.filter_map
+          (fun (k, v) ->
+            match v with
+            | Telemetry.Json.Num n when starts ~prefix:"bench." k ->
+                Some ("gauge " ^ k, n)
+            | _ -> None)
+          (fields g)
+    | None -> []
+  in
+  let hists =
+    match Telemetry.Json.member "histograms" j with
+    | Some h ->
+        List.filter_map
+          (fun (k, v) ->
+            if contains ~sub:".us." k then
+              match Telemetry.Json.member "sum" v with
+              | Some (Telemetry.Json.Num s) -> Some ("hist " ^ k ^ ".sum", s)
+              | _ -> None
+            else None)
+          (fields h)
+    | None -> []
+  in
+  gauges @ hists
+
+let counters (j : Telemetry.Json.t) : (string * float) list =
+  match Telemetry.Json.member "counters" j with
+  | Some c ->
+      List.filter_map
+        (fun (k, v) ->
+          match v with Telemetry.Json.Num n -> Some (k, n) | _ -> None)
+        (fields c)
+  | None -> []
+
+let () =
+  match Array.to_list Sys.argv with
+  | [ _; baseline_path; current_path ] ->
+      let b = read_json baseline_path and c = read_json current_path in
+      let cur_costs = gated_costs c in
+      let regressions = ref 0 in
+      let compared = ref 0 in
+      List.iter
+        (fun (label, base) ->
+          match List.assoc_opt label cur_costs with
+          | None -> Printf.printf "MISSING  %-52s (was %.3f)\n" label base
+          | Some cur ->
+              incr compared;
+              let worse =
+                cur > (base *. (1.0 +. tolerance)) +. abs_floor
+              in
+              if worse then begin
+                incr regressions;
+                Printf.printf "REGRESS  %-52s %12.3f -> %12.3f (+%.0f%%)\n" label
+                  base cur
+                  (100.0 *. (cur -. base) /. (if base = 0.0 then 1.0 else base))
+              end
+              else Printf.printf "ok       %-52s %12.3f -> %12.3f\n" label base cur)
+        (gated_costs b);
+      (* deterministic work counters: report drift, don't gate on it *)
+      let cur_counters = counters c in
+      List.iter
+        (fun (k, base) ->
+          match List.assoc_opt k cur_counters with
+          | Some cur when cur <> base ->
+              Printf.printf "DRIFT    counter %-44s %12.0f -> %12.0f\n" k base cur
+          | _ -> ())
+        (counters b);
+      Printf.printf "compared %d simulated costs, %d regression(s) beyond %.0f%%\n"
+        !compared !regressions (100.0 *. tolerance);
+      if !regressions > 0 then exit 1
+  | _ ->
+      prerr_endline "usage: compare.exe BASELINE CURRENT";
+      exit 2

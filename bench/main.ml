@@ -728,9 +728,32 @@ let () =
      the run accumulated plus the gauges the tables record. *)
   let run_one (name, f) =
     Telemetry.reset ();
+    (* journal every build so the snapshot can carry construction
+       digests; journaling charges nothing to the simulated clock, so
+       the measured numbers are unchanged *)
+    Telemetry.Provenance.set_enabled true;
     f ();
+    Telemetry.Provenance.set_enabled false;
+    (* fold the provenance digests of everything built during the run
+       into the snapshot, next to (not inside) the omos.metrics/1
+       registry dump *)
+    let metrics = Telemetry.Json.parse (Telemetry.Export.metrics_json ()) in
+    let snapshot =
+      match metrics with
+      | Telemetry.Json.Obj fields ->
+          Telemetry.Json.Obj
+            (fields
+            @ [
+                ( "provenance",
+                  Telemetry.Json.Obj
+                    (List.map
+                       (fun (owner, digest) -> (owner, Telemetry.Json.Str digest))
+                       (Telemetry.Provenance.built_digests ())) );
+              ])
+      | other -> other
+    in
     let oc = open_out (Printf.sprintf "BENCH_%s.json" name) in
-    output_string oc (Telemetry.Export.metrics_json ());
+    output_string oc (Telemetry.Json.to_string snapshot);
     output_string oc "\n";
     close_out oc
   in

@@ -59,6 +59,13 @@ let handle f =
   | Linker.Link.Link_error e ->
       Printf.eprintf "ofe: %s\n" (Linker.Link.error_to_string e);
       1
+  | Blueprint.Meta.Meta_error m
+  | Constraints.Placement.No_space m
+  | Omos.Residency.Violation m
+  | Simos.Fs.Fs_error m
+  | Simos.Kernel.Exec_error m ->
+      Printf.eprintf "ofe: %s\n" m;
+      1
   | Sys_error m ->
       Printf.eprintf "ofe: %s\n" m;
       1
@@ -380,6 +387,187 @@ let stats_cmd =
           metrics registry (omos.metrics/1 schema)")
     Term.(const run $ meta)
 
+(* -- provenance & profiling ------------------------------------------------ *)
+
+let explain_cmd =
+  let meta =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"META" ~doc:"library meta-object path (e.g. /demo/hello)")
+  in
+  let symbol =
+    Arg.(value & opt (some string) None
+         & info [ "symbol" ] ~docv:"SYMBOL"
+             ~doc:"show the binding decisions behind one symbol")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"emit the provenance record as JSON")
+  in
+  let run meta symbol json =
+    handle (fun () ->
+        let w = Omos.World.create () in
+        let s = w.Omos.World.server in
+        Telemetry.reset ();
+        Telemetry.set_enabled true;
+        Telemetry.Provenance.set_enabled true;
+        (* cold build journals every decision; the warm repeat shows the
+           cache serving the stored record without relinking *)
+        let cold = Omos.Server.instantiate s (Omos.Server.library_request meta) in
+        let warm = Omos.Server.instantiate s (Omos.Server.library_request meta) in
+        Telemetry.Provenance.set_enabled false;
+        Telemetry.set_enabled false;
+        let e = warm.Omos.Server.built.Omos.Server.entry in
+        let prov =
+          match e.Omos.Cache.provenance with
+          | Some p -> p
+          | None ->
+              raise (Omos.Server.Server_error ("no provenance recorded for " ^ meta))
+        in
+        if json then
+          print_endline
+            (Telemetry.Json.to_string (Telemetry.Provenance.to_json prov))
+        else begin
+          Printf.printf "meta: %s\n" meta;
+          Printf.printf "cold: %s\n"
+            (if cold.Omos.Server.cache_hit then "cache hit"
+             else "cache miss - evaluated, linked and cached");
+          Printf.printf "warm: %s\n"
+            (if warm.Omos.Server.cache_hit then
+               "cache hit - provenance served from the image cache (no relink)"
+             else "cache miss");
+          Printf.printf "placement: %s\n" prov.Telemetry.Provenance.p_placement;
+          Printf.printf "cache generation: %d\n"
+            prov.Telemetry.Provenance.p_generation;
+          Printf.printf "operator chain: %s\n"
+            (match prov.Telemetry.Provenance.p_ops with
+            | [] -> "(none)"
+            | ops -> String.concat " -> " ops);
+          let binds =
+            List.length
+              (List.filter
+                 (function Telemetry.Provenance.Bind _ -> true | _ -> false)
+                 prov.Telemetry.Provenance.p_events)
+          in
+          Printf.printf "journal: %d events, %d symbol bindings\n"
+            (List.length prov.Telemetry.Provenance.p_events)
+            binds;
+          List.iter
+            (fun ev ->
+              match ev with
+              | Telemetry.Provenance.Interpose _ | Telemetry.Provenance.Reloc _ ->
+                  Printf.printf "  %s\n" (Telemetry.Provenance.event_to_string ev)
+              | _ -> ())
+            prov.Telemetry.Provenance.p_events;
+          Printf.printf "residency: %s\n"
+            (Omos.Cache.residency_to_string e.Omos.Cache.residency);
+          match symbol with
+          | None -> ()
+          | Some sym -> (
+              match Telemetry.Provenance.events_for prov sym with
+              | [] ->
+                  raise
+                    (Omos.Server.Server_error
+                       (Printf.sprintf "no journal events for symbol %s in %s" sym
+                          meta))
+              | evs ->
+                  Printf.printf "symbol %s:\n" sym;
+                  List.iter
+                    (fun ev ->
+                      Printf.printf "  %s\n"
+                        (Telemetry.Provenance.event_to_string ev))
+                    evs)
+        end)
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "instantiate a library meta-object twice (cold, then warm) in the \
+          quickstart world and explain the cached image: placement, operator \
+          chain, interpositions, and per-symbol binding decisions")
+    Term.(const run $ meta $ symbol $ json)
+
+let profile_cmd =
+  let meta =
+    Arg.(value & pos 0 string "/lib/libc"
+         & info [] ~docv:"META" ~doc:"library meta-object path to profile")
+  in
+  let folded_out =
+    Arg.(value & opt (some string) None
+         & info [ "folded" ] ~docv:"FILE"
+             ~doc:"also write folded stacks to $(docv) (flamegraph input)")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"emit the cost table as JSON")
+  in
+  let run meta folded_out json =
+    handle (fun () ->
+        let w = Omos.World.create () in
+        let s = w.Omos.World.server in
+        Telemetry.reset ();
+        Telemetry.set_enabled true;
+        Telemetry.Profile.set_enabled true;
+        let root =
+          Telemetry.Span.enter "ofe.profile" ~attrs:[ ("meta", Telemetry.S meta) ]
+        in
+        let resp = Omos.Server.instantiate s (Omos.Server.library_request meta) in
+        let p = Simos.Kernel.create_process (Omos.Server.kernel s) ~args:[ "profile" ] in
+        Omos.Server.map_into s p resp.Omos.Server.built;
+        Telemetry.Span.exit root;
+        Telemetry.Profile.set_enabled false;
+        Telemetry.set_enabled false;
+        let total = Telemetry.Profile.total () in
+        let folded = Telemetry.Profile.folded () in
+        if json then begin
+          let rows =
+            List.map
+              (fun (path, user, system, io) ->
+                Telemetry.Json.Obj
+                  [
+                    ("path", Telemetry.Json.Str path);
+                    ("user_us", Telemetry.Json.Num user);
+                    ("system_us", Telemetry.Json.Num system);
+                    ("io_us", Telemetry.Json.Num io);
+                  ])
+              (Telemetry.Profile.rows ())
+          in
+          print_endline
+            (Telemetry.Json.to_string
+               (Telemetry.Json.Obj
+                  [
+                    ("meta", Telemetry.Json.Str meta);
+                    ("total_us", Telemetry.Json.Num total);
+                    ("rows", Telemetry.Json.Arr rows);
+                  ]))
+        end
+        else begin
+          Printf.printf "meta: %s\n" meta;
+          Printf.printf "total simulated cost: %.1f us\n" total;
+          Printf.printf "by operator (innermost span):\n";
+          List.iter
+            (fun (leaf, us) ->
+              Printf.printf "  %-28s %12.1f us  %5.1f%%\n" leaf us
+                (if total > 0.0 then 100.0 *. us /. total else 0.0))
+            (Telemetry.Profile.by_leaf ());
+          Printf.printf "folded stacks:\n";
+          List.iter (fun (path, us) -> Printf.printf "  %s %.1f\n" path us) folded
+        end;
+        match folded_out with
+        | None -> ()
+        | Some file ->
+            let oc = open_out file in
+            List.iter
+              (fun (path, us) -> Printf.fprintf oc "%s %.1f\n" path us)
+              folded;
+            close_out oc;
+            Printf.printf "wrote %s\n" file)
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "instantiate and map a library meta-object in the quickstart world \
+          with the simulated-cost profiler on, and print the per-operator \
+          cost table and folded stacks")
+    Term.(const run $ meta $ folded_out $ json)
+
 let main =
   Cmd.group
     (Cmd.info "ofe" ~doc:"the Object File Editor: inspect and transform SOF objects")
@@ -387,7 +575,7 @@ let main =
       info_cmd; symbols_cmd; relocs_cmd; disasm_cmd; exports_cmd; undefined_cmd;
       nm_cmd; size_cmd; strings_cmd;
       compile_cmd; convert_cmd; rename_cmd; copy_as_cmd; merge_cmd;
-      trace_cmd; stats_cmd;
+      trace_cmd; stats_cmd; explain_cmd; profile_cmd;
       unary_op "hide" "hide definitions, freezing internal references" Jigsaw.Module_ops.hide;
       unary_op "restrict" "virtualize definitions (remove, keep references)" Jigsaw.Module_ops.restrict;
       unary_op "show" "hide all but the selected definitions" Jigsaw.Module_ops.show;

@@ -40,6 +40,8 @@ type entry = {
   disk_bytes : int;
   mutable hits : int;
   mutable residency : residency;
+  mutable provenance : Telemetry.Provenance.t option;
+      (* how this image was built; served as-is on hits *)
 }
 
 type t = {
@@ -47,10 +49,22 @@ type t = {
   mutable hit_count : int;
   mutable miss_count : int;
   mutable insertions : int;
+  mutable generation : int; (* bumped on every insertion and eviction *)
 }
 
 let create () : t =
-  { entries = Hashtbl.create 32; hit_count = 0; miss_count = 0; insertions = 0 }
+  {
+    entries = Hashtbl.create 32;
+    hit_count = 0;
+    miss_count = 0;
+    insertions = 0;
+    generation = 0;
+  }
+
+(** Structural age of the cache: how many insertions and evictions it
+    has seen. Recorded into each entry's provenance at build time, so
+    [ofe explain] can say which cache era an image came from. *)
+let generation (t : t) : int = t.generation
 
 (** All cached placements of a construction. *)
 let candidates (t : t) (key : string) : entry list =
@@ -72,7 +86,7 @@ let find (t : t) (key : string) ~(acceptable : entry -> bool) : entry option =
 
 (** Record a freshly built image. *)
 let insert (t : t) ~(key : string) ~(text_base : int) ~(data_base : int)
-    ?(residency = Static) (image : Linker.Image.t) : entry =
+    ?(residency = Static) ?provenance (image : Linker.Image.t) : entry =
   let e =
     {
       key;
@@ -82,12 +96,14 @@ let insert (t : t) ~(key : string) ~(text_base : int) ~(data_base : int)
       disk_bytes = Bytes.length (Linker.Image.encode image);
       hits = 0;
       residency;
+      provenance;
     }
   in
   (match Hashtbl.find_opt t.entries key with
   | Some r -> r := e :: !r
   | None -> Hashtbl.replace t.entries key (ref [ e ]));
   t.insertions <- t.insertions + 1;
+  t.generation <- t.generation + 1;
   Telemetry.Counter.incr tm_insertions;
   Telemetry.Histogram.observe tm_entry_bytes (float_of_int e.disk_bytes);
   e
@@ -155,6 +171,7 @@ let evict_to_budget (t : t) ~(bytes : int) : entry list =
       Hashtbl.fold (fun k r acc -> if !r = [] then k :: acc else acc) t.entries []
     in
     List.iter (Hashtbl.remove t.entries) empty;
+    t.generation <- t.generation + List.length victim_set;
     Telemetry.Counter.incr tm_evictions ~by:(List.length victim_set);
     victim_set
   end

@@ -23,11 +23,17 @@ type entry = {
   disk_bytes : int;  (** serialized size (disk-consumption accounting) *)
   mutable hits : int;
   mutable residency : residency;
+  mutable provenance : Telemetry.Provenance.t option;
+      (** binding journal of the build that produced this image; hits
+          serve it as-is, without relinking *)
 }
 
 type t
 
 val create : unit -> t
+
+(** Structural age: insertions + evictions seen so far. *)
+val generation : t -> int
 
 (** All cached placements of a construction (no hit/miss counting). *)
 val candidates : t -> string -> entry list
@@ -44,6 +50,7 @@ val insert :
   text_base:int ->
   data_base:int ->
   ?residency:residency ->
+  ?provenance:Telemetry.Provenance.t ->
   Linker.Image.t ->
   entry
 

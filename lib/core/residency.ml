@@ -123,6 +123,14 @@ let backed (t : t) (e : Cache.entry) : bool =
 
 (* -- state transitions --------------------------------------------- *)
 
+(* Residency is part of an image's story: every transition is appended
+   to the entry's provenance record (when one is attached), stamped
+   with the simulated clock — [ofe explain] shows the sequence. *)
+let note_transition (t : t) (e : Cache.entry) (state : string) : unit =
+  match e.Cache.provenance with
+  | Some p -> Telemetry.Provenance.transition p ~at:(t.clock ()) state
+  | None -> ()
+
 let register (t : t) (owner : string) : unit = Hashtbl.replace t.managed owner ()
 
 let align_up v a = (v + a - 1) / a * a
@@ -158,6 +166,7 @@ let reacquire (t : t) ~(owner : string) (e : Cache.entry) :
         | Ok _ ->
             e.Cache.residency <- Cache.Placed;
             register t owner;
+            note_transition t e "reacquired";
             Telemetry.Counter.incr tm_reacquired;
             Ok ())
   end
@@ -165,10 +174,12 @@ let reacquire (t : t) ~(owner : string) (e : Cache.entry) :
 let note_placed (t : t) (e : Cache.entry) : unit =
   e.Cache.residency <- Cache.Placed;
   register t (owner_of e);
+  note_transition t e "placed";
   Telemetry.Counter.incr tm_placed
 
-let note_static (_t : t) (e : Cache.entry) : unit =
+let note_static (t : t) (e : Cache.entry) : unit =
   e.Cache.residency <- Cache.Static;
+  note_transition t e "static";
   Telemetry.Counter.incr tm_static
 
 (* Release whichever of the entry's extents are still reserved under
@@ -185,6 +196,7 @@ let demote_if_lost (t : t) (e : Cache.entry) : bool =
   if e.Cache.residency = Cache.Placed && not (backed t e) then begin
     release_extents t e;
     e.Cache.residency <- Cache.Evicted;
+    note_transition t e "lost-reservation";
     Telemetry.Counter.incr tm_lost;
     true
   end
@@ -282,6 +294,7 @@ let evict_to_budget (t : t) ~(bytes : int) : Cache.entry list =
              ones already lost theirs *)
           ());
       e.Cache.residency <- Cache.Evicted;
+      note_transition t e "evicted";
       Telemetry.Counter.incr tm_evicted)
     victims;
   self_check t;

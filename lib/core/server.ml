@@ -191,6 +191,23 @@ let charge_link (t : t) (stats : Linker.Link.stats) : unit =
       (cost.Simos.Cost.symbol_lookup *. float_of_int stats.Linker.Link.symbols_resolved)
   end
 
+(* Human-readable placement decision for the provenance record. *)
+let placement_summary
+    (parts : (string * Constraints.Placement.decision option) list) : string =
+  String.concat " "
+    (List.map
+       (fun (seg, dec) ->
+         match dec with
+         | None -> seg
+         | Some (d : Constraints.Placement.decision) ->
+             Printf.sprintf "%s@0x%08x%s%s" seg d.Constraints.Placement.base
+               (if d.Constraints.Placement.reused then " (reused)" else "")
+               (match d.Constraints.Placement.satisfied with
+               | Some p ->
+                   Format.asprintf " satisfying %a" Constraints.Placement.pp_pref p
+               | None -> ""))
+       parts)
+
 (* Sizes a module will occupy, for placement before linking. *)
 let module_sizes (m : Jigsaw.Module_ops.t) : int * int =
   let frags = Jigsaw.Module_ops.fragments m in
@@ -231,6 +248,9 @@ let built_evicted (b : built) : bool =
 let link_in_arena (t : t) ~(name : string) ~(cache_key : string)
     ?(externals = []) (r : Blueprint.Mgraph.result Lazy.t) : built =
   let build_fresh () =
+    (* open the binding-journal frame before the graph is forced, so
+       every jigsaw operator and the link below record into it *)
+    Telemetry.Provenance.begin_build ();
     let r = Lazy.force r in
     let text_size, data_size = module_sizes r.Blueprint.Mgraph.m in
     (* record when the strongest preference could not be honoured; the
@@ -257,21 +277,36 @@ let link_in_arena (t : t) ~(name : string) ~(cache_key : string)
         (prefs_for Blueprint.Mgraph.Seg_data r.Blueprint.Mgraph.constraints)
     in
     let t0 = Telemetry.now_us () in
-    let img, lstats =
-      Linker.Link.link ~externals ~allow_undefined:true
-        ~layout:
-          {
-            Linker.Link.text_base = tdec.Constraints.Placement.base;
-            data_base = ddec.Constraints.Placement.base;
-          }
-        (Jigsaw.Module_ops.fragments r.Blueprint.Mgraph.m)
+    (* the link and its simulated-cost charges share one span, so the
+       profiler attributes the whole link phase to "server.link" *)
+    let img, _lstats =
+      Telemetry.with_span "server.link" @@ fun () ->
+      let img, lstats =
+        Linker.Link.link ~externals ~allow_undefined:true
+          ~layout:
+            {
+              Linker.Link.text_base = tdec.Constraints.Placement.base;
+              data_base = ddec.Constraints.Placement.base;
+            }
+          (Jigsaw.Module_ops.fragments r.Blueprint.Mgraph.m)
+      in
+      charge_link t lstats;
+      (img, lstats)
     in
-    charge_link t lstats;
     Telemetry.Histogram.observe tm_link_us (Telemetry.now_us () -. t0);
+    let provenance =
+      Telemetry.Provenance.capture ~key:cache_key
+        ~text_base:tdec.Constraints.Placement.base
+        ~data_base:ddec.Constraints.Placement.base
+        ~placement:
+          (placement_summary [ ("text", Some tdec); ("data", Some ddec) ])
+        ~generation:(Cache.generation t.cache) ()
+    in
+    Telemetry.Provenance.note_built ~name provenance;
     let e =
       Cache.insert t.cache ~key:cache_key
         ~text_base:tdec.Constraints.Placement.base
-        ~data_base:ddec.Constraints.Placement.base
+        ~data_base:ddec.Constraints.Placement.base ~provenance
         { img with Linker.Image.name }
     in
     Residency.note_placed t.residency e;
@@ -340,20 +375,34 @@ let build_static_raw (t : t) ~(name : string) ?(entry_symbol : string option)
   match Cache.find t.cache cache_key ~acceptable:(fun _ -> true) with
   | Some e -> { entry = e; key = cache_key ^ "@" ^ Linker.Image.digest e.Cache.image }
   | None ->
+      Telemetry.Provenance.begin_build ();
       t.work.instantiations <- t.work.instantiations + 1;
       let r = eval t graph in
       let t0 = Telemetry.now_us () in
-      let img, lstats =
-        Linker.Link.link ?entry:entry_symbol ~externals
-          ~layout:
-            { Linker.Link.text_base = client_text_base; data_base = client_data_base }
-          (Jigsaw.Module_ops.fragments r.Blueprint.Mgraph.m)
+      let img, _lstats =
+        Telemetry.with_span "server.link" @@ fun () ->
+        let img, lstats =
+          Linker.Link.link ?entry:entry_symbol ~externals
+            ~layout:
+              { Linker.Link.text_base = client_text_base; data_base = client_data_base }
+            (Jigsaw.Module_ops.fragments r.Blueprint.Mgraph.m)
+        in
+        charge_link t lstats;
+        (img, lstats)
       in
-      charge_link t lstats;
       Telemetry.Histogram.observe tm_link_us (Telemetry.now_us () -. t0);
+      let provenance =
+        Telemetry.Provenance.capture ~key:cache_key ~text_base:client_text_base
+          ~data_base:client_data_base
+          ~placement:
+            (Printf.sprintf "static text@0x%08x data@0x%08x" client_text_base
+               client_data_base)
+          ~generation:(Cache.generation t.cache) ()
+      in
+      Telemetry.Provenance.note_built ~name provenance;
       let e =
         Cache.insert t.cache ~key:cache_key ~text_base:client_text_base
-          ~data_base:client_data_base
+          ~data_base:client_data_base ~provenance
           { img with Linker.Image.name }
       in
       Residency.note_static t.residency e;

@@ -12,6 +12,24 @@ let compiled_codegen = lazy (Workloads.Codegen_gen.objects ())
 let compiled_auxlibs = lazy (Workloads.Codegen_gen.libraries ())
 let compiled_crt0 = lazy (Workloads.Crt0.obj ())
 
+(* A tiny interposition fixture for [ofe explain] and the provenance
+   tests: [/demo/impl.o] overrides [/demo/base.o]'s [greet], and the
+   result is exported under [hello]. *)
+let demo_base_source =
+  "int helper() { return 1; }\nint greet() { return helper() + 41; }\n"
+
+let demo_impl_source = "int greet() { return 52; }\n"
+
+let compiled_demo_base =
+  lazy (Minic.Driver.compile ~name:"/demo/base.o" demo_base_source)
+
+let compiled_demo_impl =
+  lazy (Minic.Driver.compile ~name:"/demo/impl.o" demo_impl_source)
+
+let demo_meta_source =
+  "(constraint-list \"T\" 0x3000000 \"D\" 0x50000000)\n\
+   (rename \"^greet$\" \"hello\" (override /demo/base.o /demo/impl.o))\n"
+
 (* Figure 1, almost verbatim. *)
 let libc_meta_source =
   "(constraint-list \"T\" 0x100000 \"D\" 0x40200000) ; default address constraint\n\
@@ -47,8 +65,11 @@ let create ?(personality = Hpux) ?(faults : Residency.faults option)
     (fun (path, o) -> Server.add_fragment server (path ^ ".o") o)
     (Lazy.force compiled_auxlibs);
   List.iter (fun (path, o) -> Server.add_fragment server path o) (Lazy.force compiled_codegen);
+  Server.add_fragment server "/demo/base.o" (Lazy.force compiled_demo_base);
+  Server.add_fragment server "/demo/impl.o" (Lazy.force compiled_demo_impl);
   (* library meta-objects *)
   Server.add_meta_source server "/lib/libc" libc_meta_source;
+  Server.add_meta_source server "/demo/hello" demo_meta_source;
   List.iter
     (fun (path, _) ->
       Server.add_meta_source server path (Printf.sprintf "(merge %s.o)" path))

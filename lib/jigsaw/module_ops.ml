@@ -26,6 +26,10 @@ let traced (op : string) (f : unit -> 'a) : 'a =
   Telemetry.Counter.incr tm_ops;
   Telemetry.with_span ("jigsaw." ^ op) f
 
+(* Shorthand for the provenance journal: every call site below is
+   gated, so disabled provenance costs one flag test per operator. *)
+let prov () = Telemetry.Provenance.is_enabled ()
+
 type t = { label : string; fragments : Sof.View.t list }
 
 let v ?(label = "<module>") (fragments : Sof.View.t list) : t = { label; fragments }
@@ -104,8 +108,9 @@ let merge (a : t) (b : t) : t =
           | None -> Hashtbl.replace seen n o.Sof.Object_file.name)
         (global_names_of_frag o))
     (fragments a @ fragments b);
-  { label = Printf.sprintf "(merge %s %s)" a.label b.label;
-    fragments = a.fragments @ b.fragments }
+  let label = Printf.sprintf "(merge %s %s)" a.label b.label in
+  if prov () then Telemetry.Provenance.record_op ~op:"merge" ~detail:label;
+  { label; fragments = a.fragments @ b.fragments }
 
 let merge_list (ms : t list) : t =
   match ms with
@@ -117,38 +122,88 @@ let merge_list (ms : t list) : t =
     removed, references to them become (or stay) unbound. *)
 let restrict (sel : Select.t) (m : t) : t =
   traced "restrict" @@ fun () ->
+  let label = Printf.sprintf "(restrict %s %s)" (Select.pattern sel) m.label in
+  if prov () then begin
+    Telemetry.Provenance.record_op ~op:"restrict" ~detail:label;
+    List.iter
+      (fun n ->
+        if Select.matches sel n then
+          Telemetry.Provenance.record_sym ~op:"restrict" ~symbol:n
+            "definition virtualized (references left unbound)")
+      (exports m)
+  end;
   let m' = push_all m (Sof.View.Undefine (Select.matches sel)) in
-  { m' with label = Printf.sprintf "(restrict %s %s)" (Select.pattern sel) m.label }
+  { m' with label }
 
 (** [project sel m] is the complement: virtualize all {e but} the
     selected bindings. *)
 let project (sel : Select.t) (m : t) : t =
   traced "project" @@ fun () ->
+  let label = Printf.sprintf "(project %s %s)" (Select.pattern sel) m.label in
+  if prov () then Telemetry.Provenance.record_op ~op:"project" ~detail:label;
   let m' = push_all m (Sof.View.Undefine (fun n -> not (Select.matches sel n))) in
-  { m' with label = Printf.sprintf "(project %s %s)" (Select.pattern sel) m.label }
+  { m' with label }
 
 (** [override a b] merges, resolving conflicting definitions in favour
     of [b]: [a]'s conflicting definitions are virtualized first, so
     [a]'s references rebind to [b]'s implementations. *)
 let override (a : t) (b : t) : t =
   traced "override" @@ fun () ->
-  let b_exports = Hashtbl.create 32 in
+  (* name -> defining fragment of [b], for conflict detection and for
+     naming the interposition winner in the journal *)
+  let b_exports : (string, string) Hashtbl.t = Hashtbl.create 32 in
   List.iter
-    (fun o -> List.iter (fun n -> Hashtbl.replace b_exports n ())
-                (exported_names_of_frag o))
+    (fun o ->
+      List.iter
+        (fun n -> Hashtbl.replace b_exports n o.Sof.Object_file.name)
+        (exported_names_of_frag o))
     (fragments b);
+  let label = Printf.sprintf "(override %s %s)" a.label b.label in
+  if prov () then begin
+    Telemetry.Provenance.record_op ~op:"override" ~detail:label;
+    (* [a]'s definitions that [b] shadows: the interposition
+       winners/losers the paper's interposition examples are about *)
+    List.iter
+      (fun o ->
+        List.iter
+          (fun n ->
+            match Hashtbl.find_opt b_exports n with
+            | Some winner ->
+                Telemetry.Provenance.record_interpose ~symbol:n ~winner
+                  ~loser:o.Sof.Object_file.name ~how:"override";
+                Telemetry.Provenance.record_sym ~op:"override" ~symbol:n
+                  (Printf.sprintf "definition from %s replaces %s" winner
+                     o.Sof.Object_file.name)
+            | None -> ())
+          (exported_names_of_frag o))
+      (fragments a)
+  end;
   let a' = push_all a (Sof.View.Undefine (Hashtbl.mem b_exports)) in
   let merged = merge a' b in
-  { merged with label = Printf.sprintf "(override %s %s)" a.label b.label }
+  { merged with label }
 
 (** [copy_as sel new_name m] duplicates the value of the selected
     definition(s) under a new name ([new_name] may use [\1]-style group
     references against [sel]). *)
 let copy_as (sel : Select.t) (new_name : string) (m : t) : t =
   traced "copy_as" @@ fun () ->
+  let label =
+    Printf.sprintf "(copy_as %s %s %s)" (Select.pattern sel) new_name m.label
+  in
+  if prov () then begin
+    Telemetry.Provenance.record_op ~op:"copy_as" ~detail:label;
+    let map = Select.rewrite sel new_name in
+    List.iter
+      (fun n ->
+        match map n with
+        | Some n' ->
+            Telemetry.Provenance.record_sym ~op:"copy_as" ~symbol:n' ~prior:n
+              (Printf.sprintf "copied from %s" n)
+        | None -> ())
+      (exports m)
+  end;
   let m' = push_all m (Sof.View.Copy_defs (Select.rewrite sel new_name)) in
-  { m' with
-    label = Printf.sprintf "(copy_as %s %s %s)" (Select.pattern sel) new_name m.label }
+  { m' with label }
 
 (* Fresh-name generation for freeze/hide manglings. *)
 let gensym_counter = ref 0
@@ -181,29 +236,54 @@ let freeze_like ~keep_public (sel : Select.t) (m : t) : t =
     permanent: intra-module references can no longer be rebound by
     later [override]/[restrict], while the public definition remains
     exported. *)
+(* Journal the exported names an operator affected. *)
+let record_selected ~op ~action (sel : Select.t) (m : t) : unit =
+  if prov () then
+    List.iter
+      (fun n ->
+        if Select.matches sel n then
+          Telemetry.Provenance.record_sym ~op ~symbol:n action)
+      (exports m)
+
 let freeze (sel : Select.t) (m : t) : t =
   traced "freeze" @@ fun () ->
+  let label = Printf.sprintf "(freeze %s %s)" (Select.pattern sel) m.label in
+  if prov () then Telemetry.Provenance.record_op ~op:"freeze" ~detail:label;
+  record_selected ~op:"freeze" ~action:"binding made permanent (still exported)"
+    sel m;
   let m' = freeze_like ~keep_public:true sel m in
-  { m' with label = Printf.sprintf "(freeze %s %s)" (Select.pattern sel) m.label }
+  { m' with label }
 
 (** [hide sel m] removes the selected definitions from the exported
     symbol table, freezing internal references to them in the process. *)
 let hide (sel : Select.t) (m : t) : t =
   traced "hide" @@ fun () ->
+  let label = Printf.sprintf "(hide %s %s)" (Select.pattern sel) m.label in
+  if prov () then Telemetry.Provenance.record_op ~op:"hide" ~detail:label;
+  record_selected ~op:"hide"
+    ~action:"definition hidden under a private alias" sel m;
   let m' = freeze_like ~keep_public:false sel m in
-  { m' with label = Printf.sprintf "(hide %s %s)" (Select.pattern sel) m.label }
+  { m' with label }
 
 (** [show sel m] hides all but the selected definitions. *)
 let show (sel : Select.t) (m : t) : t =
   traced "show" @@ fun () ->
+  let label = Printf.sprintf "(show %s %s)" (Select.pattern sel) m.label in
+  if prov () then Telemetry.Provenance.record_op ~op:"show" ~detail:label;
   let keep = Select.matches sel in
   let victims = List.filter (fun n -> not (keep n)) (exports m) in
+  if prov () then
+    List.iter
+      (fun n ->
+        Telemetry.Provenance.record_sym ~op:"show" ~symbol:n
+          "definition hidden under a private alias")
+      victims;
   let m' =
     List.fold_left
       (fun acc n -> freeze_like ~keep_public:false (Select.compile ("^" ^ Str.quote n ^ "$")) acc)
       m victims
   in
-  { m' with label = Printf.sprintf "(show %s %s)" (Select.pattern sel) m.label }
+  { m' with label }
 
 (** Which side of the namespace [rename] rewrites. *)
 type rename_scope = Defs_only | Refs_only | Both
@@ -213,6 +293,23 @@ type rename_scope = Defs_only | Refs_only | Both
 let rename ?(scope = Both) (sel : Select.t) (template : string) (m : t) : t =
   traced "rename" @@ fun () ->
   let map = Select.rewrite sel template in
+  let label =
+    Printf.sprintf "(rename %s %s %s)" (Select.pattern sel) template m.label
+  in
+  if prov () then begin
+    Telemetry.Provenance.record_op ~op:"rename" ~detail:label;
+    (* journal under the *new* name with [prior] pointing back, so a
+       query for the exported name follows the rename chain *)
+    if scope <> Refs_only then
+      List.iter
+        (fun n ->
+          match map n with
+          | Some n' when n' <> n ->
+              Telemetry.Provenance.record_sym ~op:"rename" ~symbol:n' ~prior:n
+                (Printf.sprintf "renamed from %s" n)
+          | _ -> ())
+        (exports m)
+  end;
   let m' =
     match scope with
     | Defs_only -> push_all m (Sof.View.Rename_defs map)
@@ -220,8 +317,7 @@ let rename ?(scope = Both) (sel : Select.t) (template : string) (m : t) : t =
     | Both ->
         push_all (push_all m (Sof.View.Rename_defs map)) (Sof.View.Rename_refs map)
   in
-  { m' with
-    label = Printf.sprintf "(rename %s %s %s)" (Select.pattern sel) template m.label }
+  { m' with label }
 
 (** [initializers m] generates the static-initializer driver for the
     constructors found in the module (the paper's C++ support): a
@@ -230,6 +326,9 @@ let rename ?(scope = Both) (sel : Select.t) (template : string) (m : t) : t =
     default provided by crt0. *)
 let initializers (m : t) : t =
   traced "initializers" @@ fun () ->
+  if prov () then
+    Telemetry.Provenance.record_op ~op:"initializers"
+      ~detail:(Printf.sprintf "(initializers %s)" m.label);
   let ctors = List.concat_map (fun o -> o.Sof.Object_file.ctors) (fragments m) in
   let a = Sof.Asm.create "(initializers)" in
   Sof.Asm.label a "__init";

@@ -108,6 +108,7 @@ let link ?entry ?(externals : Image.t list = []) ?(allow_undefined = false)
     Hashtbl.create 64
   in
   let resolved = ref 0 in
+  let prov = Telemetry.Provenance.is_enabled () in
   List.iter
     (fun p ->
       List.iter
@@ -119,11 +120,32 @@ let link ?entry ?(externals : Image.t list = []) ?(allow_undefined = false)
             | None -> Hashtbl.replace globals s.name (addr, fname, s.binding)
             | Some (_, f1, Sof.Symbol.Global) when s.binding = Sof.Symbol.Global ->
                 raise (Link_error (Duplicate (s.name, f1, fname)))
-            | Some (_, _, Sof.Symbol.Weak) when s.binding = Sof.Symbol.Global ->
+            | Some (_, f1, Sof.Symbol.Weak) when s.binding = Sof.Symbol.Global ->
+                if prov then
+                  Telemetry.Provenance.record_interpose ~symbol:s.name
+                    ~winner:fname ~loser:f1 ~how:"global-over-weak";
                 Hashtbl.replace globals s.name (addr, fname, s.binding)
-            | Some _ -> () (* existing Global beats Weak; first Weak kept *)))
+            | Some (_, f1, existing) ->
+                (* existing Global beats Weak; first Weak kept *)
+                if prov then
+                  Telemetry.Provenance.record_interpose ~symbol:s.name
+                    ~winner:f1 ~loser:fname
+                    ~how:
+                      (if existing = Sof.Symbol.Global then "global-over-weak"
+                       else "first-weak-kept")))
         p.frag.Sof.Object_file.symbols)
     placed;
+  (* journal the winning definitions while the table is fresh *)
+  if prov then
+    Hashtbl.fold
+      (fun name (addr, frag, binding) acc -> (name, addr, frag, binding) :: acc)
+      globals []
+    |> List.sort compare
+    |> List.iter (fun (name, addr, frag, binding) ->
+           Telemetry.Provenance.record_bind ~symbol:name ~addr ~frag
+             ~via:
+               (if binding = Sof.Symbol.Weak then "weak definition"
+                else "definition"));
   (* external images: weaker than any fragment definition *)
   let external_syms : (string, int) Hashtbl.t = Hashtbl.create 64 in
   List.iter
@@ -160,6 +182,8 @@ let link ?entry ?(externals : Image.t list = []) ?(allow_undefined = false)
         | None -> Hashtbl.find_opt external_syms name)
   in
   let relocs_applied = ref 0 in
+  let text_relocs = ref 0 and data_relocs = ref 0 in
+  let ext_bound : (string, unit) Hashtbl.t = Hashtbl.create 8 in
   let undefined = ref [] in
   List.iter
     (fun p ->
@@ -173,6 +197,26 @@ let link ?entry ?(externals : Image.t list = []) ?(allow_undefined = false)
           | Some s_addr -> (
               incr relocs_applied;
               incr resolved;
+              (match r.target with
+              | Sof.Reloc.In_text -> incr text_relocs
+              | Sof.Reloc.In_data -> incr data_relocs);
+              (* references satisfied by an already-positioned external
+                 image bind outside this link: journal them once *)
+              if
+                prov
+                && (not (Hashtbl.mem globals r.symbol))
+                && (not (Hashtbl.mem ext_bound r.symbol))
+                && Hashtbl.mem external_syms r.symbol
+                && not
+                     (List.exists
+                        (fun (s : Sof.Symbol.t) ->
+                          s.name = r.symbol && Sof.Symbol.is_defined s)
+                        p.frag.Sof.Object_file.symbols)
+              then begin
+                Hashtbl.replace ext_bound r.symbol ();
+                Telemetry.Provenance.record_bind ~symbol:r.symbol ~addr:s_addr
+                  ~frag:"<external image>" ~via:"external"
+              end;
               match r.target with
               | Sof.Reloc.In_text ->
                   let site = p.text_off + r.offset in
@@ -242,6 +286,10 @@ let link ?entry ?(externals : Image.t list = []) ?(allow_undefined = false)
       reloc_work = !relocs_applied;
     }
   in
+  if prov then begin
+    Telemetry.Provenance.record_reloc ~section:"text" ~count:!text_relocs;
+    Telemetry.Provenance.record_reloc ~section:"data" ~count:!data_relocs
+  end;
   Telemetry.Counter.incr tm_links;
   Telemetry.Counter.incr tm_relocs ~by:!relocs_applied;
   Telemetry.Counter.incr tm_symbols ~by:!resolved;
@@ -267,6 +315,8 @@ let combine ~name (frags : Sof.Object_file.t list) : Sof.Object_file.t =
       [ ("name", Telemetry.S name); ("fragments", Telemetry.I (List.length frags)) ]
   @@ fun () ->
   Telemetry.Counter.incr tm_combines;
+  Telemetry.Provenance.record_op ~op:"combine"
+    ~detail:(Printf.sprintf "%s (%d fragments)" name (List.length frags));
   let placed, text_size, data_size, bss_size = place_fragments frags in
   let text = Bytes.make text_size '\000' in
   let data = Bytes.make data_size '\000' in

@@ -8,9 +8,21 @@ type snapshot = { s_user : float; s_system : float; s_io : float }
 
 let create () : t = { user = 0.0; system = 0.0; io = 0.0 }
 
-let charge_user (c : t) (us : float) = c.user <- c.user +. us
-let charge_system (c : t) (us : float) = c.system <- c.system +. us
-let charge_io (c : t) (us : float) = c.io <- c.io +. us
+(* Every charge also flows to the telemetry profiler, which attributes
+   it to the open span stack (no-op unless profiling is enabled) — the
+   single funnel that makes [ofe profile]'s folded stacks sum to
+   exactly what the cost model charged. *)
+let charge_user (c : t) (us : float) =
+  c.user <- c.user +. us;
+  Telemetry.Profile.charge Telemetry.Profile.User us
+
+let charge_system (c : t) (us : float) =
+  c.system <- c.system +. us;
+  Telemetry.Profile.charge Telemetry.Profile.System us
+
+let charge_io (c : t) (us : float) =
+  c.io <- c.io +. us;
+  Telemetry.Profile.charge Telemetry.Profile.Io us
 
 (** Elapsed time: everything, including I/O waits. *)
 let elapsed (c : t) : float = c.user +. c.system +. c.io

@@ -112,6 +112,103 @@ let spans () : span list = List.rev !completed
 let spans_named (name : string) : span list =
   List.filter (fun s -> s.name = name) (spans ())
 
+(* -- simulated-cost profiler ------------------------------------------------ *)
+
+(** Attribution of {!Simos.Cost} charges to the live span stack. Every
+    [Simos.Clock.charge_*] call forwards here; while enabled, the charge
+    is credited to the current span {e path} (root-to-leaf span names
+    joined with [";"] — exactly the folded-stack key flamegraph tools
+    consume). Charges arriving outside any span accumulate under
+    ["(unattributed)"], so the folded output always sums to the total
+    charged. *)
+module Profile = struct
+  type kind = User | System | Io
+
+  type cell = {
+    mutable p_user : float;
+    mutable p_system : float;
+    mutable p_io : float;
+  }
+
+  let prof_enabled = ref false
+  let table : (string, cell) Hashtbl.t = Hashtbl.create 32
+
+  let set_enabled b = prof_enabled := b
+  let is_enabled () = !prof_enabled
+  let clear () = Hashtbl.reset table
+
+  let unattributed = "(unattributed)"
+
+  (* [open_stack] is newest-first; fold right-to-left for root-first. *)
+  let current_path () : string =
+    match !open_stack with
+    | [] -> unattributed
+    | st -> String.concat ";" (List.rev_map (fun s -> s.name) st)
+
+  let charge (k : kind) (us : float) : unit =
+    if !prof_enabled && us <> 0.0 then begin
+      let path = current_path () in
+      let c =
+        match Hashtbl.find_opt table path with
+        | Some c -> c
+        | None ->
+            let c = { p_user = 0.0; p_system = 0.0; p_io = 0.0 } in
+            Hashtbl.replace table path c;
+            c
+      in
+      match k with
+      | User -> c.p_user <- c.p_user +. us
+      | System -> c.p_system <- c.p_system +. us
+      | Io -> c.p_io <- c.p_io +. us
+    end
+
+  let cell_total (c : cell) : float = c.p_user +. c.p_system +. c.p_io
+
+  (** (path, user, system, io) rows, sorted by path. *)
+  let rows () : (string * float * float * float) list =
+    Hashtbl.fold (fun p c acc -> (p, c.p_user, c.p_system, c.p_io) :: acc) table []
+    |> List.sort compare
+
+  (** Folded-stack lines: (path, total us), sorted by path. *)
+  let folded () : (string * float) list =
+    Hashtbl.fold (fun p c acc -> (p, cell_total c) :: acc) table []
+    |> List.sort compare
+
+  let total () : float =
+    Hashtbl.fold (fun _ c acc -> acc +. cell_total c) table 0.0
+
+  (** Per-operator totals: cost keyed by the innermost span name of each
+      path, sorted by descending cost then name. *)
+  let by_leaf () : (string * float) list =
+    let leaves : (string, float) Hashtbl.t = Hashtbl.create 16 in
+    Hashtbl.iter
+      (fun path c ->
+        let leaf =
+          match String.rindex_opt path ';' with
+          | Some i -> String.sub path (i + 1) (String.length path - i - 1)
+          | None -> path
+        in
+        let prev = Option.value (Hashtbl.find_opt leaves leaf) ~default:0.0 in
+        Hashtbl.replace leaves leaf (prev +. cell_total c))
+      table;
+    Hashtbl.fold (fun l v acc -> (l, v) :: acc) leaves []
+    |> List.sort (fun (l1, v1) (l2, v2) ->
+           match compare v2 v1 with 0 -> compare l1 l2 | c -> c)
+
+  (** Cost charged while a span deeper than the root was open — i.e.
+      attributed to a specific request phase rather than the request as
+      a whole (paths with at least [depth] segments). *)
+  let attributed_at_depth (depth : int) : float =
+    Hashtbl.fold
+      (fun path c acc ->
+        let segs =
+          List.length (String.split_on_char ';' path)
+        in
+        if path <> unattributed && segs >= depth then acc +. cell_total c
+        else acc)
+      table 0.0
+end
+
 (* -- metrics registry ------------------------------------------------------- *)
 
 module Counter = struct
@@ -141,14 +238,24 @@ module Gauge = struct
 end
 
 module Histogram = struct
-  (* Bounded memory: count/sum/min/max only, no raw reservoir — safe to
-     feed from per-syscall paths that fire millions of times. *)
+  (* Bounded memory: count/sum/min/max plus a fixed-size sample
+     reservoir for percentiles — safe to feed from per-syscall paths
+     that fire millions of times. Reservoir replacement uses a
+     per-histogram xorshift stream seeded from the name, so the same
+     observation sequence always keeps the same samples (the simulated
+     world is deterministic and the exports must be too). *)
+  let reservoir_cap = 512
+
   type t = {
     h_name : string;
     mutable n : int;
     mutable sum : float;
     mutable minv : float;
     mutable maxv : float;
+    samples : float array; (* valid in [0, filled) *)
+    mutable filled : int;
+    seed : int;
+    mutable rng : int;
   }
 
   let registry : (string, t) Hashtbl.t = Hashtbl.create 32
@@ -157,7 +264,11 @@ module Histogram = struct
     match Hashtbl.find_opt registry name with
     | Some h -> h
     | None ->
-        let h = { h_name = name; n = 0; sum = 0.0; minv = infinity; maxv = neg_infinity } in
+        let seed = (Hashtbl.hash name land 0xFFFFFF) lor 1 in
+        let h =
+          { h_name = name; n = 0; sum = 0.0; minv = infinity; maxv = neg_infinity;
+            samples = Array.make reservoir_cap 0.0; filled = 0; seed; rng = seed }
+        in
         Hashtbl.replace registry name h;
         h
 
@@ -165,18 +276,43 @@ module Histogram = struct
     h.n <- h.n + 1;
     h.sum <- h.sum +. v;
     if v < h.minv then h.minv <- v;
-    if v > h.maxv then h.maxv <- v
+    if v > h.maxv then h.maxv <- v;
+    if h.filled < reservoir_cap then begin
+      h.samples.(h.filled) <- v;
+      h.filled <- h.filled + 1
+    end
+    else begin
+      (* classic reservoir sampling: keep with probability cap/n *)
+      let x = h.rng in
+      let x = x lxor (x lsl 13) in
+      let x = x lxor (x lsr 7) in
+      let x = x lxor (x lsl 17) in
+      h.rng <- (x land max_int) lor 1;
+      let slot = h.rng mod h.n in
+      if slot < reservoir_cap then h.samples.(slot) <- v
+    end
 
   let count (h : t) : int = h.n
   let sum (h : t) : float = h.sum
   let mean (h : t) : float = if h.n = 0 then 0.0 else h.sum /. float_of_int h.n
   let min_value (h : t) : float = if h.n = 0 then 0.0 else h.minv
   let max_value (h : t) : float = if h.n = 0 then 0.0 else h.maxv
+
+  (** Nearest-rank percentile over the reservoir ([q] in [0,100]);
+      exact while fewer than [reservoir_cap] observations arrived. *)
+  let percentile (h : t) (q : float) : float =
+    if h.filled = 0 then 0.0
+    else begin
+      let a = Array.sub h.samples 0 h.filled in
+      Array.sort compare a;
+      let rank = int_of_float (Float.ceil (q /. 100.0 *. float_of_int h.filled)) in
+      a.(max 0 (min (h.filled - 1) (rank - 1)))
+    end
 end
 
-(** Zero every metric in place (interned handles stay valid) and drop
-    all recorded spans. The clock and enabled flag are left alone. *)
-let reset () : unit =
+(* Metrics/spans part of {!reset}; the public [reset] (defined after
+   {!Provenance}) also clears profiler and provenance state. *)
+let reset_metrics_and_spans () : unit =
   Hashtbl.iter (fun _ (c : Counter.t) -> c.Counter.count <- 0) Counter.registry;
   Hashtbl.reset Gauge.registry;
   Hashtbl.iter
@@ -184,7 +320,9 @@ let reset () : unit =
       h.Histogram.n <- 0;
       h.Histogram.sum <- 0.0;
       h.Histogram.minv <- infinity;
-      h.Histogram.maxv <- neg_infinity)
+      h.Histogram.maxv <- neg_infinity;
+      h.Histogram.filled <- 0;
+      h.Histogram.rng <- h.Histogram.seed)
     Histogram.registry;
   open_stack := [];
   completed := [];
@@ -367,6 +505,237 @@ module Json = struct
     match j with Obj kvs -> List.assoc_opt key kvs | _ -> None
 end
 
+(* -- binding provenance ------------------------------------------------------ *)
+
+(** The binding journal. While enabled, the linker and the jigsaw
+    operators record per-symbol decisions into the journal frame of the
+    build in flight; the server brackets each fresh build with
+    {!begin_build}/{!capture} and attaches the captured {!t} to the
+    resulting cache entry, so a cached image can explain itself long
+    after the link that produced it ([ofe explain]).
+
+    Frames form a stack because builds nest: a specializer may
+    instantiate a library in the middle of evaluating a client's
+    m-graph, and its journal must not leak into the outer build's.
+
+    Recording is off by default ({!set_enabled}): when off,
+    {!begin_build}/{!capture} still bracket builds (entries always get a
+    provenance skeleton — key, placement, generation) but the per-symbol
+    event stream stays empty, so hot paths pay only a flag test. *)
+module Provenance = struct
+  type event =
+    | Op of { op : string; detail : string }
+        (** a module operator was applied (merge, override, rename, …) *)
+    | Sym of {
+        op : string;
+        symbol : string;
+        prior : string option;  (** previous name, for renames *)
+        action : string;
+      }  (** what an operator did to one symbol *)
+    | Bind of { symbol : string; addr : int; frag : string; via : string }
+        (** final link-time binding: the winning definition *)
+    | Interpose of { symbol : string; winner : string; loser : string; how : string }
+        (** a definition shadowed another at link time *)
+    | Reloc of { section : string; count : int }
+        (** relocations applied per section *)
+
+  type t = {
+    p_key : string;  (** construction digest (the cache key) *)
+    p_ops : string list;  (** operator chain, application order *)
+    p_events : event list;  (** journal, chronological *)
+    p_text_base : int;
+    p_data_base : int;
+    p_placement : string;  (** human-readable placement decision *)
+    p_generation : int;  (** cache generation at insertion *)
+    mutable p_transitions : (float * string) list;
+        (** residency transitions (sim us, state), chronological *)
+  }
+
+  let prov_enabled = ref false
+  let set_enabled b = prov_enabled := b
+  let is_enabled () = !prov_enabled
+
+  type frame = { mutable ops : string list; mutable events : event list }
+  (* both newest-first *)
+
+  let frames : frame list ref = ref []
+
+  let begin_build () : unit = frames := { ops = []; events = [] } :: !frames
+
+  let record_event (e : event) : unit =
+    if !prov_enabled then
+      match !frames with [] -> () | f :: _ -> f.events <- e :: f.events
+
+  let record_op ~(op : string) ~(detail : string) : unit =
+    if !prov_enabled then
+      match !frames with
+      | [] -> ()
+      | f :: _ ->
+          f.ops <- op :: f.ops;
+          f.events <- Op { op; detail } :: f.events
+
+  let record_sym ~(op : string) ~(symbol : string) ?prior (action : string) : unit
+      =
+    record_event (Sym { op; symbol; prior; action })
+
+  let record_bind ~(symbol : string) ~(addr : int) ~(frag : string)
+      ~(via : string) : unit =
+    record_event (Bind { symbol; addr; frag; via })
+
+  let record_interpose ~(symbol : string) ~(winner : string) ~(loser : string)
+      ~(how : string) : unit =
+    record_event (Interpose { symbol; winner; loser; how })
+
+  let record_reloc ~(section : string) ~(count : int) : unit =
+    if count > 0 then record_event (Reloc { section; count })
+
+  (** Close the innermost build frame into a provenance record. *)
+  let capture ~(key : string) ~(text_base : int) ~(data_base : int)
+      ~(placement : string) ~(generation : int) () : t =
+    let f, rest =
+      match !frames with
+      | [] -> ({ ops = []; events = [] }, [])
+      | f :: r -> (f, r)
+    in
+    frames := rest;
+    {
+      p_key = key;
+      p_ops = List.rev f.ops;
+      p_events = List.rev f.events;
+      p_text_base = text_base;
+      p_data_base = data_base;
+      p_placement = placement;
+      p_generation = generation;
+      p_transitions = [];
+    }
+
+  (** Append a residency transition (entries are long-lived; the
+      residency layer calls this on every state change). *)
+  let transition (p : t) ~(at : float) (state : string) : unit =
+    p.p_transitions <- p.p_transitions @ [ (at, state) ]
+
+  let event_to_string : event -> string = function
+    | Op { op; detail } -> Printf.sprintf "op %s %s" op detail
+    | Sym { op; symbol; prior; action } ->
+        Printf.sprintf "sym %s %s%s: %s" op symbol
+          (match prior with Some p -> " (was " ^ p ^ ")" | None -> "")
+          action
+    | Bind { symbol; addr; frag; via } ->
+        Printf.sprintf "bind %s @ 0x%08x in %s (%s)" symbol addr frag via
+    | Interpose { symbol; winner; loser; how } ->
+        Printf.sprintf "interpose %s: %s over %s (%s)" symbol winner loser how
+    | Reloc { section; count } -> Printf.sprintf "relocs %s: %d" section count
+
+  (* The names [symbol] has carried: follow rename links backwards so a
+     query for the exported name also surfaces decisions recorded under
+     the names it was derived from. *)
+  let names_for (p : t) (symbol : string) : string list =
+    let rec close acc =
+      let extra =
+        List.filter_map
+          (function
+            | Sym { symbol = s; prior = Some old; _ }
+              when List.mem s acc && not (List.mem old acc) ->
+                Some old
+            | _ -> None)
+          p.p_events
+      in
+      match List.sort_uniq compare extra with
+      | [] -> acc
+      | extra -> close (acc @ extra)
+    in
+    close [ symbol ]
+
+  (** Journal events involving [symbol] (under any of its past names),
+      chronological. *)
+  let events_for (p : t) (symbol : string) : event list =
+    let names = names_for p symbol in
+    List.filter
+      (function
+        | Sym { symbol = s; _ } | Bind { symbol = s; _ }
+        | Interpose { symbol = s; _ } ->
+            List.mem s names
+        | Op _ | Reloc _ -> false)
+      p.p_events
+
+  (** Content digest of the construction provenance (transitions
+      excluded: they evolve over the entry's lifetime). *)
+  let digest (p : t) : string =
+    Digest.to_hex
+      (Digest.string
+         (String.concat "\n"
+            (p.p_key :: p.p_placement
+             :: Printf.sprintf "gen=%d text=0x%x data=0x%x" p.p_generation
+                  p.p_text_base p.p_data_base
+             :: (p.p_ops @ List.map event_to_string p.p_events))))
+
+  (* Digests of provenance captured this run, by owner name — what the
+     bench driver folds into BENCH_*.json. *)
+  let built : (string, string) Hashtbl.t = Hashtbl.create 16
+  let note_built ~(name : string) (p : t) : unit =
+    Hashtbl.replace built name (digest p)
+
+  let built_digests () : (string * string) list =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) built [] |> List.sort compare
+
+  let event_json : event -> Json.t = function
+    | Op { op; detail } ->
+        Json.Obj
+          [ ("type", Json.Str "op"); ("op", Json.Str op);
+            ("detail", Json.Str detail) ]
+    | Sym { op; symbol; prior; action } ->
+        Json.Obj
+          ([ ("type", Json.Str "sym"); ("op", Json.Str op);
+             ("symbol", Json.Str symbol) ]
+          @ (match prior with
+            | Some p -> [ ("prior", Json.Str p) ]
+            | None -> [])
+          @ [ ("action", Json.Str action) ])
+    | Bind { symbol; addr; frag; via } ->
+        Json.Obj
+          [ ("type", Json.Str "bind"); ("symbol", Json.Str symbol);
+            ("addr", Json.Num (float_of_int addr)); ("frag", Json.Str frag);
+            ("via", Json.Str via) ]
+    | Interpose { symbol; winner; loser; how } ->
+        Json.Obj
+          [ ("type", Json.Str "interpose"); ("symbol", Json.Str symbol);
+            ("winner", Json.Str winner); ("loser", Json.Str loser);
+            ("how", Json.Str how) ]
+    | Reloc { section; count } ->
+        Json.Obj
+          [ ("type", Json.Str "reloc"); ("section", Json.Str section);
+            ("count", Json.Num (float_of_int count)) ]
+
+  let to_json (p : t) : Json.t =
+    Json.Obj
+      [ ("key", Json.Str p.p_key);
+        ("digest", Json.Str (digest p));
+        ("ops", Json.Arr (List.map (fun o -> Json.Str o) p.p_ops));
+        ("text_base", Json.Num (float_of_int p.p_text_base));
+        ("data_base", Json.Num (float_of_int p.p_data_base));
+        ("placement", Json.Str p.p_placement);
+        ("generation", Json.Num (float_of_int p.p_generation));
+        ("events", Json.Arr (List.map event_json p.p_events));
+        ("transitions",
+         Json.Arr
+           (List.map
+              (fun (at, state) ->
+                Json.Obj [ ("at_us", Json.Num at); ("state", Json.Str state) ])
+              p.p_transitions)) ]
+
+  let clear_state () : unit =
+    frames := [];
+    Hashtbl.reset built
+end
+
+(** Zero every metric in place (interned handles stay valid), drop all
+    recorded spans, and clear profiler attributions and provenance
+    journal state. The clock and enabled flags are left alone. *)
+let reset () : unit =
+  reset_metrics_and_spans ();
+  Profile.clear ();
+  Provenance.clear_state ()
+
 let json_of_value : value -> Json.t = function
   | S s -> Json.Str s
   | I i -> Json.Num (float_of_int i)
@@ -429,7 +798,10 @@ module Export = struct
                ("count", Json.Num (float_of_int h.Histogram.n));
                ("sum", Json.Num h.Histogram.sum);
                ("min", Json.Num (Histogram.min_value h));
-               ("max", Json.Num (Histogram.max_value h)) ]))
+               ("max", Json.Num (Histogram.max_value h));
+               ("p50", Json.Num (Histogram.percentile h 50.0));
+               ("p95", Json.Num (Histogram.percentile h 95.0));
+               ("p99", Json.Num (Histogram.percentile h 99.0)) ]))
       (sorted_histograms ());
     Buffer.contents b
 
@@ -504,6 +876,9 @@ module Export = struct
                          ("sum", Json.Num h.Histogram.sum);
                          ("mean", Json.Num (Histogram.mean h));
                          ("min", Json.Num (Histogram.min_value h));
-                         ("max", Json.Num (Histogram.max_value h)) ] ))
+                         ("max", Json.Num (Histogram.max_value h));
+                         ("p50", Json.Num (Histogram.percentile h 50.0));
+                         ("p95", Json.Num (Histogram.percentile h 95.0));
+                         ("p99", Json.Num (Histogram.percentile h 99.0)) ] ))
                  (sorted_histograms ()))) ])
 end

@@ -57,6 +57,44 @@ val spans : unit -> span list
 (** Completed spans with this name, oldest first. *)
 val spans_named : string -> span list
 
+(** Simulated-cost profiler: attributes [Simos.Cost] charges to the
+    live span stack. While enabled, every clock charge is credited to
+    the current root-to-leaf span path (names joined with [";"] — the
+    folded-stack key flamegraph tools consume); charges arriving outside
+    any span land under ["(unattributed)"], so {!Profile.folded} always
+    sums to exactly what the cost model charged. Off by default. *)
+module Profile : sig
+  type kind = User | System | Io
+
+  val set_enabled : bool -> unit
+  val is_enabled : unit -> bool
+
+  (** Credit [us] microseconds of [kind] to the current span path
+      (called from the simulated clock; no-op while disabled). *)
+  val charge : kind -> float -> unit
+
+  (** (path, user, system, io) rows, sorted by path. *)
+  val rows : unit -> (string * float * float * float) list
+
+  (** Folded-stack lines: (path, total us), sorted by path. *)
+  val folded : unit -> (string * float) list
+
+  (** Total cost attributed (all kinds, all paths). *)
+  val total : unit -> float
+
+  (** Per-operator totals keyed by innermost span name, sorted by
+      descending cost. *)
+  val by_leaf : unit -> (string * float) list
+
+  (** Cost credited to paths at least [depth] span names deep —
+      "attributed to a specific phase", as opposed to only the request
+      root or nothing. *)
+  val attributed_at_depth : int -> float
+
+  (** Drop all attributions (also part of {!reset}). *)
+  val clear : unit -> unit
+end
+
 module Counter : sig
   type t
 
@@ -78,7 +116,8 @@ end
 module Histogram : sig
   type t
 
-  (** Interned by name. Bounded memory: count/sum/min/max only. *)
+  (** Interned by name. Bounded memory: count/sum/min/max plus a
+      fixed-size deterministic sample reservoir for percentiles. *)
   val make : string -> t
 
   val observe : t -> float -> unit
@@ -87,10 +126,15 @@ module Histogram : sig
   val mean : t -> float
   val min_value : t -> float
   val max_value : t -> float
+
+  (** Nearest-rank percentile over the reservoir ([q] in [0,100]);
+      exact until the reservoir overflows (512 samples). *)
+  val percentile : t -> float -> float
 end
 
-(** Zero every metric in place (interned handles stay valid) and drop
-    all recorded spans. Clock and enabled flag are untouched. *)
+(** Zero every metric in place (interned handles stay valid), drop all
+    recorded spans, and clear profiler attributions and provenance
+    journal state. Clock and enabled flags are untouched. *)
 val reset : unit -> unit
 
 (** A small JSON reader/writer used by the exporters and by tests to
@@ -113,6 +157,95 @@ module Json : sig
   val parse : string -> t
 
   val member : string -> t -> t option
+end
+
+(** The binding journal: per-symbol link/operator decisions recorded
+    during a build and attached, as a compact {!Provenance.t}, to the
+    cache entry the build produced — so cached images can explain
+    themselves ([ofe explain]) without relinking.
+
+    The server brackets every fresh build with
+    {!Provenance.begin_build}/{!Provenance.capture}; frames stack
+    because builds nest (a specializer may instantiate a library while
+    evaluating a client graph). Event recording is off by default: when
+    disabled, captures still produce a provenance skeleton (key,
+    placement, generation) with an empty event stream. *)
+module Provenance : sig
+  type event =
+    | Op of { op : string; detail : string }
+    | Sym of {
+        op : string;
+        symbol : string;
+        prior : string option;  (** previous name, for renames *)
+        action : string;
+      }
+    | Bind of { symbol : string; addr : int; frag : string; via : string }
+    | Interpose of { symbol : string; winner : string; loser : string; how : string }
+    | Reloc of { section : string; count : int }
+
+  type t = {
+    p_key : string;  (** construction digest (the cache key) *)
+    p_ops : string list;  (** operator chain, application order *)
+    p_events : event list;  (** journal, chronological *)
+    p_text_base : int;
+    p_data_base : int;
+    p_placement : string;  (** human-readable placement decision *)
+    p_generation : int;  (** cache generation at insertion *)
+    mutable p_transitions : (float * string) list;
+        (** residency transitions (sim us, state), chronological *)
+  }
+
+  (** Event recording is off by default. *)
+  val set_enabled : bool -> unit
+
+  val is_enabled : unit -> bool
+
+  (** Open a journal frame for a build about to start. *)
+  val begin_build : unit -> unit
+
+  (** Close the innermost frame into a provenance record. *)
+  val capture :
+    key:string ->
+    text_base:int ->
+    data_base:int ->
+    placement:string ->
+    generation:int ->
+    unit ->
+    t
+
+  (** Recording hooks (no-ops while disabled, or outside any frame). *)
+
+  val record_op : op:string -> detail:string -> unit
+  val record_sym : op:string -> symbol:string -> ?prior:string -> string -> unit
+  val record_bind : symbol:string -> addr:int -> frag:string -> via:string -> unit
+
+  val record_interpose :
+    symbol:string -> winner:string -> loser:string -> how:string -> unit
+
+  val record_reloc : section:string -> count:int -> unit
+
+  (** Append a residency transition to a captured record. *)
+  val transition : t -> at:float -> string -> unit
+
+  (** Journal events involving a symbol, following rename links
+      backwards (querying the final name surfaces decisions recorded
+      under the names it came from). Chronological. *)
+  val events_for : t -> string -> event list
+
+  val event_to_string : event -> string
+
+  (** Content digest of the construction provenance (transitions
+      excluded — they evolve over the entry's lifetime). *)
+  val digest : t -> string
+
+  (** Record the digest of a finished build under its owner's name
+      (what the bench driver folds into BENCH_*.json). *)
+  val note_built : name:string -> t -> unit
+
+  (** (name, digest) pairs recorded since the last {!reset}, sorted. *)
+  val built_digests : unit -> (string * string) list
+
+  val to_json : t -> Json.t
 end
 
 module Export : sig

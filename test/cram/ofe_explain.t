@@ -1,0 +1,55 @@
+The provenance explainer: instantiate the interposition demo cold and
+warm, and explain the cached image. /demo/hello is
+(rename "^greet$" "hello" (override /demo/base.o /demo/impl.o)), so
+the journal must name the override winner and loser and the operator
+chain, and the warm request must be served from the cache.
+
+  $ ofe explain /demo/hello
+  meta: /demo/hello
+  cold: cache miss - evaluated, linked and cached
+  warm: cache hit - provenance served from the image cache (no relink)
+  placement: text@0x03000000 satisfying at 0x3000000 data@0x50000000 satisfying at 0x50000000
+  cache generation: 0
+  operator chain: override -> merge -> rename
+  journal: 9 events, 2 symbol bindings
+    interpose greet: /demo/impl.o over /demo/base.o (override)
+    relocs text: 1
+  residency: placed
+
+Asking about the exported symbol follows the rename link back to the
+decisions recorded under its prior name "greet": the interposition,
+the override, the rename, and the final binding in the winner.
+
+  $ ofe explain /demo/hello --symbol hello
+  meta: /demo/hello
+  cold: cache miss - evaluated, linked and cached
+  warm: cache hit - provenance served from the image cache (no relink)
+  placement: text@0x03000000 satisfying at 0x3000000 data@0x50000000 satisfying at 0x50000000
+  cache generation: 0
+  operator chain: override -> merge -> rename
+  journal: 9 events, 2 symbol bindings
+    interpose greet: /demo/impl.o over /demo/base.o (override)
+    relocs text: 1
+  residency: placed
+  symbol hello:
+    interpose greet: /demo/impl.o over /demo/base.o (override)
+    sym override greet: definition from /demo/impl.o replaces /demo/base.o
+    sym rename hello (was greet): renamed from greet
+    bind hello @ 0x03000128 in /demo/impl.o (definition)
+
+The JSON form carries the full record (content digests vary with the
+toolchain, so check the structure, not the bytes):
+
+  $ ofe explain /demo/hello --json | tr ',' '\n' | grep -c '"type":"interpose"'
+  1
+  $ ofe explain /demo/hello --json | grep -o '"ops":\[[^]]*\]'
+  "ops":["override","merge","rename"]
+
+Unknown symbols and unknown meta-objects fail cleanly:
+
+  $ ofe explain /demo/hello --symbol nosuch > /dev/null
+  ofe: no journal events for symbol nosuch in /demo/hello
+  [1]
+  $ ofe explain /lib/nosuch
+  ofe: unknown meta-object /lib/nosuch
+  [1]

@@ -1,0 +1,33 @@
+The simulated-cost profiler: instantiate and map the demo meta-object
+with every cost charge attributed to the live span stack. The folded
+stacks partition the total exactly — 120.0 + 4.8 = 124.8 — and every
+microsecond lands under a named phase.
+
+  $ ofe profile /demo/hello
+  meta: /demo/hello
+  total simulated cost: 124.8 us
+  by operator (innermost span):
+    kernel.map_image                    120.0 us   96.2%
+    server.link                           4.8 us    3.8%
+  folded stacks:
+    ofe.profile;kernel.map_image 120.0
+    ofe.profile;omos.instantiate;server.link 4.8
+
+The folded output can go straight to a flamegraph tool:
+
+  $ ofe profile /demo/hello --folded folded.txt | tail -1
+  wrote folded.txt
+  $ cat folded.txt
+  ofe.profile;kernel.map_image 120.0
+  ofe.profile;omos.instantiate;server.link 4.8
+
+The JSON form splits each path by cost kind:
+
+  $ ofe profile /demo/hello --json
+  {"meta":"/demo/hello","total_us":124.8,"rows":[{"path":"ofe.profile;kernel.map_image","user_us":0,"system_us":120,"io_us":0},{"path":"ofe.profile;omos.instantiate;server.link","user_us":0,"system_us":4.8,"io_us":0}]}
+
+Unknown meta-objects fail cleanly:
+
+  $ ofe profile /lib/nosuch
+  ofe: unknown meta-object /lib/nosuch
+  [1]

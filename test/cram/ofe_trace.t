@@ -39,3 +39,14 @@ omos.metrics/1 schema:
 
   $ ofe stats | head -c 24 && echo
   {"schema":"omos.metrics/
+
+Histogram entries carry nearest-rank percentiles:
+
+  $ ofe stats | grep -o '"server.us.instantiate":{[^}]*}' | grep -c '"p50".*"p95".*"p99"'
+  1
+
+An unknown meta-object fails as cleanly in stats as in trace:
+
+  $ ofe stats /lib/nosuch
+  ofe: unknown meta-object /lib/nosuch
+  [1]

@@ -1,0 +1,19 @@
+(* Golden-file generator for the omos.metrics/1 exporter: build a small
+   controlled registry and print the metrics dump. The runtest rule
+   diffs the output against metrics_format.expected.json, so any change
+   to the schema — field order, percentile keys, number formatting —
+   shows up as a reviewable diff (update with `dune promote`). *)
+
+let () =
+  Telemetry.reset ();
+  Telemetry.set_clock (fun () -> 0.0);
+  let c = Telemetry.Counter.make "zdemo.count" in
+  Telemetry.Counter.incr c ~by:3;
+  Telemetry.Gauge.set "zdemo.gauge" 2.5;
+  let h = Telemetry.Histogram.make "zdemo.us.phase" in
+  List.iter
+    (fun v -> Telemetry.Histogram.observe h (float_of_int v))
+    [ 5; 1; 9; 2; 8; 3; 7; 4; 6; 10 ];
+  let empty = Telemetry.Histogram.make "zdemo.us.untouched" in
+  ignore empty;
+  print_endline (Telemetry.Export.metrics_json ())
