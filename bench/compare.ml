@@ -72,42 +72,79 @@ let counters (j : Telemetry.Json.t) : (string * float) list =
         (fields c)
   | None -> []
 
+(* Compare one baseline/current snapshot pair; returns the number of
+   cost regressions found. *)
+let compare_pair (baseline_path : string) (current_path : string) : int =
+  let b = read_json baseline_path and c = read_json current_path in
+  let cur_costs = gated_costs c in
+  let regressions = ref 0 in
+  let compared = ref 0 in
+  List.iter
+    (fun (label, base) ->
+      match List.assoc_opt label cur_costs with
+      | None -> Printf.printf "MISSING  %-52s (was %.3f)\n" label base
+      | Some cur ->
+          incr compared;
+          let worse =
+            cur > (base *. (1.0 +. tolerance)) +. abs_floor
+          in
+          if worse then begin
+            incr regressions;
+            Printf.printf "REGRESS  %-52s %12.3f -> %12.3f (+%.0f%%)\n" label
+              base cur
+              (100.0 *. (cur -. base) /. (if base = 0.0 then 1.0 else base))
+          end
+          else Printf.printf "ok       %-52s %12.3f -> %12.3f\n" label base cur)
+    (gated_costs b);
+  (* deterministic work counters: report drift, don't gate on it *)
+  let cur_counters = counters c in
+  List.iter
+    (fun (k, base) ->
+      match List.assoc_opt k cur_counters with
+      | Some cur when cur <> base ->
+          Printf.printf "DRIFT    counter %-44s %12.0f -> %12.0f\n" k base cur
+      | _ -> ())
+    (counters b);
+  Printf.printf "compared %d simulated costs, %d regression(s) beyond %.0f%%\n"
+    !compared !regressions (100.0 *. tolerance);
+  !regressions
+
+(* Directory mode: every BENCH_*.json in the baseline directory must
+   have a fresh counterpart (same file name) in the current directory;
+   a missing counterpart fails the gate like a regression. *)
+let compare_dirs (baseline_dir : string) (current_dir : string) : int =
+  let snapshots =
+    Sys.readdir baseline_dir |> Array.to_list
+    |> List.filter (fun f ->
+           starts ~prefix:"BENCH_" f && Filename.check_suffix f ".json")
+    |> List.sort compare
+  in
+  if snapshots = [] then begin
+    Printf.eprintf "compare: no BENCH_*.json baselines in %s\n" baseline_dir;
+    exit 2
+  end;
+  List.fold_left
+    (fun acc f ->
+      let baseline = Filename.concat baseline_dir f in
+      let current = Filename.concat current_dir f in
+      Printf.printf "== %s\n" f;
+      if Sys.file_exists current then acc + compare_pair baseline current
+      else begin
+        Printf.printf "MISSING  no current snapshot %s\n" current;
+        acc + 1
+      end)
+    0 snapshots
+
 let () =
   match Array.to_list Sys.argv with
+  | [ _; baseline_path ] when Sys.is_directory baseline_path ->
+      if compare_dirs baseline_path "." > 0 then exit 1
+  | [ _; baseline_path; current_path ] when Sys.is_directory baseline_path ->
+      if compare_dirs baseline_path current_path > 0 then exit 1
   | [ _; baseline_path; current_path ] ->
-      let b = read_json baseline_path and c = read_json current_path in
-      let cur_costs = gated_costs c in
-      let regressions = ref 0 in
-      let compared = ref 0 in
-      List.iter
-        (fun (label, base) ->
-          match List.assoc_opt label cur_costs with
-          | None -> Printf.printf "MISSING  %-52s (was %.3f)\n" label base
-          | Some cur ->
-              incr compared;
-              let worse =
-                cur > (base *. (1.0 +. tolerance)) +. abs_floor
-              in
-              if worse then begin
-                incr regressions;
-                Printf.printf "REGRESS  %-52s %12.3f -> %12.3f (+%.0f%%)\n" label
-                  base cur
-                  (100.0 *. (cur -. base) /. (if base = 0.0 then 1.0 else base))
-              end
-              else Printf.printf "ok       %-52s %12.3f -> %12.3f\n" label base cur)
-        (gated_costs b);
-      (* deterministic work counters: report drift, don't gate on it *)
-      let cur_counters = counters c in
-      List.iter
-        (fun (k, base) ->
-          match List.assoc_opt k cur_counters with
-          | Some cur when cur <> base ->
-              Printf.printf "DRIFT    counter %-44s %12.0f -> %12.0f\n" k base cur
-          | _ -> ())
-        (counters b);
-      Printf.printf "compared %d simulated costs, %d regression(s) beyond %.0f%%\n"
-        !compared !regressions (100.0 *. tolerance);
-      if !regressions > 0 then exit 1
+      if compare_pair baseline_path current_path > 0 then exit 1
   | _ ->
-      prerr_endline "usage: compare.exe BASELINE CURRENT";
+      prerr_endline
+        "usage: compare.exe BASELINE CURRENT\n\
+        \       compare.exe BASELINE_DIR [CURRENT_DIR]";
       exit 2

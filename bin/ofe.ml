@@ -66,9 +66,29 @@ let handle f =
   | Simos.Kernel.Exec_error m ->
       Printf.eprintf "ofe: %s\n" m;
       1
+  | Omos.Workload.Spec_error m ->
+      Printf.eprintf "ofe: workload spec: %s\n" m;
+      1
+  | Telemetry.Health.Slo_error m ->
+      Printf.eprintf "ofe: slo: %s\n" m;
+      1
   | Sys_error m ->
       Printf.eprintf "ofe: %s\n" m;
       1
+
+(* The exit convention (also in the EXIT STATUS man section): 0 =
+   success, 1 = input/build errors, 2 = residency invariant violation,
+   SLO breach, or command-line parse error. *)
+let exits =
+  [
+    Cmd.Exit.info 0 ~doc:"on success.";
+    Cmd.Exit.info 1
+      ~doc:"on input or build errors (bad objects, unknown meta-objects, link failures).";
+    Cmd.Exit.info 2
+      ~doc:
+        "on residency invariant violations, SLO breaches, and command-line \
+         parse errors.";
+  ]
 
 (* -- inspection commands ------------------------------------------------- *)
 
@@ -361,7 +381,7 @@ let stats_cmd =
     Arg.(value & pos 0 string "/lib/libc"
          & info [] ~docv:"META" ~doc:"meta-object to instantiate before dumping metrics")
   in
-  let run meta =
+  let run violated meta =
     handle (fun () ->
         let w = Omos.World.create () in
         let s = w.Omos.World.server in
@@ -378,10 +398,15 @@ let stats_cmd =
               (Omos.Residency.violation_message v))
           viols;
         print_endline (Telemetry.Export.metrics_json ());
-        if viols <> [] then exit 2)
+        violated := viols <> [])
+  in
+  let run meta =
+    let violated = ref false in
+    let code = run violated meta in
+    if code = 0 && !violated then 2 else code
   in
   Cmd.v
-    (Cmd.info "stats"
+    (Cmd.info "stats" ~exits
        ~doc:
          "instantiate a meta-object in the quickstart world and dump the \
           metrics registry (omos.metrics/1 schema)")
@@ -568,14 +593,155 @@ let profile_cmd =
           cost table and folded stacks")
     Term.(const run $ meta $ folded_out $ json)
 
+(* -- workload, health & SLO gating ----------------------------------------- *)
+
+let load_spec = function
+  | None -> Omos.Workload.default
+  | Some path -> Omos.Workload.parse_file path
+
+let spec_file_arg =
+  Arg.(value & pos 0 (some file) None
+       & info [] ~docv:"SPEC"
+           ~doc:"workload spec file (omitted: the built-in default scenario)")
+
+let print_workload_event (e : Omos.Workload.event) =
+  Printf.printf "req=%d client=%d op=%s target=%s hit=%s cost_us=%.1f\n"
+    e.Omos.Workload.w_req e.Omos.Workload.w_client e.Omos.Workload.w_op
+    e.Omos.Workload.w_target
+    (match e.Omos.Workload.w_hit with
+    | Some true -> "true"
+    | Some false -> "false"
+    | None -> "-")
+    e.Omos.Workload.w_cost_us
+
+let health_summary (snap : Telemetry.Health.snapshot) : string =
+  Printf.sprintf
+    "# requests=%d window=%d hit_ratio=%.2f p50_us=%.1f p95_us=%.1f \
+     p99_us=%.1f mean_us=%.1f max_us=%.1f conflict_rate=%.3f \
+     violation_rate=%.3f"
+    snap.Telemetry.Health.requests snap.Telemetry.Health.window
+    snap.Telemetry.Health.hit_ratio snap.Telemetry.Health.p50_us
+    snap.Telemetry.Health.p95_us snap.Telemetry.Health.p99_us
+    snap.Telemetry.Health.mean_us snap.Telemetry.Health.max_us
+    snap.Telemetry.Health.conflict_rate snap.Telemetry.Health.violation_rate
+
+let workload_cmd =
+  let flight =
+    Arg.(value & opt (some string) None
+         & info [ "flight" ] ~docv:"PREFIX"
+             ~doc:"after the run, write the flight recorder to $(docv).json and $(docv).txt")
+  in
+  let run spec_file flight =
+    handle (fun () ->
+        let spec = load_spec spec_file in
+        ignore (Omos.Workload.run ~on_event:print_workload_event spec);
+        print_endline (health_summary (Telemetry.Health.snapshot ()));
+        match flight with
+        | None -> ()
+        | Some prefix ->
+            Telemetry.Flight.dump ~reason:"ofe workload" ~prefix;
+            Printf.printf "wrote %s.json, %s.txt\n" prefix prefix)
+  in
+  Cmd.v
+    (Cmd.info "workload" ~exits
+       ~doc:
+         "run a deterministic multi-client workload (instantiates, dynloads, \
+          evictions scheduled off the simulated clock) and stream one line \
+          per request: id, client, operation, cache hit, simulated cost")
+    Term.(const run $ spec_file_arg $ flight)
+
+let health_header =
+  "   reqs  window   hit%   p50_us   p95_us   p99_us  mean_us   max_us  confl/req  viol/req"
+
+let health_row (snap : Telemetry.Health.snapshot) : string =
+  Printf.sprintf "%7d %7d %6.1f %8.1f %8.1f %8.1f %8.1f %8.1f %10.3f %9.3f"
+    snap.Telemetry.Health.requests snap.Telemetry.Health.window
+    (100.0 *. snap.Telemetry.Health.hit_ratio)
+    snap.Telemetry.Health.p50_us snap.Telemetry.Health.p95_us
+    snap.Telemetry.Health.p99_us snap.Telemetry.Health.mean_us
+    snap.Telemetry.Health.max_us snap.Telemetry.Health.conflict_rate
+    snap.Telemetry.Health.violation_rate
+
+let top_cmd =
+  let watch =
+    Arg.(value & flag
+         & info [ "watch" ]
+             ~doc:"print a row as the workload progresses (every $(b,--every) requests)")
+  in
+  let every =
+    Arg.(value & opt int 5
+         & info [ "every" ] ~docv:"N" ~doc:"row cadence for $(b,--watch)")
+  in
+  let run spec_file watch every =
+    handle (fun () ->
+        if every < 1 then
+          raise (Omos.Workload.Spec_error "--every must be >= 1");
+        let spec = load_spec spec_file in
+        print_endline health_header;
+        let served = ref 0 in
+        let on_event (_ : Omos.Workload.event) =
+          incr served;
+          if watch && !served mod every = 0 then
+            print_endline (health_row (Telemetry.Health.snapshot ()))
+        in
+        ignore (Omos.Workload.run ~on_event spec);
+        if not (watch && !served mod every = 0) then
+          print_endline (health_row (Telemetry.Health.snapshot ())))
+  in
+  Cmd.v
+    (Cmd.info "top" ~exits
+       ~doc:
+         "run a workload and tabulate rolling health: hit ratio, cost \
+          percentiles, conflict and violation rates")
+    Term.(const run $ spec_file_arg $ watch $ every)
+
+let health_cmd =
+  let slo_file =
+    Arg.(required & opt (some file) None
+         & info [ "slo" ] ~docv:"FILE" ~doc:"SLO bounds file (key value lines)")
+  in
+  let run breached slo_file spec_file =
+    handle (fun () ->
+        let ic = open_in slo_file in
+        let slo_text = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        let slo = Telemetry.Health.parse_slo slo_text in
+        let spec = load_spec spec_file in
+        ignore (Omos.Workload.run spec);
+        let snap = Telemetry.Health.snapshot () in
+        let checks = Telemetry.Health.check slo snap in
+        List.iter
+          (fun (name, bound, actual, ok) ->
+            Printf.printf "%-18s bound=%g actual=%g %s\n" name bound actual
+              (if ok then "ok" else "FAIL"))
+          checks;
+        if not (Telemetry.Health.ok checks) then begin
+          Printf.eprintf "ofe: SLO violated\n";
+          breached := true
+        end)
+  in
+  let run slo_file spec_file =
+    let breached = ref false in
+    let code = run breached slo_file spec_file in
+    if code = 0 && !breached then 2 else code
+  in
+  Cmd.v
+    (Cmd.info "health" ~exits
+       ~doc:
+         "run a workload and gate its rolling health against an SLO file; \
+          exits 2 on any breached bound")
+    Term.(const run $ slo_file $ spec_file_arg)
+
 let main =
   Cmd.group
-    (Cmd.info "ofe" ~doc:"the Object File Editor: inspect and transform SOF objects")
+    (Cmd.info "ofe" ~exits
+       ~doc:"the Object File Editor: inspect and transform SOF objects")
     [
       info_cmd; symbols_cmd; relocs_cmd; disasm_cmd; exports_cmd; undefined_cmd;
       nm_cmd; size_cmd; strings_cmd;
       compile_cmd; convert_cmd; rename_cmd; copy_as_cmd; merge_cmd;
       trace_cmd; stats_cmd; explain_cmd; profile_cmd;
+      workload_cmd; top_cmd; health_cmd;
       unary_op "hide" "hide definitions, freezing internal references" Jigsaw.Module_ops.hide;
       unary_op "restrict" "virtualize definitions (remove, keep references)" Jigsaw.Module_ops.restrict;
       unary_op "show" "hide all but the selected definitions" Jigsaw.Module_ops.show;
@@ -583,4 +749,15 @@ let main =
       unary_op "freeze" "make current bindings permanent" Jigsaw.Module_ops.freeze;
     ]
 
-let () = exit (Cmd.eval' main)
+(* Every run arms the flight recorder's auto-dump: on any non-zero exit
+   the ring (when non-empty) is written next to the invocation, so a
+   failing request leaves its last ~4k events behind for inspection. *)
+let () =
+  Telemetry.Flight.set_auto_dump (Some "flight");
+  let code = Cmd.eval' ~term_err:2 main in
+  if
+    code <> 0
+    && Telemetry.Flight.trip ~reason:(Printf.sprintf "ofe exit %d" code) ()
+  then
+    Printf.eprintf "ofe: flight recorder dump written to flight.json, flight.txt\n";
+  exit code

@@ -50,6 +50,7 @@ let images_of (t : t) (p : Simos.Proc.t) : proc_classes =
     the constraint system, and returns the bound values of [symbols]. *)
 let load (t : t) (p : Simos.Proc.t) ~(client_images : Linker.Image.t list)
     ~(graph : Blueprint.Mgraph.node) ~(symbols : string list) : (string * int) list =
+  Telemetry.Request.with_request "dynload" @@ fun () ->
   let server = t.server in
   let k = Server.kernel server in
   Simos.Kernel.charge_sys k k.Simos.Kernel.cost.Simos.Cost.ipc_round_trip;
@@ -100,6 +101,7 @@ let load (t : t) (p : Simos.Proc.t) ~(client_images : Linker.Image.t list)
     be added" — this is that addition. Raises {!Dynload_error} if [img]
     was not loaded into [p]. *)
 let unload (t : t) (p : Simos.Proc.t) (img : Linker.Image.t) : unit =
+  Telemetry.Request.with_request "unload" @@ fun () ->
   let classes = images_of t p in
   if not (List.memq img classes.images) then
     raise (Dynload_error ("not loaded in this process: " ^ img.Linker.Image.name));

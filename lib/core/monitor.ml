@@ -26,10 +26,18 @@ type event = Enter of int | Exit of int
 type trace = {
   names : string array; (* function id -> name *)
   mutable events : event list; (* reversed *)
+  mutable stamps : (int * int) list; (* (client, request) per event, reversed *)
   mutable count : int;
 }
 
 let trace_events (t : trace) : event list = List.rev t.events
+
+(** Events with the (client, request) attribution active when each was
+    recorded — [(-1, -1)] outside any request. Chronological. *)
+let stamped_events (t : trace) : (event * int * int) list =
+  List.rev_map2
+    (fun e (c, r) -> (e, c, r))
+    t.events t.stamps
 
 (** Function call sequence (ids), in call order. *)
 let call_sequence (t : trace) : int list =
@@ -129,7 +137,7 @@ let monitored ?(exits = false) (m : Jigsaw.Module_ops.t) :
   let wrappers = if exits then entry_exit_wrappers names else entry_only_wrappers names in
   let m' = Jigsaw.Module_ops.merge renamed (Jigsaw.Module_ops.of_object wrappers) in
   ( m',
-    { names = Array.of_list names; events = []; count = 0 } )
+    { names = Array.of_list names; events = []; stamps = []; count = 0 } )
 
 (** Route the monitor syscalls of [trace] through the upcall registry.
     Each event costs a syscall (already charged by the kernel) — the
@@ -140,6 +148,9 @@ let attach (upcalls : Upcalls.t) (trace : trace) : unit =
     let id = Int32.to_int (Svm.Cpu.get_reg cpu 1) in
     if id >= 0 && id < Array.length trace.names then begin
       trace.events <- kind id :: trace.events;
+      trace.stamps <-
+        (Telemetry.Request.current_client (), Telemetry.Request.current_request ())
+        :: trace.stamps;
       trace.count <- trace.count + 1
     end;
     Svm.Cpu.Sys_continue

@@ -12,11 +12,17 @@ type event = Enter of int | Exit of int
 type trace = {
   names : string array;  (** function id → name *)
   mutable events : event list;  (** reversed *)
+  mutable stamps : (int * int) list;
+      (** (client, request) attribution per event, reversed *)
   mutable count : int;
 }
 
 (** Events in chronological order. *)
 val trace_events : trace -> event list
+
+(** Events paired with the (client, request) active when each was
+    recorded ([(-1, -1)] outside any request), chronological. *)
+val stamped_events : trace -> (event * int * int) list
 
 (** Function call sequence (ids), in call order. *)
 val call_sequence : trace -> int list

@@ -127,6 +127,7 @@ let backed (t : t) (e : Cache.entry) : bool =
    to the entry's provenance record (when one is attached), stamped
    with the simulated clock — [ofe explain] shows the sequence. *)
 let note_transition (t : t) (e : Cache.entry) (state : string) : unit =
+  Telemetry.Flight.emit Telemetry.Flight.Transition (owner_of e) state 0.0;
   match e.Cache.provenance with
   | Some p -> Telemetry.Provenance.transition p ~at:(t.clock ()) state
   | None -> ()
@@ -151,6 +152,7 @@ let reacquire (t : t) ~(owner : string) (e : Cache.entry) :
     (unit, string) result =
   if fires t Reserve_fail then begin
     Telemetry.Counter.incr tm_fault_reserve;
+    Telemetry.Flight.record_fault "residency.reserve_fail";
     Error "fault:reserve"
   end
   else begin
@@ -269,8 +271,14 @@ let check_invariants (t : t) : violation list =
   orphans t.text_arena "text" text_extent;
   orphans t.data_arena "data" data_extent;
   let vs = List.rev !out in
-  if vs <> [] then
+  if vs <> [] then begin
     Telemetry.Counter.incr tm_violations ~by:(List.length vs);
+    List.iter
+      (fun v ->
+        Telemetry.Flight.record_violation ~name:v.v_code ~detail:v.v_msg)
+      vs;
+    ignore (Telemetry.Flight.trip ~reason:"residency invariant violation" ())
+  end;
   vs
 
 let check_exn (t : t) : unit =
@@ -305,6 +313,7 @@ let evict_to_budget (t : t) ~(bytes : int) : Cache.entry list =
 let maybe_evict_storm (t : t) : int =
   if fires t Evict_storm then begin
     Telemetry.Counter.incr tm_fault_storm;
+    Telemetry.Flight.record_fault "residency.evict_storm";
     List.length (evict_to_budget t ~bytes:0)
   end
   else 0
@@ -329,6 +338,7 @@ let with_place_conflict (t : t) ~(arena : P.t)
           match P.reserve arena ~lo:a ~size:(P.align arena) "fault:conflict" with
           | Ok () ->
               Telemetry.Counter.incr tm_fault_conflict;
+              Telemetry.Flight.record_fault "residency.place_conflict";
               Some a
           | Error _ -> None)
   in

@@ -464,6 +464,7 @@ let partial_image_program (rt : t) ~(name : string)
 
 (** Run one invocation to completion; returns (exit code, stdout). *)
 let invoke (rt : t) (prog : program) ~(args : string list) : int * string =
+  Telemetry.Request.with_request "exec" @@ fun () ->
   let k = Server.kernel rt.server in
   let p = prog.launch ~args in
   let code = Simos.Kernel.run k p () in

@@ -446,6 +446,7 @@ let target_label = function
     below (m-graph evaluation, placement, linking, caching) nests under
     it. *)
 let instantiate (t : t) (req : request) : response =
+  Telemetry.Request.with_request "instantiate" @@ fun () ->
   let span =
     Telemetry.Span.enter "omos.instantiate"
       ~attrs:[ ("target", Telemetry.S (target_label req.target)) ]
@@ -469,6 +470,7 @@ let instantiate (t : t) (req : request) : response =
   Telemetry.Histogram.observe tm_instantiate_us sim_us;
   Telemetry.Span.add_attr span "cache_hit" (Telemetry.B cache_hit);
   Residency.self_check t.residency;
+  Telemetry.Health.record ~hit:cache_hit ~cost_us:sim_us ();
   { built; cache_hit; sim_us }
 
 (** Build (or fetch) the image of a {e library} meta-object — a thin
@@ -496,6 +498,7 @@ let register_specializer (t : t) (style : string) (f : Blueprint.Mgraph.speciali
     reused. A later request for an evicted construction rebuilds it
     (and, via the reuse constraint, usually at the same addresses). *)
 let evict_to_budget (t : t) ~(bytes : int) : int =
+  Telemetry.Request.with_request "evict" @@ fun () ->
   List.length (Residency.evict_to_budget t.residency ~bytes)
 
 (** Recorded placement conflicts, most recent first. *)

@@ -1,0 +1,229 @@
+(** Deterministic multi-client workload driver (see workload.mli). *)
+
+exception Spec_error of string
+
+type spec = {
+  clients : int;
+  requests : int;
+  seed : int;
+  metas : string list;
+  mix : (string * int) list;
+  evict_bytes : int;
+  faults : Residency.faults option;
+}
+
+let default =
+  {
+    clients = 3;
+    requests = 30;
+    seed = 7;
+    metas = [ "/demo/hello"; "/lib/libm"; "/lib/libl" ];
+    mix = [ ("instantiate", 6); ("dynload", 2); ("evict", 1) ];
+    evict_bytes = 4096;
+    faults = None;
+  }
+
+let known_ops = [ "instantiate"; "dynload"; "evict" ]
+
+let parse (text : string) : spec =
+  let clients = ref default.clients in
+  let requests = ref default.requests in
+  let seed = ref default.seed in
+  let metas = ref [] in
+  let mix = ref None in
+  let evict_bytes = ref default.evict_bytes in
+  let fault = ref None in
+  let fault_field f =
+    let cur = match !fault with Some x -> x | None -> Residency.no_faults in
+    fault := Some (f cur)
+  in
+  List.iteri
+    (fun lno line ->
+      let err msg = raise (Spec_error (Printf.sprintf "line %d: %s" (lno + 1) msg)) in
+      let line =
+        match String.index_opt line '#' with
+        | Some i -> String.sub line 0 i
+        | None -> line
+      in
+      let toks =
+        String.split_on_char ' ' line
+        |> List.concat_map (String.split_on_char '\t')
+        |> List.filter (fun t -> t <> "")
+      in
+      let int_of what s =
+        match int_of_string_opt s with
+        | Some n -> n
+        | None -> err (what ^ ": not an integer: " ^ s)
+      in
+      let float_of what s =
+        match float_of_string_opt s with
+        | Some f -> f
+        | None -> err (what ^ ": not a number: " ^ s)
+      in
+      match toks with
+      | [] -> ()
+      | [ "clients"; n ] -> clients := int_of "clients" n
+      | [ "requests"; n ] -> requests := int_of "requests" n
+      | [ "seed"; n ] -> seed := int_of "seed" n
+      | [ "meta"; path ] -> metas := path :: !metas
+      | [ "evict_bytes"; n ] -> evict_bytes := int_of "evict_bytes" n
+      | [ "fault_seed"; n ] ->
+          let n = int_of "fault_seed" n in
+          fault_field (fun f -> { f with Residency.seed = n })
+      | [ "fault"; name; rate ] -> (
+          let r = float_of "fault rate" rate in
+          match name with
+          | "place_conflict" ->
+              fault_field (fun f -> { f with Residency.place_conflict = r })
+          | "evict_storm" ->
+              fault_field (fun f -> { f with Residency.evict_storm = r })
+          | "reserve_fail" ->
+              fault_field (fun f -> { f with Residency.reserve_fail = r })
+          | _ -> err ("unknown fault: " ^ name))
+      | "mix" :: (_ :: _ as entries) ->
+          mix :=
+            Some
+              (List.map
+                 (fun e ->
+                   match String.index_opt e '=' with
+                   | Some i ->
+                       let name = String.sub e 0 i in
+                       let ws =
+                         String.sub e (i + 1) (String.length e - i - 1)
+                       in
+                       if not (List.mem name known_ops) then
+                         err ("unknown op in mix: " ^ name);
+                       let w = int_of "mix weight" ws in
+                       if w <= 0 then err ("mix weight must be positive: " ^ e);
+                       (name, w)
+                   | None -> err ("mix entries are op=weight, got: " ^ e))
+                 entries)
+      | w :: _ -> err ("unknown directive: " ^ w))
+    (String.split_on_char '\n' text);
+  if !clients < 1 then raise (Spec_error "clients must be >= 1");
+  if !requests < 0 then raise (Spec_error "requests must be >= 0");
+  {
+    clients = !clients;
+    requests = !requests;
+    seed = !seed;
+    metas = (if !metas = [] then default.metas else List.rev !metas);
+    mix = (match !mix with Some m -> m | None -> default.mix);
+    evict_bytes = !evict_bytes;
+    faults = !fault;
+  }
+
+let parse_file (path : string) : spec =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> parse (really_input_string ic (in_channel_length ic)))
+
+type event = {
+  w_req : int;
+  w_client : int;
+  w_op : string;
+  w_target : string;
+  w_hit : bool option;
+  w_cost_us : float;
+}
+
+let run ?(on_event = fun (_ : event) -> ()) (spec : spec) : event list =
+  let w =
+    match spec.faults with
+    | Some f -> World.create ~faults:f ()
+    | None -> World.create ()
+  in
+  let s = w.World.server in
+  let k = Server.kernel s in
+  let clock = k.Simos.Kernel.clock in
+  (* one dynload host process per client, built before the telemetry
+     reset so the setup builds don't pollute the request stream *)
+  let dl = Dynload.create s in
+  let hosts =
+    Array.init spec.clients (fun i ->
+        let name = Printf.sprintf "wl-host-%d" i in
+        let main =
+          Minic.Driver.compile
+            ~name:(Printf.sprintf "/obj/%s.o" name)
+            "int main() { return 0; }"
+        in
+        let b =
+          Server.build_static s ~name
+            (Schemes.graph_of_objs [ Workloads.Crt0.obj (); main ])
+        in
+        let p = Boot.integrated_exec s (Server.loadable_entry [ b ]) ~args:[ name ] in
+        (p, b.Server.entry.Cache.image))
+  in
+  Telemetry.reset ();
+  Telemetry.set_enabled true;
+  (* xorshift32: small, pure, and byte-identical across runs *)
+  let state = ref (if spec.seed = 0 then 0x9e3779b9 else spec.seed land 0xffffffff) in
+  let rand_int n =
+    let x = !state in
+    let x = x lxor (x lsl 13) land 0xffffffff in
+    let x = x lxor (x lsr 17) in
+    let x = x lxor (x lsl 5) land 0xffffffff in
+    state := x;
+    x mod n
+  in
+  let total_weight = List.fold_left (fun a (_, wt) -> a + wt) 0 spec.mix in
+  let pick_op () =
+    let r = rand_int total_weight in
+    let rec go acc = function
+      | [] -> assert false
+      | (name, wt) :: rest -> if r < acc + wt then name else go (acc + wt) rest
+    in
+    go 0 spec.mix
+  in
+  let events = ref [] in
+  for _ = 1 to spec.requests do
+    let client = rand_int spec.clients in
+    Telemetry.Request.set_client client;
+    let before = Simos.Clock.elapsed clock in
+    let req_id = Telemetry.Request.last_id () + 1 in
+    let op_name, target, hit, cost =
+      match pick_op () with
+      | "instantiate" ->
+          let meta = List.nth spec.metas (rand_int (List.length spec.metas)) in
+          let r = Server.instantiate s (Server.library_request meta) in
+          ("instantiate", meta, Some r.Server.cache_hit, r.Server.sim_us)
+      | "dynload" -> (
+          let p, img = hosts.(client) in
+          match Dynload.loaded dl p with
+          | [] ->
+              ignore
+                (Dynload.load dl p ~client_images:[ img ]
+                   ~graph:(Blueprint.Mgraph.parse "(merge /demo/impl.o)")
+                   ~symbols:[ "greet" ]);
+              ( "dynload",
+                "/demo/impl.o",
+                None,
+                Simos.Clock.elapsed clock -. before )
+          | last :: _ ->
+              Dynload.unload dl p last;
+              ( "unload",
+                last.Linker.Image.name,
+                None,
+                Simos.Clock.elapsed clock -. before ))
+      | "evict" ->
+          let n = Server.evict_to_budget s ~bytes:spec.evict_bytes in
+          ( "evict",
+            Printf.sprintf "budget=%d evicted=%d" spec.evict_bytes n,
+            None,
+            Simos.Clock.elapsed clock -. before )
+      | op -> raise (Spec_error ("unknown op in mix: " ^ op))
+    in
+    let ev =
+      {
+        w_req = req_id;
+        w_client = client;
+        w_op = op_name;
+        w_target = target;
+        w_hit = hit;
+        w_cost_us = cost;
+      }
+    in
+    on_event ev;
+    events := ev :: !events
+  done;
+  List.rev !events

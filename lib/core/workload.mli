@@ -1,0 +1,56 @@
+(** Deterministic multi-client workload driver: N simulated clients
+    interleaving instantiates, cache-hitting re-requests,
+    dynloads/unloads, and evictions, scheduled off the simulated clock
+    and a seeded PRNG — byte-reproducible across runs. Feeds the
+    request-scoped telemetry ({!Telemetry.Request}, {!Telemetry.Health},
+    the flight recorder) and backs [ofe workload] / [ofe top] /
+    [ofe health]. *)
+
+exception Spec_error of string
+
+(** A scenario: [clients] simulated clients issue [requests] operations
+    drawn from [mix] (op name → weight) over the library [metas],
+    seeded by [seed]. [faults] optionally arms the residency layer's
+    fault injection for the run. *)
+type spec = {
+  clients : int;
+  requests : int;
+  seed : int;
+  metas : string list;
+  mix : (string * int) list;
+  evict_bytes : int;  (** disk budget handed to eviction requests *)
+  faults : Residency.faults option;
+}
+
+(** 3 clients, 30 requests, seed 7, three library metas, mix
+    [instantiate=6 dynload=2 evict=1], no faults. *)
+val default : spec
+
+(** Parse the line-oriented spec format ([#] comments; directives
+    [clients N], [requests N], [seed N], [meta PATH] (repeatable),
+    [mix op=w ...], [evict_bytes N], [fault_seed N],
+    [fault place_conflict|evict_storm|reserve_fail RATE]); omitted
+    directives keep {!default}'s values.
+    @raise Spec_error on unknown directives or bad values. *)
+val parse : string -> spec
+
+val parse_file : string -> spec
+
+(** One completed workload operation. [w_req] is the request id
+    {!Telemetry.Request} assigned to the operation's outermost request;
+    [w_hit]/[w_cost_us] carry the server's response for instantiates
+    (clock-delta cost for the other ops). *)
+type event = {
+  w_req : int;
+  w_client : int;
+  w_op : string;  (** instantiate | dynload | unload | evict *)
+  w_target : string;
+  w_hit : bool option;
+  w_cost_us : float;
+}
+
+(** Build a fresh {!World}, reset telemetry, and run the scenario.
+    [on_event] fires after each operation (for streaming output);
+    the full event list is returned. Identical specs produce identical
+    event lists and identical telemetry. *)
+val run : ?on_event:(event -> unit) -> spec -> event list

@@ -50,7 +50,12 @@ let completed : span list ref = ref [] (* reverse completion order *)
 
 let set_enabled b = enabled := b
 let is_enabled () = !enabled
-let set_clock f = clock := f
+
+let set_clock f =
+  clock := f;
+  (* flight-recorder timestamps follow the same time source *)
+  Flight.set_clock f
+
 let now_us () = !clock ()
 
 (* -- spans ----------------------------------------------------------------- *)
@@ -67,11 +72,18 @@ module Span = struct
       let parent, depth =
         match !open_stack with [] -> (-1, 0) | p :: _ -> (p.id, p.depth + 1)
       in
+      (* spans opened inside a request carry its attribution *)
+      let attrs =
+        let c = Flight.current_client () and r = Flight.current_request () in
+        if r < 0 then attrs
+        else attrs @ [ ("client", I c); ("request", I r) ]
+      in
       let s =
         { id = !next_id; parent; depth; name; start_us = now_us ();
           end_us = Float.nan; attrs }
       in
       open_stack := s :: !open_stack;
+      Flight.emit Flight.Span_enter name "" (float_of_int s.id);
       Some s
     end
 
@@ -97,7 +109,8 @@ module Span = struct
                 end
           in
           open_stack := pop !open_stack;
-          completed := s :: !completed
+          completed := s :: !completed;
+          Flight.emit Flight.Span_exit s.name "" (float_of_int s.id)
         end
 end
 
@@ -226,14 +239,21 @@ module Counter = struct
         Hashtbl.replace registry name c;
         c
 
-  let incr ?(by = 1) (c : t) : unit = c.count <- c.count + by
+  let incr ?(by = 1) (c : t) : unit =
+    c.count <- c.count + by;
+    Flight.emit Flight.Count c.c_name "" (float_of_int by)
+
   let value (c : t) : int = c.count
   let get (name : string) : int = (make name).count
 end
 
 module Gauge = struct
   let registry : (string, float) Hashtbl.t = Hashtbl.create 32
-  let set (name : string) (v : float) : unit = Hashtbl.replace registry name v
+
+  let set (name : string) (v : float) : unit =
+    Hashtbl.replace registry name v;
+    Flight.emit Flight.Gauge_set name "" v
+
   let get (name : string) : float option = Hashtbl.find_opt registry name
 end
 
@@ -273,6 +293,7 @@ module Histogram = struct
         h
 
   let observe (h : t) (v : float) : unit =
+    Flight.emit Flight.Observe h.h_name "" v;
     h.n <- h.n + 1;
     h.sum <- h.sum +. v;
     if v < h.minv then h.minv <- v;
@@ -308,6 +329,232 @@ module Histogram = struct
       let rank = int_of_float (Float.ceil (q /. 100.0 *. float_of_int h.filled)) in
       a.(max 0 (min (h.filled - 1) (rank - 1)))
     end
+end
+
+(* -- request attribution ----------------------------------------------------- *)
+
+(** Request-scoped attribution. The server is persistent and serves
+    many clients (paper §2, §4.1): every entry point — instantiate,
+    exec, dynload, evict — opens a request here, which assigns a
+    monotonic request id, inherits (or sets) the client id, and pushes
+    the pair into the flight-recorder context so every span, counter
+    increment, transition, and fault recorded underneath carries
+    [(client, request)]. Requests nest (a specializer may instantiate a
+    library mid-request); ids stay monotonic across the nesting. *)
+module Request = struct
+  type ctx = { client : int; id : int; kind : string }
+
+  let next = ref 0
+  let ambient_client = ref 0
+  let stack : ctx list ref = ref []
+
+  (** Set the ambient client id inherited by requests opened outside
+      any enclosing request (a driver sets this before each simulated
+      client's operation). *)
+  let set_client (c : int) : unit = ambient_client := c
+
+  let current_client () = match !stack with x :: _ -> x.client | [] -> -1
+  let current_request () = match !stack with x :: _ -> x.id | [] -> -1
+  let active () = !stack <> []
+
+  (** The most recently assigned request id, [-1] if none yet. *)
+  let last_id () = !next - 1
+
+  let sync_flight () =
+    match !stack with
+    | x :: _ -> Flight.set_context ~client:x.client ~request:x.id
+    | [] -> Flight.clear_context ()
+
+  let begin_request ?client (kind : string) : int =
+    let c =
+      match client with
+      | Some c -> c
+      | None -> (
+          match !stack with x :: _ -> x.client | [] -> !ambient_client)
+    in
+    let id = !next in
+    incr next;
+    stack := { client = c; id; kind } :: !stack;
+    sync_flight ();
+    Flight.emit Flight.Request_begin kind "" (float_of_int id);
+    id
+
+  let end_request () : unit =
+    match !stack with
+    | [] -> ()
+    | x :: rest ->
+        Flight.emit Flight.Request_end x.kind "" (float_of_int x.id);
+        stack := rest;
+        sync_flight ()
+
+  (** Run [f] inside a fresh request of [kind] (ends on exceptions
+      too). *)
+  let with_request ?client (kind : string) (f : unit -> 'a) : 'a =
+    ignore (begin_request ?client kind);
+    Fun.protect ~finally:end_request f
+
+  let reset_state () =
+    next := 0;
+    ambient_client := 0;
+    stack := [];
+    Flight.clear_context ()
+end
+
+(* -- rolling health --------------------------------------------------------- *)
+
+(** Rolling-window health over the instantiate request stream: cache
+    hit ratio, cost percentiles, and per-request conflict and
+    invariant-violation rates — the quantities [ofe top] tabulates and
+    [ofe health --slo] gates on. {!record} is called by the server once
+    per instantiate; conflict/violation counters are sampled at record
+    time so window rates need no extra plumbing. *)
+module Health = struct
+  let window_cap = 256
+
+  let costs = Array.make window_cap 0.0
+  let hits = Array.make window_cap (-1) (* 1 hit, 0 miss, -1 unknown *)
+  let conflicts_at = Array.make window_cap 0
+  let violations_at = Array.make window_cap 0
+  let total = ref 0
+
+  let record ?hit ~(cost_us : float) () : unit =
+    let i = !total mod window_cap in
+    costs.(i) <- cost_us;
+    hits.(i) <- (match hit with Some true -> 1 | Some false -> 0 | None -> -1);
+    conflicts_at.(i) <- Counter.get "server.arena_conflicts";
+    violations_at.(i) <- Counter.get "residency.invariant_violations";
+    incr total
+
+  type snapshot = {
+    requests : int;  (** requests recorded since the last reset *)
+    window : int;  (** samples in the rolling window *)
+    hit_ratio : float;  (** over window samples with hit/miss info *)
+    p50_us : float;
+    p95_us : float;
+    p99_us : float;
+    mean_us : float;
+    max_us : float;
+    conflict_rate : float;  (** arena conflicts per windowed request *)
+    violation_rate : float;  (** invariant violations per windowed request *)
+  }
+
+  let percentile (sorted : float array) (q : float) : float =
+    let n = Array.length sorted in
+    if n = 0 then 0.0
+    else
+      let rank = int_of_float (Float.ceil (q /. 100.0 *. float_of_int n)) in
+      sorted.(max 0 (min (n - 1) (rank - 1)))
+
+  let snapshot () : snapshot =
+    let n = min !total window_cap in
+    if n = 0 then
+      { requests = 0; window = 0; hit_ratio = 1.0; p50_us = 0.0; p95_us = 0.0;
+        p99_us = 0.0; mean_us = 0.0; max_us = 0.0; conflict_rate = 0.0;
+        violation_rate = 0.0 }
+    else begin
+      let idx k = (!total - n + k) mod window_cap in
+      let w = Array.init n (fun k -> costs.(idx k)) in
+      let sorted = Array.copy w in
+      Array.sort compare sorted;
+      let sum = Array.fold_left ( +. ) 0.0 w in
+      let hs = List.init n (fun k -> hits.(idx k)) in
+      let known = List.filter (fun h -> h >= 0) hs in
+      let hit_ratio =
+        match known with
+        | [] -> 1.0
+        | ks ->
+            float_of_int (List.length (List.filter (fun h -> h = 1) ks))
+            /. float_of_int (List.length ks)
+      in
+      let delta a = float_of_int (a (idx (n - 1)) - a (idx 0)) in
+      {
+        requests = !total;
+        window = n;
+        hit_ratio;
+        p50_us = percentile sorted 50.0;
+        p95_us = percentile sorted 95.0;
+        p99_us = percentile sorted 99.0;
+        mean_us = sum /. float_of_int n;
+        max_us = sorted.(n - 1);
+        conflict_rate = delta (Array.get conflicts_at) /. float_of_int n;
+        violation_rate = delta (Array.get violations_at) /. float_of_int n;
+      }
+    end
+
+  (** An SLO spec: every bound optional, violated bounds reported by
+      {!check}. *)
+  type slo = {
+    hit_ratio_min : float option;
+    p95_us_max : float option;
+    p99_us_max : float option;
+    conflict_rate_max : float option;
+    violation_rate_max : float option;
+  }
+
+  let empty_slo =
+    { hit_ratio_min = None; p95_us_max = None; p99_us_max = None;
+      conflict_rate_max = None; violation_rate_max = None }
+
+  exception Slo_error of string
+
+  (** Parse the line-oriented SLO format: one [key value] pair per
+      line, [#] comments and blank lines ignored. Keys: [hit_ratio_min]
+      [p95_us_max] [p99_us_max] [conflict_rate_max]
+      [violation_rate_max]. *)
+  let parse_slo (src : string) : slo =
+    let strip s = String.trim s in
+    List.fold_left
+      (fun acc line ->
+        let line =
+          match String.index_opt line '#' with
+          | Some i -> String.sub line 0 i
+          | None -> line
+        in
+        match
+          List.filter (fun w -> w <> "")
+            (String.split_on_char ' ' (strip line))
+        with
+        | [] -> acc
+        | [ key; v ] -> (
+            let f =
+              match float_of_string_opt v with
+              | Some f -> f
+              | None -> raise (Slo_error ("bad SLO value: " ^ line))
+            in
+            match key with
+            | "hit_ratio_min" -> { acc with hit_ratio_min = Some f }
+            | "p95_us_max" -> { acc with p95_us_max = Some f }
+            | "p99_us_max" -> { acc with p99_us_max = Some f }
+            | "conflict_rate_max" -> { acc with conflict_rate_max = Some f }
+            | "violation_rate_max" -> { acc with violation_rate_max = Some f }
+            | k -> raise (Slo_error ("unknown SLO key: " ^ k)))
+        | _ -> raise (Slo_error ("bad SLO line: " ^ line)))
+      empty_slo
+      (String.split_on_char '\n' src)
+
+  (** Evaluate a snapshot against an SLO: one
+      [(name, bound, actual, ok)] row per configured bound. *)
+  let check (s : slo) (snap : snapshot) : (string * float * float * bool) list =
+    let lower name bound actual = (name, bound, actual, actual >= bound) in
+    let upper name bound actual = (name, bound, actual, actual <= bound) in
+    List.filter_map
+      (fun x -> x)
+      [
+        Option.map (fun b -> lower "hit_ratio_min" b snap.hit_ratio) s.hit_ratio_min;
+        Option.map (fun b -> upper "p95_us_max" b snap.p95_us) s.p95_us_max;
+        Option.map (fun b -> upper "p99_us_max" b snap.p99_us) s.p99_us_max;
+        Option.map
+          (fun b -> upper "conflict_rate_max" b snap.conflict_rate)
+          s.conflict_rate_max;
+        Option.map
+          (fun b -> upper "violation_rate_max" b snap.violation_rate)
+          s.violation_rate_max;
+      ]
+
+  let ok (checks : (string * float * float * bool) list) : bool =
+    List.for_all (fun (_, _, _, ok) -> ok) checks
+
+  let reset_state () = total := 0
 end
 
 (* Metrics/spans part of {!reset}; the public [reset] (defined after
@@ -734,7 +981,11 @@ end
 let reset () : unit =
   reset_metrics_and_spans ();
   Profile.clear ();
-  Provenance.clear_state ()
+  Provenance.clear_state ();
+  Request.reset_state ();
+  Health.reset_state ();
+  (* the ring is cleared; the auto-dump configuration survives *)
+  Flight.clear ()
 
 let json_of_value : value -> Json.t = function
   | S s -> Json.Str s
@@ -882,3 +1133,8 @@ module Export = struct
                          ("p99", Json.Num (Histogram.percentile h 99.0)) ] ))
                  (sorted_histograms ()))) ])
 end
+
+(* Re-export the flight recorder so clients address it as
+   [Telemetry.Flight] (its implementation lives in flight.ml, below
+   every hook that feeds it). *)
+module Flight = Flight

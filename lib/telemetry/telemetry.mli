@@ -132,9 +132,93 @@ module Histogram : sig
   val percentile : t -> float -> float
 end
 
+(** Request-scoped attribution. Every server entry point (instantiate,
+    exec, dynload, evict) opens a request, which assigns a monotonic
+    request id, inherits or sets the client id, and pushes the pair
+    into the flight-recorder context — so spans, counters, residency
+    transitions, and faults recorded underneath all carry
+    [(client, request)]. Requests nest; ids stay monotonic. *)
+module Request : sig
+  (** Ambient client id inherited by requests opened outside any
+      enclosing request (default 0); workload drivers set it before
+      each simulated client's operation. *)
+  val set_client : int -> unit
+
+  (** Client id of the innermost open request, [-1] outside any. *)
+  val current_client : unit -> int
+
+  (** Id of the innermost open request, [-1] outside any. *)
+  val current_request : unit -> int
+
+  val active : unit -> bool
+
+  (** The most recently assigned request id, [-1] if none yet. *)
+  val last_id : unit -> int
+
+  (** Open a request of [kind] (e.g. ["instantiate"]); returns its id.
+      [client] overrides the inherited/ambient client id. *)
+  val begin_request : ?client:int -> string -> int
+
+  val end_request : unit -> unit
+
+  (** Run [f] inside a fresh request (ended on exceptions too). *)
+  val with_request : ?client:int -> string -> (unit -> 'a) -> 'a
+end
+
+(** Rolling-window health over the instantiate stream: hit ratio, cost
+    percentiles, conflict/violation rates — what [ofe top] tabulates
+    and [ofe health --slo] gates on. *)
+module Health : sig
+  (** Window size (most recent requests considered). *)
+  val window_cap : int
+
+  (** Record one served request (the server calls this once per
+      instantiate). Conflict/violation counters are sampled here. *)
+  val record : ?hit:bool -> cost_us:float -> unit -> unit
+
+  type snapshot = {
+    requests : int;  (** requests recorded since the last reset *)
+    window : int;  (** samples in the rolling window *)
+    hit_ratio : float;  (** over window samples with hit/miss info *)
+    p50_us : float;
+    p95_us : float;
+    p99_us : float;
+    mean_us : float;
+    max_us : float;
+    conflict_rate : float;  (** arena conflicts per windowed request *)
+    violation_rate : float;  (** invariant violations per windowed request *)
+  }
+
+  val snapshot : unit -> snapshot
+
+  (** An SLO spec: every bound optional. *)
+  type slo = {
+    hit_ratio_min : float option;
+    p95_us_max : float option;
+    p99_us_max : float option;
+    conflict_rate_max : float option;
+    violation_rate_max : float option;
+  }
+
+  val empty_slo : slo
+
+  exception Slo_error of string
+
+  (** Parse the line-oriented SLO format ([key value] pairs, [#]
+      comments). @raise Slo_error on unknown keys or bad values. *)
+  val parse_slo : string -> slo
+
+  (** One [(name, bound, actual, ok)] row per configured bound. *)
+  val check : slo -> snapshot -> (string * float * float * bool) list
+
+  val ok : (string * float * float * bool) list -> bool
+end
+
 (** Zero every metric in place (interned handles stay valid), drop all
-    recorded spans, and clear profiler attributions and provenance
-    journal state. Clock and enabled flags are untouched. *)
+    recorded spans, clear profiler attributions, provenance journal
+    state, request attribution, health windows, and the flight-recorder
+    ring. Clock, enabled flags, and the flight auto-dump configuration
+    are untouched. *)
 val reset : unit -> unit
 
 (** A small JSON reader/writer used by the exporters and by tests to
@@ -247,6 +331,11 @@ module Provenance : sig
 
   val to_json : t -> Json.t
 end
+
+(** The flight recorder (see flight.mli): a bounded ring of the last
+    ~4k structured events, dumped on invariant violations, faults, and
+    non-zero [ofe] exits. *)
+module Flight = Flight
 
 module Export : sig
   (** One JSON object per line: spans, then counters, gauges,

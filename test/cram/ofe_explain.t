@@ -49,7 +49,9 @@ Unknown symbols and unknown meta-objects fail cleanly:
 
   $ ofe explain /demo/hello --symbol nosuch > /dev/null
   ofe: no journal events for symbol nosuch in /demo/hello
+  ofe: flight recorder dump written to flight.json, flight.txt
   [1]
   $ ofe explain /lib/nosuch
   ofe: unknown meta-object /lib/nosuch
+  ofe: flight recorder dump written to flight.json, flight.txt
   [1]

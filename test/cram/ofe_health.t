@@ -1,0 +1,61 @@
+The health & SLO gate: run a workload, tabulate rolling health, and
+gate it against a bounds file. Generous bounds pass:
+
+  $ cat > ok.slo <<'EOF'
+  > hit_ratio_min 0.40
+  > p95_us_max 500
+  > p99_us_max 500
+  > conflict_rate_max 0.05
+  > violation_rate_max 0
+  > EOF
+
+  $ ofe health --slo ok.slo
+  hit_ratio_min      bound=0.4 actual=0.647059 ok
+  p95_us_max         bound=500 actual=225.6 ok
+  p99_us_max         bound=500 actual=225.6 ok
+  conflict_rate_max  bound=0.05 actual=0 ok
+  violation_rate_max bound=0 actual=0 ok
+
+A tightened SLO breaches, exits 2, and leaves a flight-recorder dump
+of the run behind:
+
+  $ cat > tight.slo <<'EOF'
+  > hit_ratio_min 0.99
+  > EOF
+
+  $ ofe health --slo tight.slo
+  hit_ratio_min      bound=0.99 actual=0.647059 FAIL
+  ofe: SLO violated
+  ofe: flight recorder dump written to flight.json, flight.txt
+  [2]
+  $ ls flight.json flight.txt
+  flight.json
+  flight.txt
+
+A malformed SLO file is an input error (exit 1), not a breach:
+
+  $ echo "p95_us_maximum 5" > bad.slo
+  $ ofe health --slo bad.slo 2>&1 | head -1
+  ofe: slo: unknown SLO key: p95_us_maximum
+
+ofe top tabulates the same rolling window, one-shot by default or
+every N requests with --watch:
+
+  $ ofe top
+     reqs  window   hit%   p50_us   p95_us   p99_us  mean_us   max_us  confl/req  viol/req
+       17      17   64.7      0.0    225.6    225.6     39.5    225.6      0.000     0.000
+
+  $ ofe top --watch --every 10
+     reqs  window   hit%   p50_us   p95_us   p99_us  mean_us   max_us  confl/req  viol/req
+        7       7   57.1      0.0    225.6    225.6     48.7    225.6      0.000     0.000
+       12      12   66.7      0.0    225.6    225.6     37.6    225.6      0.000     0.000
+       17      17   64.7      0.0    225.6    225.6     39.5    225.6      0.000     0.000
+
+Unknown flags print usage and exit 2 — distinguishable from build
+errors (1) and success (0):
+
+  $ ofe top --bogus
+  ofe: unknown option '--bogus'.
+  Usage: ofe top [--every=N] [--watch] [OPTION]… [SPEC]
+  Try 'ofe top --help' or 'ofe --help' for more information.
+  [2]

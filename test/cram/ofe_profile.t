@@ -30,4 +30,5 @@ Unknown meta-objects fail cleanly:
 
   $ ofe profile /lib/nosuch
   ofe: unknown meta-object /lib/nosuch
+  ofe: flight recorder dump written to flight.json, flight.txt
   [1]

@@ -32,6 +32,7 @@ An unknown meta-object fails cleanly:
 
   $ ofe trace /lib/nosuch
   ofe: unknown meta-object /lib/nosuch
+  ofe: flight recorder dump written to flight.json, flight.txt
   [1]
 
 The stats command dumps the metrics registry in the stable
@@ -49,4 +50,5 @@ An unknown meta-object fails as cleanly in stats as in trace:
 
   $ ofe stats /lib/nosuch
   ofe: unknown meta-object /lib/nosuch
+  ofe: flight recorder dump written to flight.json, flight.txt
   [1]

@@ -1,0 +1,64 @@
+The deterministic multi-client workload driver: simulated clients
+interleave instantiates, cache-hitting re-requests, dynload/unload
+pairs, and evictions, scheduled off the simulated clock and a seeded
+PRNG. Each line carries the request id, client, operation, cache-hit
+flag, and simulated cost; the trailing # line is the rolling health
+summary.
+
+  $ cat > smoke.spec <<'EOF'
+  > clients 2
+  > requests 8
+  > seed 5
+  > meta /demo/hello
+  > meta /lib/libm
+  > mix instantiate=3 dynload=1
+  > EOF
+
+  $ ofe workload smoke.spec | tee run1.txt
+  req=0 client=1 op=instantiate target=/lib/libm hit=false cost_us=225.6
+  req=1 client=1 op=instantiate target=/lib/libm hit=true cost_us=0.0
+  req=2 client=1 op=instantiate target=/lib/libm hit=true cost_us=0.0
+  req=3 client=1 op=dynload target=/demo/impl.o hit=- cost_us=1920.0
+  req=4 client=1 op=instantiate target=/demo/hello hit=false cost_us=4.8
+  req=5 client=1 op=unload target=/demo/impl.o hit=- cost_us=0.0
+  req=6 client=0 op=instantiate target=/lib/libm hit=true cost_us=0.0
+  req=7 client=0 op=instantiate target=/demo/hello hit=true cost_us=0.0
+  # requests=6 window=6 hit_ratio=0.67 p50_us=0.0 p95_us=225.6 p99_us=225.6 mean_us=38.4 max_us=225.6 conflict_rate=0.000 violation_rate=0.000
+
+Two runs of the same spec are byte-identical:
+
+  $ ofe workload smoke.spec > run2.txt
+  $ cmp run1.txt run2.txt
+
+A seeded fault mid-workload trips the flight recorder: every fired
+fault dumps the ring next to the invocation, and the recorded fault
+events name the client and request that hit them.
+
+  $ cat > fault.spec <<'EOF'
+  > clients 2
+  > requests 20
+  > seed 3
+  > fault_seed 11
+  > fault place_conflict 0.6
+  > fault evict_storm 0.3
+  > EOF
+
+  $ ofe workload fault.spec > /dev/null
+  $ ls flight.json flight.txt
+  flight.json
+  flight.txt
+  $ head -c 36 flight.json && echo
+  {"type":"flight_dump","reason":"faul
+  $ grep -m 1 " fault " flight.txt
+  000020 at=3659.2us client=1 request=0 fault         residency.place_conflict
+
+A bad spec fails cleanly (and, with nothing recorded, leaves no dump):
+
+  $ rm flight.json flight.txt
+  $ echo "clientz 3" > bad.spec
+  $ ofe workload bad.spec
+  ofe: workload spec: line 1: unknown directive: clientz
+  [1]
+  $ ls flight.json
+  ls: cannot access 'flight.json': No such file or directory
+  [2]

@@ -32,6 +32,7 @@ the namespace exported by the server:
 
   $ omos_demo ns
   meta-objects:
+    /demo/hello
     /lib/libC
     /lib/libal1
     /lib/libal2

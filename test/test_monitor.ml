@@ -1,0 +1,137 @@
+(* Monitor wrapper tests: shadow-stack balance under nested and
+   recursive calls with [~exits:true], and request-id stamping of
+   trace events. *)
+
+let compile name src = Minic.Driver.compile ~name src
+
+(* Build, monitor, link and run a program; returns (exit code, trace). *)
+let run_monitored ?(exits = true) ?wrap (src : string) :
+    int * Omos.Monitor.trace =
+  let m =
+    Jigsaw.Module_ops.of_objects [ Workloads.Crt0.obj (); compile "/obj/m.o" src ]
+  in
+  let monitored, trace = Omos.Monitor.monitored ~exits m in
+  let k = Simos.Kernel.create () in
+  let upcalls = Omos.Upcalls.install k in
+  Omos.Monitor.attach upcalls trace;
+  let img, _ =
+    Linker.Link.link
+      ~layout:{ Linker.Link.text_base = 0x10000; data_base = 0x400000 }
+      (Jigsaw.Module_ops.fragments monitored)
+  in
+  let p = Simos.Kernel.create_process k ~args:[ "t" ] in
+  Simos.Kernel.map_image k p ~key:"t" img;
+  Simos.Kernel.finish_exec k p ~entry:img.Linker.Image.entry;
+  let go () = Simos.Kernel.run k p () in
+  let code = match wrap with None -> go () | Some f -> f go in
+  (code, trace)
+
+let id_of (t : Omos.Monitor.trace) (name : string) : int =
+  let found = ref (-1) in
+  Array.iteri (fun i n -> if n = name then found := i) t.Omos.Monitor.names;
+  if !found < 0 then Alcotest.failf "no wrapped function %s" name;
+  !found
+
+(* Per-id Enter/Exit balance, and the running shadow depth never goes
+   negative — an unbalanced wrapper would corrupt the shadow stack. *)
+let check_balanced ?(skip = []) (t : Omos.Monitor.trace) : int =
+  let enters = Hashtbl.create 8 and exits = Hashtbl.create 8 in
+  let bump h id = Hashtbl.replace h id (1 + Option.value ~default:0 (Hashtbl.find_opt h id)) in
+  let depth = ref 0 and max_depth = ref 0 in
+  List.iter
+    (function
+      | Omos.Monitor.Enter id ->
+          bump enters id;
+          incr depth;
+          if !depth > !max_depth then max_depth := !depth
+      | Omos.Monitor.Exit id ->
+          bump exits id;
+          decr depth;
+          Alcotest.(check bool) "shadow depth never negative" true (!depth >= 0))
+    (Omos.Monitor.trace_events t);
+  Hashtbl.iter
+    (fun id n ->
+      if not (List.mem id skip) then
+        Alcotest.(check int)
+          (Printf.sprintf "balanced enters/exits for %s" t.Omos.Monitor.names.(id))
+          n
+          (Option.value ~default:0 (Hashtbl.find_opt exits id)))
+    enters;
+  !max_depth
+
+let test_nested_calls_balance () =
+  let code, trace =
+    run_monitored
+      "int leaf(int x) { return x + 1; } \
+       int mid(int x) { return leaf(x) + leaf(x + 1); } \
+       int top(int x) { return mid(x) + leaf(x); } \
+       int main() { return top(12); }"
+  in
+  (* mid(12)+leaf(12) = (13+14)+13 = 40 *)
+  Alcotest.(check int) "semantics preserved" 40 code;
+  (* _start never returns: its Exit is the process exit *)
+  let max_depth = check_balanced ~skip:[ id_of trace "_start" ] trace in
+  Alcotest.(check bool) "calls really nested" true (max_depth >= 4)
+
+let test_recursive_calls_balance () =
+  let code, trace =
+    run_monitored
+      "int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); } \
+       int main() { return fib(10); }"
+  in
+  Alcotest.(check int) "fib(10)" 55 code;
+  let fib = id_of trace "fib" in
+  let max_depth = check_balanced ~skip:[ id_of trace "_start" ] trace in
+  Alcotest.(check bool) "recursion went deep" true (max_depth >= 9);
+  let fib_enters =
+    List.length
+      (List.filter
+         (function Omos.Monitor.Enter id -> id = fib | _ -> false)
+         (Omos.Monitor.trace_events trace))
+  in
+  (* fib(10) makes 177 calls *)
+  Alcotest.(check int) "every recursive call wrapped" 177 fib_enters
+
+let test_trace_events_carry_request_ids () =
+  Telemetry.reset ();
+  let code, trace =
+    run_monitored
+      ~wrap:(fun go -> Telemetry.Request.with_request ~client:5 "exec" go)
+      "int f(int x) { return x * 3; } int main() { return f(4); }"
+  in
+  Alcotest.(check int) "ran" 12 code;
+  let stamped = Omos.Monitor.stamped_events trace in
+  Alcotest.(check int) "one stamp per event" trace.Omos.Monitor.count
+    (List.length stamped);
+  Alcotest.(check bool) "events recorded" true (stamped <> []);
+  let req = Telemetry.Request.last_id () in
+  List.iter
+    (fun (_, client, request) ->
+      Alcotest.(check int) "client stamped" 5 client;
+      Alcotest.(check int) "request stamped" req request)
+    stamped;
+  (* outside any request the stamp is the (-1, -1) sentinel *)
+  let _, unstamped =
+    run_monitored "int g() { return 7; } int main() { return g(); }"
+  in
+  List.iter
+    (fun (_, client, request) ->
+      Alcotest.(check int) "no client" (-1) client;
+      Alcotest.(check int) "no request" (-1) request)
+    (Omos.Monitor.stamped_events unstamped)
+
+let () =
+  Alcotest.run "monitor"
+    [
+      ( "shadow-stack",
+        [
+          Alcotest.test_case "nested calls" `Quick test_nested_calls_balance;
+          Alcotest.test_case "recursive calls" `Quick
+            test_recursive_calls_balance;
+        ] );
+      ( "request-ids",
+        [
+          Alcotest.test_case "stamped events" `Quick
+            test_trace_events_carry_request_ids;
+        ] );
+    ]

@@ -251,6 +251,7 @@ let test_reorder_clusters_used_functions () =
       Omos.Monitor.names = [| "fn7"; "fn2"; "fn11" |];
       (* events stored reversed: call order fn7, fn2, fn11 *)
       events = [ Omos.Monitor.Enter 2; Omos.Monitor.Enter 1; Omos.Monitor.Enter 0 ];
+      stamps = [ (-1, -1); (-1, -1); (-1, -1) ];
       count = 3;
     }
   in
