@@ -304,12 +304,249 @@ let merge_cmd =
   Cmd.v (Cmd.info "merge" ~doc:"merge objects (partial link)")
     Term.(const run $ out $ inputs)
 
+(* -- the symbol-flow linter -------------------------------------------------- *)
+
+(* Register a host meta-object file in the quickstart world under
+   /local/<basename> (sans extension), so blueprints that exist only on
+   disk — including broken ones — can be linted, traced and explained. *)
+let register_meta_file (s : Omos.Server.t) (file : string) : string =
+  let ic = open_in file in
+  let src = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let path = "/local/" ^ Filename.remove_extension (Filename.basename file) in
+  Omos.Server.add_meta_source s path src;
+  path
+
+let finding_json (f : Analysis.Lint.finding) : Telemetry.Json.t =
+  Telemetry.Json.Obj
+    [
+      ("code", Telemetry.Json.Str f.Analysis.Lint.code);
+      ("title", Telemetry.Json.Str f.Analysis.Lint.title);
+      ("severity",
+       Telemetry.Json.Str
+         (Analysis.Lint.severity_to_string f.Analysis.Lint.severity));
+      ("path", Telemetry.Json.Str f.Analysis.Lint.path);
+      ("symbols",
+       Telemetry.Json.Arr
+         (List.map (fun s -> Telemetry.Json.Str s) f.Analysis.Lint.symbols));
+      ("message", Telemetry.Json.Str f.Analysis.Lint.message);
+    ]
+
+(* Structured blueprint-failure reporting for trace/explain/profile: a
+   meta whose evaluation raises gets the linter's error findings on
+   stderr — the same diagnostics `ofe lint` prints — instead of a bare
+   exception message, and the command exits 2 like a failed lint. *)
+let with_blueprint_diagnostics (s : Omos.Server.t) ~(meta : string)
+    (diagnosed : bool ref) (f : unit -> unit) : unit =
+  try f ()
+  with
+  | Blueprint.Mgraph.Eval_error msg | Jigsaw.Module_ops.Module_error msg ->
+    Printf.eprintf "ofe: %s: blueprint evaluation failed: %s\n" meta msg;
+    (match Omos.Server.lint_report s meta with
+    | Some rep ->
+        List.iter
+          (fun (f : Analysis.Lint.finding) ->
+            if f.Analysis.Lint.severity = Analysis.Lint.Error then
+              Printf.eprintf "ofe:   %s\n" (Analysis.Lint.finding_to_string f))
+          rep.Analysis.Lint.findings
+    | None -> ());
+    diagnosed := true
+
+let pick_meta (s : Omos.Server.t) (meta : string option)
+    (meta_file : string option) : string =
+  match (meta_file, meta) with
+  | Some f, None -> register_meta_file s f
+  | None, Some m -> m
+  | Some _, Some _ ->
+      raise
+        (Omos.Server.Server_error "give either a META path or --meta-file, not both")
+  | None, None ->
+      raise (Omos.Server.Server_error "a META path or --meta-file is required")
+
+let meta_file_arg =
+  Arg.(value & opt (some file) None
+       & info [ "meta-file" ] ~docv:"FILE"
+           ~doc:"use a meta-object source file from the host filesystem \
+                 (registered under /local/) instead of a bound META path")
+
+let lint_cmd =
+  let metas =
+    Arg.(value & pos_all string []
+         & info [] ~docv:"META" ~doc:"meta-object paths to lint (e.g. /lib/libc)")
+  in
+  let all =
+    Arg.(value & flag
+         & info [ "all" ] ~doc:"lint every meta-object bound in the quickstart world")
+  in
+  let meta_files =
+    Arg.(value & opt_all file []
+         & info [ "meta-file" ] ~docv:"FILE"
+             ~doc:"lint a meta-object source file from the host filesystem \
+                   (registered under /local/); repeatable")
+  in
+  let workload =
+    Arg.(value & opt (some file) None
+         & info [ "workload" ] ~docv:"SPEC"
+             ~doc:"lint the meta-objects a workload spec names")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"emit findings as JSON (omos.lint/1)")
+  in
+  let max_warnings =
+    Arg.(value & opt (some int) None
+         & info [ "max-warnings" ] ~docv:"N"
+             ~doc:"fail (exit 2) when total warnings exceed $(docv)")
+  in
+  let verify =
+    Arg.(value & flag
+         & info [ "verify" ]
+             ~doc:"differential self-check: evaluate each meta-object for real \
+                   and assert the predicted export/undefined sets match exactly")
+  in
+  let run failed metas all meta_files workload json max_warnings verify =
+    handle (fun () ->
+        let w = Omos.World.create () in
+        let s = w.Omos.World.server in
+        let targets =
+          metas
+          @ (if all then Omos.Namespace.all_metas (Omos.Server.namespace s) else [])
+          @ (match workload with
+            | None -> []
+            | Some spec -> (Omos.Workload.parse_file spec).Omos.Workload.metas)
+          @ List.map (register_meta_file s) meta_files
+        in
+        let targets = List.sort_uniq compare targets in
+        if targets = [] then
+          raise
+            (Omos.Server.Server_error
+               "nothing to lint: name a META, or use --all/--meta-file/--workload");
+        let resolve = Omos.Server.resolve_graph s in
+        let errs = ref 0 and warns = ref 0 and rows = ref [] in
+        List.iter
+          (fun path ->
+            let meta = Omos.Server.find_meta s path in
+            let graph = Blueprint.Meta.effective_graph meta ~spec:None in
+            let report, outcome =
+              if verify then
+                let r, o =
+                  Analysis.Lint.verify_against ~eval:(Omos.Server.eval s)
+                    ~resolve graph
+                in
+                (r, Some o)
+              else (Analysis.Lint.analyze ~resolve graph, None)
+            in
+            errs := !errs + Analysis.Lint.errors report;
+            warns := !warns + Analysis.Lint.warnings report;
+            if json then
+              rows :=
+                Telemetry.Json.Obj
+                  [
+                    ("meta", Telemetry.Json.Str path);
+                    ("errors",
+                     Telemetry.Json.Num
+                       (float_of_int (Analysis.Lint.errors report)));
+                    ("warnings",
+                     Telemetry.Json.Num
+                       (float_of_int (Analysis.Lint.warnings report)));
+                    ("approximate", Telemetry.Json.Bool report.Analysis.Lint.approximate);
+                    ("exports",
+                     Telemetry.Json.Arr
+                       (List.map
+                          (fun s -> Telemetry.Json.Str s)
+                          report.Analysis.Lint.exports));
+                    ("undefined",
+                     Telemetry.Json.Arr
+                       (List.map
+                          (fun s -> Telemetry.Json.Str s)
+                          report.Analysis.Lint.undefined));
+                    ("findings",
+                     Telemetry.Json.Arr
+                       (List.map finding_json report.Analysis.Lint.findings));
+                  ]
+                :: !rows
+            else begin
+              Printf.printf "%s: %d error%s, %d warning%s (exports=%d undefined=%d)\n"
+                path
+                (Analysis.Lint.errors report)
+                (if Analysis.Lint.errors report = 1 then "" else "s")
+                (Analysis.Lint.warnings report)
+                (if Analysis.Lint.warnings report = 1 then "" else "s")
+                (List.length report.Analysis.Lint.exports)
+                (List.length report.Analysis.Lint.undefined);
+              List.iter
+                (fun f ->
+                  Printf.printf "  %s\n" (Analysis.Lint.finding_to_string f))
+                report.Analysis.Lint.findings
+            end;
+            match outcome with
+            | None -> ()
+            | Some (Analysis.Lint.Verified { exports; undefined }) ->
+                if not json then
+                  Printf.printf "  verify: ok (exports=%d undefined=%d match)\n"
+                    exports undefined
+            | Some (Analysis.Lint.Skipped reason) ->
+                if not json then Printf.printf "  verify: skipped (%s)\n" reason
+            | Some (Analysis.Lint.Mismatch { field; predicted; actual }) ->
+                Printf.eprintf
+                  "ofe: %s: verify mismatch on %s\n  predicted: %s\n  actual:    %s\n"
+                  path field
+                  (String.concat " " predicted)
+                  (String.concat " " actual);
+                failed := true
+            | Some (Analysis.Lint.Eval_raised msg) ->
+                Printf.eprintf
+                  "ofe: %s: evaluation raised but analysis predicted success: %s\n"
+                  path msg;
+                failed := true)
+          targets;
+        if json then
+          print_endline
+            (Telemetry.Json.to_string
+               (Telemetry.Json.Obj
+                  [
+                    ("lint", Telemetry.Json.Str "omos.lint/1");
+                    ("errors", Telemetry.Json.Num (float_of_int !errs));
+                    ("warnings", Telemetry.Json.Num (float_of_int !warns));
+                    ("metas", Telemetry.Json.Arr (List.rev !rows));
+                  ]))
+        else
+          Printf.printf "lint: %d meta%s, %d error%s, %d warning%s\n"
+            (List.length targets)
+            (if List.length targets = 1 then "" else "s")
+            !errs
+            (if !errs = 1 then "" else "s")
+            !warns
+            (if !warns = 1 then "" else "s");
+        if
+          !errs > 0
+          || match max_warnings with Some n -> !warns > n | None -> false
+        then failed := true)
+  in
+  let run metas all meta_files workload json max_warnings verify =
+    let failed = ref false in
+    let code = run failed metas all meta_files workload json max_warnings verify in
+    if code = 0 && !failed then 2 else code
+  in
+  Cmd.v
+    (Cmd.info "lint" ~exits:
+       [
+         Cmd.Exit.info 0 ~doc:"when every linted meta-object is clean.";
+         Cmd.Exit.info 1 ~doc:"on input errors (unreadable files, unknown meta-objects).";
+         Cmd.Exit.info 2
+           ~doc:"on any error finding, a warning budget overrun, or a \
+                 $(b,--verify) mismatch.";
+       ]
+       ~doc:
+         "statically analyze meta-object blueprints: predict exports and \
+          undefined references without materializing views, and report \
+          namespace, operator, and constraint errors before link time")
+    Term.(const run $ metas $ all $ meta_files $ workload $ json $ max_warnings $ verify)
+
 (* -- the OMOS request path: tracing & metrics ------------------------------ *)
 
-(* Build the quickstart world, reset telemetry (world construction does
-   no instantiation work), and serve one request with tracing on. *)
-let traced_instantiate (meta : string) : Omos.World.t * Omos.Server.response =
-  let w = Omos.World.create () in
+(* Reset telemetry (world construction does no instantiation work) and
+   serve one request with tracing on. *)
+let traced_instantiate (w : Omos.World.t) (meta : string) : Omos.Server.response =
   let s = w.Omos.World.server in
   Telemetry.reset ();
   Telemetry.set_enabled true;
@@ -321,21 +558,24 @@ let traced_instantiate (meta : string) : Omos.World.t * Omos.Server.response =
   Omos.Server.map_into s p resp.Omos.Server.built;
   Telemetry.Span.exit root;
   Telemetry.set_enabled false;
-  (w, resp)
+  resp
 
 let trace_cmd =
   let meta =
-    Arg.(required & pos 0 (some string) None
+    Arg.(value & pos 0 (some string) None
          & info [] ~docv:"META" ~doc:"library meta-object path (e.g. /lib/libc)")
   in
   let out =
     Arg.(value & opt string "trace.json"
          & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Chrome trace_event output file")
   in
-  let run meta out =
+  let run diagnosed meta meta_file out =
     handle (fun () ->
-        let w, resp = traced_instantiate meta in
+        let w = Omos.World.create () in
         let s = w.Omos.World.server in
+        let meta = pick_meta s meta meta_file in
+        with_blueprint_diagnostics s ~meta diagnosed @@ fun () ->
+        let resp = traced_instantiate w meta in
         let json = Telemetry.Export.chrome () in
         let oc = open_out out in
         output_string oc json;
@@ -369,12 +609,17 @@ let trace_cmd =
           (Telemetry.Counter.get "cache.hits" = st.Omos.Cache.hits)
           (Telemetry.Counter.get "cache.misses" = st.Omos.Cache.misses))
   in
+  let run meta meta_file out =
+    let diagnosed = ref false in
+    let code = run diagnosed meta meta_file out in
+    if code = 0 && !diagnosed then 2 else code
+  in
   Cmd.v
-    (Cmd.info "trace"
+    (Cmd.info "trace" ~exits
        ~doc:
          "instantiate a library meta-object in the quickstart world and export \
           a Chrome trace_event file of the request path")
-    Term.(const run $ meta $ out)
+    Term.(const run $ meta $ meta_file_arg $ out)
 
 let stats_cmd =
   let meta =
@@ -416,7 +661,7 @@ let stats_cmd =
 
 let explain_cmd =
   let meta =
-    Arg.(required & pos 0 (some string) None
+    Arg.(value & pos 0 (some string) None
          & info [] ~docv:"META" ~doc:"library meta-object path (e.g. /demo/hello)")
   in
   let symbol =
@@ -427,10 +672,12 @@ let explain_cmd =
   let json =
     Arg.(value & flag & info [ "json" ] ~doc:"emit the provenance record as JSON")
   in
-  let run meta symbol json =
+  let run diagnosed meta meta_file symbol json =
     handle (fun () ->
         let w = Omos.World.create () in
         let s = w.Omos.World.server in
+        let meta = pick_meta s meta meta_file in
+        with_blueprint_diagnostics s ~meta diagnosed @@ fun () ->
         Telemetry.reset ();
         Telemetry.set_enabled true;
         Telemetry.Provenance.set_enabled true;
@@ -502,13 +749,18 @@ let explain_cmd =
                     evs)
         end)
   in
+  let run meta meta_file symbol json =
+    let diagnosed = ref false in
+    let code = run diagnosed meta meta_file symbol json in
+    if code = 0 && !diagnosed then 2 else code
+  in
   Cmd.v
-    (Cmd.info "explain"
+    (Cmd.info "explain" ~exits
        ~doc:
          "instantiate a library meta-object twice (cold, then warm) in the \
           quickstart world and explain the cached image: placement, operator \
           chain, interpositions, and per-symbol binding decisions")
-    Term.(const run $ meta $ symbol $ json)
+    Term.(const run $ meta $ meta_file_arg $ symbol $ json)
 
 let profile_cmd =
   let meta =
@@ -523,10 +775,14 @@ let profile_cmd =
   let json =
     Arg.(value & flag & info [ "json" ] ~doc:"emit the cost table as JSON")
   in
-  let run meta folded_out json =
+  let run diagnosed meta meta_file folded_out json =
     handle (fun () ->
         let w = Omos.World.create () in
         let s = w.Omos.World.server in
+        let meta =
+          match meta_file with Some f -> register_meta_file s f | None -> meta
+        in
+        with_blueprint_diagnostics s ~meta diagnosed @@ fun () ->
         Telemetry.reset ();
         Telemetry.set_enabled true;
         Telemetry.Profile.set_enabled true;
@@ -585,13 +841,18 @@ let profile_cmd =
             close_out oc;
             Printf.printf "wrote %s\n" file)
   in
+  let run meta meta_file folded_out json =
+    let diagnosed = ref false in
+    let code = run diagnosed meta meta_file folded_out json in
+    if code = 0 && !diagnosed then 2 else code
+  in
   Cmd.v
-    (Cmd.info "profile"
+    (Cmd.info "profile" ~exits
        ~doc:
          "instantiate and map a library meta-object in the quickstart world \
           with the simulated-cost profiler on, and print the per-operator \
           cost table and folded stacks")
-    Term.(const run $ meta $ folded_out $ json)
+    Term.(const run $ meta $ meta_file_arg $ folded_out $ json)
 
 (* -- workload, health & SLO gating ----------------------------------------- *)
 
@@ -740,7 +1001,7 @@ let main =
       info_cmd; symbols_cmd; relocs_cmd; disasm_cmd; exports_cmd; undefined_cmd;
       nm_cmd; size_cmd; strings_cmd;
       compile_cmd; convert_cmd; rename_cmd; copy_as_cmd; merge_cmd;
-      trace_cmd; stats_cmd; explain_cmd; profile_cmd;
+      lint_cmd; trace_cmd; stats_cmd; explain_cmd; profile_cmd;
       workload_cmd; top_cmd; health_cmd;
       unary_op "hide" "hide definitions, freezing internal references" Jigsaw.Module_ops.hide;
       unary_op "restrict" "virtualize definitions (remove, keep references)" Jigsaw.Module_ops.restrict;

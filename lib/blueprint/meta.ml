@@ -44,9 +44,17 @@ let parse ~(name : string) (src : string) : t =
       match form with
       | Sexp.List (Sexp.Sym op :: args)
         when Mgraph.normalize_op op = "constraint_list" ->
-          constraints :=
-            !constraints
-            @ List.map (fun (s, a) -> (Mgraph.seg_of_string s, a)) (parse_pairs args)
+          (* a segment may be constrained once per meta-object, whether
+             the duplicate sits in one constraint-list or across
+             several — silently letting the last one win hid authoring
+             mistakes *)
+          List.iter
+            (fun (s, a) ->
+              let seg = Mgraph.seg_of_string s in
+              if List.mem_assoc seg !constraints then
+                fail "%s: duplicate constraint-list segment %S" name s;
+              constraints := !constraints @ [ (seg, a) ])
+            (parse_pairs args)
       | Sexp.List (Sexp.Sym op :: Sexp.Str style :: args)
         when Mgraph.normalize_op op = "default_specialization" ->
           default_spec := Some (style, List.map Mgraph.value_of_sexp args)

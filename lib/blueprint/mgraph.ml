@@ -157,7 +157,11 @@ let rec eval_node (env : env) (n : node) : result =
       let m = Jigsaw.Module_ops.merge_list (List.map (fun r -> r.m) rs) in
       { m; constraints = List.concat_map (fun r -> r.constraints) rs }
   | Override (a, b) ->
-      let ra = eval_node env a and rb = eval_node env b in
+      (* sequential on purpose: freeze/hide mangling ids are minted in
+         traversal order, and the symbol-flow analyzer predicts them by
+         replaying the same left-to-right walk *)
+      let ra = eval_node env a in
+      let rb = eval_node env b in
       { m = Jigsaw.Module_ops.override ra.m rb.m;
         constraints = ra.constraints @ rb.constraints }
   | Freeze (p, x) -> map_module env x (Jigsaw.Module_ops.freeze (Jigsaw.Select.compile p))
@@ -277,6 +281,37 @@ let rec map_nodes (f : node -> node option) (n : node) : node =
       | Specialize (st, vs, x) -> Specialize (st, vs, map_nodes f x)
       | Constrain (s, a, x) -> Constrain (s, a, map_nodes f x)
       | Lst xs -> Lst (List.map (map_nodes f) xs))
+
+(** Surface-syntax operator name of a node — the vocabulary of m-graph
+    path addressing in lint findings. *)
+let op_name (n : node) : string =
+  match n with
+  | Leaf o -> "leaf:" ^ o.Sof.Object_file.name
+  | Name p -> p
+  | Merge _ -> "merge"
+  | Override _ -> "override"
+  | Freeze _ -> "freeze"
+  | Restrict _ -> "restrict"
+  | Project _ -> "project"
+  | Copy_as _ -> "copy-as"
+  | Hide _ -> "hide"
+  | Show _ -> "show"
+  | Rename _ -> "rename"
+  | Initializers _ -> "initializers"
+  | Source (lang, _) -> "source:" ^ lang
+  | Specialize (style, _, _) -> "specialize:" ^ style
+  | Constrain _ -> "constrain"
+  | Lst _ -> "list"
+
+(** The selector pattern a node carries, if its operator takes one. *)
+let selector_of (n : node) : string option =
+  match n with
+  | Freeze (p, _) | Restrict (p, _) | Project (p, _) | Hide (p, _)
+  | Show (p, _) | Copy_as (p, _, _) | Rename (_, p, _, _) ->
+      Some p
+  | Leaf _ | Name _ | Merge _ | Override _ | Initializers _ | Source _
+  | Specialize _ | Constrain _ | Lst _ ->
+      None
 
 (** Names referenced anywhere in the graph (dependency extraction). *)
 let rec names (n : node) : string list =

@@ -86,6 +86,14 @@ val register : env -> string -> specializer -> unit
     the transformation hook specializations use. *)
 val map_nodes : (node -> node option) -> node -> node
 
+(** Surface-syntax operator name of a node — the vocabulary of m-graph
+    path addressing in lint findings ("merge", "override", "rename",
+    "specialize:STYLE", "leaf:NAME", …). *)
+val op_name : node -> string
+
+(** The selector pattern a node carries, if its operator takes one. *)
+val selector_of : node -> string option
+
 (** Names referenced anywhere in the graph (dependency extraction). *)
 val names : node -> string list
 

@@ -50,6 +50,8 @@ type t = {
   kernel : Simos.Kernel.t;
   env : Blueprint.Mgraph.env;
   work : work_stats;
+  lints : (string, Analysis.Lint.report) Hashtbl.t;
+      (* registration-time findings per meta-object path *)
   mutable conflicts : conflict list;
   (* charge server-side build work to the simulated clock? The paper's
      common case is install-time generation, so misses normally charge;
@@ -61,6 +63,8 @@ type t = {
 let tm_instantiations = Telemetry.Counter.make "server.instantiations"
 let tm_arena_conflicts = Telemetry.Counter.make "server.arena_conflicts"
 let tm_instantiate_us = Telemetry.Histogram.make "server.us.instantiate"
+let tm_lint_errors = Telemetry.Counter.make "lint.errors"
+let tm_lint_warnings = Telemetry.Counter.make "lint.warnings"
 let tm_eval_us = Telemetry.Histogram.make "server.us.eval"
 let tm_link_us = Telemetry.Histogram.make "server.us.link"
 
@@ -105,6 +109,7 @@ let create ~(kernel : Simos.Kernel.t) ?(faults : Residency.faults option) () : t
     kernel;
     env;
     work = { links = 0; relocs = 0; source_compiles = 0; instantiations = 0 };
+    lints = Hashtbl.create 16;
     conflicts = [];
     charge_build_work = true;
   }
@@ -143,8 +148,36 @@ let set_self_check (t : t) (b : bool) : unit =
 let add_fragment (t : t) (path : string) (o : Sof.Object_file.t) : unit =
   Namespace.bind_fragment t.ns path o
 
-let add_meta (t : t) (path : string) (m : Blueprint.Meta.t) : unit =
-  Namespace.bind_meta t.ns path m
+(* Result-returning twin of the evaluation env's resolve, for the
+   symbol-flow analyzer (which must never raise). *)
+let resolve_graph (t : t) (path : string) :
+    (Blueprint.Mgraph.node, string) result =
+  match Namespace.lookup t.ns path with
+  | Some (Namespace.Fragment o) -> Ok (Blueprint.Mgraph.Leaf o)
+  | Some (Namespace.Meta m) -> Ok (Blueprint.Meta.effective_graph m ~spec:None)
+  | Some (Namespace.Directory _) -> Error (path ^ " is a directory")
+  | None -> Error ("unknown server object " ^ path)
+
+(** Bind a meta-object and lint it: the symbol-flow analyzer runs at
+    registration (no view materialized, no simulated cost charged), the
+    finding counts feed the [lint.errors]/[lint.warnings] counters, and
+    the findings replay into the provenance journal of every build of
+    the meta. Registration never fails on findings — a broken blueprint
+    is diagnosed again, fatally, when instantiated. *)
+let register_meta (t : t) (path : string) (m : Blueprint.Meta.t) : unit =
+  Namespace.bind_meta t.ns path m;
+  let report = Analysis.Lint.analyze_meta ~resolve:(resolve_graph t) m in
+  Hashtbl.replace t.lints path report;
+  let errs = Analysis.Lint.errors report
+  and warns = Analysis.Lint.warnings report in
+  if errs > 0 then Telemetry.Counter.incr ~by:errs tm_lint_errors;
+  if warns > 0 then Telemetry.Counter.incr ~by:warns tm_lint_warnings
+
+let add_meta = register_meta
+
+(** The registration-time lint report of a bound meta-object. *)
+let lint_report (t : t) (path : string) : Analysis.Lint.report option =
+  Hashtbl.find_opt t.lints path
 
 (** Register a meta-object from blueprint source text. *)
 let add_meta_source (t : t) (path : string) (src : string) : unit =
@@ -251,6 +284,18 @@ let link_in_arena (t : t) ~(name : string) ~(cache_key : string)
     (* open the binding-journal frame before the graph is forced, so
        every jigsaw operator and the link below record into it *)
     Telemetry.Provenance.begin_build ();
+    (* registration-time lint findings travel with every build of the
+       meta, so explain/trace surface them next to binding decisions *)
+    (match Hashtbl.find_opt t.lints name with
+    | Some (rep : Analysis.Lint.report) ->
+        List.iter
+          (fun (f : Analysis.Lint.finding) ->
+            Telemetry.Provenance.record_lint ~code:f.Analysis.Lint.code
+              ~severity:
+                (Analysis.Lint.severity_to_string f.Analysis.Lint.severity)
+              ~path:f.Analysis.Lint.path f.Analysis.Lint.message)
+          rep.Analysis.Lint.findings
+    | None -> ());
     let r = Lazy.force r in
     let text_size, data_size = module_sizes r.Blueprint.Mgraph.m in
     (* record when the strongest preference could not be honoured; the

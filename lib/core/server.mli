@@ -77,7 +77,25 @@ val set_self_check : t -> bool -> unit
 (** Bind objects into the server's namespace. *)
 val add_fragment : t -> string -> Sof.Object_file.t -> unit
 
+(** [register_meta t path m] binds a meta-object and lints it: the
+    symbol-flow analyzer ({!Analysis.Lint}) runs at registration — no
+    view materialized, no simulated cost charged — its finding counts
+    feed the [lint.errors]/[lint.warnings] counters, and the findings
+    replay into the provenance journal of every build of the meta.
+    Registration never fails on findings. *)
+val register_meta : t -> string -> Blueprint.Meta.t -> unit
+
+(** Alias of {!register_meta}. *)
 val add_meta : t -> string -> Blueprint.Meta.t -> unit
+
+(** The registration-time lint report of a bound meta-object. *)
+val lint_report : t -> string -> Analysis.Lint.report option
+
+(** Result-returning twin of the evaluation environment's name
+    resolution, for the symbol-flow analyzer (which must never
+    raise). *)
+val resolve_graph :
+  t -> string -> (Blueprint.Mgraph.node, string) result
 
 (** Register a meta-object from blueprint source text. *)
 val add_meta_source : t -> string -> string -> unit

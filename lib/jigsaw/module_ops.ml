@@ -212,6 +212,11 @@ let gensym () =
   incr gensym_counter;
   !gensym_counter
 
+(** The current value of the freeze/hide mangling counter. The symbol-
+    flow analyzer snapshots it to predict the exact [n$frzI]/[n$hidI]
+    alias names the next evaluation will mint. *)
+let gensym_current () = !gensym_counter
+
 (* Shared machinery of freeze/hide: rename all references to the
    selected exported names to a fresh private alias; [keep_public]
    decides whether the public definition survives (freeze) or is

@@ -84,6 +84,12 @@ type rename_scope = Defs_only | Refs_only | Both
     both (the default). *)
 val rename : ?scope:rename_scope -> Select.t -> string -> t -> t
 
+(** The current value of the private freeze/hide mangling counter
+    (monotone, process-global). The symbol-flow analyzer snapshots it
+    to predict the exact [n$frzI]/[n$hidI] alias names the next
+    evaluation will mint. *)
+val gensym_current : unit -> int
+
 (** [initializers m] generates the static-initializer driver for the
     constructors found in the module (the paper's C++ support): a
     global [__init] routine calling each registered constructor in

@@ -10,6 +10,13 @@ type t = { pattern : string; re : Str.regexp }
 
 let compile (pattern : string) : t = { pattern; re = Str.regexp pattern }
 
+(** Non-raising form for static analysis: [Str.regexp] failures come
+    back as [Error msg] instead of escaping as [Failure]. *)
+let compile_res (pattern : string) : (t, string) result =
+  match compile pattern with
+  | s -> Ok s
+  | exception Failure msg -> Error msg
+
 let pattern (s : t) = s.pattern
 
 (** Does the symbol name match (anywhere, unless the pattern anchors)? *)
@@ -18,6 +25,15 @@ let matches (s : t) (name : string) : bool =
     ignore (Str.search_forward s.re name 0);
     true
   with Not_found -> false
+
+(** Does any of the names match? The static selector question the
+    lint analyzer asks ("is this operator dead?"). *)
+let matches_any (s : t) (names : string list) : bool =
+  List.exists (matches s) names
+
+(** The subset of names that match, in input order. *)
+let selected (s : t) (names : string list) : string list =
+  List.filter (matches s) names
 
 (** [rewrite s template name] — if [name] matches, substitute the whole
     match with [template] (which may use [\1]… group references) and

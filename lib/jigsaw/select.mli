@@ -6,10 +6,22 @@
 type t
 
 val compile : string -> t
+
+(** Non-raising {!compile} for static analysis: [Str.regexp] failures
+    come back as [Error msg] instead of escaping as [Failure]. *)
+val compile_res : string -> (t, string) result
+
 val pattern : t -> string
 
 (** Does the symbol name match (anywhere, unless the pattern anchors)? *)
 val matches : t -> string -> bool
+
+(** Does any of the names match? The static selector question the lint
+    analyzer asks ("is this operator dead?"). *)
+val matches_any : t -> string list -> bool
+
+(** The subset of names that match, in input order. *)
+val selected : t -> string list -> string list
 
 (** If the name matches, substitute the whole match with [template]
     ([\1]… group references allowed) and return the rewritten name. *)

@@ -111,6 +111,13 @@ let normalize (symbols, relocs, ctors) =
   in
   (symbols @ missing, relocs, ctors)
 
+(* How many views have been flattened since process start. The lint
+   analyzer's contract is that it materializes nothing; its tests pin
+   this counter across an analysis run. *)
+let materialization_count = ref 0
+
+let materializations () = !materialization_count
+
 (** [materialize v] flattens the view into a plain object file. Section
     bytes are shared with the base; only the namespace is rewritten.
     The result is cached on the view. *)
@@ -118,6 +125,7 @@ let materialize (v : t) : Object_file.t =
   match v.cache with
   | Some o -> o
   | None ->
+      incr materialization_count;
       let start = (v.base.Object_file.symbols, v.base.Object_file.relocs,
                    v.base.Object_file.ctors) in
       let symbols, relocs, ctors =

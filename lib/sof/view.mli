@@ -47,3 +47,8 @@ val depth : t -> int
     bytes are shared with the base; only the namespace is rewritten.
     The result is cached on the view. *)
 val materialize : t -> Object_file.t
+
+(** Process-global count of cache-missing {!materialize} calls — how
+    many views have actually been flattened. The lint analyzer's
+    "materializes no views" contract is pinned against this. *)
+val materializations : unit -> int

@@ -785,6 +785,8 @@ module Provenance = struct
         (** a definition shadowed another at link time *)
     | Reloc of { section : string; count : int }
         (** relocations applied per section *)
+    | Lint of { code : string; severity : string; path : string; message : string }
+        (** a pre-link diagnostic the analyzer attached at registration *)
 
   type t = {
     p_key : string;  (** construction digest (the cache key) *)
@@ -836,6 +838,12 @@ module Provenance = struct
   let record_reloc ~(section : string) ~(count : int) : unit =
     if count > 0 then record_event (Reloc { section; count })
 
+  (* Deliberately not [record_op]: findings join the journal without
+     perturbing the operator chain the explain command reports. *)
+  let record_lint ~(code : string) ~(severity : string) ~(path : string)
+      (message : string) : unit =
+    record_event (Lint { code; severity; path; message })
+
   (** Close the innermost build frame into a provenance record. *)
   let capture ~(key : string) ~(text_base : int) ~(data_base : int)
       ~(placement : string) ~(generation : int) () : t =
@@ -872,6 +880,8 @@ module Provenance = struct
     | Interpose { symbol; winner; loser; how } ->
         Printf.sprintf "interpose %s: %s over %s (%s)" symbol winner loser how
     | Reloc { section; count } -> Printf.sprintf "relocs %s: %d" section count
+    | Lint { code; severity; path; message } ->
+        Printf.sprintf "lint %s %s at %s: %s" severity code path message
 
   (* The names [symbol] has carried: follow rename links backwards so a
      query for the exported name also surfaces decisions recorded under
@@ -902,7 +912,7 @@ module Provenance = struct
         | Sym { symbol = s; _ } | Bind { symbol = s; _ }
         | Interpose { symbol = s; _ } ->
             List.mem s names
-        | Op _ | Reloc _ -> false)
+        | Op _ | Reloc _ | Lint _ -> false)
       p.p_events
 
   (** Content digest of the construction provenance (transitions
@@ -952,6 +962,11 @@ module Provenance = struct
         Json.Obj
           [ ("type", Json.Str "reloc"); ("section", Json.Str section);
             ("count", Json.Num (float_of_int count)) ]
+    | Lint { code; severity; path; message } ->
+        Json.Obj
+          [ ("type", Json.Str "lint"); ("code", Json.Str code);
+            ("severity", Json.Str severity); ("path", Json.Str path);
+            ("message", Json.Str message) ]
 
   let to_json (p : t) : Json.t =
     Json.Obj

@@ -266,6 +266,8 @@ module Provenance : sig
     | Bind of { symbol : string; addr : int; frag : string; via : string }
     | Interpose of { symbol : string; winner : string; loser : string; how : string }
     | Reloc of { section : string; count : int }
+    | Lint of { code : string; severity : string; path : string; message : string }
+        (** a pre-link diagnostic the analyzer attached at registration *)
 
   type t = {
     p_key : string;  (** construction digest (the cache key) *)
@@ -307,6 +309,11 @@ module Provenance : sig
     symbol:string -> winner:string -> loser:string -> how:string -> unit
 
   val record_reloc : section:string -> count:int -> unit
+
+  (** Attach a pre-link lint finding to the open journal frame. Joins
+      the event stream only — the operator chain is untouched. *)
+  val record_lint :
+    code:string -> severity:string -> path:string -> string -> unit
 
   (** Append a residency transition to a captured record. *)
   val transition : t -> at:float -> string -> unit

@@ -1,0 +1,67 @@
+The symbol-flow linter: every committed meta in the quickstart world
+must lint clean, and --verify must prove the predicted export and
+undefined sets equal the real evaluator's, without linking anything.
+
+  $ ofe lint --all --verify | tail -1
+  lint: 7 metas, 0 errors, 0 warnings
+
+A meta with a genuine namespace error: merging the same fragment twice
+duplicates every global it defines. The linter names the symbol and the
+m-graph path, and exits 2.
+
+  $ cat > dup.meta <<'EOF'
+  > (merge /demo/base.o /demo/base.o)
+  > EOF
+  $ ofe lint --meta-file dup.meta
+  /local/dup: 1 error, 0 warnings (exports=2 undefined=0)
+    E002 duplicate-global-in-merge at merge: duplicate global definition of helper (in /demo/base.o and /demo/base.o) [greet, helper]
+  lint: 1 meta, 1 error, 0 warnings
+  ofe: flight recorder dump written to flight.json, flight.txt
+  [2]
+
+Conflicting address constraints are caught before any placement is
+attempted:
+
+  $ cat > conflict.meta <<'EOF'
+  > (constraint-list "T" 0x200000)
+  > (constrain "T" 0x300000 (merge /demo/base.o))
+  > EOF
+  $ ofe lint --meta-file conflict.meta
+  /local/conflict: 1 error, 0 warnings (exports=2 undefined=0)
+    E004 conflicting-address-constraints at constrain: segment T prefers 2 distinct base addresses at priority 6 (0x200000, 0x300000)
+  lint: 1 meta, 1 error, 0 warnings
+  ofe: flight recorder dump written to flight.json, flight.txt
+  [2]
+
+Warnings alone keep exit 0, unless --max-warnings is exceeded:
+
+  $ cat > warny.meta <<'EOF'
+  > (override /demo/impl.o /lib/libm.o)
+  > EOF
+  $ ofe lint --meta-file warny.meta
+  /local/warny: 0 errors, 1 warning (exports=28 undefined=0)
+    W102 override-overrides-nothing at override: the right operand exports nothing the left operand defines; override replaces no binding
+  lint: 1 meta, 0 errors, 1 warning
+  $ ofe lint --meta-file warny.meta --max-warnings 0
+  /local/warny: 0 errors, 1 warning (exports=28 undefined=0)
+    W102 override-overrides-nothing at override: the right operand exports nothing the left operand defines; override replaces no binding
+  lint: 1 meta, 0 errors, 1 warning
+  ofe: flight recorder dump written to flight.json, flight.txt
+  [2]
+
+The JSON report carries the findings machine-readably:
+
+  $ ofe lint --meta-file dup.meta --json 2>/dev/null | tr ',' '\n' | grep -E '"(lint|code|severity)"'
+  {"lint":"omos.lint/1"
+  "findings":[{"code":"E002"
+  "severity":"error"
+
+The diagnosis also surfaces when a broken blueprint reaches the other
+commands: explain refuses to instantiate it and reports the lint
+findings instead of an opaque evaluator backtrace.
+
+  $ ofe explain --meta-file dup.meta
+  ofe: /local/dup: blueprint evaluation failed: merge: duplicate definition of helper (in /demo/base.o and /demo/base.o)
+  ofe:   E002 duplicate-global-in-merge at merge: duplicate global definition of helper (in /demo/base.o and /demo/base.o) [greet, helper]
+  ofe: flight recorder dump written to flight.json, flight.txt
+  [2]

@@ -1,0 +1,399 @@
+(* Tests of the symbol-flow analyzer: every diagnostic code pinned by a
+   minimal triggering graph, the differential self-check over the whole
+   quickstart world, the no-cost/no-materialization guarantee, and the
+   restrict/project partition properties. *)
+
+module L = Analysis.Lint
+module Mg = Blueprint.Mgraph
+
+(* a section-less object: Abs definitions only *)
+let obj name syms =
+  Sof.Object_file.make ~name ~text:Bytes.empty
+    (List.map
+       (fun (n, b) -> Sof.Symbol.make ~binding:b ~kind:Sof.Symbol.Abs ~value:0 n)
+       syms)
+
+(* helper + a caller, so removing the definition leaves a live reloc ref *)
+let base_obj () =
+  let a = Sof.Asm.create "/t/base.o" in
+  Sof.Asm.label a "helper";
+  Sof.Asm.instr a Svm.Isa.Ret;
+  Sof.Asm.label a "g";
+  Sof.Asm.call a "helper";
+  Sof.Asm.instr a Svm.Isa.Ret;
+  Sof.Asm.finish a
+
+let no_resolve _ = Error "no resolver"
+let analyze ?gensym_base g = L.analyze ~resolve:no_resolve ?gensym_base g
+
+let codes (r : L.report) : string list =
+  List.map (fun (f : L.finding) -> f.L.code) r.L.findings
+
+let find_code (r : L.report) (code : string) : L.finding =
+  match List.find_opt (fun (f : L.finding) -> f.L.code = code) r.L.findings with
+  | Some f -> f
+  | None ->
+      Alcotest.failf "no %s finding (got: %s)" code
+        (String.concat ", " (codes r))
+
+(* -- the diagnostic codes ---------------------------------------------------- *)
+
+let test_e001_unresolved_at_root () =
+  let g = Mg.Restrict ("^helper$", Mg.Leaf (base_obj ())) in
+  let r = analyze g in
+  let f = find_code r "E001" in
+  Alcotest.(check (list string)) "offending symbol" [ "helper" ] f.L.symbols;
+  Alcotest.(check bool) "eval still succeeds" false r.L.eval_fails;
+  Alcotest.(check (list string)) "undefined predicted" [ "helper" ] r.L.undefined;
+  (* a reference that never had a definition is an import, not an error *)
+  let importer =
+    let a = Sof.Asm.create "/t/imp.o" in
+    Sof.Asm.label a "f";
+    Sof.Asm.call a "external_thing";
+    Sof.Asm.instr a Svm.Isa.Ret;
+    Sof.Asm.finish a
+  in
+  let r = analyze (Mg.Merge [ Mg.Leaf importer ]) in
+  Alcotest.(check (list string)) "import is clean" [] (codes r);
+  Alcotest.(check (list string)) "but still undefined" [ "external_thing" ]
+    r.L.undefined
+
+let test_e002_duplicate_global () =
+  let a = obj "/t/a.o" [ ("f", Sof.Symbol.Global) ] in
+  let b = obj "/t/b.o" [ ("f", Sof.Symbol.Global) ] in
+  let r = analyze (Mg.Merge [ Mg.Leaf a; Mg.Leaf b ]) in
+  let f = find_code r "E002" in
+  Alcotest.(check (list string)) "symbol" [ "f" ] f.L.symbols;
+  Alcotest.(check bool) "eval fails" true r.L.eval_fails;
+  (* and evaluation really does fail *)
+  (try
+     ignore
+       (Blueprint.Mgraph.eval
+          (Blueprint.Mgraph.make_env ())
+          (Mg.Merge [ Mg.Leaf a; Mg.Leaf b ]));
+     Alcotest.fail "eval should raise"
+   with Jigsaw.Module_ops.Module_error _ -> ());
+  (* a weak duplicate is not an error *)
+  let w = obj "/t/w.o" [ ("f", Sof.Symbol.Weak) ] in
+  let r = analyze (Mg.Merge [ Mg.Leaf a; Mg.Leaf w ]) in
+  Alcotest.(check bool) "no E002 for weak" true
+    (not (List.mem "E002" (codes r)))
+
+let test_e003_rename_collision () =
+  let o = obj "/t/fg.o" [ ("f", Sof.Symbol.Global); ("g", Sof.Symbol.Global) ] in
+  let r = analyze (Mg.Copy_as ("^f$", "g", Mg.Leaf o)) in
+  let f = find_code r "E003" in
+  Alcotest.(check (list string)) "symbol" [ "g" ] f.L.symbols;
+  let r = analyze (Mg.Rename (Jigsaw.Module_ops.Defs_only, "^f$", "g", Mg.Leaf o)) in
+  ignore (find_code r "E003");
+  (* a refs-only rename cannot collide definitions *)
+  let r = analyze (Mg.Rename (Jigsaw.Module_ops.Refs_only, "^f$", "g", Mg.Leaf o)) in
+  Alcotest.(check (list string)) "refs-only clean" [] (codes r)
+
+let test_e004_conflicting_constraints () =
+  let o = obj "/t/c.o" [ ("f", Sof.Symbol.Global) ] in
+  let g =
+    Mg.Constrain (Mg.Seg_text, 0x1000, Mg.Constrain (Mg.Seg_text, 0x2000, Mg.Leaf o))
+  in
+  ignore (find_code (analyze g) "E004");
+  (* same address twice is no conflict; different segments neither *)
+  let g = Mg.Constrain (Mg.Seg_text, 0x1000, Mg.Constrain (Mg.Seg_text, 0x1000, Mg.Leaf o)) in
+  Alcotest.(check (list string)) "same addr clean" [] (codes (analyze g));
+  let g = Mg.Constrain (Mg.Seg_text, 0x1000, Mg.Constrain (Mg.Seg_data, 0x2000, Mg.Leaf o)) in
+  Alcotest.(check (list string)) "cross-seg clean" [] (codes (analyze g))
+
+let test_e005_unknown_and_cycle () =
+  let r = analyze (Mg.Name "/no/such") in
+  let f = find_code r "E005" in
+  Alcotest.(check (list string)) "names the path" [ "/no/such" ] f.L.symbols;
+  Alcotest.(check bool) "eval fails" true r.L.eval_fails;
+  let resolve = function
+    | "/a" -> Ok (Mg.Name "/b")
+    | "/b" -> Ok (Mg.Name "/a")
+    | p -> Error ("unknown " ^ p)
+  in
+  let r = L.analyze ~resolve (Mg.Name "/a") in
+  ignore (find_code r "E005")
+
+let test_e006_invalid_selector () =
+  let o = obj "/t/f.o" [ ("f", Sof.Symbol.Global) ] in
+  let r = analyze (Mg.Restrict ("^[", Mg.Leaf o)) in
+  ignore (find_code r "E006");
+  Alcotest.(check bool) "eval fails" true r.L.eval_fails
+
+let test_e007_source_errors () =
+  let r = analyze (Mg.Merge [ Mg.Source ("c", "int broken( {") ]) in
+  ignore (find_code r "E007");
+  let r = analyze (Mg.Merge [ Mg.Source ("fortran", "") ]) in
+  ignore (find_code r "E007");
+  (* valid source analyzes into its namespace *)
+  let r = analyze (Mg.Merge [ Mg.Source ("c", "int f() { return 1; }") ]) in
+  Alcotest.(check (list string)) "clean" [] (codes r);
+  Alcotest.(check bool) "f exported" true (List.mem "f" r.L.exports)
+
+let test_e008_malformed_graph () =
+  let o = obj "/t/f.o" [ ("f", Sof.Symbol.Global) ] in
+  ignore (find_code (analyze (Mg.Specialize ("no-such", [], Mg.Leaf o))) "E008");
+  ignore (find_code (analyze (Mg.Lst [ Mg.Leaf o ])) "E008");
+  ignore (find_code (analyze (Mg.Merge [])) "E008");
+  ignore
+    (find_code
+       (analyze (Mg.Specialize ("lib-constrained", [ Mg.Vstr "T" ], Mg.Leaf o)))
+       "E008")
+
+let test_w101_dead_selectors () =
+  let o = obj "/t/fg.o" [ ("f", Sof.Symbol.Global); ("g", Sof.Symbol.Global) ] in
+  let dead op title =
+    let f = find_code (analyze (op (Mg.Leaf o))) "W101" in
+    Alcotest.(check string) title title f.L.title
+  in
+  dead (fun x -> Mg.Restrict ("^zz", x)) "dead-restrict";
+  dead (fun x -> Mg.Hide ("^zz", x)) "dead-hide";
+  dead (fun x -> Mg.Show (".", x)) "dead-show";
+  dead (fun x -> Mg.Project (".", x)) "dead-project";
+  (* live selectors stay silent *)
+  Alcotest.(check (list string)) "live restrict" []
+    (codes (analyze (Mg.Restrict ("^f$", Mg.Leaf o))))
+
+let test_w102_override_overrides_nothing () =
+  let a = obj "/t/a.o" [ ("f", Sof.Symbol.Global) ] in
+  let b = obj "/t/b.o" [ ("h", Sof.Symbol.Global) ] in
+  ignore (find_code (analyze (Mg.Override (Mg.Leaf a, Mg.Leaf b))) "W102");
+  let b' = obj "/t/b2.o" [ ("f", Sof.Symbol.Global) ] in
+  Alcotest.(check (list string)) "real override clean" []
+    (codes (analyze (Mg.Override (Mg.Leaf a, Mg.Leaf b'))))
+
+let test_w103_refreeze () =
+  let o = obj "/t/f.o" [ ("f", Sof.Symbol.Global) ] in
+  let g = Mg.Freeze ("^f$", Mg.Freeze ("^f$", Mg.Leaf o)) in
+  let f = find_code (analyze g) "W103" in
+  Alcotest.(check (list string)) "symbol" [ "f" ] f.L.symbols;
+  Alcotest.(check (list string)) "single freeze clean" []
+    (codes (analyze (Mg.Freeze ("^f$", Mg.Leaf o))))
+
+let test_w104_shadowed_weak () =
+  let a = obj "/t/weak.o" [ ("f", Sof.Symbol.Weak) ] in
+  let b = obj "/t/strong.o" [ ("f", Sof.Symbol.Global) ] in
+  let f = find_code (analyze (Mg.Merge [ Mg.Leaf a; Mg.Leaf b ])) "W104" in
+  Alcotest.(check (list string)) "symbol" [ "f" ] f.L.symbols;
+  (* two weaks coexist silently *)
+  let b' = obj "/t/weak2.o" [ ("f", Sof.Symbol.Weak) ] in
+  Alcotest.(check (list string)) "weak+weak clean" []
+    (codes (analyze (Mg.Merge [ Mg.Leaf a; Mg.Leaf b' ])))
+
+(* -- exactness --------------------------------------------------------------- *)
+
+let test_verify_all_world_metas () =
+  let w = Omos.World.create () in
+  let s = w.Omos.World.server in
+  let metas = Omos.Namespace.all_metas (Omos.Server.namespace s) in
+  Alcotest.(check bool) "world has metas" true (metas <> []);
+  List.iter
+    (fun path ->
+      let meta = Omos.Server.find_meta s path in
+      let graph = Blueprint.Meta.effective_graph meta ~spec:None in
+      let _, outcome =
+        L.verify_against ~eval:(Omos.Server.eval s)
+          ~resolve:(Omos.Server.resolve_graph s) graph
+      in
+      match outcome with
+      | L.Verified _ -> ()
+      | L.Skipped reason -> Alcotest.failf "%s: skipped: %s" path reason
+      | L.Mismatch { field; predicted; actual } ->
+          Alcotest.failf "%s: %s mismatch: predicted [%s] actual [%s]" path
+            field
+            (String.concat " " predicted)
+            (String.concat " " actual)
+      | L.Eval_raised msg -> Alcotest.failf "%s: eval raised: %s" path msg)
+    metas
+
+let test_gensym_replay_after_prior_evals () =
+  (* the analyzer predicts mangled freeze/hide aliases exactly even when
+     earlier evaluations already advanced the global mangling counter *)
+  let o =
+    obj "/t/fgh.o"
+      [ ("f", Sof.Symbol.Global); ("g", Sof.Symbol.Global); ("h", Sof.Symbol.Global) ]
+  in
+  ignore
+    (Jigsaw.Module_ops.freeze
+       (Jigsaw.Select.compile "f")
+       (Jigsaw.Module_ops.of_object o));
+  let graph = Mg.Show ("^f$", Mg.Freeze ("^g$", Mg.Leaf o)) in
+  let env = Blueprint.Mgraph.make_env () in
+  let report, outcome =
+    L.verify_against ~eval:(Blueprint.Mgraph.eval env) ~resolve:no_resolve graph
+  in
+  (match outcome with
+  | L.Verified _ -> ()
+  | L.Skipped r -> Alcotest.failf "skipped: %s" r
+  | L.Mismatch { field; predicted; actual } ->
+      Alcotest.failf "%s mismatch: predicted [%s] actual [%s]" field
+        (String.concat " " predicted)
+        (String.concat " " actual)
+  | L.Eval_raised m -> Alcotest.failf "eval raised: %s" m);
+  Alcotest.(check bool) "f stays public" true (List.mem "f" report.L.exports);
+  Alcotest.(check bool) "g demoted" false (List.mem "g" report.L.exports);
+  Alcotest.(check bool) "h demoted" false (List.mem "h" report.L.exports);
+  Alcotest.(check bool) "g tracked frozen" true (List.mem "g" report.L.frozen)
+
+let test_analysis_is_free () =
+  let w = Omos.World.create () in
+  let s = w.Omos.World.server in
+  let k = Omos.Server.kernel s in
+  let clock0 = Simos.Clock.elapsed k.Simos.Kernel.clock in
+  let mat0 = Sof.View.materializations () in
+  let compiles0 = Telemetry.Counter.get "blueprint.source_compiles" in
+  List.iter
+    (fun path ->
+      let meta = Omos.Server.find_meta s path in
+      ignore (L.analyze_meta ~resolve:(Omos.Server.resolve_graph s) meta))
+    (Omos.Namespace.all_metas (Omos.Server.namespace s));
+  (* source nodes compile host-side but charge nothing and do not count
+     as evaluator compiles *)
+  ignore (analyze (Mg.Merge [ Mg.Source ("c", "int f() { return 1; }") ]));
+  Alcotest.(check (float 0.0)) "zero simulated cost" clock0
+    (Simos.Clock.elapsed k.Simos.Kernel.clock);
+  Alcotest.(check int) "zero views materialized" mat0
+    (Sof.View.materializations ());
+  Alcotest.(check int) "zero evaluator compiles" compiles0
+    (Telemetry.Counter.get "blueprint.source_compiles")
+
+(* -- registration & provenance ----------------------------------------------- *)
+
+let test_registration_counters_and_provenance () =
+  let w = Omos.World.create () in
+  let s = w.Omos.World.server in
+  let errs0 = Telemetry.Counter.get "lint.errors" in
+  let warns0 = Telemetry.Counter.get "lint.warnings" in
+  Omos.Server.add_meta_source s "/test/warny" "(override /demo/impl.o /lib/libm.o)";
+  Omos.Server.add_meta_source s "/test/broken" "(merge /demo/base.o /demo/base.o)";
+  Alcotest.(check int) "warning counter" (warns0 + 1)
+    (Telemetry.Counter.get "lint.warnings");
+  Alcotest.(check int) "error counter" (errs0 + 1)
+    (Telemetry.Counter.get "lint.errors");
+  (match Omos.Server.lint_report s "/test/broken" with
+  | Some rep ->
+      Alcotest.(check bool) "E002 recorded" true (List.mem "E002" (codes rep));
+      Alcotest.(check bool) "eval_fails" true rep.L.eval_fails
+  | None -> Alcotest.fail "no lint report for /test/broken");
+  (* findings replay into the provenance journal of the build, without
+     perturbing the operator chain *)
+  Telemetry.set_enabled true;
+  Telemetry.Provenance.set_enabled true;
+  let resp = Omos.Server.instantiate s (Omos.Server.library_request "/test/warny") in
+  Telemetry.Provenance.set_enabled false;
+  Telemetry.set_enabled false;
+  let e = resp.Omos.Server.built.Omos.Server.entry in
+  match e.Omos.Cache.provenance with
+  | None -> Alcotest.fail "no provenance"
+  | Some p ->
+      Alcotest.(check bool) "W102 in journal" true
+        (List.exists
+           (function
+             | Telemetry.Provenance.Lint { code; _ } -> code = "W102"
+             | _ -> false)
+           p.Telemetry.Provenance.p_events);
+      Alcotest.(check bool) "operator chain untouched" true
+        (not (List.mem "lint" p.Telemetry.Provenance.p_ops))
+
+(* -- the partition and dead-selector properties ------------------------------- *)
+
+let name_pool = [| "alpha"; "beta"; "gamma"; "delta"; "omega"; "mu" |]
+let sel_pool = [| "^alpha$"; "^a"; "a$"; "^zz"; "."; "^(alpha|mu)$"; "ta" |]
+
+let gen_names =
+  QCheck.Gen.map
+    (fun bits ->
+      List.filteri
+        (fun i _ -> bits land (1 lsl i) <> 0)
+        (Array.to_list name_pool))
+    (QCheck.Gen.int_bound 63)
+
+let gen_sel = QCheck.Gen.oneofa sel_pool
+
+let arb_case =
+  QCheck.make
+    ~print:(fun (ns, sel) -> String.concat "," ns ^ " / " ^ sel)
+    (QCheck.Gen.pair gen_names gen_sel)
+
+let prop_partition =
+  QCheck.Test.make ~name:"restrict+project partition exports" ~count:300
+    arb_case (fun (names, sel_s) ->
+      let o = obj "/t/p.o" (List.map (fun n -> (n, Sof.Symbol.Global)) names) in
+      let m = Jigsaw.Module_ops.of_object o in
+      let sel = Jigsaw.Select.compile sel_s in
+      let er = Jigsaw.Module_ops.exports (Jigsaw.Module_ops.restrict sel m) in
+      let ep = Jigsaw.Module_ops.exports (Jigsaw.Module_ops.project sel m) in
+      List.sort_uniq compare (er @ ep) = Jigsaw.Module_ops.exports m
+      && List.for_all (fun n -> not (List.mem n ep)) er)
+
+let prop_dead_restrict_noop =
+  QCheck.Test.make ~name:"lint-dead restrict is a concrete no-op" ~count:300
+    arb_case (fun (names, sel_s) ->
+      let o = obj "/t/d.o" (List.map (fun n -> (n, Sof.Symbol.Global)) names) in
+      let rep = analyze (Mg.Restrict (sel_s, Mg.Leaf o)) in
+      (not (List.mem "W101" (codes rep)))
+      ||
+      let m = Jigsaw.Module_ops.of_object o in
+      let m' = Jigsaw.Module_ops.restrict (Jigsaw.Select.compile sel_s) m in
+      Jigsaw.Module_ops.exports m' = Jigsaw.Module_ops.exports m
+      && Jigsaw.Module_ops.undefined m' = Jigsaw.Module_ops.undefined m)
+
+let prop_dead_hide_noop =
+  QCheck.Test.make ~name:"lint-dead hide is a concrete no-op" ~count:300
+    arb_case (fun (names, sel_s) ->
+      let o = obj "/t/h.o" (List.map (fun n -> (n, Sof.Symbol.Global)) names) in
+      let rep = analyze (Mg.Hide (sel_s, Mg.Leaf o)) in
+      (not (List.mem "W101" (codes rep)))
+      ||
+      let m = Jigsaw.Module_ops.of_object o in
+      let m' = Jigsaw.Module_ops.hide (Jigsaw.Select.compile sel_s) m in
+      Jigsaw.Module_ops.exports m' = Jigsaw.Module_ops.exports m)
+
+let () =
+  Alcotest.run "analysis"
+    [
+      ( "codes",
+        [
+          Alcotest.test_case "E001 unresolved-at-root" `Quick
+            test_e001_unresolved_at_root;
+          Alcotest.test_case "E002 duplicate-global" `Quick
+            test_e002_duplicate_global;
+          Alcotest.test_case "E003 rename-collision" `Quick
+            test_e003_rename_collision;
+          Alcotest.test_case "E004 conflicting-constraints" `Quick
+            test_e004_conflicting_constraints;
+          Alcotest.test_case "E005 unknown+cycle" `Quick
+            test_e005_unknown_and_cycle;
+          Alcotest.test_case "E006 invalid-selector" `Quick
+            test_e006_invalid_selector;
+          Alcotest.test_case "E007 source errors" `Quick test_e007_source_errors;
+          Alcotest.test_case "E008 malformed graph" `Quick
+            test_e008_malformed_graph;
+          Alcotest.test_case "W101 dead selectors" `Quick
+            test_w101_dead_selectors;
+          Alcotest.test_case "W102 override nothing" `Quick
+            test_w102_override_overrides_nothing;
+          Alcotest.test_case "W103 refreeze" `Quick test_w103_refreeze;
+          Alcotest.test_case "W104 shadowed weak" `Quick test_w104_shadowed_weak;
+        ] );
+      ( "exactness",
+        [
+          Alcotest.test_case "verify all world metas" `Quick
+            test_verify_all_world_metas;
+          Alcotest.test_case "gensym replay" `Quick
+            test_gensym_replay_after_prior_evals;
+          Alcotest.test_case "analysis is free" `Quick test_analysis_is_free;
+        ] );
+      ( "registration",
+        [
+          Alcotest.test_case "counters + provenance" `Quick
+            test_registration_counters_and_provenance;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_partition;
+          QCheck_alcotest.to_alcotest prop_dead_restrict_noop;
+          QCheck_alcotest.to_alcotest prop_dead_hide_noop;
+        ] );
+    ]

@@ -269,6 +269,27 @@ let test_meta_digest_varies_with_spec () =
   let d2 = Blueprint.Meta.digest meta ~spec:(Some ("identity", [])) in
   Alcotest.(check bool) "spec in key" true (d1 <> d2)
 
+let test_meta_duplicate_constraint_segment () =
+  let expect src =
+    try
+      ignore (Blueprint.Meta.parse ~name:"/m" src);
+      Alcotest.fail "expected Meta_error"
+    with Blueprint.Meta.Meta_error msg ->
+      Alcotest.(check bool) "names the segment" true
+        (Astring.String.is_infix ~affix:"duplicate constraint-list segment" msg)
+  in
+  (* within one constraint-list *)
+  expect "(constraint-list \"T\" 0x1000 \"T\" 0x2000)\n(merge /a)";
+  (* across several, and case-insensitively: "t" is segment T too *)
+  expect "(constraint-list \"T\" 0x1000)\n(constraint-list \"t\" 0x2000)\n(merge /a)";
+  (* distinct segments still parse *)
+  let m =
+    Blueprint.Meta.parse ~name:"/m"
+      "(constraint-list \"T\" 0x1000 \"D\" 0x2000)\n(merge /a)"
+  in
+  Alcotest.(check int) "two segments" 2
+    (List.length m.Blueprint.Meta.constraints)
+
 let () =
   Alcotest.run "blueprint"
     [
@@ -307,5 +328,7 @@ let () =
           Alcotest.test_case "multiple roots" `Quick test_meta_multiple_roots_merged;
           Alcotest.test_case "empty" `Quick test_meta_empty_fails;
           Alcotest.test_case "digest spec" `Quick test_meta_digest_varies_with_spec;
+          Alcotest.test_case "duplicate constraint segment" `Quick
+            test_meta_duplicate_constraint_segment;
         ] );
     ]
