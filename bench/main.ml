@@ -182,15 +182,16 @@ let cold_ls_elapsed ~(tag : string) (frags : Sof.Object_file.t list) : float * i
   let members =
     String.concat " " (List.mapi (fun i _ -> Printf.sprintf "/libcS/%s/%d" tag i) frags)
   in
-  Omos.Server.add_meta_source s "/lib/libcS"
+  Omos.Server.register_meta_source s "/lib/libcS"
     (Printf.sprintf
        "(constraint-list \"T\" 0x100000 \"D\" 0x40200000)\n(merge %s)" members);
-  let lib = Omos.Server.build_library s ~path:"/lib/libcS" () in
+  let lib = Omos.Server.build s (Omos.Server.library "/lib/libcS") in
   let clientb =
-    Omos.Server.build_static s
-      ~externals:[ lib.Omos.Server.entry.Omos.Cache.image ]
-      ~name:"ls-cold"
-      (Omos.Schemes.graph_of_objs (Omos.World.ls_client w))
+    Omos.Server.build s
+      (Omos.Server.static
+         ~externals:[ lib.Omos.Server.entry.Omos.Cache.image ]
+         ~name:"ls-cold"
+         (Omos.Schemes.graph_of_objs (Omos.World.ls_client w)))
   in
   (* map manually with disk-backed segments: a cold start *)
   let k = w.Omos.World.kernel in
@@ -226,7 +227,7 @@ let reorder_trace () : Omos.Monitor.trace =
         Blueprint.Mgraph.parse "(specialize \"monitor\" /lib/libc)";
       ]
   in
-  let b = Omos.Server.build_static s ~name:"ls-mon" graph in
+  let b = Omos.Server.build s (Omos.Server.static ~name:"ls-mon" graph) in
   let p =
     Omos.Boot.integrated_exec s
       (Omos.Server.loadable_entry [ b ])
@@ -353,8 +354,8 @@ let cache () =
     let _, _, e = Simos.Clock.since k.Simos.Kernel.clock snap in
     (r, e /. 1000.0)
   in
-  let _, cold = time (fun () -> Omos.Server.build_library s ~path:"/lib/libc" ()) in
-  let _, warm = time (fun () -> Omos.Server.build_library s ~path:"/lib/libc" ()) in
+  let _, cold = time (fun () -> Omos.Server.build s (Omos.Server.library "/lib/libc")) in
+  let _, warm = time (fun () -> Omos.Server.build s (Omos.Server.library "/lib/libc")) in
   Printf.printf "  libc instantiation, cold (evaluate+link+place): %8.2f ms\n" cold;
   Printf.printf "  libc instantiation, warm (cache hit):           %8.2f ms\n" warm;
   Printf.printf "  speedup: %.0fx\n" (cold /. (warm +. 0.0001));
@@ -377,7 +378,7 @@ let cache () =
   (* eviction round trip: trim everything, rebuild, and verify the
      cache and the arenas stayed coherent throughout *)
   let evicted = Omos.Server.evict_to_budget s ~bytes:0 in
-  let _, rebuild = time (fun () -> Omos.Server.build_library s ~path:"/lib/libc" ()) in
+  let _, rebuild = time (fun () -> Omos.Server.build s (Omos.Server.library "/lib/libc")) in
   Printf.printf "  evicted %d entries; rebuild after eviction:     %8.2f ms\n"
     evicted rebuild;
   let viols = Omos.Residency.check_invariants (Omos.Server.residency s) in
@@ -401,14 +402,14 @@ let constraints () =
   let libs = Workloads.Codegen_gen.libraries () in
   List.iter
     (fun (path, _) ->
-      Omos.Server.add_meta_source s (path ^ "-greedy")
+      Omos.Server.register_meta_source s (path ^ "-greedy")
         (Printf.sprintf
            "(constraint-list \"T\" 0x100000 \"D\" 0x40200000)\n(merge %s.o)" path))
     libs;
   let placements =
     List.map
       (fun (path, _) ->
-        let b = Omos.Server.build_library s ~path:(path ^ "-greedy") () in
+        let b = Omos.Server.build s (Omos.Server.library (path ^ "-greedy")) in
         (path, b.Omos.Server.entry.Omos.Cache.text_base))
       libs
   in
@@ -423,7 +424,7 @@ let constraints () =
   let again =
     List.map
       (fun (path, _) ->
-        let b = Omos.Server.build_library s ~path:(path ^ "-greedy") () in
+        let b = Omos.Server.build s (Omos.Server.library (path ^ "-greedy")) in
         b.Omos.Server.entry.Omos.Cache.text_base)
       libs
   in
@@ -618,6 +619,87 @@ let dispatch () =
     ((ud -. us) /. us *. 100.0)
     Omos.Stubs.bound_path_instrs
 
+(* -- E10: staged pipeline --------------------------------------------------- *)
+
+(* Multi-client instantiation through the staged submit/await pipeline:
+   throughput and p95 latency as the in-flight depth grows, batched
+   placement (one constraint pass per flush) against per-request
+   placement. The win is the amortized solver pass: N queued misses
+   cost one place_solve instead of N. *)
+let pipeline () =
+  section "E10: staged pipeline — depth and batched placement";
+  let metas =
+    [ "/lib/libm"; "/lib/libl"; "/lib/libC"; "/lib/libal1"; "/lib/libal2" ]
+  in
+  let rounds = 4 in
+  let p95 xs =
+    match List.sort compare xs with
+    | [] -> 0.0
+    | sorted ->
+        let n = List.length sorted in
+        let rank = max 0 (int_of_float (ceil (0.95 *. float_of_int n)) - 1) in
+        List.nth sorted rank
+  in
+  let run_config ~depth ~batched =
+    let w = Omos.World.create () in
+    let s = w.Omos.World.server in
+    let k = w.Omos.World.kernel in
+    Omos.Server.set_batch_placement s batched;
+    Omos.Server.set_queue_limit s (max 64 depth);
+    let lats = ref [] in
+    let snap = Simos.Clock.snapshot k.Simos.Kernel.clock in
+    (* each round: evict everything, then re-instantiate every library
+       with [depth] requests in flight — every round is all misses, so
+       every round exercises the place boundary *)
+    for _ = 1 to rounds do
+      ignore (Omos.Server.evict_to_budget s ~bytes:0);
+      let pending = ref [] in
+      let flush () =
+        Omos.Server.drain s;
+        List.iter
+          (fun tk ->
+            let r = Omos.Server.await s tk in
+            lats := r.Omos.Server.sim_us :: !lats)
+          (List.rev !pending);
+        pending := []
+      in
+      List.iter
+        (fun m ->
+          pending := Omos.Server.submit s (Omos.Server.library m) :: !pending;
+          if List.length !pending >= depth then flush ())
+        metas;
+      flush ()
+    done;
+    let _, _, elapsed = Simos.Clock.since k.Simos.Kernel.clock snap in
+    (elapsed /. 1000.0, p95 !lats)
+  in
+  Printf.printf "  %d libraries x %d all-miss rounds\n\n" (List.length metas) rounds;
+  Printf.printf "  %-28s %12s %10s\n" "" "elapsed_ms" "p95_us";
+  List.iter
+    (fun depth ->
+      List.iter
+        (fun batched ->
+          let elapsed_ms, p95_us = run_config ~depth ~batched in
+          let label =
+            Printf.sprintf "pipeline.d%d.%s" depth
+              (if batched then "batched" else "perreq")
+          in
+          Telemetry.Gauge.set (Printf.sprintf "bench.%s.elapsed_ms" label) elapsed_ms;
+          Telemetry.Gauge.set (Printf.sprintf "bench.%s.p95_us" label) p95_us;
+          Printf.printf "  %-28s %12.2f %10.1f\n"
+            (Printf.sprintf "depth %2d, %s" depth
+               (if batched then "batched place" else "per-request place"))
+            elapsed_ms p95_us)
+        [ false; true ])
+    [ 1; 4; 16 ];
+  (* the headline claim: at depth >= 4, one batched pass beats
+     per-request solves on total simulated time *)
+  let base_ms, _ = run_config ~depth:4 ~batched:false in
+  let batch_ms, _ = run_config ~depth:4 ~batched:true in
+  Printf.printf "\n  depth 4: batched %.2f ms vs per-request %.2f ms -> %s\n"
+    batch_ms base_ms
+    (if batch_ms < base_ms then "batching wins" else "NO WIN (regression?)")
+
 (* -- micro benchmarks (bechamel) ----------------------------------------------------------- *)
 
 let micro () =
@@ -705,7 +787,7 @@ let micro () =
 let usage () =
   print_endline
     "usage: bench/main.exe \
-     [table1|reorder|memory|cache|constraints|deltablue|linktime|sweep|sharing|dispatch|micro|all]"
+     [table1|reorder|memory|cache|constraints|deltablue|linktime|sweep|sharing|dispatch|pipeline|micro|all]"
 
 let () =
   let experiments =
@@ -720,6 +802,7 @@ let () =
       ("sweep", sweep);
       ("sharing", sharing);
       ("dispatch", dispatch);
+      ("pipeline", pipeline);
       ("micro", micro);
     ]
   in

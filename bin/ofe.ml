@@ -314,7 +314,7 @@ let register_meta_file (s : Omos.Server.t) (file : string) : string =
   let src = really_input_string ic (in_channel_length ic) in
   close_in ic;
   let path = "/local/" ^ Filename.remove_extension (Filename.basename file) in
-  Omos.Server.add_meta_source s path src;
+  Omos.Server.register_meta_source s path src;
   path
 
 let finding_json (f : Analysis.Lint.finding) : Telemetry.Json.t =
@@ -553,7 +553,7 @@ let traced_instantiate (w : Omos.World.t) (meta : string) : Omos.Server.response
   let root =
     Telemetry.Span.enter "ofe.trace" ~attrs:[ ("meta", Telemetry.S meta) ]
   in
-  let resp = Omos.Server.instantiate s (Omos.Server.library_request meta) in
+  let resp = Omos.Server.instantiate s (Omos.Server.library meta) in
   let p = Simos.Kernel.create_process (Omos.Server.kernel s) ~args:[ "trace" ] in
   Omos.Server.map_into s p resp.Omos.Server.built;
   Telemetry.Span.exit root;
@@ -633,9 +633,9 @@ let stats_cmd =
         Telemetry.reset ();
         (* exercise the full residency lifecycle so the residency.*
            counters carry signal: build, evict, rebuild *)
-        ignore (Omos.Server.instantiate s (Omos.Server.library_request meta));
+        ignore (Omos.Server.instantiate s (Omos.Server.library meta));
         ignore (Omos.Server.evict_to_budget s ~bytes:0);
-        ignore (Omos.Server.instantiate s (Omos.Server.library_request meta));
+        ignore (Omos.Server.instantiate s (Omos.Server.library meta));
         let viols = Omos.Residency.check_invariants (Omos.Server.residency s) in
         List.iter
           (fun v ->
@@ -683,8 +683,8 @@ let explain_cmd =
         Telemetry.Provenance.set_enabled true;
         (* cold build journals every decision; the warm repeat shows the
            cache serving the stored record without relinking *)
-        let cold = Omos.Server.instantiate s (Omos.Server.library_request meta) in
-        let warm = Omos.Server.instantiate s (Omos.Server.library_request meta) in
+        let cold = Omos.Server.instantiate s (Omos.Server.library meta) in
+        let warm = Omos.Server.instantiate s (Omos.Server.library meta) in
         Telemetry.Provenance.set_enabled false;
         Telemetry.set_enabled false;
         let e = warm.Omos.Server.built.Omos.Server.entry in
@@ -789,7 +789,7 @@ let profile_cmd =
         let root =
           Telemetry.Span.enter "ofe.profile" ~attrs:[ ("meta", Telemetry.S meta) ]
         in
-        let resp = Omos.Server.instantiate s (Omos.Server.library_request meta) in
+        let resp = Omos.Server.instantiate s (Omos.Server.library meta) in
         let p = Simos.Kernel.create_process (Omos.Server.kernel s) ~args:[ "profile" ] in
         Omos.Server.map_into s p resp.Omos.Server.built;
         Telemetry.Span.exit root;
@@ -892,9 +892,24 @@ let workload_cmd =
          & info [ "flight" ] ~docv:"PREFIX"
              ~doc:"after the run, write the flight recorder to $(docv).json and $(docv).txt")
   in
-  let run spec_file flight =
+  let concurrency =
+    Arg.(value & opt (some int) None
+         & info [ "concurrency" ] ~docv:"N"
+             ~doc:"override the spec's pipeline depth: submit up to $(docv) \
+                   instantiates to the server's staged pipeline before \
+                   awaiting any (1 = serial; dynloads and evictions are \
+                   barriers). Deterministic at any depth.")
+  in
+  let run spec_file flight concurrency =
     handle (fun () ->
         let spec = load_spec spec_file in
+        let spec =
+          match concurrency with
+          | None -> spec
+          | Some n when n >= 1 -> { spec with Omos.Workload.concurrency = n }
+          | Some _ ->
+              raise (Omos.Workload.Spec_error "--concurrency must be >= 1")
+        in
         ignore (Omos.Workload.run ~on_event:print_workload_event spec);
         print_endline (health_summary (Telemetry.Health.snapshot ()));
         match flight with
@@ -908,8 +923,11 @@ let workload_cmd =
        ~doc:
          "run a deterministic multi-client workload (instantiates, dynloads, \
           evictions scheduled off the simulated clock) and stream one line \
-          per request: id, client, operation, cache hit, simulated cost")
-    Term.(const run $ spec_file_arg $ flight)
+          per request: id, client, operation, cache hit, simulated cost. \
+          The $(b,concurrency N) spec directive (or $(b,--concurrency)) \
+          pipelines instantiates through the server's staged \
+          submit/await API; events still stream in submission order.")
+    Term.(const run $ spec_file_arg $ flight $ concurrency)
 
 let health_header =
   "   reqs  window   hit%   p50_us   p95_us   p99_us  mean_us   max_us  confl/req  viol/req"

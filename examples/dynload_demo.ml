@@ -43,9 +43,9 @@ let () =
     Minic.Driver.compile ~name:"/obj/dynmain.o" client_src
   in
   (* link client calls to libc for putstr/putint *)
-  let libc = Omos.Server.build_library s ~path:"/lib/libc" () in
+  let libc = Omos.Server.build s @@ Omos.Server.library "/lib/libc" in
   let b =
-    Omos.Server.build_static s ~name:"dynmain"
+    Omos.Server.build s @@ Omos.Server.static ~name:"dynmain"
       ~externals:[ libc.Omos.Server.entry.Omos.Cache.image ]
       (Omos.Schemes.graph_of_objs [ Workloads.Crt0.obj (); client ])
   in

@@ -58,7 +58,7 @@ let () =
     (Minic.Driver.compile ~name:"/lib/test_malloc.o" trap_src);
 
   let run name graph =
-    let b = Omos.Server.build_static s ~name graph in
+    let b = Omos.Server.build s @@ Omos.Server.static ~name graph in
     let p =
       Omos.Boot.integrated_exec s (Omos.Server.loadable_entry [ b ]) ~args:[ name ]
     in

@@ -19,9 +19,9 @@ let () =
   let reg = Omos.Boot.install_interpreter s in
 
   (* build the self-contained pieces once, as at installation time *)
-  let libc = Omos.Server.build_library s ~path:"/lib/libc" () in
+  let libc = Omos.Server.build s @@ Omos.Server.library "/lib/libc" in
   let client =
-    Omos.Server.build_static s ~name:"ls"
+    Omos.Server.build s @@ Omos.Server.static ~name:"ls"
       ~externals:[ libc.Omos.Server.entry.Omos.Cache.image ]
       (Omos.Schemes.graph_of_objs (Omos.World.ls_client w))
   in

@@ -16,7 +16,7 @@ let () =
   print_string Omos.World.libc_meta_source;
 
   (* the library class: constraint-placed, cached, shared *)
-  let libc = Omos.Server.build_library w.Omos.World.server ~path:"/lib/libc" () in
+  let libc = Omos.Server.build w.Omos.World.server @@ Omos.Server.library "/lib/libc" in
   Printf.printf "\nlibc instantiated: text at 0x%x, data at 0x%x (%d relocations bound once)\n"
     libc.Omos.Server.entry.Omos.Cache.text_base
     libc.Omos.Server.entry.Omos.Cache.data_base

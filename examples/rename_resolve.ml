@@ -52,7 +52,7 @@ let () =
   print_endline "\n== without the repair ==";
   (try
      ignore
-       (Omos.Server.build_static s ~name:"broken"
+       (Omos.Server.build s @@ Omos.Server.static ~name:"broken"
           (Blueprint.Mgraph.parse
              "(merge /obj/crt0.o /obj/main.o /obj/abort.o /lib/lib-with-problems /lib/libc)"))
    with Linker.Link.Link_error e ->
@@ -69,7 +69,7 @@ let () =
         Blueprint.Mgraph.Name "/lib/libc";
       ]
   in
-  let b = Omos.Server.build_static s ~name:"repaired" graph in
+  let b = Omos.Server.build s @@ Omos.Server.static ~name:"repaired" graph in
   let p =
     Omos.Boot.integrated_exec s (Omos.Server.loadable_entry [ b ]) ~args:[ "repaired" ]
   in

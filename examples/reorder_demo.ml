@@ -20,7 +20,7 @@ let () =
         Blueprint.Mgraph.parse "(specialize \"monitor\" /lib/libc)";
       ]
   in
-  let b = Omos.Server.build_static s ~name:"ls-monitored" graph in
+  let b = Omos.Server.build s @@ Omos.Server.static ~name:"ls-monitored" graph in
   let p =
     Omos.Boot.integrated_exec s (Omos.Server.loadable_entry [ b ])
       ~args:Omos.World.ls_laf_args

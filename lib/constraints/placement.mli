@@ -65,3 +65,35 @@ val place :
   ?prefs:(int * pref) list ->
   unit ->
   decision
+
+(** One member of a batched placement request (the [place] arguments,
+    reified). *)
+type batch_item = {
+  bi_size : int;
+  bi_owner : string;
+  bi_existing : int option;
+  bi_prefs : (int * pref) list;
+}
+
+(** [place_batch t items] solves a whole queue of placement requests in
+    one constraint pass (one ["constraints.place_batch"] span, one
+    [constraints.batch_solves] count). Maximal runs of unconstrained
+    fresh items are packed as a single DeltaBlue chain
+    ({!Db_layout}) into one gap — on a contiguous free region this
+    reproduces the first-fit answers serial {!place} calls would give;
+    items with reuse candidates or preferences are solved individually,
+    in submission order, within the same pass. Decisions come back in
+    item order.
+
+    [wrap i item solve] brackets the individual solve of [item] (index
+    [i]) — callers hang request attribution and fault-injection hooks
+    there. Members of a packed run are solved jointly, so [wrap] does
+    not apply to them (they carry no preferences, which is what the
+    hooks key on).
+
+    @raise No_space if any item cannot fit. *)
+val place_batch :
+  t ->
+  ?wrap:(int -> batch_item -> (unit -> decision) -> decision) ->
+  batch_item list ->
+  decision list

@@ -104,7 +104,7 @@ let handle_bind (rt : t) (k : Simos.Kernel.t) (p : Simos.Proc.t) (cpu : Svm.Cpu.
           if not st.libs_mapped then begin
             Simos.Kernel.charge_sys k cost.Simos.Cost.ipc_round_trip;
             let builts =
-              List.map (fun path -> Server.build_library rt.server ~path ()) st.lib_paths
+              List.map (fun path -> Server.build rt.server (Server.library path)) st.lib_paths
             in
             let imgs =
               List.map (fun (b : Server.built) -> b.Server.entry.Cache.image) builts
@@ -236,7 +236,7 @@ let static_program (rt : t) ~(name : string) ~(client : Sof.Object_file.t list)
   in
   let pulled = Linker.Archive.select ~roots:client ~available:members in
   let graph = graph_of_objs (client @ pulled) in
-  let b = Server.build_static server ~name:(name ^ ".static") graph in
+  let b = Server.build server (Server.static ~name:(name ^ ".static") graph) in
   let path = exe_path ~scheme:"static" ~name in
   install_executable server ~path b.Server.entry.Cache.image;
   {
@@ -255,7 +255,7 @@ let dynamic_program (rt : t) ~(name : string) ~(client : Sof.Object_file.t list)
     ~(libs : string list) : program =
   let server = rt.server in
   (* libraries: shared images at system-chosen (arena) addresses *)
-  let lib_builts = List.map (fun l -> Server.build_library server ~path:l ()) libs in
+  let lib_builts = List.map (fun l -> Server.build server (Server.library l)) libs in
   let lib_imgs = List.map (fun (b : Server.built) -> b.Server.entry.Cache.image) lib_builts in
   let client_mod = Jigsaw.Module_ops.of_objects ~label:name client in
   let imports = imports_of client_mod lib_imgs in
@@ -264,7 +264,7 @@ let dynamic_program (rt : t) ~(name : string) ~(client : Sof.Object_file.t list)
   let full = Jigsaw.Module_ops.merge diverted (Jigsaw.Module_ops.of_object plt) in
   let graph = graph_of_objs (Jigsaw.Module_ops.fragments full) in
   let b =
-    Server.build_static server ~name:(name ^ ".dyn") ~externals:lib_imgs graph
+    Server.build server (Server.static ~name:(name ^ ".dyn") ~externals:lib_imgs graph)
   in
   let client_img = b.Server.entry.Cache.image in
   let path = exe_path ~scheme:"dynamic" ~name in
@@ -337,7 +337,7 @@ let dynamic_program (rt : t) ~(name : string) ~(client : Sof.Object_file.t list)
         Simos.Kernel.charge_sys k lib_open_parse;
         if List.exists Server.built_evicted !live_builts then
           live_builts :=
-            List.map (fun l -> Server.build_library server ~path:l ()) libs;
+            List.map (fun l -> Server.build server (Server.library l)) libs;
         (* … and maps them; each library page this process touches pays
            deferred relocation work *)
         List.iter2
@@ -374,13 +374,14 @@ let self_contained_program (rt : t) ?(style = Bootstrap) ~(name : string)
     ~(client : Sof.Object_file.t list) ~(libs : string list) () : program =
   let server = rt.server in
   let mk () =
-    let lib_builts = List.map (fun l -> Server.build_library server ~path:l ()) libs in
+    let lib_builts = List.map (fun l -> Server.build server (Server.library l)) libs in
     let lib_imgs =
       List.map (fun (b : Server.built) -> b.Server.entry.Cache.image) lib_builts
     in
     let b =
-      Server.build_static server ~name:(name ^ ".sc") ~externals:lib_imgs
-        (graph_of_objs client)
+      Server.build server
+        (Server.static ~name:(name ^ ".sc") ~externals:lib_imgs
+           (graph_of_objs client))
     in
     Server.loadable_entry (lib_builts @ [ b ])
   in
@@ -413,7 +414,7 @@ let self_contained_program (rt : t) ?(style = Bootstrap) ~(name : string)
 let partial_image_program (rt : t) ~(name : string)
     ~(client : Sof.Object_file.t list) ~(libs : string list) : program =
   let server = rt.server in
-  let lib_builts = List.map (fun l -> Server.build_library server ~path:l ()) libs in
+  let lib_builts = List.map (fun l -> Server.build server (Server.library l)) libs in
   let lib_imgs = List.map (fun (b : Server.built) -> b.Server.entry.Cache.image) lib_builts in
   let client_mod = Jigsaw.Module_ops.of_objects ~label:name client in
   let imports = imports_of client_mod lib_imgs in
@@ -421,8 +422,9 @@ let partial_image_program (rt : t) ~(name : string)
   let diverted = Stubs.divert_imports client_mod imports in
   let full = Jigsaw.Module_ops.merge diverted (Jigsaw.Module_ops.of_object stubs) in
   let b =
-    Server.build_static server ~name:(name ^ ".pi")
-      (graph_of_objs (Jigsaw.Module_ops.fragments full))
+    Server.build server
+      (Server.static ~name:(name ^ ".pi")
+         (graph_of_objs (Jigsaw.Module_ops.fragments full)))
   in
   let client_img = b.Server.entry.Cache.image in
   let path = exe_path ~scheme:"partial" ~name in

@@ -41,6 +41,55 @@ type conflict = {
   c_got : int;
 }
 
+(* One request moving through the staged pipeline (parse → lint → eval
+   → place → link → map). The job carries everything a stage hands the
+   next one, so stages of different requests can interleave freely. *)
+type job = {
+  jt : int; (* ticket = telemetry request id, assigned at submission *)
+  jclient : int;
+  jreq : request;
+  jsubmit_us : float;
+  mutable jwork_us : float; (* simulated time spent inside stages *)
+  mutable jhit : bool;
+  mutable jname : string;
+  mutable jkey : string; (* cache key, fixed at parse *)
+  mutable jgraph : Blueprint.Mgraph.node option;
+  mutable jeval : Blueprint.Mgraph.result option;
+  mutable jtext_size : int;
+  mutable jdata_size : int;
+  mutable jtdec : Constraints.Placement.decision option;
+  mutable jddec : Constraints.Placement.decision option;
+  mutable jframe : Telemetry.Provenance.open_frame option;
+      (* the suspended binding-journal frame between stages *)
+  mutable jreacquire_conflict : int option;
+      (* wanted text base of a failed cache-hit reacquisition *)
+  mutable joutcome : (response, exn) result option;
+}
+
+and response = {
+  built : built;
+  cache_hit : bool; (* served from the image cache, no link performed *)
+  sim_us : float; (* submission to completion, queue wait included *)
+  queue_us : float; (* the part of [sim_us] spent waiting, not working *)
+}
+
+and built = { entry : Cache.entry; key : string }
+
+and target =
+  | Library of {
+      path : string;
+      spec : (string * Blueprint.Mgraph.value list) option;
+    }
+  | Static of {
+      name : string;
+      graph : Blueprint.Mgraph.node;
+      entry_symbol : string option;
+    }
+
+and request = { target : target; externals : Linker.Image.t list }
+
+exception Overload of string
+
 type t = {
   ns : Namespace.t;
   cache : Cache.t;
@@ -57,6 +106,15 @@ type t = {
      common case is install-time generation, so misses normally charge;
      benches can turn it off to isolate steady state. *)
   mutable charge_build_work : bool;
+  (* -- the staged request pipeline -- *)
+  sched : Simos.Sched.t;
+  jobs : (int, job) Hashtbl.t; (* ticket -> job (pruned on delivery) *)
+  mutable inflight : int;
+  mutable queue_limit : int; (* admission control: max in-flight *)
+  mutable batch_place : bool; (* solve queued placements as one pass? *)
+  mutable place_q : job list; (* parked at the place barrier, newest-first *)
+  building : (string, int) Hashtbl.t; (* cache keys being built -> ticket *)
+  mutable waiters : (string * job) list; (* coalesced onto an in-flight build *)
 }
 
 (* Request-path telemetry. *)
@@ -67,6 +125,17 @@ let tm_lint_errors = Telemetry.Counter.make "lint.errors"
 let tm_lint_warnings = Telemetry.Counter.make "lint.warnings"
 let tm_eval_us = Telemetry.Histogram.make "server.us.eval"
 let tm_link_us = Telemetry.Histogram.make "server.us.link"
+
+(* Pipeline telemetry: stage latencies, queue depths, batching. *)
+let tm_queue_us = Telemetry.Histogram.make "server.us.queue"
+let tm_parse_us = Telemetry.Histogram.make "server.us.parse"
+let tm_place_us = Telemetry.Histogram.make "server.us.place"
+let tm_batch_size = Telemetry.Histogram.make "place.batch_size"
+let tm_depth = Telemetry.Histogram.make "pipeline.depth.inflight"
+let tm_submitted = Telemetry.Counter.make "pipeline.submitted"
+let tm_completed = Telemetry.Counter.make "pipeline.completed"
+let tm_coalesced = Telemetry.Counter.make "pipeline.coalesced"
+let tm_overloads = Telemetry.Counter.make "server.overloads"
 
 (* -- construction --------------------------------------------------------- *)
 
@@ -112,6 +181,14 @@ let create ~(kernel : Simos.Kernel.t) ?(faults : Residency.faults option) () : t
     lints = Hashtbl.create 16;
     conflicts = [];
     charge_build_work = true;
+    sched = Simos.Sched.create ();
+    jobs = Hashtbl.create 64;
+    inflight = 0;
+    queue_limit = 64;
+    batch_place = true;
+    place_q = [];
+    building = Hashtbl.create 16;
+    waiters = [];
   }
 
 (* -- read-only views ------------------------------------------------------- *)
@@ -173,23 +250,29 @@ let register_meta (t : t) (path : string) (m : Blueprint.Meta.t) : unit =
   if errs > 0 then Telemetry.Counter.incr ~by:errs tm_lint_errors;
   if warns > 0 then Telemetry.Counter.incr ~by:warns tm_lint_warnings
 
+(* Deprecated alias of {!register_meta} (kept for one PR). *)
 let add_meta = register_meta
 
 (** The registration-time lint report of a bound meta-object. *)
 let lint_report (t : t) (path : string) : Analysis.Lint.report option =
   Hashtbl.find_opt t.lints path
 
-(** Register a meta-object from blueprint source text. *)
-let add_meta_source (t : t) (path : string) (src : string) : unit =
-  add_meta t path (Blueprint.Meta.parse ~name:path src)
+(** Register a meta-object from blueprint source text — parse, then
+    {!register_meta}, so registration-time lint behavior is uniform no
+    matter how the meta arrives. *)
+let register_meta_source (t : t) (path : string) (src : string) : unit =
+  register_meta t path (Blueprint.Meta.parse ~name:path src)
+
+(* Deprecated alias of {!register_meta_source} (kept for one PR). *)
+let add_meta_source = register_meta_source
 
 (** Load a meta-object source file from the simulated filesystem and
     bind it at [ns_path] — meta-objects are ordinary files ("the
     meta-objects and executable fragments providing the contents can be
-    stored anywhere", §5). *)
+    stored anywhere", §5). Routes through {!register_meta_source}. *)
 let load_meta_file (t : t) ~(fs_path : string) ~(ns_path : string) : unit =
   let src = Bytes.to_string (Simos.Fs.read_file t.kernel.Simos.Kernel.fs fs_path) in
-  add_meta_source t ns_path src
+  register_meta_source t ns_path src
 
 (** Load an object file (either backend format) from the simulated
     filesystem and bind it at [ns_path]. *)
@@ -263,10 +346,6 @@ let prefs_for (seg : Blueprint.Mgraph.seg) (cs : Blueprint.Mgraph.constraint_pre
     (fun (c : Blueprint.Mgraph.constraint_pref) ->
       if c.Blueprint.Mgraph.seg = seg then Some (c.priority, c.pref) else None)
     cs
-
-(** A built, positioned, cached image together with its page-cache key
-    for mapping into tasks. *)
-type built = { entry : Cache.entry; key : string }
 
 (** Has this built's cache entry been evicted since it was handed out?
     Stale builts must be re-requested before mapping. *)
@@ -455,52 +534,516 @@ let build_static_raw (t : t) ~(name : string) ?(entry_symbol : string option)
 
 (* -- the unified request API ------------------------------------------------ *)
 
-(** What a client asks the server to instantiate. *)
-type target =
-  | Library of {
-      path : string;
-      spec : (string * Blueprint.Mgraph.value list) option;
-    }
-  | Static of {
-      name : string;
-      graph : Blueprint.Mgraph.node;
-      entry_symbol : string option;
-    }
-
-type request = { target : target; externals : Linker.Image.t list }
-
-type response = {
-  built : built;
-  cache_hit : bool; (* served from the image cache, no link performed *)
-  sim_us : float; (* simulated time the request took *)
-}
-
-let library_request ?spec ?(externals = []) (path : string) : request =
+let library ?spec ?(externals = []) (path : string) : request =
   { target = Library { path; spec }; externals }
 
-let static_request ?entry_symbol ?(externals = []) ~(name : string)
+let static ?entry_symbol ?(externals = []) ~(name : string)
     (graph : Blueprint.Mgraph.node) : request =
   { target = Static { name; graph; entry_symbol }; externals }
+
+(* Deprecated aliases of {!library}/{!static} (kept for one PR). *)
+let library_request = library
+let static_request = static
 
 let target_label = function
   | Library l -> "lib:" ^ l.path
   | Static s -> "static:" ^ s.name
 
-(** Serve one instantiation request: the single entry point of the OMOS
-    request path. Opens the root ["omos.instantiate"] span; everything
-    below (m-graph evaluation, placement, linking, caching) nests under
-    it. *)
-let instantiate (t : t) (req : request) : response =
-  Telemetry.Request.with_request "instantiate" @@ fun () ->
-  let span =
-    Telemetry.Span.enter "omos.instantiate"
-      ~attrs:[ ("target", Telemetry.S (target_label req.target)) ]
+(* -- the staged pipeline ----------------------------------------------------- *)
+
+(* Stages run as cooperative scheduler tasks; a job's stages always run
+   in order, but stages of different jobs interleave. Every stage
+   execution resumes the job's request context (so spans, counters,
+   faults recorded inside carry its (client, ticket)), accumulates the
+   simulated time it spent into [jwork_us], and records a stage
+   transition in the flight recorder. *)
+
+type ticket = int
+
+let stage_transition (job : job) (stage : string) : unit =
+  Telemetry.Flight.record
+    ~detail:(target_label job.jreq.target)
+    Telemetry.Flight.Transition
+    ("pipeline." ^ stage)
+
+(* Finish a job (success or error): deliver the outcome, release the
+   build-key claim, and wake coalesced waiters so they re-enter parse
+   (and now find the cache populated — or rebuild after a failure). *)
+let rec finish (t : t) (job : job) (outcome : (response, exn) result) : unit =
+  job.joutcome <- Some outcome;
+  t.inflight <- t.inflight - 1;
+  Telemetry.Counter.incr tm_completed;
+  (match Hashtbl.find_opt t.building job.jkey with
+  | Some owner when owner = job.jt ->
+      Hashtbl.remove t.building job.jkey;
+      let woken, rest =
+        List.partition (fun (k, _) -> k = job.jkey) t.waiters
+      in
+      t.waiters <- rest;
+      List.iter (fun (_, w) -> spawn_stage t w "parse" (stage_parse t w)) woken
+  | _ -> ());
+  Telemetry.Request.end_detached ~client:job.jclient ~id:job.jt "instantiate"
+
+(* Run one stage body under the job's request context, trapping errors
+   into the job's outcome. *)
+and run_stage (t : t) (job : job) (stage : string) (f : unit -> unit) : unit =
+  Telemetry.Request.resume ~client:job.jclient ~id:job.jt "instantiate";
+  stage_transition job stage;
+  let t0 = Telemetry.now_us () in
+  Fun.protect
+    ~finally:(fun () ->
+      let dt = Telemetry.now_us () -. t0 in
+      job.jwork_us <- job.jwork_us +. dt;
+      if stage = "parse" then Telemetry.Histogram.observe tm_parse_us dt;
+      Telemetry.Request.suspend ())
+    (fun () -> try f () with e -> finish t job (Error e))
+
+and spawn_stage (t : t) (job : job) (stage : string) (f : unit -> unit) : unit =
+  Simos.Sched.spawn t.sched
+    ~label:(Printf.sprintf "r%d:%s" job.jt stage)
+    (fun () -> run_stage t job stage f)
+
+(* map: the last stage — the built image is mappable; seal the
+   response, observe the request-level metrics, and run the residency
+   self-check exactly as the synchronous path always did. *)
+and stage_map (t : t) (job : job) (b : built) () : unit =
+  let sim_us = Telemetry.now_us () -. job.jsubmit_us in
+  let queue_us = Float.max 0.0 (sim_us -. job.jwork_us) in
+  Telemetry.Counter.incr tm_instantiations;
+  Telemetry.Histogram.observe tm_instantiate_us sim_us;
+  Telemetry.Histogram.observe tm_queue_us queue_us;
+  Residency.self_check t.residency;
+  Telemetry.Health.record ~hit:job.jhit
+    ~queue_depth:(max 0 (t.inflight - 1))
+    ~cost_us:sim_us ();
+  finish t job (Ok { built = b; cache_hit = job.jhit; sim_us; queue_us })
+
+(* link: place decisions are in; perform the real link, capture the
+   binding journal, insert into the cache, establish residency. *)
+and stage_link (t : t) (job : job) () : unit =
+  (match job.jframe with
+  | Some f -> Telemetry.Provenance.resume_build f
+  | None -> ());
+  job.jframe <- None;
+  let r = Option.get job.jeval in
+  let name = job.jname in
+  let b =
+    match job.jreq.target with
+    | Library _ ->
+        let tdec = Option.get job.jtdec and ddec = Option.get job.jddec in
+        let t0 = Telemetry.now_us () in
+        let img, _lstats =
+          Telemetry.with_span "server.link" @@ fun () ->
+          let img, lstats =
+            Linker.Link.link ~externals:job.jreq.externals
+              ~allow_undefined:true
+              ~layout:
+                {
+                  Linker.Link.text_base = tdec.Constraints.Placement.base;
+                  data_base = ddec.Constraints.Placement.base;
+                }
+              (Jigsaw.Module_ops.fragments r.Blueprint.Mgraph.m)
+          in
+          charge_link t lstats;
+          (img, lstats)
+        in
+        Telemetry.Histogram.observe tm_link_us (Telemetry.now_us () -. t0);
+        let provenance =
+          Telemetry.Provenance.capture ~key:job.jkey
+            ~text_base:tdec.Constraints.Placement.base
+            ~data_base:ddec.Constraints.Placement.base
+            ~placement:
+              (placement_summary [ ("text", Some tdec); ("data", Some ddec) ])
+            ~generation:(Cache.generation t.cache) ()
+        in
+        Telemetry.Provenance.note_built ~name provenance;
+        let e =
+          Cache.insert t.cache ~key:job.jkey
+            ~text_base:tdec.Constraints.Placement.base
+            ~data_base:ddec.Constraints.Placement.base ~provenance
+            { img with Linker.Image.name }
+        in
+        Residency.note_placed t.residency e;
+        { entry = e; key = job.jkey ^ "@" ^ Linker.Image.digest img }
+    | Static { entry_symbol; _ } ->
+        let t0 = Telemetry.now_us () in
+        let img, _lstats =
+          Telemetry.with_span "server.link" @@ fun () ->
+          let img, lstats =
+            Linker.Link.link ?entry:entry_symbol ~externals:job.jreq.externals
+              ~layout:
+                {
+                  Linker.Link.text_base = client_text_base;
+                  data_base = client_data_base;
+                }
+              (Jigsaw.Module_ops.fragments r.Blueprint.Mgraph.m)
+          in
+          charge_link t lstats;
+          (img, lstats)
+        in
+        Telemetry.Histogram.observe tm_link_us (Telemetry.now_us () -. t0);
+        let provenance =
+          Telemetry.Provenance.capture ~key:job.jkey
+            ~text_base:client_text_base ~data_base:client_data_base
+            ~placement:
+              (Printf.sprintf "static text@0x%08x data@0x%08x" client_text_base
+                 client_data_base)
+            ~generation:(Cache.generation t.cache) ()
+        in
+        Telemetry.Provenance.note_built ~name provenance;
+        let e =
+          Cache.insert t.cache ~key:job.jkey ~text_base:client_text_base
+            ~data_base:client_data_base ~provenance
+            { img with Linker.Image.name }
+        in
+        Residency.note_static t.residency e;
+        { entry = e; key = job.jkey ^ "@" ^ Linker.Image.digest img }
   in
-  Fun.protect ~finally:(fun () -> Telemetry.Span.exit span) @@ fun () ->
+  (* a failed reacquisition of a cached placement is a conflict:
+     record where the image wanted to be vs. where it went *)
+  (match job.jreacquire_conflict with
+  | Some wanted ->
+      Telemetry.Counter.incr tm_arena_conflicts;
+      t.conflicts <-
+        {
+          c_owner = name;
+          c_seg = Blueprint.Mgraph.Seg_text;
+          c_wanted = Constraints.Placement.At wanted;
+          c_got = b.entry.Cache.text_base;
+        }
+        :: t.conflicts
+  | None -> ());
+  spawn_stage t job "map" (stage_map t job b)
+
+(* place (single): the unbatched path — one solver pass per request. *)
+and stage_place_single (t : t) (job : job) () : unit =
+  if t.charge_build_work then
+    Simos.Kernel.charge_sys t.kernel
+      t.kernel.Simos.Kernel.cost.Simos.Cost.place_solve;
+  Telemetry.Histogram.observe tm_batch_size 1.0;
+  let r = Option.get job.jeval in
+  let place_noting arena seg size prefs =
+    Residency.with_place_conflict t.residency ~arena ~prefs @@ fun () ->
+    let dec =
+      Constraints.Placement.place arena ~size ~owner:job.jname ~prefs ()
+    in
+    note_pref_conflict t ~owner:job.jname seg prefs dec;
+    dec
+  in
+  job.jtdec <-
+    Some
+      (place_noting t.text_arena Blueprint.Mgraph.Seg_text job.jtext_size
+         (prefs_for Blueprint.Mgraph.Seg_text r.Blueprint.Mgraph.constraints));
+  job.jddec <-
+    Some
+      (place_noting t.data_arena Blueprint.Mgraph.Seg_data job.jdata_size
+         (prefs_for Blueprint.Mgraph.Seg_data r.Blueprint.Mgraph.constraints));
+  spawn_stage t job "link" (stage_link t job)
+
+(* eval: force the m-graph (misses only — hits never re-evaluate). *)
+and stage_eval (t : t) (job : job) () : unit =
+  (match job.jframe with
+  | Some f -> Telemetry.Provenance.resume_build f
+  | None -> ());
+  t.work.instantiations <- t.work.instantiations + 1;
+  let r = eval t (Option.get job.jgraph) in
+  job.jframe <- Some (Telemetry.Provenance.suspend_build ());
+  job.jeval <- Some r;
+  match job.jreq.target with
+  | Static _ -> spawn_stage t job "link" (stage_link t job)
+  | Library _ ->
+      let text_size, data_size = module_sizes r.Blueprint.Mgraph.m in
+      job.jtext_size <- max text_size 1;
+      job.jdata_size <- max data_size 1;
+      if t.batch_place then
+        (* park at the place barrier; the drain loop flushes the whole
+           queue as one constraint pass when nothing else can run *)
+        t.place_q <- job :: t.place_q
+      else spawn_stage t job "place" (stage_place_single t job)
+
+(* lint: open the binding-journal frame and replay the registration-time
+   findings into it, so every build of the meta carries them. *)
+and stage_lint (t : t) (job : job) () : unit =
+  Telemetry.Provenance.begin_build ();
+  (match Hashtbl.find_opt t.lints job.jname with
+  | Some (rep : Analysis.Lint.report) ->
+      List.iter
+        (fun (f : Analysis.Lint.finding) ->
+          Telemetry.Provenance.record_lint ~code:f.Analysis.Lint.code
+            ~severity:(Analysis.Lint.severity_to_string f.Analysis.Lint.severity)
+            ~path:f.Analysis.Lint.path f.Analysis.Lint.message)
+        rep.Analysis.Lint.findings
+  | None -> ());
+  job.jframe <- Some (Telemetry.Provenance.suspend_build ());
+  spawn_stage t job "eval" (stage_eval t job)
+
+(* parse: resolve the target, fix the cache key, and serve cache hits
+   without touching the build stages. A job whose key is already being
+   built parks as a waiter (request coalescing). *)
+and stage_parse (t : t) (job : job) () : unit =
+  let fresh () =
+    Hashtbl.replace t.building job.jkey job.jt;
+    spawn_stage t job "lint" (stage_lint t job)
+  in
+  (match job.jreq.target with
+  | Library { path; spec } ->
+      let meta = find_meta t path in
+      let graph = Blueprint.Meta.effective_graph meta ~spec in
+      job.jname <- path;
+      job.jgraph <- Some graph;
+      job.jkey <-
+        "lib:" ^ path ^ ":" ^ Blueprint.Mgraph.digest graph
+        ^ String.concat ""
+            (List.map
+               (fun i -> ":" ^ Linker.Image.digest i)
+               job.jreq.externals)
+  | Static { name; graph; _ } ->
+      job.jname <- name;
+      job.jgraph <- Some graph;
+      job.jkey <-
+        "static:" ^ name ^ ":" ^ Blueprint.Mgraph.digest graph
+        ^ String.concat ""
+            (List.map
+               (fun i -> ":" ^ Linker.Image.digest i)
+               job.jreq.externals));
+  if Hashtbl.mem t.building job.jkey then begin
+    Telemetry.Counter.incr tm_coalesced;
+    t.waiters <- t.waiters @ [ (job.jkey, job) ]
+  end
+  else
+    match job.jreq.target with
+    | Static _ -> (
+        match Cache.find t.cache job.jkey ~acceptable:(fun _ -> true) with
+        | Some e ->
+            job.jhit <- true;
+            spawn_stage t job "map"
+              (stage_map t job
+                 {
+                   entry = e;
+                   key = job.jkey ^ "@" ^ Linker.Image.digest e.Cache.image;
+                 })
+        | None -> fresh ())
+    | Library _ -> (
+        let acceptable = Residency.acceptable t.residency ~owner:job.jname in
+        match Cache.find t.cache job.jkey ~acceptable with
+        | Some e -> (
+            (* re-establish the reservation of the revived placement *)
+            match Residency.reacquire t.residency ~owner:job.jname e with
+            | Ok () ->
+                job.jhit <- true;
+                spawn_stage t job "map"
+                  (stage_map t job
+                     {
+                       entry = e;
+                       key =
+                         job.jkey ^ "@" ^ Linker.Image.digest e.Cache.image;
+                     })
+            | Error _conflicting ->
+                (* the range was taken between the acceptability check
+                   and the reservation (or a reserve fault fired):
+                   rebuild as an alternate placement *)
+                job.jreacquire_conflict <- Some e.Cache.text_base;
+                fresh ())
+        | None ->
+            (* stale candidates whose reservations are gone drop to
+               Evicted so they can never shadow the fresh construction *)
+            List.iter
+              (fun e -> ignore (Residency.demote_if_lost t.residency e))
+              (Cache.candidates t.cache job.jkey);
+            fresh ())
+
+(* Flush the place barrier: solve every parked placement in one
+   constraint pass (ticket order), one solver charge for the whole
+   batch — N queued requests, one [Constraints.Placement.place_batch]
+   deltablue pass per arena instead of N independent solves. *)
+and flush_place (t : t) : unit =
+  let jobs =
+    List.sort (fun a b -> compare a.jt b.jt) (List.rev t.place_q)
+  in
+  t.place_q <- [];
+  match jobs with
+  | [] -> ()
+  | _ ->
+      let n = List.length jobs in
+      Telemetry.Histogram.observe tm_batch_size (float_of_int n);
+      let t0 = Telemetry.now_us () in
+      if t.charge_build_work then
+        Simos.Kernel.charge_sys t.kernel
+          t.kernel.Simos.Kernel.cost.Simos.Cost.place_solve;
+      let by_index = Array.of_list jobs in
+      let solve seg arena =
+        let items =
+          List.map
+            (fun j ->
+              let r = Option.get j.jeval in
+              {
+                Constraints.Placement.bi_size =
+                  (match seg with
+                  | Blueprint.Mgraph.Seg_text -> j.jtext_size
+                  | _ -> j.jdata_size);
+                bi_owner = j.jname;
+                bi_existing = None;
+                bi_prefs = prefs_for seg r.Blueprint.Mgraph.constraints;
+              })
+            jobs
+        in
+        (* each member's individual solve runs under its own request
+           context, so placement spans, counters, and injected faults
+           stay attributed to the request that owns them *)
+        let wrap i (it : Constraints.Placement.batch_item) f =
+          let j = by_index.(i) in
+          Telemetry.Request.resume ~client:j.jclient ~id:j.jt "instantiate";
+          Fun.protect ~finally:Telemetry.Request.suspend @@ fun () ->
+          let d =
+            Residency.with_place_conflict t.residency ~arena
+              ~prefs:it.Constraints.Placement.bi_prefs f
+          in
+          note_pref_conflict t ~owner:j.jname seg
+            it.Constraints.Placement.bi_prefs d;
+          d
+        in
+        Constraints.Placement.place_batch ~wrap arena items
+      in
+      let tdecs = solve Blueprint.Mgraph.Seg_text t.text_arena in
+      let ddecs = solve Blueprint.Mgraph.Seg_data t.data_arena in
+      let dt = Telemetry.now_us () -. t0 in
+      Telemetry.Histogram.observe tm_place_us dt;
+      List.iteri
+        (fun i j ->
+          j.jtdec <- Some (List.nth tdecs i);
+          j.jddec <- Some (List.nth ddecs i);
+          (* the pass worked for every member of the batch *)
+          j.jwork_us <- j.jwork_us +. dt;
+          spawn_stage t j "link" (stage_link t j))
+        jobs
+
+(* Record when the strongest preference could not be honoured (shared
+   by the batched and unbatched place paths). *)
+and note_pref_conflict (t : t) ~(owner : string) (seg : Blueprint.Mgraph.seg)
+    (prefs : (int * Constraints.Placement.pref) list)
+    (dec : Constraints.Placement.decision) : unit =
+  match List.sort (fun (p1, _) (p2, _) -> compare p2 p1) prefs with
+  | (_, wanted) :: _ when dec.Constraints.Placement.satisfied <> Some wanted ->
+      Telemetry.Counter.incr tm_arena_conflicts;
+      t.conflicts <-
+        {
+          c_owner = owner;
+          c_seg = seg;
+          c_wanted = wanted;
+          c_got = dec.Constraints.Placement.base;
+        }
+        :: t.conflicts
+  | _ -> ()
+
+(* -- submit / await / poll / drain ------------------------------------------ *)
+
+(** Admit one request into the pipeline: assigns the ticket (= the
+    telemetry request id), runs admission control, and queues the parse
+    stage. Raises {!Overload} when the pipeline is full. *)
+let submit (t : t) (req : request) : ticket =
+  if t.inflight >= t.queue_limit then begin
+    Telemetry.Counter.incr tm_overloads;
+    raise
+      (Overload
+         (Printf.sprintf "pipeline full: %d requests in flight (limit %d)"
+            t.inflight t.queue_limit))
+  end;
+  let client = Telemetry.Request.effective_client () in
+  let id = Telemetry.Request.begin_detached ~client "instantiate" in
+  let job =
+    {
+      jt = id;
+      jclient = client;
+      jreq = req;
+      jsubmit_us = Telemetry.now_us ();
+      jwork_us = 0.0;
+      jhit = false;
+      jname = "";
+      jkey = "";
+      jgraph = None;
+      jeval = None;
+      jtext_size = 1;
+      jdata_size = 1;
+      jtdec = None;
+      jddec = None;
+      jframe = None;
+      jreacquire_conflict = None;
+      joutcome = None;
+    }
+  in
+  Hashtbl.replace t.jobs id job;
+  t.inflight <- t.inflight + 1;
+  Telemetry.Counter.incr tm_submitted;
+  Telemetry.Histogram.observe tm_depth (float_of_int t.inflight);
+  (* the eviction-storm fault, when enabled, empties the cache at
+     admission — the request must then rebuild and re-place *)
+  Telemetry.Request.resume ~client:job.jclient ~id "instantiate";
+  ignore (Residency.maybe_evict_storm t.residency);
+  Telemetry.Request.suspend ();
+  spawn_stage t job "parse" (stage_parse t job);
+  id
+
+(* One pump round: run scheduler tasks; when nothing is runnable,
+   flush the place barrier and keep going. *)
+let rec pump (t : t) : unit =
+  if Simos.Sched.step t.sched then pump t
+  else if t.place_q <> [] then begin
+    flush_place t;
+    pump t
+  end
+
+(** Run the pipeline until every submitted request has completed. *)
+let drain (t : t) : unit = if not (Simos.Sched.running t.sched) then pump t
+
+(** Requests submitted but not yet completed. *)
+let in_flight (t : t) : int = t.inflight
+
+(* Deliver a finished job's outcome (the ticket is spent). *)
+let deliver (t : t) (tk : ticket) (job : job) : response =
+  match job.joutcome with
+  | Some (Ok r) ->
+      Hashtbl.remove t.jobs tk;
+      r
+  | Some (Error e) ->
+      Hashtbl.remove t.jobs tk;
+      raise e
+  | None -> fail "ticket %d has not completed" tk
+
+(** Completed? [None] while the request is still in flight; delivers
+    the response (or re-raises the request's failure) once done. A
+    delivered ticket is spent. *)
+let poll (t : t) (tk : ticket) : response option =
+  match Hashtbl.find_opt t.jobs tk with
+  | None -> fail "unknown (or already delivered) ticket %d" tk
+  | Some job -> (
+      match job.joutcome with None -> None | Some _ -> Some (deliver t tk job))
+
+(** Drive the pipeline until this ticket completes, then deliver it. *)
+let await (t : t) (tk : ticket) : response =
+  match Hashtbl.find_opt t.jobs tk with
+  | None -> fail "unknown (or already delivered) ticket %d" tk
+  | Some job ->
+      let rec loop () =
+        match job.joutcome with
+        | Some _ -> deliver t tk job
+        | None ->
+            if Simos.Sched.step t.sched then loop ()
+            else if t.place_q <> [] then begin
+              flush_place t;
+              loop ()
+            end
+            else fail "pipeline stalled awaiting ticket %d" tk
+      in
+      loop ()
+
+(* The synchronous path for nested instantiations: a specializer or an
+   upcall may instantiate a library while the scheduler is mid-drain
+   (its request is a stage of another request) — those run inline,
+   bypassing the queue, exactly like the pre-pipeline server. *)
+let instantiate_inline (t : t) (req : request) : response =
+  Telemetry.Request.with_request "instantiate" @@ fun () ->
   let t0 = Telemetry.now_us () in
   let links0 = t.work.links in
-  (* the eviction-storm fault, when enabled, empties the cache here —
-     the request below must then rebuild and re-place everything *)
   ignore (Residency.maybe_evict_storm t.residency);
   let built =
     match req.target with
@@ -513,24 +1056,58 @@ let instantiate (t : t) (req : request) : response =
   let sim_us = Telemetry.now_us () -. t0 in
   Telemetry.Counter.incr tm_instantiations;
   Telemetry.Histogram.observe tm_instantiate_us sim_us;
-  Telemetry.Span.add_attr span "cache_hit" (Telemetry.B cache_hit);
   Residency.self_check t.residency;
   Telemetry.Health.record ~hit:cache_hit ~cost_us:sim_us ();
-  { built; cache_hit; sim_us }
+  { built; cache_hit; sim_us; queue_us = 0.0 }
 
-(** Build (or fetch) the image of a {e library} meta-object — a thin
-    wrapper over {!instantiate}. *)
+(** Serve one instantiation request synchronously: submit it, drive the
+    pipeline until it completes. Opens the root ["omos.instantiate"]
+    span; evaluation, placement, linking and caching all nest under it
+    (a nested call from inside a running stage executes inline). *)
+let instantiate (t : t) (req : request) : response =
+  if Simos.Sched.running t.sched then instantiate_inline t req
+  else begin
+    let span =
+      Telemetry.Span.enter "omos.instantiate"
+        ~attrs:[ ("target", Telemetry.S (target_label req.target)) ]
+    in
+    Fun.protect ~finally:(fun () -> Telemetry.Span.exit span) @@ fun () ->
+    let resp = await t (submit t req) in
+    Telemetry.Span.add_attr span "cache_hit" (Telemetry.B resp.cache_hit);
+    resp
+  end
+
+(** [build t req] = [(instantiate t req).built] — the one-call
+    convenience for callers that only want the image. *)
+let build (t : t) (req : request) : built = (instantiate t req).built
+
+(* Deprecated wrappers over {!build} (kept for one PR). *)
 let build_library (t : t) ~(path : string)
     ?(spec : (string * Blueprint.Mgraph.value list) option) ?(externals = []) () :
     built =
-  (instantiate t { target = Library { path; spec }; externals }).built
+  build t { target = Library { path; spec }; externals }
 
-(** Build (or fetch) a fully static image of an arbitrary graph — a thin
-    wrapper over {!instantiate}. *)
 let build_static (t : t) ~(name : string) ?(entry_symbol : string option)
     ?(externals = []) (graph : Blueprint.Mgraph.node) : built =
-  (instantiate t { target = Static { name; graph; entry_symbol }; externals })
-    .built
+  build t { target = Static { name; graph; entry_symbol }; externals }
+
+(* -- pipeline knobs ---------------------------------------------------------- *)
+
+(** Bound the number of in-flight requests ({!submit} raises
+    {!Overload} beyond it). *)
+let set_queue_limit (t : t) (n : int) : unit =
+  if n < 1 then invalid_arg "Server.set_queue_limit";
+  t.queue_limit <- n
+
+(** Solve queued placements as one batched constraint pass (default) or
+    one pass per request? *)
+let set_batch_placement (t : t) (b : bool) : unit = t.batch_place <- b
+
+(** Reseed the pipeline scheduler: 0 (the default) runs stages in
+    strict FIFO order; any other seed interleaves ready stages in a
+    deterministic shuffled order. *)
+let set_sched_seed (t : t) (seed : int) : unit =
+  Simos.Sched.set_seed t.sched seed
 
 (** Register a specialization style (the schemes install theirs here). *)
 let register_specializer (t : t) (style : string) (f : Blueprint.Mgraph.specializer) :

@@ -4,11 +4,23 @@
     simulated program invocations) that owns the namespace, the image
     cache, the address-space constraint arenas, and the blueprint
     evaluation environment. Program linking and loading are the special
-    case of generic object instantiation, and every instantiation goes
-    through one entry point: {!instantiate}, which opens the root
-    telemetry span of the request path. *)
+    case of generic object instantiation.
+
+    Every instantiation flows through a staged pipeline — parse → lint
+    → eval → place → link → map — driven by a cooperative scheduler
+    ({!Simos.Sched}) on the simulated clock. Clients either go
+    asynchronous ({!submit} a {!request}, later {!await}/{!poll} the
+    {!ticket}) or call the classic synchronous {!instantiate}, which is
+    a thin submit-and-drain wrapper. When several requests are in
+    flight, their stages interleave deterministically and the [place]
+    stage solves all queued placements as {e one} batched constraint
+    pass. *)
 
 exception Server_error of string
+
+(** Raised by {!submit} when admission control rejects a request
+    (too many in flight — see {!set_queue_limit}). *)
+exception Overload of string
 
 (** Address-space conventions (cf. Figure 1's "T" 0x100000
     "D" 0x40200000): libraries live in the shared arenas; client
@@ -82,10 +94,13 @@ val add_fragment : t -> string -> Sof.Object_file.t -> unit
     view materialized, no simulated cost charged — its finding counts
     feed the [lint.errors]/[lint.warnings] counters, and the findings
     replay into the provenance journal of every build of the meta.
-    Registration never fails on findings. *)
+    Registration never fails on findings. This is the one canonical
+    registration entry point; {!register_meta_source} and
+    {!load_meta_file} both route through it. *)
 val register_meta : t -> string -> Blueprint.Meta.t -> unit
 
-(** Alias of {!register_meta}. *)
+(** @deprecated Alias of {!register_meta}; will be removed next
+    release. *)
 val add_meta : t -> string -> Blueprint.Meta.t -> unit
 
 (** The registration-time lint report of a bound meta-object. *)
@@ -97,7 +112,12 @@ val lint_report : t -> string -> Analysis.Lint.report option
 val resolve_graph :
   t -> string -> (Blueprint.Mgraph.node, string) result
 
-(** Register a meta-object from blueprint source text. *)
+(** Register a meta-object from blueprint source text (parse, then
+    {!register_meta}). *)
+val register_meta_source : t -> string -> string -> unit
+
+(** @deprecated Alias of {!register_meta_source}; will be removed next
+    release. *)
 val add_meta_source : t -> string -> string -> unit
 
 (** Load a meta-object source file from the simulated filesystem and
@@ -153,15 +173,33 @@ type request = { target : target; externals : Linker.Image.t list }
 type response = {
   built : built;
   cache_hit : bool; (* served from the image cache, no link performed *)
-  sim_us : float; (* simulated time the request took *)
+  sim_us : float; (* simulated submit-to-completion time, queueing included *)
+  queue_us : float; (* of sim_us, time spent waiting on other requests *)
 }
 
+(** [library ?spec ?externals path] — a [Library] request. *)
+val library :
+  ?spec:string * Blueprint.Mgraph.value list ->
+  ?externals:Linker.Image.t list ->
+  string ->
+  request
+
+(** [static ~name graph] — a [Static] request. *)
+val static :
+  ?entry_symbol:string ->
+  ?externals:Linker.Image.t list ->
+  name:string ->
+  Blueprint.Mgraph.node ->
+  request
+
+(** @deprecated Alias of {!library}; will be removed next release. *)
 val library_request :
   ?spec:string * Blueprint.Mgraph.value list ->
   ?externals:Linker.Image.t list ->
   string ->
   request
 
+(** @deprecated Alias of {!static}; will be removed next release. *)
 val static_request :
   ?entry_symbol:string ->
   ?externals:Linker.Image.t list ->
@@ -169,13 +207,66 @@ val static_request :
   Blueprint.Mgraph.node ->
   request
 
-(** Serve one instantiation request — the single entry point of the
-    OMOS request path. Opens the root ["omos.instantiate"] telemetry
+(** {2 The asynchronous pipeline}
+
+    [submit] admits a request into the staged pipeline and returns a
+    ticket immediately; the request advances through
+    parse → lint → eval → place → link → map as the scheduler runs.
+    Stage transitions are recorded in the flight recorder
+    ([pipeline.parse] …), per-stage latencies and queue depths feed the
+    metrics registry, and concurrent requests meeting at the place
+    boundary are solved in one batched constraint pass
+    ([place.batch_size] histogram). *)
+
+(** Handle to an in-flight request. *)
+type ticket
+
+(** Admit a request. Scheduling is lazy: stages only run inside
+    {!await}, {!poll}, {!drain} or a synchronous {!instantiate}.
+    @raise Overload when {!in_flight} ≥ the queue limit. *)
+val submit : t -> request -> ticket
+
+(** Run the pipeline until this ticket completes; return its response.
+    Re-raises the request's own failure exception, if any. *)
+val await : t -> ticket -> response
+
+(** [poll t k] — [Some response] if [k] has completed (consuming the
+    ticket), [None] if still in flight; does not advance the pipeline.
+    @raise Server_error on an unknown or already-consumed ticket. *)
+val poll : t -> ticket -> response option
+
+(** Run the pipeline until no request is in flight. *)
+val drain : t -> unit
+
+(** Number of submitted-but-undelivered requests. *)
+val in_flight : t -> int
+
+(** Admission-control bound on {!in_flight} (default 64); beyond it
+    {!submit} raises {!Overload}. *)
+val set_queue_limit : t -> int -> unit
+
+(** Solve queued placements as one batched constraint pass (default
+    [true]); [false] reverts to one solver pass per request. *)
+val set_batch_placement : t -> bool -> unit
+
+(** Seed for the cooperative scheduler's task interleaving. 0 (the
+    default) is strict FIFO; any other seed is a deterministic
+    pseudo-random interleaving — byte-reproducible run to run. *)
+val set_sched_seed : t -> int -> unit
+
+(** {2 Synchronous wrappers} *)
+
+(** Serve one instantiation request to completion —
+    [submit] + [await] under the root ["omos.instantiate"] telemetry
     span; evaluation, placement, linking and caching all nest under
     it. *)
 val instantiate : t -> request -> response
 
-(** [build_library t ~path ()] = [(instantiate t (library_request path)).built]. *)
+(** [build t req] = [(instantiate t req).built]. *)
+val build : t -> request -> built
+
+(** @deprecated Use [build t (library path)]; will be removed next
+    release. *)
 val build_library :
   t ->
   path:string ->
@@ -184,8 +275,8 @@ val build_library :
   unit ->
   built
 
-(** [build_static t ~name graph] — thin wrapper over {!instantiate}
-    with a [Static] target. *)
+(** @deprecated Use [build t (static ~name graph)]; will be removed
+    next release. *)
 val build_static :
   t ->
   name:string ->

@@ -6,6 +6,7 @@ type spec = {
   clients : int;
   requests : int;
   seed : int;
+  concurrency : int;
   metas : string list;
   mix : (string * int) list;
   evict_bytes : int;
@@ -17,6 +18,7 @@ let default =
     clients = 3;
     requests = 30;
     seed = 7;
+    concurrency = 1;
     metas = [ "/demo/hello"; "/lib/libm"; "/lib/libl" ];
     mix = [ ("instantiate", 6); ("dynload", 2); ("evict", 1) ];
     evict_bytes = 4096;
@@ -29,6 +31,7 @@ let parse (text : string) : spec =
   let clients = ref default.clients in
   let requests = ref default.requests in
   let seed = ref default.seed in
+  let concurrency = ref default.concurrency in
   let metas = ref [] in
   let mix = ref None in
   let evict_bytes = ref default.evict_bytes in
@@ -65,6 +68,7 @@ let parse (text : string) : spec =
       | [ "clients"; n ] -> clients := int_of "clients" n
       | [ "requests"; n ] -> requests := int_of "requests" n
       | [ "seed"; n ] -> seed := int_of "seed" n
+      | [ "concurrency"; n ] -> concurrency := int_of "concurrency" n
       | [ "meta"; path ] -> metas := path :: !metas
       | [ "evict_bytes"; n ] -> evict_bytes := int_of "evict_bytes" n
       | [ "fault_seed"; n ] ->
@@ -102,10 +106,12 @@ let parse (text : string) : spec =
     (String.split_on_char '\n' text);
   if !clients < 1 then raise (Spec_error "clients must be >= 1");
   if !requests < 0 then raise (Spec_error "requests must be >= 0");
+  if !concurrency < 1 then raise (Spec_error "concurrency must be >= 1");
   {
     clients = !clients;
     requests = !requests;
     seed = !seed;
+    concurrency = !concurrency;
     metas = (if !metas = [] then default.metas else List.rev !metas);
     mix = (match !mix with Some m -> m | None -> default.mix);
     evict_bytes = !evict_bytes;
@@ -148,8 +154,9 @@ let run ?(on_event = fun (_ : event) -> ()) (spec : spec) : event list =
             "int main() { return 0; }"
         in
         let b =
-          Server.build_static s ~name
-            (Schemes.graph_of_objs [ Workloads.Crt0.obj (); main ])
+          Server.build s
+            (Server.static ~name
+               (Schemes.graph_of_objs [ Workloads.Crt0.obj (); main ]))
         in
         let p = Boot.integrated_exec s (Server.loadable_entry [ b ]) ~args:[ name ] in
         (p, b.Server.entry.Cache.image))
@@ -175,55 +182,94 @@ let run ?(on_event = fun (_ : event) -> ()) (spec : spec) : event list =
     in
     go 0 spec.mix
   in
+  if spec.concurrency > 1 then
+    Server.set_queue_limit s (max 64 spec.concurrency);
   let events = ref [] in
+  let emit ev =
+    on_event ev;
+    events := ev :: !events
+  in
+  (* instantiates submitted but not yet delivered, submission order *)
+  let pending = ref [] in
+  (* barrier: complete every in-flight instantiate, emitting its event.
+     Submission order is delivery order, so the streamed output is the
+     same whether requests overlapped or not. *)
+  let flush () =
+    match List.rev !pending with
+    | [] -> ()
+    | batch ->
+        pending := [];
+        Server.drain s;
+        List.iter
+          (fun (req_id, client, meta, ticket) ->
+            let r = Server.await s ticket in
+            emit
+              {
+                w_req = req_id;
+                w_client = client;
+                w_op = "instantiate";
+                w_target = meta;
+                w_hit = Some r.Server.cache_hit;
+                w_cost_us = r.Server.sim_us;
+              })
+          batch
+  in
   for _ = 1 to spec.requests do
     let client = rand_int spec.clients in
     Telemetry.Request.set_client client;
-    let before = Simos.Clock.elapsed clock in
     let req_id = Telemetry.Request.last_id () + 1 in
-    let op_name, target, hit, cost =
-      match pick_op () with
-      | "instantiate" ->
-          let meta = List.nth spec.metas (rand_int (List.length spec.metas)) in
-          let r = Server.instantiate s (Server.library_request meta) in
-          ("instantiate", meta, Some r.Server.cache_hit, r.Server.sim_us)
-      | "dynload" -> (
-          let p, img = hosts.(client) in
-          match Dynload.loaded dl p with
-          | [] ->
-              ignore
-                (Dynload.load dl p ~client_images:[ img ]
-                   ~graph:(Blueprint.Mgraph.parse "(merge /demo/impl.o)")
-                   ~symbols:[ "greet" ]);
-              ( "dynload",
-                "/demo/impl.o",
-                None,
-                Simos.Clock.elapsed clock -. before )
-          | last :: _ ->
-              Dynload.unload dl p last;
-              ( "unload",
-                last.Linker.Image.name,
-                None,
-                Simos.Clock.elapsed clock -. before ))
-      | "evict" ->
-          let n = Server.evict_to_budget s ~bytes:spec.evict_bytes in
-          ( "evict",
-            Printf.sprintf "budget=%d evicted=%d" spec.evict_bytes n,
-            None,
-            Simos.Clock.elapsed clock -. before )
-      | op -> raise (Spec_error ("unknown op in mix: " ^ op))
-    in
-    let ev =
-      {
-        w_req = req_id;
-        w_client = client;
-        w_op = op_name;
-        w_target = target;
-        w_hit = hit;
-        w_cost_us = cost;
-      }
-    in
-    on_event ev;
-    events := ev :: !events
+    match pick_op () with
+    | "instantiate" ->
+        let meta = List.nth spec.metas (rand_int (List.length spec.metas)) in
+        if spec.concurrency > 1 then begin
+          let ticket = Server.submit s (Server.library meta) in
+          pending := (req_id, client, meta, ticket) :: !pending;
+          if List.length !pending >= spec.concurrency then flush ()
+        end
+        else
+          let r = Server.instantiate s (Server.library meta) in
+          emit
+            {
+              w_req = req_id;
+              w_client = client;
+              w_op = "instantiate";
+              w_target = meta;
+              w_hit = Some r.Server.cache_hit;
+              w_cost_us = r.Server.sim_us;
+            }
+    | ("dynload" | "evict") as op ->
+        (* dynload/unload/evict mutate state the pipeline reads — they
+           act as barriers *)
+        flush ();
+        let before = Simos.Clock.elapsed clock in
+        let op_name, target =
+          match op with
+          | "dynload" -> (
+              let p, img = hosts.(client) in
+              match Dynload.loaded dl p with
+              | [] ->
+                  ignore
+                    (Dynload.load dl p ~client_images:[ img ]
+                       ~graph:(Blueprint.Mgraph.parse "(merge /demo/impl.o)")
+                       ~symbols:[ "greet" ]);
+                  ("dynload", "/demo/impl.o")
+              | last :: _ ->
+                  Dynload.unload dl p last;
+                  ("unload", last.Linker.Image.name))
+          | _ ->
+              let n = Server.evict_to_budget s ~bytes:spec.evict_bytes in
+              ("evict", Printf.sprintf "budget=%d evicted=%d" spec.evict_bytes n)
+        in
+        emit
+          {
+            w_req = req_id;
+            w_client = client;
+            w_op = op_name;
+            w_target = target;
+            w_hit = None;
+            w_cost_us = Simos.Clock.elapsed clock -. before;
+          }
+    | op -> raise (Spec_error ("unknown op in mix: " ^ op))
   done;
+  flush ();
   List.rev !events

@@ -10,25 +10,30 @@ exception Spec_error of string
 
 (** A scenario: [clients] simulated clients issue [requests] operations
     drawn from [mix] (op name → weight) over the library [metas],
-    seeded by [seed]. [faults] optionally arms the residency layer's
-    fault injection for the run. *)
+    seeded by [seed]. [concurrency] is the pipeline depth: up to that
+    many consecutive instantiates are submitted to the server's staged
+    pipeline before awaiting any (1 = fully serial; dynload/evict act
+    as barriers). [faults] optionally arms the residency layer's fault
+    injection for the run. *)
 type spec = {
   clients : int;
   requests : int;
   seed : int;
+  concurrency : int;
   metas : string list;
   mix : (string * int) list;
   evict_bytes : int;  (** disk budget handed to eviction requests *)
   faults : Residency.faults option;
 }
 
-(** 3 clients, 30 requests, seed 7, three library metas, mix
-    [instantiate=6 dynload=2 evict=1], no faults. *)
+(** 3 clients, 30 requests, seed 7, concurrency 1, three library metas,
+    mix [instantiate=6 dynload=2 evict=1], no faults. *)
 val default : spec
 
 (** Parse the line-oriented spec format ([#] comments; directives
-    [clients N], [requests N], [seed N], [meta PATH] (repeatable),
-    [mix op=w ...], [evict_bytes N], [fault_seed N],
+    [clients N], [requests N], [seed N], [concurrency N],
+    [meta PATH] (repeatable), [mix op=w ...], [evict_bytes N],
+    [fault_seed N],
     [fault place_conflict|evict_storm|reserve_fail RATE]); omitted
     directives keep {!default}'s values.
     @raise Spec_error on unknown directives or bad values. *)
@@ -50,7 +55,9 @@ type event = {
 }
 
 (** Build a fresh {!World}, reset telemetry, and run the scenario.
-    [on_event] fires after each operation (for streaming output);
-    the full event list is returned. Identical specs produce identical
-    event lists and identical telemetry. *)
+    [on_event] fires after each operation completes (for streaming
+    output); with [concurrency > 1], instantiate events are delivered
+    at the next pipeline barrier, still in submission order. The full
+    event list is returned. Identical specs produce identical event
+    lists and identical telemetry, at any concurrency. *)
 val run : ?on_event:(event -> unit) -> spec -> event list

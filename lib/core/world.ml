@@ -68,11 +68,11 @@ let create ?(personality = Hpux) ?(faults : Residency.faults option)
   Server.add_fragment server "/demo/base.o" (Lazy.force compiled_demo_base);
   Server.add_fragment server "/demo/impl.o" (Lazy.force compiled_demo_impl);
   (* library meta-objects *)
-  Server.add_meta_source server "/lib/libc" libc_meta_source;
-  Server.add_meta_source server "/demo/hello" demo_meta_source;
+  Server.register_meta_source server "/lib/libc" libc_meta_source;
+  Server.register_meta_source server "/demo/hello" demo_meta_source;
   List.iter
     (fun (path, _) ->
-      Server.add_meta_source server path (Printf.sprintf "(merge %s.o)" path))
+      Server.register_meta_source server path (Printf.sprintf "(merge %s.o)" path))
     (Lazy.force compiled_auxlibs);
   let upcalls = Upcalls.install kernel in
   let rt = Schemes.runtime ~upcalls server in

@@ -30,6 +30,9 @@ type t = {
   (* base cost of deferred (lazy, page-wise) relocation of a library
      page: write-fault + private copy, before the per-reloc work *)
   deferred_page_overhead : float;
+  (* one pass of the placement constraint solver over the queued
+     requests; batching amortizes it across the whole batch *)
+  place_solve : float;
 }
 
 (** HP-UX-like personality: a monolithic kernel — cheap syscalls, no
@@ -53,6 +56,7 @@ let hpux : t =
     symbol_lookup = 2.2;
     dispatch_patch = 1.1;
     deferred_page_overhead = 300.0;
+    place_solve = 25.0;
   }
 
 (** Mach 3.0 + OSF/1 single-server personality: syscalls are IPC to the
@@ -80,6 +84,7 @@ let mach_osf1 : t =
     symbol_lookup = 2.4;
     dispatch_patch = 1.2;
     deferred_page_overhead = 330.0;
+    place_solve = 30.0;
   }
 
 (** Mach 3.0 on i386 (the paper's second Mach platform): the same

@@ -24,6 +24,7 @@ type t = {
   symbol_lookup : float;
   dispatch_patch : float;
   deferred_page_overhead : float;
+  place_solve : float;
 }
 val hpux : t
 val mach_osf1 : t

@@ -1,0 +1,95 @@
+(** Deterministic cooperative run queue (see sched.mli). *)
+
+type task = { label : string; run : unit -> unit }
+
+type t = {
+  mutable queue : task list; (* newest-first; drained via rev *)
+  mutable ready : task list; (* oldest-first tail being consumed *)
+  mutable idle_hooks : (unit -> bool) list; (* installation order *)
+  mutable seed : int;
+  mutable rng : int;
+  mutable executed : int;
+  mutable in_step : bool;
+}
+
+let create ?(seed = 0) () =
+  {
+    queue = [];
+    ready = [];
+    idle_hooks = [];
+    seed;
+    rng = (if seed = 0 then 0 else seed land 0xffffffff);
+    executed = 0;
+    in_step = false;
+  }
+
+let set_seed (t : t) (seed : int) : unit =
+  t.seed <- seed;
+  t.rng <- (if seed = 0 then 0 else seed land 0xffffffff)
+
+let spawn (t : t) ?(label = "task") (run : unit -> unit) : unit =
+  t.queue <- { label; run } :: t.queue
+
+let on_idle (t : t) (hook : unit -> bool) : unit =
+  t.idle_hooks <- t.idle_hooks @ [ hook ]
+
+let pending (t : t) : int = List.length t.queue + List.length t.ready
+let steps (t : t) : int = t.executed
+let running (t : t) : bool = t.in_step
+
+(* xorshift32, the same generator the workload driver uses. *)
+let rand (t : t) (bound : int) : int =
+  let x = t.rng in
+  let x = x lxor (x lsl 13) land 0xffffffff in
+  let x = x lxor (x lsr 17) in
+  let x = x lxor (x lsl 5) land 0xffffffff in
+  let x = if x = 0 then 0x9e3779b9 else x in
+  t.rng <- x;
+  x mod bound
+
+(* Pull the next task honouring the order discipline; [None] when both
+   lists are empty. *)
+let take (t : t) : task option =
+  (if t.ready = [] then begin
+     t.ready <- List.rev t.queue;
+     t.queue <- []
+   end);
+  match t.ready with
+  | [] -> None
+  | first :: rest ->
+      if t.seed = 0 then begin
+        t.ready <- rest;
+        Some first
+      end
+      else begin
+        (* seeded pick among all ready tasks, position chosen by the
+           deterministic generator *)
+        let all = t.ready in
+        let i = rand t (List.length all) in
+        let picked = List.nth all i in
+        t.ready <- List.filteri (fun j _ -> j <> i) all;
+        Some picked
+      end
+
+let rec step (t : t) : bool =
+  match take t with
+  | Some task ->
+      t.executed <- t.executed + 1;
+      let was = t.in_step in
+      t.in_step <- true;
+      Fun.protect ~finally:(fun () -> t.in_step <- was) task.run;
+      true
+  | None ->
+      (* quiescent run queue: let the idle hooks (batch barriers)
+         schedule more work *)
+      let rec fire = function
+        | [] -> false
+        | h :: rest -> if h () then true else fire rest
+      in
+      if fire t.idle_hooks then step t else false
+
+let drain (t : t) : unit =
+  if not t.in_step then
+    while step t do
+      ()
+    done

@@ -354,6 +354,11 @@ module Request = struct
   let set_client (c : int) : unit = ambient_client := c
 
   let current_client () = match !stack with x :: _ -> x.client | [] -> -1
+
+  (** The client id a request opened right now would inherit: the
+      innermost open request's, else the ambient one. *)
+  let effective_client () =
+    match !stack with x :: _ -> x.client | [] -> !ambient_client
   let current_request () = match !stack with x :: _ -> x.id | [] -> -1
   let active () = !stack <> []
 
@@ -393,6 +398,45 @@ module Request = struct
     ignore (begin_request ?client kind);
     Fun.protect ~finally:end_request f
 
+  (* -- detached requests (the staged pipeline) --
+
+     A pipeline request is opened once at submission, then repeatedly
+     resumed/suspended as its stages run interleaved with other
+     requests', and closed at completion — the id is assigned at
+     submission and survives across the stage boundaries. *)
+
+  let pop () =
+    (match !stack with _ :: rest -> stack := rest | [] -> ());
+    sync_flight ()
+
+  (** Assign a request id and emit [Request_begin] without leaving the
+      request on the context stack. Returns the id (pair it with
+      {!resume}/{!suspend} around each stage and {!end_detached} at
+      completion). *)
+  let begin_detached ?client (kind : string) : int =
+    let id = begin_request ?client kind in
+    (* leave the stack as we found it; the flight event above carried
+       the right context *)
+    (match !stack with _ :: rest -> stack := rest | [] -> ());
+    sync_flight ();
+    id
+
+  (** Push an already-assigned request back onto the context stack (no
+      new id, no begin event) — everything recorded until the matching
+      {!suspend} carries [(client, id)]. *)
+  let resume ~(client : int) ~(id : int) (kind : string) : unit =
+    stack := { client; id; kind } :: !stack;
+    sync_flight ()
+
+  (** Pop the innermost context without emitting [Request_end]. *)
+  let suspend () : unit = pop ()
+
+  (** Emit [Request_end] for a detached request. *)
+  let end_detached ~(client : int) ~(id : int) (kind : string) : unit =
+    resume ~client ~id kind;
+    Flight.emit Flight.Request_end kind "" (float_of_int id);
+    pop ()
+
   let reset_state () =
     next := 0;
     ambient_client := 0;
@@ -415,14 +459,16 @@ module Health = struct
   let hits = Array.make window_cap (-1) (* 1 hit, 0 miss, -1 unknown *)
   let conflicts_at = Array.make window_cap 0
   let violations_at = Array.make window_cap 0
+  let queues = Array.make window_cap 0.0 (* pipeline depth at completion *)
   let total = ref 0
 
-  let record ?hit ~(cost_us : float) () : unit =
+  let record ?hit ?(queue_depth = 0) ~(cost_us : float) () : unit =
     let i = !total mod window_cap in
     costs.(i) <- cost_us;
     hits.(i) <- (match hit with Some true -> 1 | Some false -> 0 | None -> -1);
     conflicts_at.(i) <- Counter.get "server.arena_conflicts";
     violations_at.(i) <- Counter.get "residency.invariant_violations";
+    queues.(i) <- float_of_int queue_depth;
     incr total
 
   type snapshot = {
@@ -436,6 +482,7 @@ module Health = struct
     max_us : float;
     conflict_rate : float;  (** arena conflicts per windowed request *)
     violation_rate : float;  (** invariant violations per windowed request *)
+    max_queue_depth : float;  (** deepest pipeline backlog in the window *)
   }
 
   let percentile (sorted : float array) (q : float) : float =
@@ -450,7 +497,7 @@ module Health = struct
     if n = 0 then
       { requests = 0; window = 0; hit_ratio = 1.0; p50_us = 0.0; p95_us = 0.0;
         p99_us = 0.0; mean_us = 0.0; max_us = 0.0; conflict_rate = 0.0;
-        violation_rate = 0.0 }
+        violation_rate = 0.0; max_queue_depth = 0.0 }
     else begin
       let idx k = (!total - n + k) mod window_cap in
       let w = Array.init n (fun k -> costs.(idx k)) in
@@ -478,6 +525,8 @@ module Health = struct
         max_us = sorted.(n - 1);
         conflict_rate = delta (Array.get conflicts_at) /. float_of_int n;
         violation_rate = delta (Array.get violations_at) /. float_of_int n;
+        max_queue_depth =
+          Array.fold_left max 0.0 (Array.init n (fun k -> queues.(idx k)));
       }
     end
 
@@ -489,11 +538,13 @@ module Health = struct
     p99_us_max : float option;
     conflict_rate_max : float option;
     violation_rate_max : float option;
+    queue_depth_max : float option;
   }
 
   let empty_slo =
     { hit_ratio_min = None; p95_us_max = None; p99_us_max = None;
-      conflict_rate_max = None; violation_rate_max = None }
+      conflict_rate_max = None; violation_rate_max = None;
+      queue_depth_max = None }
 
   exception Slo_error of string
 
@@ -527,6 +578,7 @@ module Health = struct
             | "p99_us_max" -> { acc with p99_us_max = Some f }
             | "conflict_rate_max" -> { acc with conflict_rate_max = Some f }
             | "violation_rate_max" -> { acc with violation_rate_max = Some f }
+            | "queue_depth_max" -> { acc with queue_depth_max = Some f }
             | k -> raise (Slo_error ("unknown SLO key: " ^ k)))
         | _ -> raise (Slo_error ("bad SLO line: " ^ line)))
       empty_slo
@@ -549,6 +601,9 @@ module Health = struct
         Option.map
           (fun b -> upper "violation_rate_max" b snap.violation_rate)
           s.violation_rate_max;
+        Option.map
+          (fun b -> upper "queue_depth_max" b snap.max_queue_depth)
+          s.queue_depth_max;
       ]
 
   let ok (checks : (string * float * float * bool) list) : bool =
@@ -810,6 +865,20 @@ module Provenance = struct
   let frames : frame list ref = ref []
 
   let begin_build () : unit = frames := { ops = []; events = [] } :: !frames
+
+  type open_frame = frame
+  (** A journal frame detached from the global stack: the pipeline
+      suspends a build's frame between stages so interleaved requests
+      never record into each other's journals. *)
+
+  let suspend_build () : open_frame =
+    match !frames with
+    | f :: rest ->
+        frames := rest;
+        f
+    | [] -> { ops = []; events = [] }
+
+  let resume_build (f : open_frame) : unit = frames := f :: !frames
 
   let record_event (e : event) : unit =
     if !prov_enabled then

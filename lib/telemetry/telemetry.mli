@@ -147,6 +147,10 @@ module Request : sig
   (** Client id of the innermost open request, [-1] outside any. *)
   val current_client : unit -> int
 
+  (** The client id a request opened right now would inherit: the
+      innermost open request's, else the ambient one. *)
+  val effective_client : unit -> int
+
   (** Id of the innermost open request, [-1] outside any. *)
   val current_request : unit -> int
 
@@ -163,6 +167,27 @@ module Request : sig
 
   (** Run [f] inside a fresh request (ended on exceptions too). *)
   val with_request : ?client:int -> string -> (unit -> 'a) -> 'a
+
+  (** {2 Detached requests}
+
+      The staged pipeline opens a request once at submission, resumes
+      and suspends it around every stage execution (so interleaved
+      requests each stamp their own [(client, id)] on what they
+      record), and closes it at completion. *)
+
+  (** Assign a request id and emit the begin event without leaving the
+      request on the context stack. *)
+  val begin_detached : ?client:int -> string -> int
+
+  (** Push an already-assigned [(client, id)] back onto the context
+      stack (no new id, no begin event). *)
+  val resume : client:int -> id:int -> string -> unit
+
+  (** Pop the innermost context without emitting an end event. *)
+  val suspend : unit -> unit
+
+  (** Emit the end event of a detached request. *)
+  val end_detached : client:int -> id:int -> string -> unit
 end
 
 (** Rolling-window health over the instantiate stream: hit ratio, cost
@@ -173,8 +198,9 @@ module Health : sig
   val window_cap : int
 
   (** Record one served request (the server calls this once per
-      instantiate). Conflict/violation counters are sampled here. *)
-  val record : ?hit:bool -> cost_us:float -> unit -> unit
+      instantiate). Conflict/violation counters are sampled here;
+      [queue_depth] is the pipeline backlog observed at completion. *)
+  val record : ?hit:bool -> ?queue_depth:int -> cost_us:float -> unit -> unit
 
   type snapshot = {
     requests : int;  (** requests recorded since the last reset *)
@@ -187,6 +213,7 @@ module Health : sig
     max_us : float;
     conflict_rate : float;  (** arena conflicts per windowed request *)
     violation_rate : float;  (** invariant violations per windowed request *)
+    max_queue_depth : float;  (** deepest pipeline backlog in the window *)
   }
 
   val snapshot : unit -> snapshot
@@ -198,6 +225,7 @@ module Health : sig
     p99_us_max : float option;
     conflict_rate_max : float option;
     violation_rate_max : float option;
+    queue_depth_max : float option;
   }
 
   val empty_slo : slo
@@ -288,6 +316,17 @@ module Provenance : sig
 
   (** Open a journal frame for a build about to start. *)
   val begin_build : unit -> unit
+
+  (** A journal frame detached from the global stack: the pipeline
+      suspends a build's frame between stages so interleaved requests
+      never record into each other's journals. *)
+  type open_frame
+
+  (** Detach the innermost open frame. *)
+  val suspend_build : unit -> open_frame
+
+  (** Push a detached frame back as the innermost open frame. *)
+  val resume_build : open_frame -> unit
 
   (** Close the innermost frame into a provenance record. *)
   val capture :

@@ -11,8 +11,8 @@ gate it against a bounds file. Generous bounds pass:
 
   $ ofe health --slo ok.slo
   hit_ratio_min      bound=0.4 actual=0.647059 ok
-  p95_us_max         bound=500 actual=225.6 ok
-  p99_us_max         bound=500 actual=225.6 ok
+  p95_us_max         bound=500 actual=250.6 ok
+  p99_us_max         bound=500 actual=250.6 ok
   conflict_rate_max  bound=0.05 actual=0 ok
   violation_rate_max bound=0 actual=0 ok
 
@@ -43,13 +43,13 @@ every N requests with --watch:
 
   $ ofe top
      reqs  window   hit%   p50_us   p95_us   p99_us  mean_us   max_us  confl/req  viol/req
-       17      17   64.7      0.0    225.6    225.6     39.5    225.6      0.000     0.000
+       17      17   64.7      0.0    250.6    250.6     48.4    250.6      0.000     0.000
 
   $ ofe top --watch --every 10
      reqs  window   hit%   p50_us   p95_us   p99_us  mean_us   max_us  confl/req  viol/req
-        7       7   57.1      0.0    225.6    225.6     48.7    225.6      0.000     0.000
-       12      12   66.7      0.0    225.6    225.6     37.6    225.6      0.000     0.000
-       17      17   64.7      0.0    225.6    225.6     39.5    225.6      0.000     0.000
+        7       7   57.1      0.0    250.6    250.6     59.4    250.6      0.000     0.000
+       12      12   66.7      0.0    250.6    250.6     45.9    250.6      0.000     0.000
+       17      17   64.7      0.0    250.6    250.6     48.4    250.6      0.000     0.000
 
 Unknown flags print usage and exit 2 — distinguishable from build
 errors (1) and success (0):

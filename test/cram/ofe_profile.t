@@ -5,12 +5,14 @@ microsecond lands under a named phase.
 
   $ ofe profile /demo/hello
   meta: /demo/hello
-  total simulated cost: 124.8 us
+  total simulated cost: 149.8 us
   by operator (innermost span):
-    kernel.map_image                    120.0 us   96.2%
-    server.link                           4.8 us    3.8%
+    kernel.map_image                    120.0 us   80.1%
+    omos.instantiate                     25.0 us   16.7%
+    server.link                           4.8 us    3.2%
   folded stacks:
     ofe.profile;kernel.map_image 120.0
+    ofe.profile;omos.instantiate 25.0
     ofe.profile;omos.instantiate;server.link 4.8
 
 The folded output can go straight to a flamegraph tool:
@@ -19,12 +21,13 @@ The folded output can go straight to a flamegraph tool:
   wrote folded.txt
   $ cat folded.txt
   ofe.profile;kernel.map_image 120.0
+  ofe.profile;omos.instantiate 25.0
   ofe.profile;omos.instantiate;server.link 4.8
 
 The JSON form splits each path by cost kind:
 
   $ ofe profile /demo/hello --json
-  {"meta":"/demo/hello","total_us":124.8,"rows":[{"path":"ofe.profile;kernel.map_image","user_us":0,"system_us":120,"io_us":0},{"path":"ofe.profile;omos.instantiate;server.link","user_us":0,"system_us":4.8,"io_us":0}]}
+  {"meta":"/demo/hello","total_us":149.8,"rows":[{"path":"ofe.profile;kernel.map_image","user_us":0,"system_us":120,"io_us":0},{"path":"ofe.profile;omos.instantiate","user_us":0,"system_us":25,"io_us":0},{"path":"ofe.profile;omos.instantiate;server.link","user_us":0,"system_us":4.8,"io_us":0}]}
 
 Unknown meta-objects fail cleanly:
 

@@ -15,15 +15,15 @@ summary.
   > EOF
 
   $ ofe workload smoke.spec | tee run1.txt
-  req=0 client=1 op=instantiate target=/lib/libm hit=false cost_us=225.6
+  req=0 client=1 op=instantiate target=/lib/libm hit=false cost_us=250.6
   req=1 client=1 op=instantiate target=/lib/libm hit=true cost_us=0.0
   req=2 client=1 op=instantiate target=/lib/libm hit=true cost_us=0.0
   req=3 client=1 op=dynload target=/demo/impl.o hit=- cost_us=1920.0
-  req=4 client=1 op=instantiate target=/demo/hello hit=false cost_us=4.8
+  req=4 client=1 op=instantiate target=/demo/hello hit=false cost_us=29.8
   req=5 client=1 op=unload target=/demo/impl.o hit=- cost_us=0.0
   req=6 client=0 op=instantiate target=/lib/libm hit=true cost_us=0.0
   req=7 client=0 op=instantiate target=/demo/hello hit=true cost_us=0.0
-  # requests=6 window=6 hit_ratio=0.67 p50_us=0.0 p95_us=225.6 p99_us=225.6 mean_us=38.4 max_us=225.6 conflict_rate=0.000 violation_rate=0.000
+  # requests=6 window=6 hit_ratio=0.67 p50_us=0.0 p95_us=250.6 p99_us=250.6 mean_us=46.7 max_us=250.6 conflict_rate=0.000 violation_rate=0.000
 
 Two runs of the same spec are byte-identical:
 
@@ -50,7 +50,7 @@ events name the client and request that hit them.
   $ head -c 36 flight.json && echo
   {"type":"flight_dump","reason":"faul
   $ grep -m 1 " fault " flight.txt
-  000020 at=3659.2us client=1 request=0 fault         residency.place_conflict
+  000029 at=3684.2us client=1 request=0 fault         residency.place_conflict
 
 A bad spec fails cleanly (and, with nothing recorded, leaves no dump):
 
@@ -62,3 +62,30 @@ A bad spec fails cleanly (and, with nothing recorded, leaves no dump):
   $ ls flight.json
   ls: cannot access 'flight.json': No such file or directory
   [2]
+
+The concurrency directive pipelines instantiates through the server's
+staged submit/await API: up to N requests in flight, placements solved
+in one batched constraint pass, events still in submission order and
+byte-reproducible. In-flight duplicates coalesce into cache hits, and
+per-request cost now includes queue wait:
+
+  $ cat > conc.spec <<'SPEC'
+  > clients 2
+  > requests 6
+  > seed 5
+  > concurrency 4
+  > meta /demo/hello
+  > meta /lib/libm
+  > mix instantiate=1
+  > SPEC
+
+  $ ofe workload conc.spec > conc1.txt
+  $ ofe workload --concurrency 4 conc.spec > conc2.txt
+  $ cmp conc1.txt conc2.txt && cat conc1.txt
+  req=0 client=1 op=instantiate target=/lib/libm hit=false cost_us=250.6
+  req=1 client=1 op=instantiate target=/lib/libm hit=true cost_us=250.6
+  req=2 client=1 op=instantiate target=/lib/libm hit=true cost_us=250.6
+  req=3 client=1 op=instantiate target=/lib/libm hit=true cost_us=250.6
+  req=4 client=1 op=instantiate target=/lib/libm hit=true cost_us=0.0
+  req=5 client=1 op=instantiate target=/lib/libm hit=true cost_us=0.0
+  # requests=6 window=6 hit_ratio=0.83 p50_us=250.6 p95_us=250.6 p99_us=250.6 mean_us=167.1 max_us=250.6 conflict_rate=0.000 violation_rate=0.000

@@ -265,8 +265,8 @@ let test_registration_counters_and_provenance () =
   let s = w.Omos.World.server in
   let errs0 = Telemetry.Counter.get "lint.errors" in
   let warns0 = Telemetry.Counter.get "lint.warnings" in
-  Omos.Server.add_meta_source s "/test/warny" "(override /demo/impl.o /lib/libm.o)";
-  Omos.Server.add_meta_source s "/test/broken" "(merge /demo/base.o /demo/base.o)";
+  Omos.Server.register_meta_source s "/test/warny" "(override /demo/impl.o /lib/libm.o)";
+  Omos.Server.register_meta_source s "/test/broken" "(merge /demo/base.o /demo/base.o)";
   Alcotest.(check int) "warning counter" (warns0 + 1)
     (Telemetry.Counter.get "lint.warnings");
   Alcotest.(check int) "error counter" (errs0 + 1)
@@ -280,7 +280,7 @@ let test_registration_counters_and_provenance () =
      perturbing the operator chain *)
   Telemetry.set_enabled true;
   Telemetry.Provenance.set_enabled true;
-  let resp = Omos.Server.instantiate s (Omos.Server.library_request "/test/warny") in
+  let resp = Omos.Server.instantiate s (Omos.Server.library "/test/warny") in
   Telemetry.Provenance.set_enabled false;
   Telemetry.set_enabled false;
   let e = resp.Omos.Server.built.Omos.Server.entry in

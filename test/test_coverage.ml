@@ -246,7 +246,7 @@ let test_ctor_end_to_end () =
   let graph =
     Blueprint.Mgraph.parse "(initializers (merge /obj/crt0.o /obj/app.o))"
   in
-  let b = Omos.Server.build_static s ~name:"ctors" graph in
+  let b = Omos.Server.build s @@ Omos.Server.static ~name:"ctors" graph in
   let p =
     Omos.Boot.integrated_exec s (Omos.Server.loadable_entry [ b ]) ~args:[ "c" ]
   in
@@ -255,7 +255,7 @@ let test_ctor_end_to_end () =
   (* without the initializers operator, the weak empty __init wins and
      the constructor does not run *)
   let plain =
-    Omos.Server.build_static s ~name:"noctors"
+    Omos.Server.build s @@ Omos.Server.static ~name:"noctors"
       (Blueprint.Mgraph.parse "(merge /obj/crt0.o /obj/app.o)")
   in
   let p2 =

@@ -125,7 +125,7 @@ let test_unload () =
   let s = w.Omos.World.server in
   Omos.Server.add_fragment s "/obj/k.o" (compile "/obj/k.o" "int kfn(int x) { return x + 1; }");
   let b =
-    Omos.Server.build_static s ~name:"host"
+    Omos.Server.build s @@ Omos.Server.static ~name:"host"
       (Omos.Schemes.graph_of_objs
          [ Workloads.Crt0.obj (); compile "/obj/h.o" "int main() { return 0; }" ])
   in
@@ -168,7 +168,7 @@ let test_unload_not_loaded () =
   let w = Omos.World.create () in
   let s = w.Omos.World.server in
   let b =
-    Omos.Server.build_static s ~name:"host2"
+    Omos.Server.build s @@ Omos.Server.static ~name:"host2"
       (Omos.Schemes.graph_of_objs
          [ Workloads.Crt0.obj (); compile "/obj/h.o" "int main() { return 0; }" ])
   in
@@ -204,7 +204,7 @@ let test_version_mismatch_detected () =
   (* the library evolves: a new export changes the interface *)
   Omos.Server.add_fragment s "/libc/extra"
     (compile "/libc/extra" "int brand_new_routine(int x) { return x; }");
-  Omos.Server.add_meta_source s "/lib/libc"
+  Omos.Server.register_meta_source s "/lib/libc"
     ("(constraint-list \"T\" 0x100000 \"D\" 0x40200000)\n\
       (merge /libc/gen /libc/stdio /libc/string /libc/stdlib\n\
       /libc/hppa /libc/net /libc/quad /libc/rpc /libc/extra)");
@@ -235,10 +235,10 @@ let test_conflicts_recorded () =
   let s = w.Omos.World.server in
   let libs = Workloads.Codegen_gen.libraries () in
   List.iter
-    (fun (path, _) -> Omos.Server.add_meta_source s (path ^ "-g") (greedy_meta path))
+    (fun (path, _) -> Omos.Server.register_meta_source s (path ^ "-g") (greedy_meta path))
     libs;
   List.iter
-    (fun (path, _) -> ignore (Omos.Server.build_library s ~path:(path ^ "-g") ()))
+    (fun (path, _) -> ignore (Omos.Server.build s @@ Omos.Server.library (path ^ "-g")))
     libs;
   (* the first library won the base; the other four conflicted (text +
      data each) *)
@@ -251,11 +251,11 @@ let test_conflict_feedback_loop () =
   (* apply suggest_placements as new constraint-lists on a fresh
      server: every library then gets its preferred base, no conflicts *)
   let build_all s libs metas =
-    List.iter (fun (path, meta) -> Omos.Server.add_meta_source s path meta)
+    List.iter (fun (path, meta) -> Omos.Server.register_meta_source s path meta)
       (List.combine (List.map (fun (p, _) -> p ^ "-g") libs) metas);
     List.map
       (fun (path, _) ->
-        let b = Omos.Server.build_library s ~path:(path ^ "-g") () in
+        let b = Omos.Server.build s @@ Omos.Server.library (path ^ "-g") in
         b.Omos.Server.entry.Omos.Cache.text_base)
       libs
   in

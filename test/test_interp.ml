@@ -7,9 +7,9 @@ let test_publish_and_exec () =
   let k = w.Omos.World.kernel in
   let reg = Omos.Boot.install_interpreter s in
   (* build ls self-contained and export it as /bin/ls *)
-  let libc = Omos.Server.build_library s ~path:"/lib/libc" () in
+  let libc = Omos.Server.build s @@ Omos.Server.library "/lib/libc" in
   let client =
-    Omos.Server.build_static s ~name:"ls"
+    Omos.Server.build s @@ Omos.Server.static ~name:"ls"
       ~externals:[ libc.Omos.Server.entry.Omos.Cache.image ]
       (Omos.Schemes.graph_of_objs (Omos.World.ls_client w))
   in
@@ -53,9 +53,9 @@ let test_script_exec_charges_less_than_build () =
   let s = w.Omos.World.server in
   let k = w.Omos.World.kernel in
   let reg = Omos.Boot.install_interpreter s in
-  let libc = Omos.Server.build_library s ~path:"/lib/libc" () in
+  let libc = Omos.Server.build s @@ Omos.Server.library "/lib/libc" in
   let client =
-    Omos.Server.build_static s ~name:"ls"
+    Omos.Server.build s @@ Omos.Server.static ~name:"ls"
       ~externals:[ libc.Omos.Server.entry.Omos.Cache.image ]
       (Omos.Schemes.graph_of_objs (Omos.World.ls_client w))
   in
@@ -87,7 +87,7 @@ let test_mach_386_integrated_ratio () =
     (Workloads.Libc_gen.objects ());
   Omos.Server.add_fragment server "/lib/crt0.o" (Workloads.Crt0.obj ());
   Omos.Server.add_fragment server "/obj/ls.o" (Workloads.Ls_gen.obj ());
-  Omos.Server.add_meta_source server "/lib/libc" Omos.World.libc_meta_source;
+  Omos.Server.register_meta_source server "/lib/libc" Omos.World.libc_meta_source;
   let upcalls = Omos.Upcalls.install kernel in
   let rt = Omos.Schemes.runtime ~upcalls server in
   let client = [ Workloads.Crt0.obj (); Workloads.Ls_gen.obj () ] in

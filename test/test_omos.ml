@@ -64,7 +64,7 @@ let test_cache_invalidate () =
 
 let test_build_library_respects_constraints () =
   let w = Omos.World.create () in
-  let b = Omos.Server.build_library w.Omos.World.server ~path:"/lib/libc" () in
+  let b = Omos.Server.build w.Omos.World.server @@ Omos.Server.library "/lib/libc" in
   (* Figure 1's constraint-list: T at 0x100000, D at 0x40200000 *)
   Alcotest.(check int) "text base" 0x100000 b.Omos.Server.entry.Omos.Cache.text_base;
   Alcotest.(check int) "data base" 0x40200000 b.Omos.Server.entry.Omos.Cache.data_base
@@ -72,9 +72,9 @@ let test_build_library_respects_constraints () =
 let test_build_library_cached () =
   let w = Omos.World.create () in
   let s = w.Omos.World.server in
-  let b1 = Omos.Server.build_library s ~path:"/lib/libc" () in
+  let b1 = Omos.Server.build s @@ Omos.Server.library "/lib/libc" in
   let links_after_first = (Omos.Server.stats s).Omos.Server.links in
-  let b2 = Omos.Server.build_library s ~path:"/lib/libc" () in
+  let b2 = Omos.Server.build s @@ Omos.Server.library "/lib/libc" in
   Alcotest.(check int) "no relink" links_after_first (Omos.Server.stats s).Omos.Server.links;
   Alcotest.(check bool) "same image" true
     (b1.Omos.Server.entry.Omos.Cache.image == b2.Omos.Server.entry.Omos.Cache.image)
@@ -88,7 +88,7 @@ let test_conflicting_library_gets_alternate_placement () =
    with
   | Ok () -> ()
   | Error _ -> Alcotest.fail "reserve failed");
-  let b = Omos.Server.build_library s ~path:"/lib/libc" () in
+  let b = Omos.Server.build s @@ Omos.Server.library "/lib/libc" in
   Alcotest.(check bool) "moved off the preferred base" true
     (b.Omos.Server.entry.Omos.Cache.text_base <> 0x100000)
 
@@ -105,7 +105,7 @@ let test_meta_and_fragment_files_from_fs () =
     (Bytes.of_string "(merge /obj/fsfrag.o)\n");
   Omos.Server.load_fragment_file s ~fs_path:"/src/fsfrag.aout" ~ns_path:"/obj/fsfrag.o";
   Omos.Server.load_meta_file s ~fs_path:"/src/meta" ~ns_path:"/lib/fslib";
-  let b = Omos.Server.build_library s ~path:"/lib/fslib" () in
+  let b = Omos.Server.build s @@ Omos.Server.library "/lib/fslib" in
   Alcotest.(check bool) "answer bound" true
     (Linker.Image.find_symbol b.Omos.Server.entry.Omos.Cache.image "answer" <> None)
 
@@ -152,7 +152,7 @@ let test_lib_dynamic_specializer_generates_stubs () =
       0
       (Jigsaw.Module_ops.fragments r.Blueprint.Mgraph.m)
   in
-  let real = Omos.Server.build_library s ~path:"/lib/libc" () in
+  let real = Omos.Server.build s @@ Omos.Server.library "/lib/libc" in
   let tseg = Option.get (Linker.Image.text_segment real.Omos.Server.entry.Omos.Cache.image) in
   Alcotest.(check bool) "stubs much smaller" true
     (text * 4 < Bytes.length tseg.Linker.Image.bytes)
@@ -167,7 +167,7 @@ let test_monitor_specializer_records_trace () =
         Blueprint.Mgraph.parse "(specialize \"monitor\" /lib/libc)";
       ]
   in
-  let b = Omos.Server.build_static s ~name:"ls-mon" graph in
+  let b = Omos.Server.build s @@ Omos.Server.static ~name:"ls-mon" graph in
   let loadable = Omos.Server.loadable_entry [ b ] in
   let p = Omos.Boot.integrated_exec s loadable ~args:Omos.World.ls_single_args in
   let code = Simos.Kernel.run w.Omos.World.kernel p () in
@@ -290,7 +290,7 @@ let test_dynload_syscall () =
          return __icall(f, 5); }"
   in
   let b =
-    Omos.Server.build_static s ~name:"dynmain"
+    Omos.Server.build s @@ Omos.Server.static ~name:"dynmain"
       (Omos.Schemes.graph_of_objs [ Workloads.Crt0.obj (); client ])
   in
   let dl = Omos.Dynload.create s in
@@ -308,7 +308,7 @@ let test_dynload_ocaml_api () =
   Omos.Server.add_fragment s "/obj/k2.o"
     (compile "/obj/k2.o" "int twice(int x) { return x * 2; }");
   let b =
-    Omos.Server.build_static s ~name:"host"
+    Omos.Server.build s @@ Omos.Server.static ~name:"host"
       (Omos.Schemes.graph_of_objs
          [ Workloads.Crt0.obj (); compile "/obj/h.o" "int main() { return 0; }" ])
   in
@@ -354,7 +354,7 @@ let test_figure2_via_server () =
     Simos.Kernel.run w.Omos.World.kernel p ()
   in
   let plain =
-    Omos.Server.build_static s ~name:"plain"
+    Omos.Server.build s @@ Omos.Server.static ~name:"plain"
       (Blueprint.Mgraph.parse "(merge /obj/crt0.o /obj/use_malloc.o /lib/libc)")
   in
   Alcotest.(check int) "plain: heap base exactly" 0 (run plain);
@@ -367,7 +367,7 @@ let test_figure2_via_server () =
        (merge /obj/crt0.o /obj/use_malloc.o /lib/libc)))\n\
        /lib/test_malloc.o))"
   in
-  let trapped = Omos.Server.build_static s ~name:"trapped" fig2 in
+  let trapped = Omos.Server.build s @@ Omos.Server.static ~name:"trapped" fig2 in
   Alcotest.(check int) "trapped: +1000" 1000 (run trapped)
 
 let test_figure2_exports_shape () =

@@ -111,7 +111,7 @@ let test_reorder_speedup_band () =
         Blueprint.Mgraph.parse "(specialize \"monitor\" /lib/libc)";
       ]
   in
-  let b = Omos.Server.build_static s ~name:"ls-mon" graph in
+  let b = Omos.Server.build s @@ Omos.Server.static ~name:"ls-mon" graph in
   let p =
     Omos.Boot.integrated_exec s (Omos.Server.loadable_entry [ b ])
       ~args:Omos.World.ls_laf_args

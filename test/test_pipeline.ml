@@ -1,0 +1,265 @@
+(* The staged async request pipeline: submit/await semantics, batched
+   placement, admission control, and scheduler determinism. *)
+
+let fresh_world () =
+  let w = Omos.World.create () in
+  Telemetry.reset ();
+  Telemetry.set_enabled true;
+  w.Omos.World.server
+
+(* -- submit / await / poll ------------------------------------------------- *)
+
+let test_submit_await () =
+  let s = fresh_world () in
+  let t1 = Omos.Server.submit s (Omos.Server.library "/lib/libm") in
+  let t2 = Omos.Server.submit s (Omos.Server.library "/lib/libl") in
+  Alcotest.(check int) "two in flight" 2 (Omos.Server.in_flight s);
+  Alcotest.(check bool) "poll pending" true (Omos.Server.poll s t1 = None);
+  let r1 = Omos.Server.await s t1 in
+  let r2 = Omos.Server.await s t2 in
+  Alcotest.(check int) "none in flight" 0 (Omos.Server.in_flight s);
+  Alcotest.(check bool) "miss 1" false r1.Omos.Server.cache_hit;
+  Alcotest.(check bool) "miss 2" false r2.Omos.Server.cache_hit;
+  Alcotest.(check bool) "work charged" true (r1.Omos.Server.sim_us > 0.0);
+  List.iter
+    (fun (r : Omos.Server.response) ->
+      Alcotest.(check bool) "queue wait within total" true
+        (r.Omos.Server.queue_us >= 0.0
+        && r.Omos.Server.queue_us <= r.Omos.Server.sim_us))
+    [ r1; r2 ];
+  (* a consumed ticket is gone *)
+  match Omos.Server.poll s t1 with
+  | exception Omos.Server.Server_error _ -> ()
+  | _ -> Alcotest.fail "consumed ticket should be unknown"
+
+let test_sync_wrapper_unchanged () =
+  let s = fresh_world () in
+  let r = Omos.Server.instantiate s (Omos.Server.library "/lib/libm") in
+  Alcotest.(check bool) "serial miss" false r.Omos.Server.cache_hit;
+  Alcotest.(check (float 0.0)) "serial has no queue wait" 0.0 r.Omos.Server.queue_us;
+  let r2 = Omos.Server.instantiate s (Omos.Server.library "/lib/libm") in
+  Alcotest.(check bool) "serial hit" true r2.Omos.Server.cache_hit
+
+(* -- coalescing ------------------------------------------------------------ *)
+
+let test_coalescing () =
+  let s = fresh_world () in
+  let links0 = (Omos.Server.stats s).Omos.Server.links in
+  let t1 = Omos.Server.submit s (Omos.Server.library "/lib/libm") in
+  let t2 = Omos.Server.submit s (Omos.Server.library "/lib/libm") in
+  let t3 = Omos.Server.submit s (Omos.Server.library "/lib/libm") in
+  Omos.Server.drain s;
+  let r1 = Omos.Server.await s t1 in
+  let r2 = Omos.Server.await s t2 in
+  let r3 = Omos.Server.await s t3 in
+  Alcotest.(check bool) "first builds" false r1.Omos.Server.cache_hit;
+  Alcotest.(check bool) "second coalesces to a hit" true r2.Omos.Server.cache_hit;
+  Alcotest.(check bool) "third coalesces to a hit" true r3.Omos.Server.cache_hit;
+  Alcotest.(check int) "one link for three requests" (links0 + 1)
+    (Omos.Server.stats s).Omos.Server.links;
+  Alcotest.(check int) "coalesced counter" 2
+    (Telemetry.Counter.get "pipeline.coalesced")
+
+(* -- batched placement ----------------------------------------------------- *)
+
+(* On a contiguous free region, one batched pass must reproduce exactly
+   the decisions N serial first-fit solves would make. *)
+let test_batch_equals_serial () =
+  let open Constraints.Placement in
+  let mk () = create ~region_lo:0x1000 ~region_hi:0x100000 ~align:0x1000 () in
+  let sizes = [ 0x1800; 0x400; 0x3000; 0x1000; 0x2200 ] in
+  let items =
+    List.mapi
+      (fun i size ->
+        {
+          bi_size = size;
+          bi_owner = Printf.sprintf "lib%d" i;
+          bi_existing = None;
+          bi_prefs = [];
+        })
+      sizes
+  in
+  let serial_arena = mk () in
+  let serial =
+    List.map
+      (fun (i : batch_item) ->
+        place serial_arena ~size:i.bi_size ~owner:i.bi_owner ())
+      items
+  in
+  let batch_arena = mk () in
+  let batch = place_batch batch_arena items in
+  List.iteri
+    (fun i ((a : decision), (b : decision)) ->
+      Alcotest.(check int)
+        (Printf.sprintf "base %d" i)
+        a.base b.base)
+    (List.combine serial batch);
+  Alcotest.(check bool) "arenas end identical" true
+    (intervals serial_arena = intervals batch_arena)
+
+(* Items with preferences or reuse candidates fall out of the packed
+   run but still solve to the serial answers, in order. *)
+let test_batch_mixed_prefs () =
+  let open Constraints.Placement in
+  let mk () = create ~region_lo:0x1000 ~region_hi:0x100000 ~align:0x1000 () in
+  let items =
+    [
+      { bi_size = 0x1000; bi_owner = "a"; bi_existing = None; bi_prefs = [] };
+      {
+        bi_size = 0x2000;
+        bi_owner = "b";
+        bi_existing = None;
+        bi_prefs = [ (1, At 0x40000) ];
+      };
+      { bi_size = 0x1000; bi_owner = "c"; bi_existing = None; bi_prefs = [] };
+      { bi_size = 0x1000; bi_owner = "d"; bi_existing = None; bi_prefs = [] };
+    ]
+  in
+  let serial_arena = mk () in
+  let serial =
+    List.map
+      (fun (i : batch_item) ->
+        place serial_arena ~size:i.bi_size ~owner:i.bi_owner
+          ~prefs:i.bi_prefs ())
+      items
+  in
+  let batch_arena = mk () in
+  let batch = place_batch batch_arena items in
+  List.iteri
+    (fun i ((a : decision), (b : decision)) ->
+      Alcotest.(check int) (Printf.sprintf "base %d" i) a.base b.base;
+      Alcotest.(check bool)
+        (Printf.sprintf "satisfied %d" i)
+        true
+        (a.satisfied = b.satisfied))
+    (List.combine serial batch)
+
+(* Concurrent misses must meet at the place barrier: one constraint
+   pass solves >= 2 queued requests, visible in place.batch_size. *)
+let test_batch_size_histogram () =
+  let s = fresh_world () in
+  let t1 = Omos.Server.submit s (Omos.Server.library "/lib/libm") in
+  let t2 = Omos.Server.submit s (Omos.Server.library "/lib/libl") in
+  Omos.Server.drain s;
+  ignore (Omos.Server.await s t1);
+  ignore (Omos.Server.await s t2);
+  let h = Telemetry.Histogram.make "place.batch_size" in
+  Alcotest.(check bool) "a batched pass happened" true
+    (Telemetry.Histogram.count h >= 1);
+  Alcotest.(check bool) "batch covered both requests" true
+    (Telemetry.Histogram.max_value h >= 2.0);
+  Alcotest.(check bool) "one solver pass counted" true
+    (Telemetry.Counter.get "constraints.batch_solves" >= 1)
+
+let test_unbatched_knob () =
+  let s = fresh_world () in
+  Omos.Server.set_batch_placement s false;
+  let t1 = Omos.Server.submit s (Omos.Server.library "/lib/libm") in
+  let t2 = Omos.Server.submit s (Omos.Server.library "/lib/libl") in
+  Omos.Server.drain s;
+  ignore (Omos.Server.await s t1);
+  ignore (Omos.Server.await s t2);
+  let h = Telemetry.Histogram.make "place.batch_size" in
+  Alcotest.(check (float 0.0)) "every pass solved one request" 1.0
+    (Telemetry.Histogram.max_value h);
+  Alcotest.(check int) "no batched pass" 0
+    (Telemetry.Counter.get "constraints.batch_solves")
+
+(* -- admission control ----------------------------------------------------- *)
+
+let test_overload () =
+  let s = fresh_world () in
+  Omos.Server.set_queue_limit s 2;
+  let t1 = Omos.Server.submit s (Omos.Server.library "/lib/libm") in
+  let t2 = Omos.Server.submit s (Omos.Server.library "/lib/libl") in
+  (match Omos.Server.submit s (Omos.Server.library "/demo/hello") with
+  | exception Omos.Server.Overload _ -> ()
+  | _ -> Alcotest.fail "third submit should overload");
+  Alcotest.(check int) "rejection counted" 1
+    (Telemetry.Counter.get "server.overloads");
+  (* rejected request left no residue; the queue drains and recovers *)
+  ignore (Omos.Server.await s t1);
+  ignore (Omos.Server.await s t2);
+  let t3 = Omos.Server.submit s (Omos.Server.library "/demo/hello") in
+  let r3 = Omos.Server.await s t3 in
+  Alcotest.(check bool) "recovered" false r3.Omos.Server.cache_hit
+
+(* -- determinism ----------------------------------------------------------- *)
+
+let conc_spec concurrency =
+  {
+    Omos.Workload.default with
+    Omos.Workload.requests = 24;
+    seed = 11;
+    concurrency;
+    mix = [ ("instantiate", 1) ];
+  }
+
+let test_concurrent_determinism () =
+  let a = Omos.Workload.run (conc_spec 8) in
+  let b = Omos.Workload.run (conc_spec 8) in
+  Alcotest.(check int) "same length" (List.length a) (List.length b);
+  List.iter2
+    (fun (x : Omos.Workload.event) (y : Omos.Workload.event) ->
+      Alcotest.(check bool) "events byte-identical" true (x = y))
+    a b
+
+let test_concurrent_matches_serial () =
+  let conc = Omos.Workload.run (conc_spec 8) in
+  let serial = Omos.Workload.run (conc_spec 1) in
+  (* same requests, same clients, same cache outcomes — only the
+     timings differ (queue wait, batch amortization) *)
+  List.iter2
+    (fun (x : Omos.Workload.event) (y : Omos.Workload.event) ->
+      Alcotest.(check int) "req" y.Omos.Workload.w_req x.Omos.Workload.w_req;
+      Alcotest.(check int) "client" y.Omos.Workload.w_client x.Omos.Workload.w_client;
+      Alcotest.(check string) "op" y.Omos.Workload.w_op x.Omos.Workload.w_op;
+      Alcotest.(check string) "target" y.Omos.Workload.w_target x.Omos.Workload.w_target;
+      Alcotest.(check bool) "hit" true (x.Omos.Workload.w_hit = y.Omos.Workload.w_hit))
+    conc serial
+
+let test_seeded_interleaving_reproducible () =
+  let run () =
+    let s = fresh_world () in
+    Omos.Server.set_sched_seed s 42;
+    let ts =
+      List.map
+        (fun m -> Omos.Server.submit s (Omos.Server.library m))
+        [ "/lib/libm"; "/lib/libl"; "/demo/hello" ]
+    in
+    List.map
+      (fun t ->
+        let r = Omos.Server.await s t in
+        (r.Omos.Server.cache_hit, r.Omos.Server.sim_us, r.Omos.Server.queue_us))
+      ts
+  in
+  Alcotest.(check bool) "seed 42 twice: identical" true (run () = run ())
+
+let () =
+  Alcotest.run "pipeline"
+    [
+      ( "api",
+        [
+          Alcotest.test_case "submit/await/poll" `Quick test_submit_await;
+          Alcotest.test_case "sync wrapper" `Quick test_sync_wrapper_unchanged;
+          Alcotest.test_case "coalescing" `Quick test_coalescing;
+        ] );
+      ( "batch",
+        [
+          Alcotest.test_case "batch = serial solves" `Quick test_batch_equals_serial;
+          Alcotest.test_case "mixed prefs" `Quick test_batch_mixed_prefs;
+          Alcotest.test_case "batch_size histogram" `Quick test_batch_size_histogram;
+          Alcotest.test_case "unbatched knob" `Quick test_unbatched_knob;
+        ] );
+      ( "backpressure",
+        [ Alcotest.test_case "overload + recovery" `Quick test_overload ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "concurrency=8 reproducible" `Quick
+            test_concurrent_determinism;
+          Alcotest.test_case "concurrent = serial results" `Quick
+            test_concurrent_matches_serial;
+          Alcotest.test_case "seeded interleaving" `Quick
+            test_seeded_interleaving_reproducible;
+        ] );
+    ]

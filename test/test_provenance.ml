@@ -26,7 +26,7 @@ let test_override_rename_chain () =
   let w = world () in
   let s = w.Omos.World.server in
   T.Provenance.set_enabled true;
-  let resp = Omos.Server.instantiate s (Omos.Server.library_request "/demo/hello") in
+  let resp = Omos.Server.instantiate s (Omos.Server.library "/demo/hello") in
   T.Provenance.set_enabled false;
   Alcotest.(check bool) "cold build" false resp.Omos.Server.cache_hit;
   let prov = provenance_of resp in
@@ -70,13 +70,13 @@ let test_cache_hit_serves_provenance () =
   let w = world () in
   let s = w.Omos.World.server in
   T.Provenance.set_enabled true;
-  let cold = Omos.Server.instantiate s (Omos.Server.library_request "/demo/hello") in
+  let cold = Omos.Server.instantiate s (Omos.Server.library "/demo/hello") in
   let cold_prov = provenance_of cold in
   let cold_digest = T.Provenance.digest cold_prov in
   (* zero every counter and span; the warm request must add none back *)
   T.reset ();
   T.set_enabled true;
-  let warm = Omos.Server.instantiate s (Omos.Server.library_request "/demo/hello") in
+  let warm = Omos.Server.instantiate s (Omos.Server.library "/demo/hello") in
   T.set_enabled false;
   T.Provenance.set_enabled false;
   Alcotest.(check bool) "warm hit" true warm.Omos.Server.cache_hit;
@@ -95,7 +95,7 @@ let test_residency_transitions () =
   let w = world () in
   let s = w.Omos.World.server in
   T.Provenance.set_enabled true;
-  let b = Omos.Server.instantiate s (Omos.Server.library_request "/lib/libc") in
+  let b = Omos.Server.instantiate s (Omos.Server.library "/lib/libc") in
   let prov = provenance_of b in
   ignore (Omos.Server.evict_to_budget s ~bytes:0);
   T.Provenance.set_enabled false;
@@ -108,8 +108,8 @@ let test_built_digests () =
   let w = world () in
   let s = w.Omos.World.server in
   T.Provenance.set_enabled true;
-  ignore (Omos.Server.instantiate s (Omos.Server.library_request "/demo/hello"));
-  ignore (Omos.Server.instantiate s (Omos.Server.library_request "/lib/libc"));
+  ignore (Omos.Server.instantiate s (Omos.Server.library "/demo/hello"));
+  ignore (Omos.Server.instantiate s (Omos.Server.library "/lib/libc"));
   T.Provenance.set_enabled false;
   let digests = T.Provenance.built_digests () in
   Alcotest.(check (list string)) "owners recorded, sorted"
@@ -129,7 +129,7 @@ let test_profile_folded_sums_and_attribution () =
   T.Profile.set_enabled true;
   let snap = Simos.Clock.snapshot k.Simos.Kernel.clock in
   let root = T.Span.enter "prof.root" in
-  let resp = Omos.Server.instantiate s (Omos.Server.library_request "/lib/libc") in
+  let resp = Omos.Server.instantiate s (Omos.Server.library "/lib/libc") in
   let p = Simos.Kernel.create_process k ~args:[ "prof" ] in
   Omos.Server.map_into s p resp.Omos.Server.built;
   T.Span.exit root;

@@ -15,7 +15,7 @@
 
 module Placement = Constraints.Placement
 
-let build_libc s = Omos.Server.build_library s ~path:"/lib/libc" ()
+let build_libc s = Omos.Server.build s @@ Omos.Server.library "/lib/libc"
 
 let text_size (b : Omos.Server.built) : int =
   match Linker.Image.text_segment b.Omos.Server.entry.Omos.Cache.image with
@@ -166,7 +166,7 @@ let test_static_eviction_preserves_foreign_intervals () =
   | Error _ -> Alcotest.fail "external data reserve failed");
   let obj = Minic.Driver.compile ~name:"app" "int main() { return 7; }" in
   let b =
-    Omos.Server.build_static s ~name:"app" (Blueprint.Mgraph.Leaf obj)
+    Omos.Server.build s @@ Omos.Server.static ~name:"app" (Blueprint.Mgraph.Leaf obj)
   in
   Alcotest.(check string)
     "static entry" "static"
@@ -250,11 +250,11 @@ let test_fault_evict_storm () =
   let w = Omos.World.create ~faults:(faults_only ~seed:7 ~evict_storm:1.0 ()) () in
   let s = w.Omos.World.server in
   let storms0 = Telemetry.Counter.get "residency.faults.evict_storm" in
-  let r1 = Omos.Server.instantiate s (Omos.Server.library_request "/lib/libc") in
+  let r1 = Omos.Server.instantiate s (Omos.Server.library "/lib/libc") in
   Alcotest.(check bool) "cold build" false r1.Omos.Server.cache_hit;
   (* the storm fires before the second request, so it can never be a
      cache hit: the whole cache was just evicted *)
-  let r2 = Omos.Server.instantiate s (Omos.Server.library_request "/lib/libc") in
+  let r2 = Omos.Server.instantiate s (Omos.Server.library "/lib/libc") in
   Alcotest.(check bool) "storm forces rebuild" false r2.Omos.Server.cache_hit;
   Alcotest.(check bool)
     "storms counted" true

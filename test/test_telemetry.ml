@@ -220,7 +220,7 @@ let test_request_path_trace () =
   let s = w.Omos.World.server in
   T.reset ();
   T.set_enabled true;
-  let resp = Omos.Server.instantiate s (Omos.Server.library_request "/lib/libc") in
+  let resp = Omos.Server.instantiate s (Omos.Server.library "/lib/libc") in
   T.set_enabled false;
   Alcotest.(check bool) "cold build" false resp.Omos.Server.cache_hit;
   let names = List.map (fun (sp : T.span) -> sp.T.name) (T.spans ()) in
@@ -238,7 +238,7 @@ let test_request_path_trace () =
   (* warm request: a hit, no new link span *)
   T.reset ();
   T.set_enabled true;
-  let resp2 = Omos.Server.instantiate s (Omos.Server.library_request "/lib/libc") in
+  let resp2 = Omos.Server.instantiate s (Omos.Server.library "/lib/libc") in
   T.set_enabled false;
   Alcotest.(check bool) "warm hit" true resp2.Omos.Server.cache_hit;
   Alcotest.(check int) "no link on hit" 0 (T.Counter.get "linker.links")
