@@ -69,6 +69,9 @@ let handle f =
   | Omos.Workload.Spec_error m ->
       Printf.eprintf "ofe: workload spec: %s\n" m;
       1
+  | Workloads.Fuzz.Case_error m ->
+      Printf.eprintf "ofe: fuzzcase: %s\n" m;
+      1
   | Telemetry.Health.Slo_error m ->
       Printf.eprintf "ofe: slo: %s\n" m;
       1
@@ -1011,6 +1014,120 @@ let health_cmd =
           exits 2 on any breached bound")
     Term.(const run $ slo_file $ spec_file_arg)
 
+let fuzz_cmd =
+  let seed =
+    Arg.(value & opt int 1
+         & info [ "seed" ] ~docv:"SEED"
+             ~doc:"master seed; each iteration derives its own case seed from \
+                   it, so equal seeds reproduce the whole run byte-for-byte")
+  in
+  let iterations =
+    Arg.(value & opt int 100
+         & info [ "iterations" ] ~docv:"N" ~doc:"number of generated cases to run")
+  in
+  let max_modules =
+    Arg.(value & opt int 12
+         & info [ "max-modules" ] ~docv:"N" ~doc:"module-count bound per case")
+  in
+  let max_libs =
+    Arg.(value & opt int 6
+         & info [ "max-libs" ] ~docv:"N" ~doc:"library-count bound per case")
+  in
+  let replay =
+    Arg.(value & opt_all file []
+         & info [ "replay" ] ~docv:"FILE"
+             ~doc:"replay a committed $(b,omos.fuzzcase/1) file through the \
+                   oracles instead of generating (repeatable)")
+  in
+  let dump =
+    Arg.(value & opt (some string) None
+         & info [ "dump" ] ~docv:"FILE"
+             ~doc:"on failure, write the minimized case to $(docv)")
+  in
+  let progress =
+    Arg.(value & opt int 50
+         & info [ "progress" ] ~docv:"N"
+             ~doc:"print a status line every $(docv) iterations (0 = quiet)")
+  in
+  let run failed seed iterations max_modules max_libs replay dump progress =
+    handle (fun () ->
+        if replay <> [] then
+          List.iter
+            (fun file ->
+              let ic = open_in file in
+              let text = really_input_string ic (in_channel_length ic) in
+              close_in ic;
+              let case = Workloads.Fuzz.of_string text in
+              match Omos.Fuzzer.run_case case with
+              | Omos.Fuzzer.Pass { clean_libs; events } ->
+                  Printf.printf "%s: ok (clean_libs=%d events=%d)\n"
+                    (Filename.basename file) clean_libs events
+              | Omos.Fuzzer.Fail f ->
+                  failed := true;
+                  Printf.printf "%s: FAIL oracle=%s\n  %s\n"
+                    (Filename.basename file) f.Omos.Fuzzer.fz_oracle
+                    f.Omos.Fuzzer.fz_detail)
+            replay
+        else begin
+          let on_iteration i v =
+            if progress > 0 && (i + 1) mod progress = 0 then
+              match v with
+              | Omos.Fuzzer.Pass { clean_libs; events } ->
+                  Printf.printf "iter %d/%d ok (clean_libs=%d events=%d)\n"
+                    (i + 1) iterations clean_libs events
+              | Omos.Fuzzer.Fail _ -> ()
+          in
+          match
+            Omos.Fuzzer.fuzz ~max_modules ~max_libs ~on_iteration ~seed
+              ~iterations ()
+          with
+          | None ->
+              Printf.printf "fuzz: %d iterations clean (seed %d)\n" iterations
+                seed
+          | Some (i, f) ->
+              failed := true;
+              Printf.printf "fuzz: iteration %d tripped oracle %s\n  %s\n" i
+                f.Omos.Fuzzer.fz_oracle f.Omos.Fuzzer.fz_detail;
+              let min_case, runs = Omos.Fuzzer.reduce f in
+              (match Omos.Fuzzer.run_case min_case with
+              | Omos.Fuzzer.Fail f' ->
+                  Printf.printf "minimized (%d reducer runs), still %s:\n  %s\n"
+                    runs f'.Omos.Fuzzer.fz_oracle f'.Omos.Fuzzer.fz_detail
+              | Omos.Fuzzer.Pass _ -> ());
+              let text = Workloads.Fuzz.to_string min_case in
+              print_string text;
+              match dump with
+              | None -> ()
+              | Some file ->
+                  let oc = open_out file in
+                  output_string oc text;
+                  close_out oc;
+                  Printf.printf "wrote %s\n" file
+        end)
+  in
+  let run seed iterations max_modules max_libs replay dump progress =
+    let failed = ref false in
+    let code = run failed seed iterations max_modules max_libs replay dump progress in
+    if code = 0 && !failed then 2 else code
+  in
+  Cmd.v
+    (Cmd.info "fuzz" ~exits
+       ~doc:
+         "seeded blueprint/workload fuzzing: generate dependency-graph \
+          blueprints (version skew, interposition stacks, rename/freeze \
+          chains, address-constraint collisions) plus workload scenarios \
+          over them, and hold every case to three differential oracles — \
+          the lint-vs-evaluator symbol-flow check, residency invariants \
+          after every operation, and batched-vs-serial pipeline \
+          equivalence (byte-identical fault replay when fault injection \
+          is armed). On failure the built-in reducer shrinks the case to \
+          a minimal reproduction, printed as $(b,omos.fuzzcase/1) text \
+          (and written to $(b,--dump)); the flight recorder ring dumps \
+          automatically on the non-zero exit. Deterministic: a fixed \
+          $(b,--seed) reproduces the whole run byte-for-byte.")
+    Term.(const run $ seed $ iterations $ max_modules $ max_libs $ replay
+          $ dump $ progress)
+
 let main =
   Cmd.group
     (Cmd.info "ofe" ~exits
@@ -1020,7 +1137,7 @@ let main =
       nm_cmd; size_cmd; strings_cmd;
       compile_cmd; convert_cmd; rename_cmd; copy_as_cmd; merge_cmd;
       lint_cmd; trace_cmd; stats_cmd; explain_cmd; profile_cmd;
-      workload_cmd; top_cmd; health_cmd;
+      workload_cmd; top_cmd; health_cmd; fuzz_cmd;
       unary_op "hide" "hide definitions, freezing internal references" Jigsaw.Module_ops.hide;
       unary_op "restrict" "virtualize definitions (remove, keep references)" Jigsaw.Module_ops.restrict;
       unary_op "show" "hide all but the selected definitions" Jigsaw.Module_ops.show;

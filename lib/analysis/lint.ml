@@ -206,8 +206,7 @@ let check_rename_collision (st : state) ~path ~(op : string)
   match List.sort_uniq compare collisions with
   | [] -> ()
   | names ->
-      emit st ~code:"E003" ~title:"rename-collision" ~severity:Error ~path
-        ~symbols:names
+      fails st ~code:"E003" ~title:"rename-collision" ~path ~symbols:names
         (Printf.sprintf
            "%s mints a global definition name that collides with another" op)
 

@@ -210,10 +210,36 @@ let simple (i : batch_item) : bool = i.bi_existing = None && i.bi_prefs = []
    single gap fits the run (callers fall back to per-item solves). *)
 let pack_run (t : t) (run : batch_item list) : decision list option =
   let sizes = List.map (fun i -> align_up (max i.bi_size 1) t.align) run in
-  let total = List.fold_left ( + ) 0 sizes in
-  match first_fit_from t ~from:t.region_lo ~size:total with
-  | None -> None
-  | Some base ->
+  (* Packing must be invisible: it may only fire when the chain lands
+     exactly where one-at-a-time first fit would put every member. On a
+     fragmented arena the sequential answers can split across gaps —
+     simulate them, and fall back to per-item solves unless they form
+     one contiguous chain. *)
+  let saved = t.occupied in
+  let bases =
+    List.map
+      (fun s ->
+        match first_fit_from t ~from:t.region_lo ~size:s with
+        | None -> None
+        | Some b ->
+            insert t { lo = b; hi = b + s; owner = "#pack-sim" };
+            Some b)
+      sizes
+  in
+  t.occupied <- saved;
+  let contiguous =
+    List.for_all Option.is_some bases
+    &&
+    let rec chk = function
+      | (Some b1, s1) :: ((Some b2, _) :: _ as rest) ->
+          b1 + s1 = b2 && chk rest
+      | _ -> true
+    in
+    chk (List.combine bases sizes)
+  in
+  match (contiguous, bases) with
+  | false, _ | _, [] | _, None :: _ -> None
+  | true, Some base :: _ ->
       let members =
         List.mapi (fun k (i, s) -> (string_of_int k ^ ":" ^ i.bi_owner, s))
           (List.combine run sizes)
@@ -309,6 +335,12 @@ let place_batch (t : t) ?(wrap = fun _ _ f -> f ()) (items : batch_item list) :
           else List.mapi (fun k x -> solve_one (idx + k) x) run
         in
         decisions @ go (idx + List.length run) rest
-    | i :: rest -> solve_one idx i :: go (idx + 1) rest
+    | i :: rest ->
+        (* force the solve before recursing: cons evaluates right to
+           left, and solving the tail first would hand preference ties
+           to the *last* queued request instead of the first, diverging
+           from the serial path's arena state *)
+        let d = solve_one idx i in
+        d :: go (idx + 1) rest
   in
   go 0 items

@@ -1099,6 +1099,8 @@ let set_queue_limit (t : t) (n : int) : unit =
   if n < 1 then invalid_arg "Server.set_queue_limit";
   t.queue_limit <- n
 
+let queue_limit (t : t) : int = t.queue_limit
+
 (** Solve queued placements as one batched constraint pass (default) or
     one pass per request? *)
 let set_batch_placement (t : t) (b : bool) : unit = t.batch_place <- b

@@ -245,6 +245,9 @@ val in_flight : t -> int
     {!submit} raises {!Overload}. *)
 val set_queue_limit : t -> int -> unit
 
+(** The current admission-control bound. *)
+val queue_limit : t -> int
+
 (** Solve queued placements as one batched constraint pass (default
     [true]); [false] reverts to one solver pass per request. *)
 val set_batch_placement : t -> bool -> unit

@@ -70,12 +70,17 @@ let parse (text : string) : spec =
       | [ "seed"; n ] -> seed := int_of "seed" n
       | [ "concurrency"; n ] -> concurrency := int_of "concurrency" n
       | [ "meta"; path ] -> metas := path :: !metas
-      | [ "evict_bytes"; n ] -> evict_bytes := int_of "evict_bytes" n
+      | [ "evict_bytes"; n ] ->
+          let b = int_of "evict_bytes" n in
+          if b < 0 then err ("evict_bytes must be >= 0: " ^ n);
+          evict_bytes := b
       | [ "fault_seed"; n ] ->
           let n = int_of "fault_seed" n in
           fault_field (fun f -> { f with Residency.seed = n })
       | [ "fault"; name; rate ] -> (
           let r = float_of "fault rate" rate in
+          if r < 0.0 || r > 1.0 then
+            err ("fault rate must be in [0,1]: " ^ rate);
           match name with
           | "place_conflict" ->
               fault_field (fun f -> { f with Residency.place_conflict = r })
@@ -85,23 +90,28 @@ let parse (text : string) : spec =
               fault_field (fun f -> { f with Residency.reserve_fail = r })
           | _ -> err ("unknown fault: " ^ name))
       | "mix" :: (_ :: _ as entries) ->
-          mix :=
-            Some
-              (List.map
-                 (fun e ->
-                   match String.index_opt e '=' with
-                   | Some i ->
-                       let name = String.sub e 0 i in
-                       let ws =
-                         String.sub e (i + 1) (String.length e - i - 1)
-                       in
-                       if not (List.mem name known_ops) then
-                         err ("unknown op in mix: " ^ name);
-                       let w = int_of "mix weight" ws in
-                       if w <= 0 then err ("mix weight must be positive: " ^ e);
-                       (name, w)
-                   | None -> err ("mix entries are op=weight, got: " ^ e))
-                 entries)
+          if !mix <> None then err "duplicate mix line (mix may appear once)";
+          let parsed =
+            List.map
+              (fun e ->
+                match String.index_opt e '=' with
+                | Some i ->
+                    let name = String.sub e 0 i in
+                    let ws = String.sub e (i + 1) (String.length e - i - 1) in
+                    if not (List.mem name known_ops) then
+                      err ("unknown op in mix: " ^ name);
+                    let w = int_of "mix weight" ws in
+                    if w <= 0 then err ("mix weight must be positive: " ^ e);
+                    (name, w)
+                | None -> err ("mix entries are op=weight, got: " ^ e))
+              entries
+          in
+          List.iteri
+            (fun i (name, _) ->
+              if List.exists (fun (n, _) -> n = name) (List.filteri (fun j _ -> j < i) parsed)
+              then err ("duplicate op in mix: " ^ name))
+            parsed;
+          mix := Some parsed
       | w :: _ -> err ("unknown directive: " ^ w))
     (String.split_on_char '\n' text);
   if !clients < 1 then raise (Spec_error "clients must be >= 1");
@@ -133,12 +143,14 @@ type event = {
   w_cost_us : float;
 }
 
-let run ?(on_event = fun (_ : event) -> ()) (spec : spec) : event list =
+let run ?(setup = fun (_ : World.t) -> ()) ?(on_event = fun (_ : event) -> ())
+    (spec : spec) : event list =
   let w =
     match spec.faults with
     | Some f -> World.create ~faults:f ()
     | None -> World.create ()
   in
+  setup w;
   let s = w.World.server in
   let k = Server.kernel s in
   let clock = k.Simos.Kernel.clock in
@@ -182,8 +194,13 @@ let run ?(on_event = fun (_ : event) -> ()) (spec : spec) : event list =
     in
     go 0 spec.mix
   in
-  if spec.concurrency > 1 then
-    Server.set_queue_limit s (max 64 spec.concurrency);
+  (* admission control: only raise the configured queue limit when the
+     pipeline depth actually needs it — never lower it — and restore
+     the configured value when the run ends, so a scenario can't
+     silently mask Overload for whoever uses the server next *)
+  let orig_limit = Server.queue_limit s in
+  if spec.concurrency > orig_limit then Server.set_queue_limit s spec.concurrency;
+  let restore () = Server.set_queue_limit s orig_limit in
   let events = ref [] in
   let emit ev =
     on_event ev;
@@ -214,6 +231,7 @@ let run ?(on_event = fun (_ : event) -> ()) (spec : spec) : event list =
               })
           batch
   in
+  Fun.protect ~finally:restore @@ fun () ->
   for _ = 1 to spec.requests do
     let client = rand_int spec.clients in
     Telemetry.Request.set_client client;

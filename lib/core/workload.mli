@@ -55,9 +55,19 @@ type event = {
 }
 
 (** Build a fresh {!World}, reset telemetry, and run the scenario.
-    [on_event] fires after each operation completes (for streaming
-    output); with [concurrency > 1], instantiate events are delivered
-    at the next pipeline barrier, still in submission order. The full
-    event list is returned. Identical specs produce identical event
-    lists and identical telemetry, at any concurrency. *)
-val run : ?on_event:(event -> unit) -> spec -> event list
+    [setup] runs against the fresh world before the host processes are
+    built and before the telemetry reset — use it to register extra
+    fragments/metas or configure the server (anything it builds stays
+    out of the request stream). [on_event] fires after each operation
+    completes (for streaming output); with [concurrency > 1],
+    instantiate events are delivered at the next pipeline barrier,
+    still in submission order. The full event list is returned.
+    Identical specs produce identical event lists and identical
+    telemetry, at any concurrency.
+
+    The server's admission-control queue limit is only ever {e raised}
+    (when [concurrency] exceeds the configured limit) and is restored
+    when the run returns, so fault scenarios still observe
+    {!Server.Overload} under a limit [setup] configured. *)
+val run :
+  ?setup:(World.t -> unit) -> ?on_event:(event -> unit) -> spec -> event list

@@ -92,6 +92,35 @@ let global_names_of_frag (o : Sof.Object_file.t) : string list =
       else None)
     o.Sof.Object_file.symbols
 
+(* A defs-side rewrite that mints a global definition name already
+   defined elsewhere in the module can never link — refuse it up front,
+   the way [merge] refuses duplicate definitions. [minted] maps each
+   current global definition name to the global names carried after the
+   rewrite. *)
+let check_minted_collisions ~op (minted : string -> string list) (m : t) : unit =
+  let count tbl n =
+    Hashtbl.replace tbl n (1 + Option.value (Hashtbl.find_opt tbl n) ~default:0)
+  in
+  let before = Hashtbl.create 32 and after = Hashtbl.create 32 in
+  List.iter
+    (fun o ->
+      List.iter
+        (fun n ->
+          count before n;
+          List.iter (count after) (minted n))
+        (global_names_of_frag o))
+    (fragments m);
+  let collisions =
+    Hashtbl.fold
+      (fun n c acc ->
+        let was = Option.value (Hashtbl.find_opt before n) ~default:0 in
+        if c >= 2 && c > was then n :: acc else acc)
+      after []
+  in
+  match List.sort_uniq compare collisions with
+  | [] -> ()
+  | n :: _ -> fail "%s: duplicate definition of %s minted by the rewrite" op n
+
 (** [merge a b] binds the symbol definitions found in one operand to the
     references found in the other. Multiple {e global} definitions of a
     symbol constitute an error (weak definitions coexist). *)
@@ -187,6 +216,12 @@ let override (a : t) (b : t) : t =
     references against [sel]). *)
 let copy_as (sel : Select.t) (new_name : string) (m : t) : t =
   traced "copy_as" @@ fun () ->
+  check_minted_collisions ~op:"copy_as"
+    (fun n ->
+      match Select.rewrite sel new_name n with
+      | Some n' -> [ n; n' ]
+      | None -> [ n ])
+    m;
   let label =
     Printf.sprintf "(copy_as %s %s %s)" (Select.pattern sel) new_name m.label
   in
@@ -298,6 +333,10 @@ type rename_scope = Defs_only | Refs_only | Both
 let rename ?(scope = Both) (sel : Select.t) (template : string) (m : t) : t =
   traced "rename" @@ fun () ->
   let map = Select.rewrite sel template in
+  if scope <> Refs_only then
+    check_minted_collisions ~op:"rename"
+      (fun n -> [ Option.value (map n) ~default:n ])
+      m;
   let label =
     Printf.sprintf "(rename %s %s %s)" (Select.pattern sel) template m.label
   in

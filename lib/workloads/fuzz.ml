@@ -1,0 +1,617 @@
+(** Seeded blueprint/workload case generator (see fuzz.mli). *)
+
+exception Case_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Case_error s)) fmt
+
+type mdef = {
+  f_mid : int;
+  f_mver : int;
+  f_funcs : (string * int * string list) list;
+}
+
+type bp =
+  | Mod of int * int
+  | Dep of int
+  | Ext of string
+  | Merge of bp list
+  | Override of bp * bp
+  | Op1 of string * string * bp
+  | Ren of string * string * bp
+  | Con of char * int * bp
+
+type libdef = { f_lid : int; f_body : bp }
+
+type wl = {
+  w_clients : int;
+  w_requests : int;
+  w_seed : int;
+  w_conc : int;
+  w_mix : (string * int) list;
+  w_evict : int;
+  w_fault : (int * float * float * float) option;
+}
+
+type case = {
+  f_seed : int;
+  f_mods : mdef list;
+  f_libs : libdef list;
+  f_wl : wl;
+}
+
+(* -- seeded randomness ------------------------------------------------------ *)
+
+(* The same xorshift32 the workload driver uses: small, pure, and
+   byte-identical across platforms. *)
+type rng = { mutable st : int }
+
+let rng_make seed =
+  { st = (if seed land 0xffffffff = 0 then 0x9e3779b9 else seed land 0xffffffff) }
+
+let rand (r : rng) (n : int) : int =
+  let x = r.st in
+  let x = x lxor (x lsl 13) land 0xffffffff in
+  let x = x lxor (x lsr 17) in
+  let x = x lxor (x lsl 5) land 0xffffffff in
+  r.st <- x;
+  x mod n
+
+let chance (r : rng) ~(out_of : int) (k : int) : bool = rand r out_of < k
+
+let derive_seed ~master i =
+  (((master + 1) * 0x9E3779B1) + (i * 0x85EBCA6B)) land 0x3FFFFFFF
+
+(* -- naming ----------------------------------------------------------------- *)
+
+let mod_path (m : mdef) : string = Printf.sprintf "/fuzz/m%dv%d.o" m.f_mid m.f_mver
+let lib_path (l : libdef) : string = Printf.sprintf "/fuzz/lib%d" l.f_lid
+let fname mid k = Printf.sprintf "f_%d_%d" mid k
+
+(* -- rendering -------------------------------------------------------------- *)
+
+let minic_source (m : mdef) : string =
+  let b = Buffer.create 256 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b s; Buffer.add_char b '\n') fmt in
+  (* per-version data table: one global, referenced from every function
+     so each version carries data relocations of its own *)
+  line "int d_%d_%d[8];" m.f_mid m.f_mver;
+  List.iter
+    (fun (name, const, callees) ->
+      line "int %s(int x) {" name;
+      line "  int a;";
+      line "  a = x * %d + %d;" ((const mod 97) + 1) (const mod 13);
+      line "  a = a + d_%d_%d[x & 7];" m.f_mid m.f_mver;
+      List.iter
+        (fun callee -> line "  if (x > 0) { a = a + %s(x - 1); }" callee)
+        callees;
+      line "  return a;";
+      line "}")
+    m.f_funcs;
+  Buffer.contents b
+
+let rec bp_to_string (n : bp) : string =
+  match n with
+  | Mod (i, v) -> mod_path { f_mid = i; f_mver = v; f_funcs = [] }
+  | Dep j -> lib_path { f_lid = j; f_body = Merge [] }
+  | Ext p -> p
+  | Merge ops ->
+      Printf.sprintf "(merge %s)" (String.concat " " (List.map bp_to_string ops))
+  | Override (a, b) ->
+      Printf.sprintf "(override %s %s)" (bp_to_string a) (bp_to_string b)
+  | Op1 (op, sel, x) -> Printf.sprintf "(%s %S %s)" op sel (bp_to_string x)
+  | Ren (sel, tpl, x) ->
+      Printf.sprintf "(rename %S %S %s)" sel tpl (bp_to_string x)
+  | Con (seg, addr, x) ->
+      Printf.sprintf "(constrain %S %d %s)"
+        (String.make 1 seg) addr (bp_to_string x)
+
+let meta_source (l : libdef) : string = bp_to_string l.f_body ^ "\n"
+
+let spec_body (w : wl) : string =
+  let b = Buffer.create 128 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b s; Buffer.add_char b '\n') fmt in
+  line "clients %d" w.w_clients;
+  line "requests %d" w.w_requests;
+  line "seed %d" w.w_seed;
+  line "concurrency %d" w.w_conc;
+  line "mix %s"
+    (String.concat " " (List.map (fun (op, wt) -> Printf.sprintf "%s=%d" op wt) w.w_mix));
+  line "evict_bytes %d" w.w_evict;
+  (match w.w_fault with
+  | None -> ()
+  | Some (seed, pc, es, rf) ->
+      line "fault_seed %d" seed;
+      line "fault place_conflict %g" pc;
+      line "fault evict_storm %g" es;
+      line "fault reserve_fail %g" rf);
+  Buffer.contents b
+
+(* -- generation ------------------------------------------------------------- *)
+
+let op1_kinds = [| "freeze"; "hide"; "show"; "restrict"; "project" |]
+
+(* Library-arena base addresses drawn from a small pool, so distinct
+   libraries regularly prefer the same slot (version-skew conflicts the
+   constraint solver has to arbitrate). *)
+let text_slot k = 0x01000000 + (k mod 8) * 0x00100000
+let data_slot k = 0x40800000 + (k mod 8) * 0x00200000
+
+let generate ?(max_modules = 12) ?(max_libs = 6) ~seed () : case =
+  let r = rng_make seed in
+  let nmod = 2 + rand r (max 1 (max_modules - 1)) in
+  (* modules: ~1/4 get a second version defining the same names *)
+  let versions = Array.init nmod (fun _ -> if chance r ~out_of:4 1 then 2 else 1) in
+  let mods =
+    List.concat
+      (List.init nmod (fun i ->
+           List.init versions.(i) (fun v ->
+               let nf = 1 + rand r 3 in
+               let funcs =
+                 List.init nf (fun k ->
+                     let callees = ref [] in
+                     if k > 0 && chance r ~out_of:4 1 then
+                       callees := fname i (k - 1) :: !callees;
+                     if i > 0 && chance r ~out_of:2 1 then
+                       callees := fname (rand r i) 0 :: !callees;
+                     if chance r ~out_of:8 1 then
+                       callees := Printf.sprintf "ext_%d" (rand r 4) :: !callees;
+                     (fname i k, 1 + rand r 996, List.rev !callees))
+               in
+               { f_mid = i; f_mver = v; f_funcs = funcs })))
+  in
+  let nlib = 1 + rand r max_libs in
+  (* distinct module ids, biased to small sets *)
+  let pick_mods count =
+    let rec go acc n =
+      if n = 0 then acc
+      else
+        let i = rand r nmod in
+        if List.mem i acc then go acc (n - 1) else go (i :: acc) (n - 1)
+    in
+    List.rev (go [] count)
+  in
+  let libs =
+    List.init nlib (fun j ->
+        if j = 0 then
+          (* library 0 is always a plain clean merge of version-0
+             modules, so every case has an instantiable meta *)
+          { f_lid = 0; f_body = Merge (List.map (fun i -> Mod (i, 0)) (pick_mods (1 + rand r 2))) }
+        else begin
+          let base_mods = pick_mods (1 + rand r 3) in
+          let operand_of i = Mod (i, rand r versions.(i)) in
+          let operands = ref (List.map operand_of base_mods) in
+          (* diamond dependencies through earlier libraries; rarely a
+             forward/self reference (cycle and unknown-path fodder) *)
+          if chance r ~out_of:5 2 then begin
+            let ndep = 1 + rand r 2 in
+            for _ = 1 to ndep do
+              let d =
+                if chance r ~out_of:10 1 then j + 1 + rand r 2 else rand r j
+              in
+              let d = if chance r ~out_of:32 1 then j else d in
+              if not (List.mem (Dep d) !operands) then
+                operands := !operands @ [ Dep d ]
+            done
+          end;
+          if chance r ~out_of:12 1 then
+            operands := !operands @ [ Ext (Printf.sprintf "/fuzz/void%d" (rand r 3)) ];
+          let body = ref (Merge !operands) in
+          (* interposition stack: override with other versions (or the
+             same one) of modules already in the base *)
+          if chance r ~out_of:3 1 then begin
+            let n_over = 1 + rand r 2 in
+            for _ = 1 to n_over do
+              let i =
+                match base_mods with
+                | [] -> rand r nmod
+                | ms -> List.nth ms (rand r (List.length ms))
+              in
+              body := Override (!body, Mod (i, rand r versions.(i)))
+            done
+          end;
+          (* operator chain *)
+          let pick_sel () =
+            match rand r 5 with
+            | 0 -> Printf.sprintf "^f_%d_.*$" (rand r nmod)
+            | 1 -> Printf.sprintf "^f_%d_%d$" (rand r nmod) (rand r 3)
+            | 2 -> ".*_0$"
+            | 3 -> "^ext_.*$" (* never a definition: dead selector *)
+            | _ -> "^zz_.*$" (* matches nothing: dead selector *)
+          in
+          let n_ops = rand r 4 in
+          for _ = 1 to n_ops do
+            if chance r ~out_of:4 1 then begin
+              let a = rand r nmod and b = rand r nmod in
+              let tpl =
+                if chance r ~out_of:4 1 then fname b 0 (* collision fodder *)
+                else Printf.sprintf "r_%d_0" a
+              in
+              body := Ren (Printf.sprintf "^%s$" (fname a 0), tpl, !body)
+            end
+            else
+              body :=
+                Op1 (op1_kinds.(rand r (Array.length op1_kinds)), pick_sel (), !body)
+          done;
+          (* address constraints from a small slot pool *)
+          if chance r ~out_of:2 1 then body := Con ('T', text_slot (rand r 8), !body);
+          if chance r ~out_of:2 1 then body := Con ('D', data_slot (rand r 8), !body);
+          if chance r ~out_of:8 1 then body := Con ('T', text_slot (rand r 8), !body);
+          { f_lid = j; f_body = !body }
+        end)
+  in
+  let mix =
+    let m = ref [ ("instantiate", 4 + rand r 5) ] in
+    if chance r ~out_of:2 1 then m := !m @ [ ("dynload", 1 + rand r 2) ];
+    if chance r ~out_of:3 2 then m := !m @ [ ("evict", 1 + rand r 2) ];
+    !m
+  in
+  let wl =
+    {
+      w_clients = 1 + rand r 4;
+      w_requests = 10 + rand r 40;
+      w_seed = rand r 100000;
+      w_conc = [| 1; 2; 4; 8 |].(rand r 4);
+      w_mix = mix;
+      w_evict = [| 0; 512; 4096; 16384; 65536 |].(rand r 5);
+      w_fault =
+        (if chance r ~out_of:10 3 then
+           Some
+             ( rand r 1000,
+               float_of_int (rand r 5) /. 10.0,
+               float_of_int (rand r 4) /. 10.0,
+               float_of_int (rand r 4) /. 10.0 )
+         else None);
+    }
+  in
+  { f_seed = seed; f_mods = mods; f_libs = libs; f_wl = wl }
+
+(* -- shrinking -------------------------------------------------------------- *)
+
+let remove_nth n xs = List.filteri (fun i _ -> i <> n) xs
+let replace_nth n x' xs = List.mapi (fun i x -> if i = n then x' else x) xs
+
+(* Remove every leaf matching [pred]; [None] when the whole expression
+   vanishes. *)
+let rec remove_leaf (pred : bp -> bool) (n : bp) : bp option =
+  match n with
+  | Mod _ | Dep _ | Ext _ -> if pred n then None else Some n
+  | Merge ops -> (
+      match List.filter_map (remove_leaf pred) ops with
+      | [] -> None
+      | ops' -> Some (Merge ops'))
+  | Override (a, b) -> (
+      match (remove_leaf pred a, remove_leaf pred b) with
+      | Some a', Some b' -> Some (Override (a', b'))
+      | Some x, None | None, Some x -> Some x
+      | None, None -> None)
+  | Op1 (op, sel, x) -> Option.map (fun x' -> Op1 (op, sel, x')) (remove_leaf pred x)
+  | Ren (sel, tpl, x) -> Option.map (fun x' -> Ren (sel, tpl, x')) (remove_leaf pred x)
+  | Con (seg, a, x) -> Option.map (fun x' -> Con (seg, a, x')) (remove_leaf pred x)
+
+(* One-step structural simplifications of a blueprint expression. *)
+let rec bp_shrinks (n : bp) : bp list =
+  match n with
+  | Mod _ | Dep _ | Ext _ -> []
+  | Merge ops ->
+      (match ops with
+      | [ x ] -> [ x ]
+      | _ -> List.mapi (fun i _ -> Merge (remove_nth i ops)) ops)
+      @ List.concat
+          (List.mapi
+             (fun i o -> List.map (fun o' -> Merge (replace_nth i o' ops)) (bp_shrinks o))
+             ops)
+  | Override (a, b) ->
+      [ a; b ]
+      @ List.map (fun a' -> Override (a', b)) (bp_shrinks a)
+      @ List.map (fun b' -> Override (a, b')) (bp_shrinks b)
+  | Op1 (op, sel, x) -> x :: List.map (fun x' -> Op1 (op, sel, x')) (bp_shrinks x)
+  | Ren (sel, tpl, x) -> x :: List.map (fun x' -> Ren (sel, tpl, x')) (bp_shrinks x)
+  | Con (seg, a, x) -> x :: List.map (fun x' -> Con (seg, a, x')) (bp_shrinks x)
+
+(* Drop library [lid], cascading: a dependent whose whole body was the
+   dropped library disappears too. *)
+let drop_lib (c : case) (lid : int) : case =
+  let rec go libs dropped =
+    let libs', dropped' =
+      List.fold_left
+        (fun (acc, dr) l ->
+          if List.mem l.f_lid dr then (acc, dr)
+          else
+            match
+              remove_leaf (function Dep d -> List.mem d dr | _ -> false) l.f_body
+            with
+            | Some body -> ({ l with f_body = body } :: acc, dr)
+            | None -> (acc, l.f_lid :: dr))
+        ([], dropped) libs
+    in
+    let libs' = List.rev libs' in
+    if List.length dropped' > List.length dropped then go libs' dropped' else libs'
+  in
+  { c with f_libs = go c.f_libs [ lid ] }
+
+let drop_mod (c : case) (m : mdef) : case =
+  let pred = function Mod (i, v) -> i = m.f_mid && v = m.f_mver | _ -> false in
+  let libs =
+    List.filter_map
+      (fun l -> Option.map (fun b -> { l with f_body = b }) (remove_leaf pred l.f_body))
+      c.f_libs
+  in
+  {
+    c with
+    f_mods = List.filter (fun m' -> m' <> m) c.f_mods;
+    f_libs = libs;
+  }
+
+let shrink (c : case) : case list =
+  let cands = ref [] in
+  let add c' = cands := c' :: !cands in
+  (* cheapest cuts first (the list is reversed before returning) *)
+  if c.f_wl.w_requests > 0 then add { c with f_wl = { c.f_wl with w_requests = 0 } };
+  List.iter (fun l -> if l.f_lid <> 0 then add (drop_lib c l.f_lid)) (List.rev c.f_libs);
+  List.iter (fun m -> add (drop_mod c m)) (List.rev c.f_mods);
+  List.iter
+    (fun (l : libdef) ->
+      List.iter
+        (fun body' ->
+          add
+            {
+              c with
+              f_libs =
+                List.map (fun l' -> if l'.f_lid = l.f_lid then { l' with f_body = body' } else l') c.f_libs;
+            })
+        (bp_shrinks l.f_body))
+    c.f_libs;
+  List.iter
+    (fun (m : mdef) ->
+      List.iteri
+        (fun k (_ : string * int * string list) ->
+          if List.length m.f_funcs > 1 then
+            add
+              {
+                c with
+                f_mods =
+                  List.map
+                    (fun m' -> if m' = m then { m with f_funcs = remove_nth k m.f_funcs } else m')
+                    c.f_mods;
+              })
+        m.f_funcs;
+      if List.exists (fun (_, _, cs) -> cs <> []) m.f_funcs then
+        add
+          {
+            c with
+            f_mods =
+              List.map
+                (fun m' ->
+                  if m' = m then
+                    { m with f_funcs = List.map (fun (n, k, _) -> (n, k, [])) m.f_funcs }
+                  else m')
+                c.f_mods;
+          })
+    c.f_mods;
+  let w = c.f_wl in
+  if w.w_requests > 1 then add { c with f_wl = { w with w_requests = w.w_requests / 2 } };
+  if w.w_fault <> None then add { c with f_wl = { w with w_fault = None } };
+  if w.w_clients > 1 then add { c with f_wl = { w with w_clients = 1 } };
+  if w.w_mix <> [ ("instantiate", 1) ] then
+    add { c with f_wl = { w with w_mix = [ ("instantiate", 1) ] } };
+  if w.w_evict <> 0 then add { c with f_wl = { w with w_evict = 0 } };
+  if w.w_conc > 2 then add { c with f_wl = { w with w_conc = 2 } };
+  List.rev !cands
+
+(* -- serialization ---------------------------------------------------------- *)
+
+let mod_of_path (p : string) : int * int =
+  try Scanf.sscanf p "/fuzz/m%dv%d.o%!" (fun i v -> (i, v))
+  with Scanf.Scan_failure _ | Failure _ | End_of_file ->
+    fail "bad module path: %s" p
+
+let lib_of_path (p : string) : int =
+  try Scanf.sscanf p "/fuzz/lib%d%!" (fun j -> j)
+  with Scanf.Scan_failure _ | Failure _ | End_of_file ->
+    fail "bad library path: %s" p
+
+let is_mod_path p =
+  String.length p > 7 && String.sub p 0 7 = "/fuzz/m" && Filename.check_suffix p ".o"
+
+let is_lib_path p = String.length p > 9 && String.sub p 0 9 = "/fuzz/lib"
+
+let rec bp_of_sexp (s : Blueprint.Sexp.t) : bp =
+  match s with
+  | Blueprint.Sexp.Sym p ->
+      if is_mod_path p then
+        let i, v = mod_of_path p in
+        Mod (i, v)
+      else if is_lib_path p then Dep (lib_of_path p)
+      else Ext p
+  | Blueprint.Sexp.List (Blueprint.Sexp.Sym op :: args) -> (
+      let op = Blueprint.Mgraph.normalize_op op in
+      match (op, args) with
+      | "merge", ops -> Merge (List.map bp_of_sexp ops)
+      | "override", [ a; b ] -> Override (bp_of_sexp a, bp_of_sexp b)
+      | ("freeze" | "hide" | "show" | "restrict" | "project"), [ Blueprint.Sexp.Str sel; x ] ->
+          Op1 (op, sel, bp_of_sexp x)
+      | "rename", [ Blueprint.Sexp.Str sel; Blueprint.Sexp.Str tpl; x ] ->
+          Ren (sel, tpl, bp_of_sexp x)
+      | "constrain", [ Blueprint.Sexp.Str seg; Blueprint.Sexp.Int addr; x ]
+        when String.length seg = 1 ->
+          Con (seg.[0], addr, bp_of_sexp x)
+      | _ -> fail "unsupported blueprint form: %s" (Blueprint.Sexp.to_string s))
+  | _ -> fail "unsupported blueprint form: %s" (Blueprint.Sexp.to_string s)
+
+let funcs_to_string (funcs : (string * int * string list) list) : string =
+  String.concat ";"
+    (List.map
+       (fun (name, const, callees) ->
+         Printf.sprintf "%s=%d:%s" name const (String.concat "," callees))
+       funcs)
+
+let funcs_of_string (s : string) : (string * int * string list) list =
+  if s = "" then []
+  else
+    List.map
+      (fun entry ->
+        match String.index_opt entry '=' with
+        | None -> fail "bad function entry: %s" entry
+        | Some i -> (
+            let name = String.sub entry 0 i in
+            let rest = String.sub entry (i + 1) (String.length entry - i - 1) in
+            match String.index_opt rest ':' with
+            | None -> fail "bad function entry: %s" entry
+            | Some j ->
+                let const =
+                  match int_of_string_opt (String.sub rest 0 j) with
+                  | Some n -> n
+                  | None -> fail "bad function constant: %s" entry
+                in
+                let callees = String.sub rest (j + 1) (String.length rest - j - 1) in
+                let callees =
+                  if callees = "" then []
+                  else String.split_on_char ',' callees
+                in
+                (name, const, callees)))
+      (String.split_on_char ';' s)
+
+let wl_to_string (w : wl) : string =
+  Printf.sprintf "clients=%d requests=%d seed=%d concurrency=%d evict_bytes=%d mix=%s%s"
+    w.w_clients w.w_requests w.w_seed w.w_conc w.w_evict
+    (String.concat ","
+       (List.map (fun (op, wt) -> Printf.sprintf "%s:%d" op wt) w.w_mix))
+    (match w.w_fault with
+    | None -> ""
+    | Some (s, pc, es, rf) -> Printf.sprintf " fault=%d:%g:%g:%g" s pc es rf)
+
+let wl_of_tokens (toks : string list) : wl =
+  let find key =
+    List.find_map
+      (fun t ->
+        let prefix = key ^ "=" in
+        if String.length t > String.length prefix
+           && String.sub t 0 (String.length prefix) = prefix
+        then Some (String.sub t (String.length prefix) (String.length t - String.length prefix))
+        else None)
+      toks
+  in
+  let int_field key =
+    match find key with
+    | None -> fail "wl: missing %s" key
+    | Some v -> (
+        match int_of_string_opt v with
+        | Some n -> n
+        | None -> fail "wl: bad %s: %s" key v)
+  in
+  let mix =
+    match find "mix" with
+    | None -> fail "wl: missing mix"
+    | Some v ->
+        List.map
+          (fun entry ->
+            match String.index_opt entry ':' with
+            | None -> fail "wl: bad mix entry: %s" entry
+            | Some i -> (
+                let op = String.sub entry 0 i in
+                match
+                  int_of_string_opt
+                    (String.sub entry (i + 1) (String.length entry - i - 1))
+                with
+                | Some wt -> (op, wt)
+                | None -> fail "wl: bad mix entry: %s" entry))
+          (String.split_on_char ',' v)
+  in
+  let fault =
+    match find "fault" with
+    | None -> None
+    | Some v -> (
+        match String.split_on_char ':' v with
+        | [ s; pc; es; rf ] -> (
+            match
+              ( int_of_string_opt s,
+                float_of_string_opt pc,
+                float_of_string_opt es,
+                float_of_string_opt rf )
+            with
+            | Some s, Some pc, Some es, Some rf -> Some (s, pc, es, rf)
+            | _ -> fail "wl: bad fault: %s" v)
+        | _ -> fail "wl: bad fault: %s" v)
+  in
+  {
+    w_clients = int_field "clients";
+    w_requests = int_field "requests";
+    w_seed = int_field "seed";
+    w_conc = int_field "concurrency";
+    w_mix = mix;
+    w_evict = int_field "evict_bytes";
+    w_fault = fault;
+  }
+
+let to_string (c : case) : string =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "# omos.fuzzcase/1\n";
+  Buffer.add_string b (Printf.sprintf "seed %d\n" c.f_seed);
+  List.iter
+    (fun m ->
+      Buffer.add_string b
+        (Printf.sprintf "mod %s %s\n" (mod_path m) (funcs_to_string m.f_funcs)))
+    c.f_mods;
+  List.iter
+    (fun l ->
+      Buffer.add_string b
+        (Printf.sprintf "lib %s %s\n" (lib_path l) (bp_to_string l.f_body)))
+    c.f_libs;
+  Buffer.add_string b (Printf.sprintf "wl %s\n" (wl_to_string c.f_wl));
+  Buffer.contents b
+
+let of_string (text : string) : case =
+  let seed = ref None in
+  let mods = ref [] in
+  let libs = ref [] in
+  let wl = ref None in
+  List.iter
+    (fun line ->
+      let line = String.trim line in
+      if line = "" || line.[0] = '#' then ()
+      else
+        match String.index_opt line ' ' with
+        | None -> fail "bad line: %s" line
+        | Some i -> (
+            let kw = String.sub line 0 i in
+            let rest = String.sub line (i + 1) (String.length line - i - 1) in
+            match kw with
+            | "seed" -> (
+                match int_of_string_opt (String.trim rest) with
+                | Some n -> seed := Some n
+                | None -> fail "bad seed: %s" rest)
+            | "mod" -> (
+                match String.index_opt rest ' ' with
+                | Some j ->
+                    let path = String.sub rest 0 j in
+                    let funcs = String.trim (String.sub rest (j + 1) (String.length rest - j - 1)) in
+                    let mid, mver = mod_of_path path in
+                    mods := { f_mid = mid; f_mver = mver; f_funcs = funcs_of_string funcs } :: !mods
+                | None ->
+                    let mid, mver = mod_of_path (String.trim rest) in
+                    mods := { f_mid = mid; f_mver = mver; f_funcs = [] } :: !mods)
+            | "lib" -> (
+                match String.index_opt rest ' ' with
+                | None -> fail "bad lib line: %s" line
+                | Some j ->
+                    let path = String.sub rest 0 j in
+                    let src = String.sub rest (j + 1) (String.length rest - j - 1) in
+                    let body =
+                      match Blueprint.Sexp.parse_one src with
+                      | s -> bp_of_sexp s
+                      | exception Blueprint.Sexp.Parse_error (m, _) ->
+                          fail "lib %s: %s" path m
+                    in
+                    libs := { f_lid = lib_of_path path; f_body = body } :: !libs)
+            | "wl" ->
+                wl :=
+                  Some
+                    (wl_of_tokens
+                       (List.filter (fun t -> t <> "") (String.split_on_char ' ' rest)))
+            | _ -> fail "unknown keyword: %s" kw))
+    (String.split_on_char '\n' text);
+  match (!seed, !wl) with
+  | None, _ -> fail "missing seed line"
+  | _, None -> fail "missing wl line"
+  | Some seed, Some wl ->
+      { f_seed = seed; f_mods = List.rev !mods; f_libs = List.rev !libs; f_wl = wl }

@@ -1,0 +1,127 @@
+(** Seeded blueprint/workload fuzzing: the {e generator} half of the
+    fuzz harness.
+
+    This module is pure and deterministic — it turns a seed into a
+    {!case}: a set of minic modules (with versions, cross-module calls
+    and external imports), a set of library meta-object blueprints over
+    them (merge DAGs with diamond dependencies, override/interposition
+    stacks, rename/freeze/hide chains, address constraints, version
+    skew, and the occasional unknown path or reference cycle), and a
+    workload scenario body. Everything renders to the surface formats
+    the server already consumes: minic source, meta-object blueprint
+    source, and the [Omos.Workload] spec language.
+
+    The {e oracle} half ([Omos.Fuzzer]) compiles and registers a case,
+    then checks the lint-vs-evaluator differential, residency
+    invariants, and batched-vs-serial pipeline equivalence. The two
+    halves are split so this generator stays free of server
+    dependencies and the case shrinker can be reused anywhere.
+
+    Cases serialize to a line-oriented [omos.fuzzcase/1] text format
+    (see {!to_string}) so minimized reproductions can be committed to
+    the corpus and replayed byte-identically. *)
+
+exception Case_error of string
+(** Raised by {!of_string} on a malformed case file. *)
+
+(** {1 Case structure} *)
+
+(** A generated minic translation unit: module [f_mid] at version
+    [f_mver], defining [int f_<mid>_<k>(int x)] for each function
+    entry [(name, const, callees)] plus one data table. Distinct
+    versions of the same module define the {e same} function names —
+    merging two versions collides (version skew), overriding one with
+    the other interposes. *)
+type mdef = {
+  f_mid : int;
+  f_mver : int;
+  f_funcs : (string * int * string list) list;
+}
+
+(** Blueprint expression IR, 1:1 with the m-graph surface operators the
+    generator emits. Leaves name generated modules, other generated
+    libraries, or arbitrary (possibly unknown) server paths. *)
+type bp =
+  | Mod of int * int  (** generated module [mid], version [ver] *)
+  | Dep of int  (** generated library [lid] *)
+  | Ext of string  (** any other server path (unknown-path fodder) *)
+  | Merge of bp list
+  | Override of bp * bp
+  | Op1 of string * string * bp  (** freeze/hide/show/restrict/project *)
+  | Ren of string * string * bp  (** rename selector template *)
+  | Con of char * int * bp  (** constrain: 'T' | 'D', preferred base *)
+
+type libdef = { f_lid : int; f_body : bp }
+
+(** Workload scenario knobs; [w_fault] is
+    [(seed, place_conflict, evict_storm, reserve_fail)]. The meta list
+    is {e not} part of the scenario — the oracle appends one [meta]
+    line per library the linter proves instantiable. *)
+type wl = {
+  w_clients : int;
+  w_requests : int;
+  w_seed : int;
+  w_conc : int;
+  w_mix : (string * int) list;
+  w_evict : int;
+  w_fault : (int * float * float * float) option;
+}
+
+type case = {
+  f_seed : int;
+  f_mods : mdef list;
+  f_libs : libdef list;
+  f_wl : wl;
+}
+
+(** {1 Rendering} *)
+
+val mod_path : mdef -> string
+(** Namespace path of a module fragment, [/fuzz/m<mid>v<mver>.o]. *)
+
+val lib_path : libdef -> string
+(** Namespace path of a library meta-object, [/fuzz/lib<lid>]. *)
+
+val minic_source : mdef -> string
+(** The module's translation unit: one data table plus its functions
+    (cross-module calls stay implicit and resolve at merge time). *)
+
+val meta_source : libdef -> string
+(** The library's meta-object blueprint source (one expression). *)
+
+val spec_body : wl -> string
+(** The workload spec directives, without any [meta] lines. *)
+
+(** {1 Generation} *)
+
+val derive_seed : master:int -> int -> int
+(** Per-iteration case seed from a master seed — a splitmix-style hash
+    so neighbouring iterations draw uncorrelated streams. *)
+
+val generate : ?max_modules:int -> ?max_libs:int -> seed:int -> unit -> case
+(** Deterministic: equal arguments produce structurally equal cases.
+    [max_modules] (default 12) and [max_libs] (default 6) bound the
+    case size; library 0 is always a plain clean merge so every case
+    has at least one instantiable meta. *)
+
+(** {1 Shrinking} *)
+
+val shrink : case -> case list
+(** One-step reduction candidates, cheapest-cut first: drop the
+    workload, drop a library (cascading through its dependents), drop a
+    module version, simplify a blueprint node (unwrap an operator,
+    collapse an override, drop a merge operand), drop a function or its
+    callees, then soften the scenario (halve requests, single client,
+    no faults, pure-instantiate mix). Candidates are deterministic and
+    in fixed order; a greedy reducer over them terminates because every
+    candidate is strictly structurally smaller. *)
+
+(** {1 Serialization} *)
+
+val to_string : case -> string
+(** [omos.fuzzcase/1]: one [seed] line, one [mod] line per module, one
+    [lib] line per library (the blueprint expression verbatim), one
+    [wl] line. Stable: [to_string] of equal cases is byte-equal. *)
+
+val of_string : string -> case
+(** Inverse of {!to_string}. @raise Case_error on malformed input. *)

@@ -1,0 +1,37 @@
+The seeded blueprint/workload fuzzer: each iteration generates a
+dependency-graph scenario plus a workload, then holds it to three
+oracles — the lint/symflow analyzer must agree with the real
+evaluator, residency invariants must hold after every operation, and
+the batched placement pipeline must be byte-equivalent to the serial
+path. A fixed seed is byte-reproducible.
+
+  $ ofe fuzz --seed 1 --iterations 5 --progress 2
+  iter 2/5 ok (clean_libs=3 events=27)
+  iter 4/5 ok (clean_libs=4 events=21)
+  fuzz: 5 iterations clean (seed 1)
+
+  $ ofe fuzz --seed 1 --iterations 5 --progress 2 > again.txt
+  $ ofe fuzz --seed 1 --iterations 5 --progress 2 | cmp - again.txt
+
+Minimized repros are stored in the omos.fuzzcase/1 format and can be
+replayed directly. This one is the batched-placement ordering repro
+from bench/corpus/:
+
+  $ cat > tie.fuzzcase <<'EOF'
+  > # bug 1 repro: batched placement solved jobs in reverse submit order
+  > seed 834212133
+  > mod /fuzz/m0v0.o f_0_2=818:
+  > lib /fuzz/lib1 (constrain "D" 1086324736 /fuzz/m0v0.o)
+  > lib /fuzz/lib2 /fuzz/lib1
+  > wl clients=1 requests=2 seed=94118 concurrency=2 evict_bytes=0 mix=instantiate:1
+  > EOF
+
+  $ ofe fuzz --replay tie.fuzzcase
+  tie.fuzzcase: ok (clean_libs=2 events=2)
+
+A malformed case fails cleanly:
+
+  $ echo "garbage 1" > bad.fuzzcase
+  $ ofe fuzz --replay bad.fuzzcase
+  ofe: fuzzcase: unknown keyword: garbage
+  [1]

@@ -63,21 +63,71 @@ let test_spec_parse () =
   let d = W.parse "" in
   Alcotest.(check bool) "empty spec = default" true (d = W.default)
 
+(* Every rejection pins its exact message: error text is part of the
+   spec-language surface (scripts grep it, the fuzzer replays it). *)
 let test_spec_errors () =
-  let expect_error text =
+  let expect_error text msg =
     try
       ignore (W.parse text);
       Alcotest.failf "accepted: %s" text
-    with W.Spec_error _ -> ()
+    with W.Spec_error m -> Alcotest.(check string) "message" msg m
   in
-  expect_error "clientz 3\n";
-  expect_error "clients many\n";
-  expect_error "clients 0\n";
-  expect_error "mix instantiate=0\n";
-  expect_error "mix frobnicate=2\n";
-  expect_error "mix instantiate\n";
-  expect_error "fault gamma 0.5\n";
+  expect_error "clientz 3\n" "line 1: unknown directive: clientz";
+  expect_error "clients many\n" "line 1: clients: not an integer: many";
+  expect_error "clients 0\n" "clients must be >= 1";
+  expect_error "requests -1\n" "requests must be >= 0";
+  expect_error "concurrency 0\n" "concurrency must be >= 1";
+  expect_error "mix instantiate=0\n"
+    "line 1: mix weight must be positive: instantiate=0";
+  expect_error "mix frobnicate=2\n" "line 1: unknown op in mix: frobnicate";
+  expect_error "mix instantiate\n"
+    "line 1: mix entries are op=weight, got: instantiate";
+  expect_error "fault gamma 0.5\n" "line 1: unknown fault: gamma";
   expect_error "fault place_conflict often\n"
+    "line 1: fault rate: not a number: often";
+  (* validation gaps closed by the fuzzer PR: out-of-range fault
+     rates, negative eviction budgets, duplicate mix ops, and a second
+     mix line were all silently accepted before *)
+  expect_error "fault place_conflict 1.5\n"
+    "line 1: fault rate must be in [0,1]: 1.5";
+  expect_error "fault evict_storm -0.1\n"
+    "line 1: fault rate must be in [0,1]: -0.1";
+  expect_error "fault reserve_fail 2\n" "line 1: fault rate must be in [0,1]: 2";
+  expect_error "evict_bytes -5\n" "line 1: evict_bytes must be >= 0: -5";
+  expect_error "mix instantiate=2 instantiate=1\n"
+    "line 1: duplicate op in mix: instantiate";
+  expect_error "clients 2\nmix instantiate=2\nmix evict=1\n"
+    "line 3: duplicate mix line (mix may appear once)"
+
+(* The run must never *lower* a configured admission limit, and must
+   restore it afterwards — a scenario that silently widened the queue
+   masked Overload in fault runs. *)
+let test_queue_limit_preserved () =
+  let captured = ref None in
+  let spec =
+    { small_spec with W.requests = 8; W.concurrency = 4; W.mix = [ ("instantiate", 1) ] }
+  in
+  (* configured limit below the pipeline depth: raised for the run,
+     restored after *)
+  let setup w =
+    let s = w.Omos.World.server in
+    captured := Some s;
+    Omos.Server.set_queue_limit s 2
+  in
+  ignore (W.run ~setup spec);
+  (match !captured with
+  | Some s -> Alcotest.(check int) "restored" 2 (Omos.Server.queue_limit s)
+  | None -> Alcotest.fail "setup did not run");
+  (* configured limit above the pipeline depth: never touched *)
+  let setup w =
+    let s = w.Omos.World.server in
+    captured := Some s;
+    Omos.Server.set_queue_limit s 100
+  in
+  ignore (W.run ~setup spec);
+  match !captured with
+  | Some s -> Alcotest.(check int) "untouched" 100 (Omos.Server.queue_limit s)
+  | None -> Alcotest.fail "setup did not run"
 
 let test_fault_run_trips_flight_dump () =
   let prefix =
@@ -129,6 +179,8 @@ let () =
           Alcotest.test_case "deterministic" `Quick test_two_runs_identical;
           Alcotest.test_case "request ids" `Quick
             test_request_ids_strictly_increase;
+          Alcotest.test_case "queue limit preserved" `Quick
+            test_queue_limit_preserved;
           Alcotest.test_case "fault trips dump" `Quick
             test_fault_run_trips_flight_dump;
         ] );
