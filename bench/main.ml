@@ -261,6 +261,38 @@ let reorder () =
     ((e_orig -. e_freq) /. e_orig *. 100.0);
   Printf.printf "  (paper: >10%% average)\n"
 
+(* -- E_hotspots: layout-locality audit --------------------------------------- *)
+
+let hotspots () =
+  section
+    "E_hotspots: layout-locality audit on the E1 workload (headroom before vs \
+     after reordering)";
+  let frags = libc_split_fragments () in
+  let trace = reorder_trace () in
+  let before = Omos.Hotspots.audit ~key:"/lib/libc" ~trace frags in
+  let after =
+    Omos.Hotspots.audit ~key:"/lib/libc(reordered)" ~trace
+      (Omos.Reorder.from_trace ~trace frags)
+  in
+  Printf.printf "monitored ls -laF: %d calls across %d of %d routines (%d bytes)\n"
+    before.Omos.Hotspots.a_calls before.Omos.Hotspots.a_routines_called
+    before.Omos.Hotspots.a_routines_total before.Omos.Hotspots.a_bytes_touched;
+  Printf.printf "  %-22s %14s %14s %10s\n" "" "pages actual" "pages optimal" "headroom";
+  Printf.printf "  %-22s %14d %14d %10d\n" "original order"
+    before.Omos.Hotspots.a_pages_actual before.Omos.Hotspots.a_pages_optimal
+    (Omos.Hotspots.headroom before);
+  Printf.printf "  %-22s %14d %14d %10d\n" "first-call order"
+    after.Omos.Hotspots.a_pages_actual after.Omos.Hotspots.a_pages_optimal
+    (Omos.Hotspots.headroom after);
+  Telemetry.Gauge.set "bench.hotspots.pages_actual"
+    (float_of_int before.Omos.Hotspots.a_pages_actual);
+  Telemetry.Gauge.set "bench.hotspots.pages_optimal"
+    (float_of_int before.Omos.Hotspots.a_pages_optimal);
+  Telemetry.Gauge.set "bench.hotspots.headroom_before_pages"
+    (float_of_int (Omos.Hotspots.headroom before));
+  Telemetry.Gauge.set "bench.hotspots.headroom_after_pages"
+    (float_of_int (Omos.Hotspots.headroom after))
+
 (* -- E2: dispatch-table memory --------------------------------------------------- *)
 
 let memory () =
@@ -787,13 +819,14 @@ let micro () =
 let usage () =
   print_endline
     "usage: bench/main.exe \
-     [table1|reorder|memory|cache|constraints|deltablue|linktime|sweep|sharing|dispatch|pipeline|micro|all]"
+     [table1|reorder|hotspots|memory|cache|constraints|deltablue|linktime|sweep|sharing|dispatch|pipeline|micro|all]"
 
 let () =
   let experiments =
     [
       ("table1", table1);
       ("reorder", reorder);
+      ("hotspots", hotspots);
       ("memory", memory);
       ("cache", cache);
       ("constraints", constraints);

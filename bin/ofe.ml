@@ -857,6 +857,183 @@ let profile_cmd =
           cost table and folded stacks")
     Term.(const run $ meta $ meta_file_arg $ folded_out $ json)
 
+(* -- continuous hotness profiling ------------------------------------------ *)
+
+(* Drive one monitored run of META in a fresh quickstart world so the
+   continuous hotness store has events to aggregate: libc is exercised
+   by the E1 `ls -laF` workload, the codegen libraries by the codegen
+   link-and-run workload. Metas with no known driver are reported as
+   such (the store simply records no events for them). *)
+let drive_monitored (meta : string) : Omos.Monitor.trace option =
+  let w = Omos.World.create () in
+  let s = w.Omos.World.server in
+  let mon =
+    Blueprint.Mgraph.parse (Printf.sprintf "(specialize \"monitor\" %s)" meta)
+  in
+  let driver =
+    if meta = "/lib/libc" then
+      Some
+        ( Blueprint.Mgraph.Merge
+            [ Omos.Schemes.graph_of_objs (Omos.World.ls_client w); mon ],
+          Omos.World.ls_laf_args )
+    else if List.mem meta Omos.World.codegen_libs then
+      Some
+        ( Blueprint.Mgraph.Merge
+            (Omos.Schemes.graph_of_objs (Omos.World.codegen_client w)
+            :: mon
+            :: List.filter_map
+                 (fun lib ->
+                   if lib = meta then None else Some (Blueprint.Mgraph.Name lib))
+                 Omos.World.codegen_libs),
+          Omos.World.codegen_args )
+    else None
+  in
+  match driver with
+  | None -> None
+  | Some (graph, args) ->
+      let b = Omos.Server.build s (Omos.Server.static ~name:"hotspots-mon" graph) in
+      let p = Omos.Boot.integrated_exec s (Omos.Server.loadable_entry [ b ]) ~args in
+      ignore (Simos.Kernel.run w.Omos.World.kernel p ());
+      Omos.Specializers.last_trace w.Omos.World.specializers
+
+(* The fragment order to audit for META: the per-function split libc
+   (same section order as the monolithic image — reordering is a
+   per-function decision, paper §4.1) for /lib/libc, else the meta's
+   own evaluated fragments. *)
+let audit_fragments (meta : string) : Sof.Object_file.t list =
+  if meta = "/lib/libc" then
+    List.concat_map Workloads.Libc_gen.split_objects Workloads.Libc_gen.section_names
+  else
+    let w = Omos.World.create () in
+    let s = w.Omos.World.server in
+    let m = Omos.Server.find_meta s meta in
+    let r = Omos.Server.eval s (Blueprint.Meta.effective_graph m ~spec:None) in
+    Jigsaw.Module_ops.fragments r.Blueprint.Mgraph.m
+
+let hotspots_cmd =
+  let meta =
+    Arg.(value & pos 0 (some string) None
+         & info [] ~docv:"META"
+             ~doc:"library meta-object path to profile (default /lib/libc)")
+  in
+  let all =
+    Arg.(value & flag
+         & info [ "all" ] ~doc:"profile every meta-object bound in the quickstart world")
+  in
+  let json =
+    Arg.(value & flag
+         & info [ "json" ] ~doc:"emit the profile as JSON (omos.hotspots/1)")
+  in
+  let folded_out =
+    Arg.(value & opt (some string) None
+         & info [ "folded" ] ~docv:"FILE"
+             ~doc:"also write folded call counts ($(b,meta;function count) \
+                   lines, flamegraph input) to $(docv)")
+  in
+  let audit_flag =
+    Arg.(value & flag
+         & info [ "audit" ]
+             ~doc:"print the layout-locality audit: text pages the traced \
+                   working set touches under the actual fragment order vs the \
+                   optimal packed layout vs the profile-reordered layout")
+  in
+  let run meta meta_file all json folded_out audit_flag =
+    handle (fun () ->
+        let targets =
+          if all then
+            let w = Omos.World.create () in
+            Omos.Namespace.all_metas (Omos.Server.namespace w.Omos.World.server)
+            |> List.sort compare
+          else
+            [ (match meta_file with
+              | Some f ->
+                  let w = Omos.World.create () in
+                  register_meta_file w.Omos.World.server f
+              | None -> Option.value meta ~default:"/lib/libc") ]
+        in
+        Telemetry.reset ();
+        let audited =
+          List.filter_map
+            (fun target ->
+              match drive_monitored target with
+              | None -> None
+              | Some trace when Omos.Monitor.call_sequence trace = [] -> None
+              | Some trace ->
+                  (* always audit driven metas: the [--json] export and
+                     the health window carry the headroom either way *)
+                  Some (target, Omos.Hotspots.audit ~key:target ~trace
+                                  (audit_fragments target)))
+            targets
+          |> List.to_seq |> Hashtbl.of_seq
+        in
+        if json then print_endline (Telemetry.Export.hotspots_json ())
+        else begin
+          Printf.printf "window: %d events (cap %d)\n"
+            (Telemetry.Hotness.total_events ()) Telemetry.Hotness.window_cap;
+          List.iter
+            (fun target ->
+              match Telemetry.Hotness.stat_for target with
+              | None -> Printf.printf "\nmeta: %s\n  no monitored calls in the window\n" target
+              | Some st ->
+                  Printf.printf "\nmeta: %s\n" target;
+                  Printf.printf "  calls: %d across %d routines\n"
+                    st.Telemetry.Hotness.hs_calls
+                    (List.length st.Telemetry.Hotness.hs_functions);
+                  Printf.printf "  top functions:\n";
+                  List.iteri
+                    (fun i (f, n) ->
+                      if i < 8 then Printf.printf "    %-24s %6d\n" f n)
+                    st.Telemetry.Hotness.hs_functions;
+                  Printf.printf "  top transitions:\n";
+                  List.iteri
+                    (fun i ((a, b), n) ->
+                      if i < 5 then Printf.printf "    %s -> %s (%d)\n" a b n)
+                    st.Telemetry.Hotness.hs_transitions;
+                  if audit_flag then
+                    match Hashtbl.find_opt audited target with
+                    | None -> ()
+                    | Some a ->
+                        Printf.printf "  audit:\n";
+                        Printf.printf "    routines called: %d of %d (%d bytes of text)\n"
+                          a.Omos.Hotspots.a_routines_called
+                          a.Omos.Hotspots.a_routines_total
+                          a.Omos.Hotspots.a_bytes_touched;
+                        Printf.printf "    pages touched, actual order:   %d\n"
+                          a.Omos.Hotspots.a_pages_actual;
+                        Printf.printf "    pages touched, optimal packed: %d\n"
+                          a.Omos.Hotspots.a_pages_optimal;
+                        Printf.printf "    pages touched, after reorder:  %d\n"
+                          a.Omos.Hotspots.a_pages_reordered;
+                        Printf.printf "    locality headroom: %d pages (%d after reorder)\n"
+                          (Omos.Hotspots.headroom a) (Omos.Hotspots.residual a))
+            targets
+        end;
+        match folded_out with
+        | None -> ()
+        | Some file ->
+            let oc = open_out file in
+            List.iter
+              (fun (st : Telemetry.Hotness.stat) ->
+                List.iter
+                  (fun (f, n) ->
+                    Printf.fprintf oc "%s;%s %d\n" st.Telemetry.Hotness.hs_key f n)
+                  st.Telemetry.Hotness.hs_functions)
+              (Telemetry.Hotness.stats ());
+            close_out oc;
+            if not json then Printf.printf "wrote %s\n" file)
+  in
+  Cmd.v
+    (Cmd.info "hotspots" ~exits
+       ~doc:
+         "drive a monitored run of a library meta-object through the \
+          continuous hotness store and report windowed call counts, \
+          caller→callee transitions, and (with $(b,--audit)) the \
+          layout-locality audit: how many text pages the traced working set \
+          touches under the actual fragment order versus the optimal packed \
+          layout — the locality headroom profile-driven reordering could \
+          reclaim (omos.hotspots/1 schema with $(b,--json))")
+    Term.(const run $ meta $ meta_file_arg $ all $ json $ folded_out $ audit_flag)
+
 (* -- workload, health & SLO gating ----------------------------------------- *)
 
 let load_spec = function
@@ -933,16 +1110,24 @@ let workload_cmd =
     Term.(const run $ spec_file_arg $ flight $ concurrency)
 
 let health_header =
-  "   reqs  window   hit%   p50_us   p95_us   p99_us  mean_us   max_us  confl/req  viol/req"
+  "   reqs  window   hit%   p50_us   p95_us   p99_us  mean_us   max_us  confl/req  viol/req  hot"
 
 let health_row (snap : Telemetry.Health.snapshot) : string =
-  Printf.sprintf "%7d %7d %6.1f %8.1f %8.1f %8.1f %8.1f %8.1f %10.3f %9.3f"
+  (* the hot column: hottest monitored function plus the audited
+     locality headroom, "-" while nothing is monitored *)
+  let hot =
+    if snap.Telemetry.Health.hot_fn = "-" then "-"
+    else
+      Printf.sprintf "%s+%.0fpg" snap.Telemetry.Health.hot_fn
+        snap.Telemetry.Health.headroom_pages
+  in
+  Printf.sprintf "%7d %7d %6.1f %8.1f %8.1f %8.1f %8.1f %8.1f %10.3f %9.3f  %s"
     snap.Telemetry.Health.requests snap.Telemetry.Health.window
     (100.0 *. snap.Telemetry.Health.hit_ratio)
     snap.Telemetry.Health.p50_us snap.Telemetry.Health.p95_us
     snap.Telemetry.Health.p99_us snap.Telemetry.Health.mean_us
     snap.Telemetry.Health.max_us snap.Telemetry.Health.conflict_rate
-    snap.Telemetry.Health.violation_rate
+    snap.Telemetry.Health.violation_rate hot
 
 let top_cmd =
   let watch =
@@ -1136,7 +1321,7 @@ let main =
       info_cmd; symbols_cmd; relocs_cmd; disasm_cmd; exports_cmd; undefined_cmd;
       nm_cmd; size_cmd; strings_cmd;
       compile_cmd; convert_cmd; rename_cmd; copy_as_cmd; merge_cmd;
-      lint_cmd; trace_cmd; stats_cmd; explain_cmd; profile_cmd;
+      lint_cmd; trace_cmd; stats_cmd; explain_cmd; profile_cmd; hotspots_cmd;
       workload_cmd; top_cmd; health_cmd; fuzz_cmd;
       unary_op "hide" "hide definitions, freezing internal references" Jigsaw.Module_ops.hide;
       unary_op "restrict" "virtualize definitions (remove, keep references)" Jigsaw.Module_ops.restrict;

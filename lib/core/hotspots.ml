@@ -1,0 +1,135 @@
+(** The layout-locality auditor (paper §4.1, E1).
+
+    Reordering pays off exactly when the routines a workload actually
+    calls are scattered across the image's text pages. This module
+    makes that gap measurable {e before} committing to a relink: replay
+    a {!Monitor} trace against the image's actual fragment order and
+    count the distinct text pages the traced working set touches, then
+    compare against two references — the optimal packed layout (the
+    called bytes packed contiguously from a page boundary: a lower
+    bound no reordering can beat) and the layout {!Reorder} would
+    produce from the same trace. The difference actual - optimal is
+    the image's {e locality headroom} in pages; reordered - optimal is
+    the residual a real reordering would leave.
+
+    Audit results are recorded in {!Telemetry.Hotness} so they surface
+    in health rows, SLO gates, and [omos.hotspots/1] exports. *)
+
+(** Text ranges per exported function: [(name, (lo, hi))] byte offsets
+    into the concatenated text of [frags], in fragment order. Within a
+    fragment, a function extends from its symbol value to the next
+    function's value (or the fragment's end) — the layout rule the
+    linker itself applies. *)
+let function_ranges (frags : Sof.Object_file.t list) :
+    (string * (int * int)) list =
+  let off = ref 0 in
+  List.concat_map
+    (fun (o : Sof.Object_file.t) ->
+      let size = Bytes.length o.Sof.Object_file.text in
+      let base = !off in
+      off := !off + size;
+      let fns =
+        List.filter
+          (fun (s : Sof.Symbol.t) ->
+            Sof.Symbol.is_exported s && s.Sof.Symbol.kind = Sof.Symbol.Text)
+          o.Sof.Object_file.symbols
+        |> List.sort (fun (a : Sof.Symbol.t) (b : Sof.Symbol.t) ->
+               compare a.Sof.Symbol.value b.Sof.Symbol.value)
+      in
+      let rec ranges = function
+        | [] -> []
+        | [ (s : Sof.Symbol.t) ] ->
+            [ (s.Sof.Symbol.name, (base + s.Sof.Symbol.value, base + size)) ]
+        | (s : Sof.Symbol.t) :: ((n : Sof.Symbol.t) :: _ as rest) ->
+            (s.Sof.Symbol.name, (base + s.Sof.Symbol.value, base + n.Sof.Symbol.value))
+            :: ranges rest
+      in
+      ranges fns)
+    frags
+
+(** Distinct text pages the functions in [names] occupy, given
+    [ranges] from {!function_ranges}. *)
+let distinct_pages (ranges : (string * (int * int)) list)
+    (names : string list) : int =
+  let page = Simos.Cost.page_size in
+  let wanted = Hashtbl.create 16 in
+  List.iter (fun n -> Hashtbl.replace wanted n ()) names;
+  let pages = Hashtbl.create 16 in
+  List.iter
+    (fun (name, (lo, hi)) ->
+      if Hashtbl.mem wanted name then
+        for p = lo / page to (max lo (hi - 1)) / page do
+          Hashtbl.replace pages p ()
+        done)
+    ranges;
+  Hashtbl.length pages
+
+(** Pages the called working set would occupy packed contiguously from
+    a page boundary — the lower bound no reordering can beat. *)
+let packed_pages (ranges : (string * (int * int)) list)
+    (names : string list) : int =
+  let page = Simos.Cost.page_size in
+  let wanted = Hashtbl.create 16 in
+  List.iter (fun n -> Hashtbl.replace wanted n ()) names;
+  let bytes =
+    List.fold_left
+      (fun acc (name, (lo, hi)) ->
+        if Hashtbl.mem wanted name then acc + max 0 (hi - lo) else acc)
+      0 ranges
+  in
+  (bytes + page - 1) / page
+
+type audit = {
+  a_key : string;  (** hotness key the audit is recorded under *)
+  a_routines_called : int;
+  a_routines_total : int;
+  a_calls : int;  (** call events in the trace *)
+  a_bytes_touched : int;  (** text bytes of the called routines *)
+  a_pages_actual : int;  (** distinct pages under the actual order *)
+  a_pages_optimal : int;  (** packed lower bound *)
+  a_pages_reordered : int;  (** distinct pages after {!Reorder} *)
+}
+
+(** Locality headroom: pages reordering could reclaim. *)
+let headroom (a : audit) : int = a.a_pages_actual - a.a_pages_optimal
+
+(** Residual headroom a real reordering would leave. *)
+let residual (a : audit) : int = a.a_pages_reordered - a.a_pages_optimal
+
+(** [audit ~key ~trace frags] replays [trace] against the fragment
+    order [frags] and records the result in {!Telemetry.Hotness} under
+    [key]. The reordered reference applies {!Reorder.from_trace} (the
+    default first-call strategy) to the same fragments. *)
+let audit ~(key : string) ~(trace : Monitor.trace)
+    (frags : Sof.Object_file.t list) : audit =
+  let ranges = function_ranges frags in
+  let defined = Hashtbl.create 64 in
+  List.iter (fun (n, _) -> Hashtbl.replace defined n ()) ranges;
+  let called =
+    List.filter (Hashtbl.mem defined) (Monitor.first_call_order trace)
+  in
+  let bytes =
+    let wanted = Hashtbl.create 16 in
+    List.iter (fun n -> Hashtbl.replace wanted n ()) called;
+    List.fold_left
+      (fun acc (n, (lo, hi)) ->
+        if Hashtbl.mem wanted n then acc + max 0 (hi - lo) else acc)
+      0 ranges
+  in
+  let pages_actual = distinct_pages ranges called in
+  let pages_optimal = packed_pages ranges called in
+  let pages_reordered =
+    distinct_pages (function_ranges (Reorder.from_trace ~trace frags)) called
+  in
+  Telemetry.Hotness.note_audit ~key ~pages_actual ~pages_optimal
+    ~pages_reordered;
+  {
+    a_key = key;
+    a_routines_called = List.length called;
+    a_routines_total = List.length ranges;
+    a_calls = List.length (Monitor.call_sequence trace);
+    a_bytes_touched = bytes;
+    a_pages_actual = pages_actual;
+    a_pages_optimal = pages_optimal;
+    a_pages_reordered = pages_reordered;
+  }

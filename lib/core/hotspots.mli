@@ -1,0 +1,42 @@
+(** The layout-locality auditor (paper §4.1, E1): replay a {!Monitor}
+    trace against an image's actual fragment order, count the distinct
+    text pages the traced working set touches, and compare against the
+    optimal packed layout and the {!Reorder}-produced layout. The gap
+    actual - optimal is the image's {e locality headroom} — how many
+    pages profile-driven reordering could reclaim. Results are
+    recorded in {!Telemetry.Hotness} (and from there surface in health
+    rows, SLO gates, and [omos.hotspots/1] exports). *)
+
+(** [(name, (lo, hi))] byte ranges of exported text functions in the
+    concatenated text of the fragments, in fragment order. *)
+val function_ranges : Sof.Object_file.t list -> (string * (int * int)) list
+
+(** Distinct text pages the named functions occupy under the given
+    ranges. *)
+val distinct_pages : (string * (int * int)) list -> string list -> int
+
+(** Pages the named functions would occupy packed contiguously from a
+    page boundary — the lower bound no reordering can beat. *)
+val packed_pages : (string * (int * int)) list -> string list -> int
+
+type audit = {
+  a_key : string;  (** hotness key the audit is recorded under *)
+  a_routines_called : int;
+  a_routines_total : int;
+  a_calls : int;  (** call events in the trace *)
+  a_bytes_touched : int;  (** text bytes of the called routines *)
+  a_pages_actual : int;  (** distinct pages under the actual order *)
+  a_pages_optimal : int;  (** packed lower bound *)
+  a_pages_reordered : int;  (** distinct pages after {!Reorder} *)
+}
+
+(** Locality headroom: pages reordering could reclaim. *)
+val headroom : audit -> int
+
+(** Residual headroom a real reordering would leave. *)
+val residual : audit -> int
+
+(** [audit ~key ~trace frags] replays [trace] against the fragment
+    order [frags], records the result under [key] in
+    {!Telemetry.Hotness}, and returns it. *)
+val audit : key:string -> trace:Monitor.trace -> Sof.Object_file.t list -> audit

@@ -142,18 +142,24 @@ let monitored ?(exits = false) (m : Jigsaw.Module_ops.t) :
 (** Route the monitor syscalls of [trace] through the upcall registry.
     Each event costs a syscall (already charged by the kernel) — the
     monitoring overhead is real and visible in the measurements, as it
-    was for OMOS. *)
-let attach (upcalls : Upcalls.t) (trace : trace) : unit =
-  let record kind _k _p (cpu : Svm.Cpu.t) _n =
+    was for OMOS. With [key] set, every function entry is also fed to
+    the continuous hotness store ({!Telemetry.Hotness}) under that key,
+    so the aggregate survives the trace itself. *)
+let attach ?key (upcalls : Upcalls.t) (trace : trace) : unit =
+  let record ~enter kind _k _p (cpu : Svm.Cpu.t) _n =
     let id = Int32.to_int (Svm.Cpu.get_reg cpu 1) in
     if id >= 0 && id < Array.length trace.names then begin
       trace.events <- kind id :: trace.events;
       trace.stamps <-
         (Telemetry.Request.current_client (), Telemetry.Request.current_request ())
         :: trace.stamps;
-      trace.count <- trace.count + 1
+      trace.count <- trace.count + 1;
+      if enter then
+        match key with
+        | Some k -> Telemetry.Hotness.record_call ~key:k trace.names.(id)
+        | None -> ()
     end;
     Svm.Cpu.Sys_continue
   in
-  Upcalls.register upcalls mon_enter (record (fun id -> Enter id));
-  Upcalls.register upcalls mon_exit (record (fun id -> Exit id))
+  Upcalls.register upcalls mon_enter (record ~enter:true (fun id -> Enter id));
+  Upcalls.register upcalls mon_exit (record ~enter:false (fun id -> Exit id))

@@ -40,5 +40,7 @@ val monitored : ?exits:bool -> Jigsaw.Module_ops.t -> Jigsaw.Module_ops.t * trac
 
 (** Route the monitor syscalls into [trace] via the upcall registry.
     Each event costs a real syscall — the monitoring overhead is
-    visible in measurements, as it was for OMOS. *)
-val attach : Upcalls.t -> trace -> unit
+    visible in measurements, as it was for OMOS. With [key] set, every
+    function entry also feeds {!Telemetry.Hotness} under that key, so
+    the continuous profile aggregates across requests. *)
+val attach : ?key:string -> Upcalls.t -> trace -> unit

@@ -169,6 +169,12 @@ let create ~(kernel : Simos.Kernel.t) ?(faults : Residency.faults option) () : t
       ~clock:(fun () -> Simos.Clock.elapsed kernel.Simos.Kernel.clock)
       ?faults ()
   in
+  (* snapshot metadata: record the pipeline knobs so an exported
+     omos.metrics/1 run is reproducible from the snapshot alone
+     (Runinfo survives Telemetry.reset) *)
+  Telemetry.Runinfo.set "sched_seed" (Telemetry.I 0);
+  Telemetry.Runinfo.set "batch_placement" (Telemetry.B true);
+  Telemetry.Runinfo.set "queue_limit" (Telemetry.I 64);
   {
     ns;
     cache;
@@ -943,6 +949,12 @@ and note_pref_conflict (t : t) ~(owner : string) (seg : Blueprint.Mgraph.seg)
 let submit (t : t) (req : request) : ticket =
   if t.inflight >= t.queue_limit then begin
     Telemetry.Counter.incr tm_overloads;
+    (* overload is an anomaly like faults and invariant violations:
+       leave a flight dump behind so the storm can be reconstructed *)
+    Telemetry.Flight.record
+      ~detail:(Printf.sprintf "inflight=%d limit=%d" t.inflight t.queue_limit)
+      Telemetry.Flight.Fault "server.overload";
+    ignore (Telemetry.Flight.trip ~reason:"overload server.submit" ());
     raise
       (Overload
          (Printf.sprintf "pipeline full: %d requests in flight (limit %d)"
@@ -1097,19 +1109,23 @@ let build_static (t : t) ~(name : string) ?(entry_symbol : string option)
     {!Overload} beyond it). *)
 let set_queue_limit (t : t) (n : int) : unit =
   if n < 1 then invalid_arg "Server.set_queue_limit";
-  t.queue_limit <- n
+  t.queue_limit <- n;
+  Telemetry.Runinfo.set "queue_limit" (Telemetry.I n)
 
 let queue_limit (t : t) : int = t.queue_limit
 
 (** Solve queued placements as one batched constraint pass (default) or
     one pass per request? *)
-let set_batch_placement (t : t) (b : bool) : unit = t.batch_place <- b
+let set_batch_placement (t : t) (b : bool) : unit =
+  t.batch_place <- b;
+  Telemetry.Runinfo.set "batch_placement" (Telemetry.B b)
 
 (** Reseed the pipeline scheduler: 0 (the default) runs stages in
     strict FIFO order; any other seed interleaves ready stages in a
     deterministic shuffled order. *)
 let set_sched_seed (t : t) (seed : int) : unit =
-  Simos.Sched.set_seed t.sched seed
+  Simos.Sched.set_seed t.sched seed;
+  Telemetry.Runinfo.set "sched_seed" (Telemetry.I seed)
 
 (** Register a specialization style (the schemes install theirs here). *)
 let register_specializer (t : t) (style : string) (f : Blueprint.Mgraph.specializer) :

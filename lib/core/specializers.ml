@@ -60,14 +60,22 @@ let install (server : Server.t) (upcalls : Upcalls.t) : t =
   (* lib-dynamic-impl: the shared implementation itself *)
   Server.register_specializer server "lib-dynamic-impl" (fun env _args node ->
       Blueprint.Mgraph.eval env node);
-  (* monitor: interpose logging wrappers *)
+  (* monitor: interpose logging wrappers; the hotness key is the
+     monitored server-object path when the operand is a name, else the
+     blueprint digest — stable identities the continuous profile can
+     aggregate under across requests *)
   Server.register_specializer server "monitor" (fun env args node ->
       let exits =
         List.exists (function Blueprint.Mgraph.Vstr "exits" -> true | _ -> false) args
       in
+      let key =
+        match node with
+        | Blueprint.Mgraph.Name path -> path
+        | n -> "digest:" ^ Blueprint.Mgraph.digest n
+      in
       let r = Blueprint.Mgraph.eval env node in
       let m', trace = Monitor.monitored ~exits r.Blueprint.Mgraph.m in
-      Monitor.attach upcalls trace;
+      Monitor.attach ~key upcalls trace;
       t.last_trace <- Some trace;
       { r with Blueprint.Mgraph.m = m' });
   t

@@ -175,9 +175,16 @@ let write_file (path : string) (contents : string) : unit =
   output_string oc contents;
   close_out oc
 
+(* Invoked after every dump with the reason; telemetry.ml registers a
+   hook that counts dumps by cause (this module sits below the metrics
+   registry, so it cannot increment counters itself). *)
+let on_dump : (string -> unit) ref = ref (fun _ -> ())
+let set_on_dump f = on_dump := f
+
 let dump ~(reason : string) ~(prefix : string) : unit =
   write_file (prefix ^ ".json") (to_json_events ~reason);
-  write_file (prefix ^ ".txt") (to_transcript ~reason)
+  write_file (prefix ^ ".txt") (to_transcript ~reason);
+  !on_dump reason
 
 let auto : string option ref = ref None
 let set_auto_dump p = auto := p

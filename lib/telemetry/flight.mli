@@ -103,6 +103,12 @@ val to_transcript : reason:string -> string
 (** Write [<prefix>.json] and [<prefix>.txt]. *)
 val dump : reason:string -> prefix:string -> unit
 
+(** Hook invoked with the dump reason after every {!dump} (explicit or
+    auto-dump {!trip}). The metrics layer lives above this module, so it
+    registers here to count dumps ([flight.dumps],
+    [flight.dumps.<cause>] keyed by the reason's first word). *)
+val set_on_dump : (string -> unit) -> unit
+
 (** Configure (or disable, with [None]) the auto-dump prefix used by
     {!trip}. Survives [Telemetry.reset]. *)
 val set_auto_dump : string option -> unit

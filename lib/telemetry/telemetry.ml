@@ -331,6 +331,229 @@ module Histogram = struct
     end
 end
 
+(* Count flight-recorder dumps, labeled by cause: flight.ml sits below
+   the metrics registry in the module graph, so it reports each dump
+   through this hook instead of incrementing counters itself. The cause
+   label is the first word of the dump reason ("fault", "overload",
+   "ofe", ...). *)
+let () =
+  Flight.set_on_dump (fun reason ->
+      let cause =
+        match String.index_opt reason ' ' with
+        | Some i -> String.sub reason 0 i
+        | None -> reason
+      in
+      Counter.incr (Counter.make "flight.dumps");
+      if cause <> "" then Counter.incr (Counter.make ("flight.dumps." ^ cause)))
+
+(* -- continuous hotness profiling -------------------------------------------- *)
+
+(** The hotness store: every {!Monitor} trace event flowing through the
+    server's monitor specializer is aggregated here, keyed by the
+    monitored meta path (or blueprint digest), across requests — the
+    always-on sensing layer of the paper's §4.1 reordering loop.
+
+    Events live in a deterministic rolling window ({!window_cap} most
+    recent calls); windowed statistics — per-key call counts, first-call
+    order, caller→callee transition pairs — are derived by replaying the
+    window, so equal event sequences always serialize byte-identically.
+    A cumulative per-key table (since the last reset) additionally
+    tracks the identity of each key's hottest function; every change of
+    identity is "churn" ([hotness.top_changes]), an input to
+    {!Health}. *)
+module Hotness = struct
+  let window_cap = 4096
+
+  (* the rolling window: parallel arrays of (key, function) call events *)
+  let ev_key : string array = Array.make window_cap ""
+  let ev_fn : string array = Array.make window_cap ""
+  let total = ref 0
+
+  let events = Counter.make "hotness.events"
+  let top_changes = Counter.make "hotness.top_changes"
+
+  (* cumulative since reset: per-key counts plus the current hottest
+     function, kept incrementally so churn detection is O(1) per call *)
+  type krec = {
+    counts : (string, int) Hashtbl.t;
+    mutable top_fn : string;
+    mutable top_n : int;
+  }
+
+  let cum : (string, krec) Hashtbl.t = Hashtbl.create 8
+
+  (* latest layout audit per key: (pages_actual, pages_optimal,
+     pages_reordered) — fed by the locality auditor in lib/core *)
+  let audits : (string, int * int * int) Hashtbl.t = Hashtbl.create 8
+
+  let total_events () : int = !total
+
+  (* The current hot set, for flight-ring notes: "key=fn:count" pairs,
+     sorted by key, capped so ring entries stay bounded. *)
+  let hot_set_label () : string =
+    let rows =
+      Hashtbl.fold (fun k r acc -> (k, r.top_fn, r.top_n) :: acc) cum []
+      |> List.sort compare
+    in
+    let rows = List.filteri (fun i _ -> i < 6) rows in
+    String.concat ","
+      (List.map (fun (k, f, n) -> Printf.sprintf "%s=%s:%d" k f n) rows)
+
+  (** Record one monitored function entry under [key]. *)
+  let record_call ~(key : string) (fn : string) : unit =
+    let i = !total mod window_cap in
+    ev_key.(i) <- key;
+    ev_fn.(i) <- fn;
+    incr total;
+    Counter.incr events;
+    let r =
+      match Hashtbl.find_opt cum key with
+      | Some r -> r
+      | None ->
+          let r = { counts = Hashtbl.create 16; top_fn = ""; top_n = 0 } in
+          Hashtbl.replace cum key r;
+          r
+    in
+    let n = 1 + Option.value ~default:0 (Hashtbl.find_opt r.counts fn) in
+    Hashtbl.replace r.counts fn n;
+    if fn = r.top_fn then r.top_n <- n
+    else if n > r.top_n then begin
+      if r.top_fn <> "" then begin
+        Counter.incr top_changes;
+        Flight.emit Flight.Note "hotness.top" (key ^ " -> " ^ fn)
+          (float_of_int n)
+      end;
+      r.top_fn <- fn;
+      r.top_n <- n
+    end;
+    (* periodic hot-set snapshot, so any anomaly dump carries it *)
+    if !total mod 256 = 0 then
+      Flight.emit Flight.Note "hotness.hotset" (hot_set_label ())
+        (float_of_int !total)
+
+  (* window replay, oldest first *)
+  let window_events () : (string * string) list =
+    let n = min !total window_cap in
+    List.init n (fun k ->
+        let i = (!total - n + k) mod window_cap in
+        (ev_key.(i), ev_fn.(i)))
+
+  let keys () : string list =
+    List.sort_uniq compare (List.map fst (window_events ()))
+
+  type stat = {
+    hs_key : string;
+    hs_calls : int;  (** call events for this key in the window *)
+    hs_functions : (string * int) list;
+        (** per-function call counts, hottest first (name breaks ties) *)
+    hs_first_call : string list;  (** first-call order within the window *)
+    hs_transitions : ((string * string) * int) list;
+        (** consecutive-call (caller → callee) pairs, hottest first *)
+  }
+
+  let stats () : stat list =
+    let evs = window_events () in
+    List.map
+      (fun key ->
+        let fns = List.filter_map (fun (k, f) -> if k = key then Some f else None) evs in
+        let counts = Hashtbl.create 16 in
+        let seen = Hashtbl.create 16 in
+        let first = ref [] in
+        let trans = Hashtbl.create 16 in
+        let prev = ref None in
+        List.iter
+          (fun f ->
+            Hashtbl.replace counts f
+              (1 + Option.value ~default:0 (Hashtbl.find_opt counts f));
+            if not (Hashtbl.mem seen f) then begin
+              Hashtbl.replace seen f ();
+              first := f :: !first
+            end;
+            (match !prev with
+            | Some p ->
+                Hashtbl.replace trans (p, f)
+                  (1 + Option.value ~default:0 (Hashtbl.find_opt trans (p, f)))
+            | None -> ());
+            prev := Some f)
+          fns;
+        let by_count_desc c1 c2 n1 n2 =
+          match compare n2 n1 with 0 -> compare c1 c2 | c -> c
+        in
+        {
+          hs_key = key;
+          hs_calls = List.length fns;
+          hs_functions =
+            Hashtbl.fold (fun f n acc -> (f, n) :: acc) counts []
+            |> List.sort (fun (f1, n1) (f2, n2) -> by_count_desc f1 f2 n1 n2);
+          hs_first_call = List.rev !first;
+          hs_transitions =
+            Hashtbl.fold (fun p n acc -> (p, n) :: acc) trans []
+            |> List.sort (fun (p1, n1) (p2, n2) -> by_count_desc p1 p2 n1 n2);
+        })
+      (keys ())
+
+  let stat_for (key : string) : stat option =
+    List.find_opt (fun s -> s.hs_key = key) (stats ())
+
+  (** The hottest (key, function, windowed calls) across all keys, if
+      any events were recorded. *)
+  let hottest () : (string * string * int) option =
+    List.fold_left
+      (fun acc s ->
+        match (s.hs_functions, acc) with
+        | [], _ -> acc
+        | (f, n) :: _, None -> Some (s.hs_key, f, n)
+        | (f, n) :: _, Some (_, _, bn) when n > bn -> Some (s.hs_key, f, n)
+        | _ -> acc)
+      None (stats ())
+
+  (** Record the latest layout-locality audit for [key] (called by the
+      auditor in lib/core): distinct text pages the traced working set
+      touches under the actual fragment order, under the optimal packed
+      layout, and after {!Reorder}-style reordering. Sets the
+      [hotness.headroom_pages.<key>] gauge and notes the result in the
+      flight ring. *)
+  let note_audit ~(key : string) ~(pages_actual : int) ~(pages_optimal : int)
+      ~(pages_reordered : int) : unit =
+    Hashtbl.replace audits key (pages_actual, pages_optimal, pages_reordered);
+    Gauge.set ("hotness.headroom_pages." ^ key)
+      (float_of_int (pages_actual - pages_optimal));
+    Flight.emit Flight.Note "hotness.headroom" key
+      (float_of_int (pages_actual - pages_optimal))
+
+  let audit_pages (key : string) : (int * int * int) option =
+    Hashtbl.find_opt audits key
+
+  (** The largest audited headroom (actual - optimal pages) across all
+      keys; 0 when nothing was audited. *)
+  let max_headroom () : int =
+    Hashtbl.fold (fun _ (a, o, _) acc -> max acc (a - o)) audits 0
+
+  let reset_state () : unit =
+    total := 0;
+    Hashtbl.reset cum;
+    Hashtbl.reset audits
+end
+
+(* -- run metadata ------------------------------------------------------------ *)
+
+(** Reproducibility metadata carried as the ["meta"] object of every
+    [omos.metrics/1] snapshot: the server records its scheduler seed,
+    batch-placement knob, and queue limit here (at creation and on every
+    knob change), so an exported run can be re-created from the snapshot
+    alone. Survives {!reset} — this is configuration, not
+    measurement. *)
+module Runinfo = struct
+  let registry : (string, value) Hashtbl.t = Hashtbl.create 8
+
+  let set (key : string) (v : value) : unit = Hashtbl.replace registry key v
+  let get (key : string) : value option = Hashtbl.find_opt registry key
+
+  let sorted () : (string * value) list =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) registry []
+    |> List.sort compare
+end
+
 (* -- request attribution ----------------------------------------------------- *)
 
 (** Request-scoped attribution. The server is persistent and serves
@@ -459,6 +682,7 @@ module Health = struct
   let hits = Array.make window_cap (-1) (* 1 hit, 0 miss, -1 unknown *)
   let conflicts_at = Array.make window_cap 0
   let violations_at = Array.make window_cap 0
+  let topchg_at = Array.make window_cap 0 (* hotness top-function churn *)
   let queues = Array.make window_cap 0.0 (* pipeline depth at completion *)
   let total = ref 0
 
@@ -468,6 +692,7 @@ module Health = struct
     hits.(i) <- (match hit with Some true -> 1 | Some false -> 0 | None -> -1);
     conflicts_at.(i) <- Counter.get "server.arena_conflicts";
     violations_at.(i) <- Counter.get "residency.invariant_violations";
+    topchg_at.(i) <- Counter.get "hotness.top_changes";
     queues.(i) <- float_of_int queue_depth;
     incr total
 
@@ -483,6 +708,11 @@ module Health = struct
     conflict_rate : float;  (** arena conflicts per windowed request *)
     violation_rate : float;  (** invariant violations per windowed request *)
     max_queue_depth : float;  (** deepest pipeline backlog in the window *)
+    headroom_pages : float;
+        (** largest audited locality headroom (actual - optimal pages)
+            across resident images, from {!Hotness} *)
+    hot_churn : float;  (** hot-function identity changes per windowed request *)
+    hot_fn : string;  (** hottest monitored function ("-" when none) *)
   }
 
   let percentile (sorted : float array) (q : float) : float =
@@ -493,11 +723,19 @@ module Health = struct
       sorted.(max 0 (min (n - 1) (rank - 1)))
 
   let snapshot () : snapshot =
+    (* hotness reads are live, not sampled: headroom and the hot
+       function are identities, not rates, so the latest value is the
+       right answer even for an empty cost window *)
+    let headroom_pages = float_of_int (Hotness.max_headroom ()) in
+    let hot_fn =
+      match Hotness.hottest () with Some (_, f, _) -> f | None -> "-"
+    in
     let n = min !total window_cap in
     if n = 0 then
       { requests = 0; window = 0; hit_ratio = 1.0; p50_us = 0.0; p95_us = 0.0;
         p99_us = 0.0; mean_us = 0.0; max_us = 0.0; conflict_rate = 0.0;
-        violation_rate = 0.0; max_queue_depth = 0.0 }
+        violation_rate = 0.0; max_queue_depth = 0.0; headroom_pages;
+        hot_churn = 0.0; hot_fn }
     else begin
       let idx k = (!total - n + k) mod window_cap in
       let w = Array.init n (fun k -> costs.(idx k)) in
@@ -527,6 +765,9 @@ module Health = struct
         violation_rate = delta (Array.get violations_at) /. float_of_int n;
         max_queue_depth =
           Array.fold_left max 0.0 (Array.init n (fun k -> queues.(idx k)));
+        headroom_pages;
+        hot_churn = delta (Array.get topchg_at) /. float_of_int n;
+        hot_fn;
       }
     end
 
@@ -539,19 +780,21 @@ module Health = struct
     conflict_rate_max : float option;
     violation_rate_max : float option;
     queue_depth_max : float option;
+    headroom_pages_max : float option;
+    hot_churn_max : float option;
   }
 
   let empty_slo =
     { hit_ratio_min = None; p95_us_max = None; p99_us_max = None;
       conflict_rate_max = None; violation_rate_max = None;
-      queue_depth_max = None }
+      queue_depth_max = None; headroom_pages_max = None; hot_churn_max = None }
 
   exception Slo_error of string
 
   (** Parse the line-oriented SLO format: one [key value] pair per
       line, [#] comments and blank lines ignored. Keys: [hit_ratio_min]
-      [p95_us_max] [p99_us_max] [conflict_rate_max]
-      [violation_rate_max]. *)
+      [p95_us_max] [p99_us_max] [conflict_rate_max] [violation_rate_max]
+      [queue_depth_max] [headroom_pages_max] [hot_churn_max]. *)
   let parse_slo (src : string) : slo =
     let strip s = String.trim s in
     List.fold_left
@@ -579,6 +822,8 @@ module Health = struct
             | "conflict_rate_max" -> { acc with conflict_rate_max = Some f }
             | "violation_rate_max" -> { acc with violation_rate_max = Some f }
             | "queue_depth_max" -> { acc with queue_depth_max = Some f }
+            | "headroom_pages_max" -> { acc with headroom_pages_max = Some f }
+            | "hot_churn_max" -> { acc with hot_churn_max = Some f }
             | k -> raise (Slo_error ("unknown SLO key: " ^ k)))
         | _ -> raise (Slo_error ("bad SLO line: " ^ line)))
       empty_slo
@@ -604,6 +849,12 @@ module Health = struct
         Option.map
           (fun b -> upper "queue_depth_max" b snap.max_queue_depth)
           s.queue_depth_max;
+        Option.map
+          (fun b -> upper "headroom_pages_max" b snap.headroom_pages)
+          s.headroom_pages_max;
+        Option.map
+          (fun b -> upper "hot_churn_max" b snap.hot_churn)
+          s.hot_churn_max;
       ]
 
   let ok (checks : (string * float * float * bool) list) : bool =
@@ -1068,7 +1319,9 @@ let reset () : unit =
   Provenance.clear_state ();
   Request.reset_state ();
   Health.reset_state ();
-  (* the ring is cleared; the auto-dump configuration survives *)
+  Hotness.reset_state ();
+  (* the ring is cleared; the auto-dump configuration and Runinfo
+     (run configuration, not measurement) survive *)
   Flight.clear ()
 
 let json_of_value : value -> Json.t = function
@@ -1195,6 +1448,9 @@ module Export = struct
     Json.to_string
       (Json.Obj
          [ ("schema", Json.Str "omos.metrics/1");
+           ("meta",
+            Json.Obj
+              (List.map (fun (k, v) -> (k, json_of_value v)) (Runinfo.sorted ())));
            ("counters",
             Json.Obj
               (List.map (fun (k, v) -> (k, Json.Num (float_of_int v)))
@@ -1215,7 +1471,70 @@ module Export = struct
                          ("p50", Json.Num (Histogram.percentile h 50.0));
                          ("p95", Json.Num (Histogram.percentile h 95.0));
                          ("p99", Json.Num (Histogram.percentile h 99.0)) ] ))
-                 (sorted_histograms ()))) ])
+                 (sorted_histograms ())));
+           ("hotness",
+            Json.Obj
+              [ ("window_cap", Json.Num (float_of_int Hotness.window_cap));
+                ("events", Json.Num (float_of_int (Hotness.total_events ())));
+                ("keys",
+                 Json.Obj
+                   (List.map
+                      (fun (s : Hotness.stat) ->
+                        (s.Hotness.hs_key,
+                         Json.Num (float_of_int s.Hotness.hs_calls)))
+                      (Hotness.stats ()))) ]) ])
+
+  (** The continuous-profiling store as one JSON object with a stable
+      schema: windowed per-key call counts, per-function histograms,
+      first-call order, caller→callee transitions, and (when audited)
+      the layout-locality audit for each key. *)
+  let hotspots_json () : string =
+    let meta_obj (s : Hotness.stat) : Json.t =
+      let audit =
+        match Hotness.audit_pages s.Hotness.hs_key with
+        | None -> []
+        | Some (actual, optimal, reordered) ->
+            [ ("audit",
+               Json.Obj
+                 [ ("pages_actual", Json.Num (float_of_int actual));
+                   ("pages_optimal", Json.Num (float_of_int optimal));
+                   ("pages_reordered", Json.Num (float_of_int reordered));
+                   ("headroom_pages", Json.Num (float_of_int (actual - optimal)));
+                   ("headroom_after_reorder",
+                    Json.Num (float_of_int (reordered - optimal))) ]) ]
+      in
+      Json.Obj
+        ([ ("meta", Json.Str s.Hotness.hs_key);
+           ("calls", Json.Num (float_of_int s.Hotness.hs_calls));
+           ("functions",
+            Json.Arr
+              (List.map
+                 (fun (f, n) ->
+                   Json.Obj
+                     [ ("name", Json.Str f);
+                       ("calls", Json.Num (float_of_int n)) ])
+                 s.Hotness.hs_functions));
+           ("first_call",
+            Json.Arr (List.map (fun f -> Json.Str f) s.Hotness.hs_first_call));
+           ("transitions",
+            Json.Arr
+              (List.map
+                 (fun ((p, f), n) ->
+                   Json.Obj
+                     [ ("from", Json.Str p);
+                       ("to", Json.Str f);
+                       ("count", Json.Num (float_of_int n)) ])
+                 s.Hotness.hs_transitions)) ]
+        @ audit)
+    in
+    Json.to_string
+      (Json.Obj
+         [ ("schema", Json.Str "omos.hotspots/1");
+           ("window",
+            Json.Obj
+              [ ("cap", Json.Num (float_of_int Hotness.window_cap));
+                ("events", Json.Num (float_of_int (Hotness.total_events ()))) ]);
+           ("metas", Json.Arr (List.map meta_obj (Hotness.stats ()))) ])
 end
 
 (* Re-export the flight recorder so clients address it as

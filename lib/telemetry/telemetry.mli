@@ -132,6 +132,88 @@ module Histogram : sig
   val percentile : t -> float -> float
 end
 
+(** The continuous-profiling store: every [Monitor] trace event flowing
+    through the server's monitor specializer is aggregated here across
+    requests, keyed by the monitored meta path (or blueprint digest).
+    Events live in a deterministic rolling window of the
+    {!Hotness.window_cap} most recent calls; windowed statistics —
+    per-key call counts, first-call order, caller→callee transition
+    pairs — are derived by replaying the window, so equal event
+    sequences serialize byte-identically. A cumulative table tracks the
+    identity of each key's hottest function; changes of identity
+    ("churn", counter [hotness.top_changes]) feed {!Health}, and a
+    bounded hot-set note is written to the flight ring every 256 events
+    so anomaly dumps carry the hot set. *)
+module Hotness : sig
+  (** Rolling-window size (call events retained). *)
+  val window_cap : int
+
+  (** Record one monitored function entry under [key] (the monitored
+      meta path, or ["digest:<d>"] for anonymous blueprints). *)
+  val record_call : key:string -> string -> unit
+
+  (** Call events recorded since the last reset (including ones that
+      have rolled out of the window). *)
+  val total_events : unit -> int
+
+  (** Keys present in the current window, sorted. *)
+  val keys : unit -> string list
+
+  (** Windowed statistics for one key. *)
+  type stat = {
+    hs_key : string;
+    hs_calls : int;  (** call events for this key in the window *)
+    hs_functions : (string * int) list;
+        (** per-function call counts, hottest first (name breaks ties) *)
+    hs_first_call : string list;  (** first-call order within the window *)
+    hs_transitions : ((string * string) * int) list;
+        (** consecutive-call (caller → callee) pairs, hottest first *)
+  }
+
+  (** Statistics for every windowed key, sorted by key. *)
+  val stats : unit -> stat list
+
+  val stat_for : string -> stat option
+
+  (** The hottest (key, function, windowed calls) across all keys, if
+      any events were recorded. *)
+  val hottest : unit -> (string * string * int) option
+
+  (** Record the latest layout-locality audit for [key]: distinct text
+      pages the traced working set touches under the actual fragment
+      order, under the optimal packed layout, and after reordering.
+      Sets the [hotness.headroom_pages.<key>] gauge and notes the
+      result in the flight ring. *)
+  val note_audit :
+    key:string ->
+    pages_actual:int ->
+    pages_optimal:int ->
+    pages_reordered:int ->
+    unit
+
+  (** The recorded [(pages_actual, pages_optimal, pages_reordered)] for
+      [key], if it was audited since the last reset. *)
+  val audit_pages : string -> (int * int * int) option
+
+  (** The largest audited headroom (actual - optimal pages) across all
+      keys; 0 when nothing was audited. *)
+  val max_headroom : unit -> int
+end
+
+(** Reproducibility metadata carried as the ["meta"] object of every
+    [omos.metrics/1] snapshot: the server records its scheduler seed,
+    batch-placement knob, and queue limit here (at creation and on
+    every knob change), so an exported run can be re-created from the
+    snapshot alone. Survives {!reset} — configuration, not
+    measurement. *)
+module Runinfo : sig
+  val set : string -> value -> unit
+  val get : string -> value option
+
+  (** All entries, sorted by key. *)
+  val sorted : unit -> (string * value) list
+end
+
 (** Request-scoped attribution. Every server entry point (instantiate,
     exec, dynload, evict) opens a request, which assigns a monotonic
     request id, inherits or sets the client id, and pushes the pair
@@ -214,6 +296,11 @@ module Health : sig
     conflict_rate : float;  (** arena conflicts per windowed request *)
     violation_rate : float;  (** invariant violations per windowed request *)
     max_queue_depth : float;  (** deepest pipeline backlog in the window *)
+    headroom_pages : float;
+        (** largest audited locality headroom (actual - optimal pages)
+            across resident images, from {!Hotness} *)
+    hot_churn : float;  (** hot-function identity changes per windowed request *)
+    hot_fn : string;  (** hottest monitored function ("-" when none) *)
   }
 
   val snapshot : unit -> snapshot
@@ -226,6 +313,8 @@ module Health : sig
     conflict_rate_max : float option;
     violation_rate_max : float option;
     queue_depth_max : float option;
+    headroom_pages_max : float option;
+    hot_churn_max : float option;
   }
 
   val empty_slo : slo
@@ -244,9 +333,9 @@ end
 
 (** Zero every metric in place (interned handles stay valid), drop all
     recorded spans, clear profiler attributions, provenance journal
-    state, request attribution, health windows, and the flight-recorder
-    ring. Clock, enabled flags, and the flight auto-dump configuration
-    are untouched. *)
+    state, request attribution, health windows, the hotness store, and
+    the flight-recorder ring. Clock, enabled flags, the flight
+    auto-dump configuration, and {!Runinfo} are untouched. *)
 val reset : unit -> unit
 
 (** A small JSON reader/writer used by the exporters and by tests to
@@ -392,6 +481,14 @@ module Export : sig
   val chrome : unit -> string
 
   (** The metrics registry as one stable-schema JSON object
-      ([omos.metrics/1]) — the BENCH_*.json payload. *)
+      ([omos.metrics/1]) — the BENCH_*.json payload. Carries the
+      {!Runinfo} entries as its ["meta"] object and a windowed
+      {!Hotness} summary as its ["hotness"] object. *)
   val metrics_json : unit -> string
+
+  (** The continuous-profiling store as one stable-schema JSON object
+      ([omos.hotspots/1]): windowed per-key call counts, per-function
+      histograms, first-call order, caller→callee transitions, and —
+      for audited keys — the layout-locality audit. *)
+  val hotspots_json : unit -> string
 end

@@ -42,14 +42,14 @@ ofe top tabulates the same rolling window, one-shot by default or
 every N requests with --watch:
 
   $ ofe top
-     reqs  window   hit%   p50_us   p95_us   p99_us  mean_us   max_us  confl/req  viol/req
-       17      17   64.7      0.0    250.6    250.6     48.4    250.6      0.000     0.000
+     reqs  window   hit%   p50_us   p95_us   p99_us  mean_us   max_us  confl/req  viol/req  hot
+       17      17   64.7      0.0    250.6    250.6     48.4    250.6      0.000     0.000  -
 
   $ ofe top --watch --every 10
-     reqs  window   hit%   p50_us   p95_us   p99_us  mean_us   max_us  confl/req  viol/req
-        7       7   57.1      0.0    250.6    250.6     59.4    250.6      0.000     0.000
-       12      12   66.7      0.0    250.6    250.6     45.9    250.6      0.000     0.000
-       17      17   64.7      0.0    250.6    250.6     48.4    250.6      0.000     0.000
+     reqs  window   hit%   p50_us   p95_us   p99_us  mean_us   max_us  confl/req  viol/req  hot
+        7       7   57.1      0.0    250.6    250.6     59.4    250.6      0.000     0.000  -
+       12      12   66.7      0.0    250.6    250.6     45.9    250.6      0.000     0.000  -
+       17      17   64.7      0.0    250.6    250.6     48.4    250.6      0.000     0.000  -
 
 Unknown flags print usage and exit 2 — distinguishable from build
 errors (1) and success (0):

@@ -1,0 +1,78 @@
+The continuous hotness profile: drive a monitored E1 run (`ls -laF`
+against the monitored libc) and report windowed call counts plus the
+layout-locality audit. The acceptance property of the audit: strictly
+positive headroom under the original section order, zero after
+profile-driven reordering.
+
+  $ ofe hotspots /lib/libc --audit
+  window: 3276 events (cap 4096)
+  
+  meta: /lib/libc
+    calls: 3276 across 18 routines
+    top functions:
+      write                       886
+      strlen                      682
+      putstr                      478
+      putchar                     340
+      strcpy                      272
+      strcat                      136
+      readdir                      69
+      fmt_mode                     68
+    top transitions:
+      putstr -> strlen (478)
+      strlen -> write (478)
+      write -> putstr (342)
+      putchar -> write (340)
+      write -> putchar (272)
+    audit:
+      routines called: 18 of 303 (9424 bytes of text)
+      pages touched, actual order:   11
+      pages touched, optimal packed: 3
+      pages touched, after reorder:  3
+      locality headroom: 8 pages (0 after reorder)
+
+
+The JSON export is byte-deterministic and carries the stable
+omos.hotspots/1 schema with the audit attached:
+
+  $ ofe hotspots /lib/libc --json > a.json
+  $ ofe hotspots /lib/libc --json > b.json
+  $ cmp a.json b.json
+  $ head -c 26 a.json; echo
+  {"schema":"omos.hotspots/1
+
+Folded call counts for flamegraph tooling:
+
+  $ ofe hotspots /lib/libc --folded hot.folded
+  window: 3276 events (cap 4096)
+  
+  meta: /lib/libc
+    calls: 3276 across 18 routines
+    top functions:
+      write                       886
+      strlen                      682
+      putstr                      478
+      putchar                     340
+      strcpy                      272
+      strcat                      136
+      readdir                      69
+      fmt_mode                     68
+    top transitions:
+      putstr -> strlen (478)
+      strlen -> write (478)
+      write -> putstr (342)
+      putchar -> write (340)
+      write -> putchar (272)
+  wrote hot.folded
+
+  $ head -3 hot.folded
+  /lib/libc;write 886
+  /lib/libc;strlen 682
+  /lib/libc;putstr 478
+
+`ofe top` reports the hot column from the same Health window: "-" when
+nothing is monitored (plain workloads carry no monitor specializer).
+
+  $ ofe top | head -2
+     reqs  window   hit%   p50_us   p95_us   p99_us  mean_us   max_us  confl/req  viol/req  hot
+       17      17   64.7      0.0    250.6    250.6     48.4    250.6      0.000     0.000  -
