@@ -732,6 +732,90 @@ let pipeline () =
     batch_ms base_ms
     (if batch_ms < base_ms then "batching wins" else "NO WIN (regression?)")
 
+(* -- E_blame: causal blame + what-if accuracy ---------------------------------------------- *)
+
+let blame () =
+  section "E_blame: causal critical-path blame and what-if replay accuracy";
+  let metas =
+    [ "/lib/libm"; "/lib/libl"; "/lib/libC"; "/lib/libal1"; "/lib/libal2" ]
+  in
+  let rounds = 4 in
+  (* the E_pipeline depth-16 scenario: every round evicts everything
+     and pushes all libraries through the pipeline with the whole round
+     in flight, so every round is all-miss and crosses the place
+     boundary as one batch *)
+  let run_config ~batched ~causal =
+    let w = Omos.World.create () in
+    let s = w.Omos.World.server in
+    let k = w.Omos.World.kernel in
+    Omos.Server.set_batch_placement s batched;
+    Omos.Server.set_queue_limit s 64;
+    Telemetry.Causal.set_enabled causal;
+    let total = ref 0.0 in
+    let snap = Simos.Clock.snapshot k.Simos.Kernel.clock in
+    for _ = 1 to rounds do
+      ignore (Omos.Server.evict_to_budget s ~bytes:0);
+      let pending =
+        List.map (fun m -> Omos.Server.submit s (Omos.Server.library m)) metas
+      in
+      Omos.Server.drain s;
+      List.iter
+        (fun tk ->
+          let r = Omos.Server.await s tk in
+          total := !total +. r.Omos.Server.sim_us)
+        pending
+    done;
+    let _, _, elapsed = Simos.Clock.since k.Simos.Kernel.clock snap in
+    Telemetry.Causal.set_enabled false;
+    (elapsed, !total)
+  in
+  (* recording overhead on the simulated clock must be exactly zero:
+     the causal graph is bookkeeping, not charged work *)
+  let elapsed_off, _ = run_config ~batched:true ~causal:false in
+  Telemetry.Causal.reset_state ();
+  let elapsed_on, recorded_total = run_config ~batched:true ~causal:true in
+  let ps = Omos.Blame.paths (Telemetry.Causal.requests ()) in
+  Telemetry.Causal.reset_state ();
+  let prof = Omos.Blame.profile ps in
+  let wait_frac =
+    if prof.Omos.Blame.bp_total_sim_us > 0.0 then
+      prof.Omos.Blame.bp_wait_us /. prof.Omos.Blame.bp_total_sim_us
+    else 0.0
+  in
+  let wi = Omos.Blame.what_if ~knob:Omos.Blame.Batch_off ps in
+  let _, actual_total = run_config ~batched:false ~causal:false in
+  let err_pct =
+    if actual_total > 0.0 then
+      100.0
+      *. Float.abs (wi.Omos.Blame.wi_predicted_us -. actual_total)
+      /. actual_total
+    else 0.0
+  in
+  (* the acceptance bound: within 5%; the gauge gates only the excess
+     over it so the committed baseline is a stable 0 *)
+  let excess = Float.max 0.0 (err_pct -. 5.0) in
+  let overhead_us = Float.abs (elapsed_on -. elapsed_off) in
+  Telemetry.Gauge.set "bench.blame.recorded_total_ms" (recorded_total /. 1000.0);
+  Telemetry.Gauge.set "bench.blame.predicted_batch_off_ms"
+    (wi.Omos.Blame.wi_predicted_us /. 1000.0);
+  Telemetry.Gauge.set "bench.blame.actual_batch_off_ms" (actual_total /. 1000.0);
+  Telemetry.Gauge.set "bench.blame.whatif_err_pct" err_pct;
+  Telemetry.Gauge.set "bench.blame.whatif_excess_err_pct" excess;
+  Telemetry.Gauge.set "bench.blame.wait_frac" wait_frac;
+  Telemetry.Gauge.set "bench.blame.sim_overhead_us" overhead_us;
+  Printf.printf "  %d libraries x %d all-miss rounds, depth 16 (batched)\n\n"
+    (List.length metas) rounds;
+  Printf.printf "  recorded (batched)            %12.2f ms  wait_frac %.3f\n"
+    (recorded_total /. 1000.0) wait_frac;
+  Printf.printf "  what-if batch=off (predicted) %12.2f ms\n"
+    (wi.Omos.Blame.wi_predicted_us /. 1000.0);
+  Printf.printf "  actual batch=off run          %12.2f ms\n"
+    (actual_total /. 1000.0);
+  Printf.printf "  prediction error              %12.2f %%  (bound 5%%)\n" err_pct;
+  Printf.printf "  causal recording overhead     %12.2f us simulated\n" overhead_us;
+  if err_pct > 5.0 then
+    Printf.printf "  WHAT-IF PREDICTION OUT OF BOUNDS (>5%%)\n"
+
 (* -- micro benchmarks (bechamel) ----------------------------------------------------------- *)
 
 let micro () =
@@ -819,7 +903,7 @@ let micro () =
 let usage () =
   print_endline
     "usage: bench/main.exe \
-     [table1|reorder|hotspots|memory|cache|constraints|deltablue|linktime|sweep|sharing|dispatch|pipeline|micro|all]"
+     [table1|reorder|hotspots|memory|cache|constraints|deltablue|linktime|sweep|sharing|dispatch|pipeline|blame|micro|all]"
 
 let () =
   let experiments =
@@ -836,6 +920,7 @@ let () =
       ("sharing", sharing);
       ("dispatch", dispatch);
       ("pipeline", pipeline);
+      ("blame", blame);
       ("micro", micro);
     ]
   in

@@ -728,7 +728,8 @@ let explain_cmd =
           List.iter
             (fun ev ->
               match ev with
-              | Telemetry.Provenance.Interpose _ | Telemetry.Provenance.Reloc _ ->
+              | Telemetry.Provenance.Interpose _ | Telemetry.Provenance.Reloc _
+              | Telemetry.Provenance.Coalesced _ ->
                   Printf.printf "  %s\n" (Telemetry.Provenance.event_to_string ev)
               | _ -> ())
             prov.Telemetry.Provenance.p_events;
@@ -1046,14 +1047,15 @@ let spec_file_arg =
            ~doc:"workload spec file (omitted: the built-in default scenario)")
 
 let print_workload_event (e : Omos.Workload.event) =
-  Printf.printf "req=%d client=%d op=%s target=%s hit=%s cost_us=%.1f\n"
+  Printf.printf
+    "req=%d client=%d op=%s target=%s hit=%s cost_us=%.1f wait_us=%.1f\n"
     e.Omos.Workload.w_req e.Omos.Workload.w_client e.Omos.Workload.w_op
     e.Omos.Workload.w_target
     (match e.Omos.Workload.w_hit with
     | Some true -> "true"
     | Some false -> "false"
     | None -> "-")
-    e.Omos.Workload.w_cost_us
+    e.Omos.Workload.w_cost_us e.Omos.Workload.w_wait_us
 
 let health_summary (snap : Telemetry.Health.snapshot) : string =
   Printf.sprintf
@@ -1199,6 +1201,232 @@ let health_cmd =
           exits 2 on any breached bound")
     Term.(const run $ slo_file $ spec_file_arg)
 
+(* -- latency blame over the causal event graph ----------------------------- *)
+
+let blame_cmd =
+  let meta =
+    Arg.(value & pos 0 (some string) None
+         & info [] ~docv:"META"
+             ~doc:"blame one cold build of this library meta-object path")
+  in
+  let workload =
+    Arg.(value & opt (some file) None
+         & info [ "workload" ] ~docv:"SPEC"
+             ~doc:"blame a whole workload spec run instead of a single build")
+  in
+  let request =
+    Arg.(value & opt (some int) None
+         & info [ "request" ] ~docv:"ID"
+             ~doc:"also show the critical-path slices of request $(docv)")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"emit the blame profile as JSON (omos.blame/1)")
+  in
+  let folded =
+    Arg.(value & opt (some string) None
+         & info [ "folded" ] ~docv:"FILE"
+             ~doc:"write flamegraph folded stacks (target;self|wait;category) to $(docv)")
+  in
+  let what_if =
+    Arg.(value & opt (some string) None
+         & info [ "what-if" ] ~docv:"KNOB"
+             ~doc:"replay the recorded run under a counterfactual knob: \
+                   $(b,batch=off), $(b,queue=inf) or $(b,coalesce=off)")
+  in
+  let run meta meta_file workload request json folded what_if =
+    handle (fun () ->
+        (match (meta, meta_file, workload) with
+        | (Some _, _, Some _) | (_, Some _, Some _) ->
+            raise
+              (Omos.Server.Server_error
+                 "give either a META path or --workload, not both")
+        | _ -> ());
+        let knob =
+          match what_if with
+          | None -> None
+          | Some s -> (
+              match Omos.Blame.knob_of_string s with
+              | Some k -> Some k
+              | None ->
+                  raise
+                    (Omos.Server.Server_error
+                       ("unknown --what-if knob: " ^ s
+                      ^ " (expected batch=off, queue=inf or coalesce=off)")))
+        in
+        (* record the run with the causal event graph on; the enable
+           switch survives the telemetry resets the drivers perform *)
+        Telemetry.Causal.set_enabled true;
+        (match workload with
+        | Some _ ->
+            let spec = load_spec workload in
+            ignore (Omos.Workload.run spec)
+        | None ->
+            let w = Omos.World.create () in
+            let s = w.Omos.World.server in
+            let meta = pick_meta s meta meta_file in
+            Telemetry.reset ();
+            Telemetry.set_enabled true;
+            ignore (Omos.Server.instantiate s (Omos.Server.library meta));
+            Telemetry.set_enabled false);
+        Telemetry.Causal.set_enabled false;
+        let ps = Omos.Blame.paths (Telemetry.Causal.requests ()) in
+        if ps = [] then
+          raise (Omos.Server.Server_error "no completed requests recorded");
+        let prof = Omos.Blame.profile ps in
+        let wi = Option.map (fun k -> Omos.Blame.what_if ~knob:k ps) knob in
+        let detail =
+          match request with
+          | None -> None
+          | Some id -> (
+              match
+                List.find_opt (fun p -> p.Omos.Blame.p_id = id) ps
+              with
+              | Some p -> Some p
+              | None ->
+                  raise
+                    (Omos.Server.Server_error
+                       (Printf.sprintf "no completed request %d in this run" id)))
+        in
+        let wait_frac =
+          if prof.Omos.Blame.bp_total_sim_us > 0.0 then
+            prof.Omos.Blame.bp_wait_us /. prof.Omos.Blame.bp_total_sim_us
+          else 0.0
+        in
+        (match folded with
+        | None -> ()
+        | Some file ->
+            let oc = open_out file in
+            List.iter
+              (fun (k, v) -> Printf.fprintf oc "%s %.1f\n" k v)
+              (Omos.Blame.folded ps);
+            close_out oc);
+        if json then begin
+          let open Telemetry.Json in
+          let stat_json (name, (st : Omos.Blame.stat)) =
+            Obj
+              [
+                ("category", Str name);
+                ("total_us", Num st.Omos.Blame.bs_total_us);
+                ("frac", Num st.Omos.Blame.bs_frac);
+                ("p50_us", Num st.Omos.Blame.bs_p50_us);
+                ("p95_us", Num st.Omos.Blame.bs_p95_us);
+              ]
+          in
+          let slice_json (s : Omos.Blame.slice) =
+            Obj
+              ([
+                 ("category", Str (Omos.Blame.category_label s.Omos.Blame.s_cat));
+                 ("from_us", Num s.Omos.Blame.s_from);
+                 ("until_us", Num s.Omos.Blame.s_until);
+                 ("self_us", Num s.Omos.Blame.s_self);
+               ]
+              @ if s.Omos.Blame.s_on >= 0 then [ ("on", Num (float_of_int s.Omos.Blame.s_on)) ]
+                else [])
+          in
+          let base =
+            [
+              ("schema", Str "omos.blame/1");
+              ("requests", Num (float_of_int prof.Omos.Blame.bp_requests));
+              ("total_sim_us", Num prof.Omos.Blame.bp_total_sim_us);
+              ("wait_us", Num prof.Omos.Blame.bp_wait_us);
+              ("wait_frac", Num wait_frac);
+              ( "categories",
+                Arr (List.map stat_json prof.Omos.Blame.bp_categories) );
+            ]
+          in
+          let base =
+            base
+            @ (match wi with
+              | None -> []
+              | Some wi ->
+                  [
+                    ( "what_if",
+                      Obj
+                        [
+                          ("knob", Str wi.Omos.Blame.wi_knob);
+                          ("recorded_us", Num wi.Omos.Blame.wi_recorded_us);
+                          ("predicted_us", Num wi.Omos.Blame.wi_predicted_us);
+                          ( "delta_us",
+                            Num
+                              (wi.Omos.Blame.wi_predicted_us
+                              -. wi.Omos.Blame.wi_recorded_us) );
+                        ] );
+                  ])
+            @
+            match detail with
+            | None -> []
+            | Some p ->
+                [
+                  ( "request",
+                    Obj
+                      [
+                        ("id", Num (float_of_int p.Omos.Blame.p_id));
+                        ("target", Str p.Omos.Blame.p_target);
+                        ("sim_us", Num p.Omos.Blame.p_sim_us);
+                        ("hit", Bool p.Omos.Blame.p_hit);
+                        ( "slices",
+                          Arr (List.map slice_json p.Omos.Blame.p_slices) );
+                      ] );
+                ]
+          in
+          print_endline (to_string (Obj base))
+        end
+        else begin
+          Printf.printf "requests: %d  total_sim_us: %.1f  wait_us: %.1f (%.1f%%)\n"
+            prof.Omos.Blame.bp_requests prof.Omos.Blame.bp_total_sim_us
+            prof.Omos.Blame.bp_wait_us (100.0 *. wait_frac);
+          Printf.printf "%-12s %10s %6s %9s %9s\n" "category" "total_us" "frac"
+            "p50_us" "p95_us";
+          List.iter
+            (fun (name, (st : Omos.Blame.stat)) ->
+              Printf.printf "%-12s %10.1f %6.3f %9.1f %9.1f\n" name
+                st.Omos.Blame.bs_total_us st.Omos.Blame.bs_frac
+                st.Omos.Blame.bs_p50_us st.Omos.Blame.bs_p95_us)
+            prof.Omos.Blame.bp_categories;
+          (match wi with
+          | None -> ()
+          | Some wi ->
+              Printf.printf
+                "what-if %s: recorded_us=%.1f predicted_us=%.1f delta_us=%+.1f\n"
+                wi.Omos.Blame.wi_knob wi.Omos.Blame.wi_recorded_us
+                wi.Omos.Blame.wi_predicted_us
+                (wi.Omos.Blame.wi_predicted_us -. wi.Omos.Blame.wi_recorded_us));
+          match detail with
+          | None -> ()
+          | Some p ->
+              Printf.printf "request %d: %s sim_us=%.1f hit=%b\n"
+                p.Omos.Blame.p_id p.Omos.Blame.p_target p.Omos.Blame.p_sim_us
+                p.Omos.Blame.p_hit;
+              List.iter
+                (fun (s : Omos.Blame.slice) ->
+                  Printf.printf "  [%10.1f, %10.1f) %-12s %10.1f us%s\n"
+                    s.Omos.Blame.s_from s.Omos.Blame.s_until
+                    (Omos.Blame.category_label s.Omos.Blame.s_cat)
+                    (Omos.Blame.slice_us s)
+                    (if s.Omos.Blame.s_on >= 0 then
+                       Printf.sprintf " on=r%d" s.Omos.Blame.s_on
+                     else ""))
+                p.Omos.Blame.p_slices
+        end;
+        match folded with
+        | None -> ()
+        | Some file -> Printf.printf "wrote %s\n" file)
+  in
+  Cmd.v
+    (Cmd.info "blame" ~exits
+       ~doc:
+         "record a run with the causal event graph on and attribute every \
+          simulated microsecond of request latency: per-stage self-compute \
+          vs typed waits (admission queue, place-barrier batching, \
+          coalescing onto an in-flight build, scheduler dispatch), with \
+          p50/p95 per category. The critical path of each request tiles \
+          its submit-to-seal interval exactly — the slices sum to its \
+          sim_us. $(b,--what-if) deterministically replays the recorded \
+          graph under a counterfactual knob and predicts what the run \
+          would have cost; $(b,--folded) writes flamegraph folded stacks.")
+    Term.(const run $ meta $ meta_file_arg $ workload $ request $ json $ folded
+          $ what_if)
+
 let fuzz_cmd =
   let seed =
     Arg.(value & opt int 1
@@ -1322,7 +1550,7 @@ let main =
       nm_cmd; size_cmd; strings_cmd;
       compile_cmd; convert_cmd; rename_cmd; copy_as_cmd; merge_cmd;
       lint_cmd; trace_cmd; stats_cmd; explain_cmd; profile_cmd; hotspots_cmd;
-      workload_cmd; top_cmd; health_cmd; fuzz_cmd;
+      blame_cmd; workload_cmd; top_cmd; health_cmd; fuzz_cmd;
       unary_op "hide" "hide definitions, freezing internal references" Jigsaw.Module_ops.hide;
       unary_op "restrict" "virtualize definitions (remove, keep references)" Jigsaw.Module_ops.restrict;
       unary_op "show" "hide all but the selected definitions" Jigsaw.Module_ops.show;

@@ -63,6 +63,12 @@ type job = {
       (* the suspended binding-journal frame between stages *)
   mutable jreacquire_conflict : int option;
       (* wanted text base of a failed cache-hit reacquisition *)
+  mutable jpark_us : float; (* when the job last parked (batch/coalesce) *)
+  mutable jbatch_us : float; (* wait at the place barrier until flush *)
+  mutable jcoalesce_us : float; (* wait on a leader's in-flight build *)
+  mutable jpending_coalesced : int;
+      (* followers coalesced onto this job before its journal frame
+         opened; replayed as Coalesced events when lint opens it *)
   mutable joutcome : (response, exn) result option;
 }
 
@@ -70,7 +76,11 @@ and response = {
   built : built;
   cache_hit : bool; (* served from the image cache, no link performed *)
   sim_us : float; (* submission to completion, queue wait included *)
-  queue_us : float; (* the part of [sim_us] spent waiting, not working *)
+  queue_us : float;
+      (* admission + scheduler wait: the part of [sim_us] spent neither
+         working nor in the two typed waits below *)
+  batch_us : float; (* wait parked at the place barrier *)
+  coalesce_us : float; (* wait on another request's in-flight build *)
 }
 
 and built = { entry : Cache.entry; key : string }
@@ -128,6 +138,8 @@ let tm_link_us = Telemetry.Histogram.make "server.us.link"
 
 (* Pipeline telemetry: stage latencies, queue depths, batching. *)
 let tm_queue_us = Telemetry.Histogram.make "server.us.queue"
+let tm_batch_wait_us = Telemetry.Histogram.make "server.us.batch_wait"
+let tm_coalesce_wait_us = Telemetry.Histogram.make "server.us.coalesce_wait"
 let tm_parse_us = Telemetry.Histogram.make "server.us.parse"
 let tm_place_us = Telemetry.Histogram.make "server.us.place"
 let tm_batch_size = Telemetry.Histogram.make "place.batch_size"
@@ -136,6 +148,10 @@ let tm_submitted = Telemetry.Counter.make "pipeline.submitted"
 let tm_completed = Telemetry.Counter.make "pipeline.completed"
 let tm_coalesced = Telemetry.Counter.make "pipeline.coalesced"
 let tm_overloads = Telemetry.Counter.make "server.overloads"
+
+(* A request that spent more than this share of its latency waiting
+   (rather than working) leaves a Note in the flight ring for triage. *)
+let wait_share_note_threshold = 0.5
 
 (* -- construction --------------------------------------------------------- *)
 
@@ -175,6 +191,27 @@ let create ~(kernel : Simos.Kernel.t) ?(faults : Residency.faults option) () : t
   Telemetry.Runinfo.set "sched_seed" (Telemetry.I 0);
   Telemetry.Runinfo.set "batch_placement" (Telemetry.B true);
   Telemetry.Runinfo.set "queue_limit" (Telemetry.I 64);
+  let sched = Simos.Sched.create () in
+  Simos.Sched.set_time_source sched (fun () ->
+      Simos.Clock.elapsed kernel.Simos.Kernel.clock);
+  (* bridge scheduler dispatches into the causal graph: stage labels
+     are "r<ticket>:<stage>", so the ticket doubles as the causal
+     request id (no-op while causal recording is off) *)
+  Simos.Sched.set_on_dispatch sched
+    (Some
+       (fun ~label ~queued_us ~started_us ->
+         if Telemetry.Causal.is_enabled () then
+           match String.index_opt label ':' with
+           | Some i when i > 1 && label.[0] = 'r' -> (
+               match int_of_string_opt (String.sub label 1 (i - 1)) with
+               | Some id ->
+                   let stage =
+                     String.sub label (i + 1) (String.length label - i - 1)
+                   in
+                   Telemetry.Causal.dispatched ~id ~stage ~queued:queued_us
+                     ~started:started_us
+               | None -> ())
+           | _ -> ()));
   {
     ns;
     cache;
@@ -187,7 +224,7 @@ let create ~(kernel : Simos.Kernel.t) ?(faults : Residency.faults option) () : t
     lints = Hashtbl.create 16;
     conflicts = [];
     charge_build_work = true;
-    sched = Simos.Sched.create ();
+    sched;
     jobs = Hashtbl.create 64;
     inflight = 0;
     queue_limit = 64;
@@ -566,6 +603,8 @@ let target_label = function
 
 type ticket = int
 
+let ticket_id (tk : ticket) : int = tk
+
 let stage_transition (job : job) (stage : string) : unit =
   Telemetry.Flight.record
     ~detail:(target_label job.jreq.target)
@@ -586,7 +625,13 @@ let rec finish (t : t) (job : job) (outcome : (response, exn) result) : unit =
         List.partition (fun (k, _) -> k = job.jkey) t.waiters
       in
       t.waiters <- rest;
-      List.iter (fun (_, w) -> spawn_stage t w "parse" (stage_parse t w)) woken
+      let now = Telemetry.now_us () in
+      List.iter
+        (fun (_, w) ->
+          w.jcoalesce_us <- w.jcoalesce_us +. Float.max 0.0 (now -. w.jpark_us);
+          Telemetry.Causal.unpark ~id:w.jt ~at:now ();
+          spawn_stage t w "parse" (stage_parse t w))
+        woken
   | _ -> ());
   Telemetry.Request.end_detached ~client:job.jclient ~id:job.jt "instantiate"
 
@@ -598,8 +643,10 @@ and run_stage (t : t) (job : job) (stage : string) (f : unit -> unit) : unit =
   let t0 = Telemetry.now_us () in
   Fun.protect
     ~finally:(fun () ->
-      let dt = Telemetry.now_us () -. t0 in
+      let t1 = Telemetry.now_us () in
+      let dt = t1 -. t0 in
       job.jwork_us <- job.jwork_us +. dt;
+      Telemetry.Causal.segment ~id:job.jt ~stage ~t0 ~t1 ();
       if stage = "parse" then Telemetry.Histogram.observe tm_parse_us dt;
       Telemetry.Request.suspend ())
     (fun () -> try f () with e -> finish t job (Error e))
@@ -613,16 +660,34 @@ and spawn_stage (t : t) (job : job) (stage : string) (f : unit -> unit) : unit =
    response, observe the request-level metrics, and run the residency
    self-check exactly as the synchronous path always did. *)
 and stage_map (t : t) (job : job) (b : built) () : unit =
-  let sim_us = Telemetry.now_us () -. job.jsubmit_us in
-  let queue_us = Float.max 0.0 (sim_us -. job.jwork_us) in
+  let done_us = Telemetry.now_us () in
+  let sim_us = done_us -. job.jsubmit_us in
+  (* split the old queue_us (everything that was not this job's own
+     work) into its typed causes; the three parts still sum to it, so
+     baselines that watched queue_us stay comparable *)
+  let total_wait = Float.max 0.0 (sim_us -. job.jwork_us) in
+  let coalesce_us = Float.min job.jcoalesce_us total_wait in
+  let batch_us = Float.min job.jbatch_us (total_wait -. coalesce_us) in
+  let queue_us = total_wait -. batch_us -. coalesce_us in
+  let wait_frac = if sim_us > 0.0 then total_wait /. sim_us else 0.0 in
   Telemetry.Counter.incr tm_instantiations;
   Telemetry.Histogram.observe tm_instantiate_us sim_us;
-  Telemetry.Histogram.observe tm_queue_us queue_us;
+  Telemetry.Histogram.observe tm_queue_us total_wait;
+  Telemetry.Histogram.observe tm_batch_wait_us batch_us;
+  Telemetry.Histogram.observe tm_coalesce_wait_us coalesce_us;
   Residency.self_check t.residency;
   Telemetry.Health.record ~hit:job.jhit
     ~queue_depth:(max 0 (t.inflight - 1))
-    ~cost_us:sim_us ();
-  finish t job (Ok { built = b; cache_hit = job.jhit; sim_us; queue_us })
+    ~wait_frac ~cost_us:sim_us ();
+  if wait_frac > wait_share_note_threshold then
+    Telemetry.Flight.record
+      ~detail:
+        (Printf.sprintf "%s wait_frac=%.2f" (target_label job.jreq.target)
+           wait_frac)
+      ~value:wait_frac Telemetry.Flight.Note "blame.wait_share";
+  Telemetry.Causal.complete ~id:job.jt ~at:done_us ~sim_us ~hit:job.jhit ();
+  finish t job
+    (Ok { built = b; cache_hit = job.jhit; sim_us; queue_us; batch_us; coalesce_us })
 
 (* link: place decisions are in; perform the real link, capture the
    binding journal, insert into the cache, establish residency. *)
@@ -761,10 +826,16 @@ and stage_eval (t : t) (job : job) () : unit =
       let text_size, data_size = module_sizes r.Blueprint.Mgraph.m in
       job.jtext_size <- max text_size 1;
       job.jdata_size <- max data_size 1;
-      if t.batch_place then
+      if t.batch_place then begin
         (* park at the place barrier; the drain loop flushes the whole
-           queue as one constraint pass when nothing else can run *)
+           queue as one constraint pass when nothing else can run. No
+           time is charged between here and the end of the eval stage,
+           so the park timestamp tiles exactly against the segment. *)
+        job.jpark_us <- Telemetry.now_us ();
+        Telemetry.Causal.park ~id:job.jt Telemetry.Causal.Batch
+          ~at:job.jpark_us ();
         t.place_q <- job :: t.place_q
+      end
       else spawn_stage t job "place" (stage_place_single t job)
 
 (* lint: open the binding-journal frame and replay the registration-time
@@ -780,6 +851,11 @@ and stage_lint (t : t) (job : job) () : unit =
             ~path:f.Analysis.Lint.path f.Analysis.Lint.message)
         rep.Analysis.Lint.findings
   | None -> ());
+  (* followers that coalesced onto this build before its frame existed *)
+  for _ = 1 to job.jpending_coalesced do
+    Telemetry.Provenance.record_coalesced ~leader_request:job.jt
+  done;
+  job.jpending_coalesced <- 0;
   job.jframe <- Some (Telemetry.Provenance.suspend_build ());
   spawn_stage t job "eval" (stage_eval t job)
 
@@ -812,13 +888,26 @@ and stage_parse (t : t) (job : job) () : unit =
             (List.map
                (fun i -> ":" ^ Linker.Image.digest i)
                job.jreq.externals));
-  if Hashtbl.mem t.building job.jkey then begin
-    Telemetry.Counter.incr tm_coalesced;
-    t.waiters <- t.waiters @ [ (job.jkey, job) ]
-  end
-  else
-    match job.jreq.target with
-    | Static _ -> (
+  match Hashtbl.find_opt t.building job.jkey with
+  | Some leader ->
+      Telemetry.Counter.incr tm_coalesced;
+      (* journal the fold on the leader's build so [ofe explain] can
+         show this hit was served by another in-flight request *)
+      (match Hashtbl.find_opt t.jobs leader with
+      | Some lj -> (
+          match lj.jframe with
+          | Some f ->
+              Telemetry.Provenance.record_coalesced_into f
+                ~leader_request:leader
+          | None -> lj.jpending_coalesced <- lj.jpending_coalesced + 1)
+      | None -> ());
+      job.jpark_us <- Telemetry.now_us ();
+      Telemetry.Causal.park ~id:job.jt Telemetry.Causal.Coalesce ~on:leader
+        ~at:job.jpark_us ();
+      t.waiters <- t.waiters @ [ (job.jkey, job) ]
+  | None -> (
+      match job.jreq.target with
+      | Static _ -> (
         match Cache.find t.cache job.jkey ~acceptable:(fun _ -> true) with
         | Some e ->
             job.jhit <- true;
@@ -856,7 +945,7 @@ and stage_parse (t : t) (job : job) () : unit =
             List.iter
               (fun e -> ignore (Residency.demote_if_lost t.residency e))
               (Cache.candidates t.cache job.jkey);
-            fresh ())
+            fresh ()))
 
 (* Flush the place barrier: solve every parked placement in one
    constraint pass (ticket order), one solver charge for the whole
@@ -877,6 +966,10 @@ and flush_place (t : t) : unit =
         Simos.Kernel.charge_sys t.kernel
           t.kernel.Simos.Kernel.cost.Simos.Cost.place_solve;
       let by_index = Array.of_list jobs in
+      (* per-member simulated time spent inside its own wrapped solve
+         (both arenas) — the member's self-share of the flush interval;
+         the residue is the shared batched-solver charge *)
+      let wraps = Array.make n 0.0 in
       let solve seg arena =
         let items =
           List.map
@@ -899,7 +992,12 @@ and flush_place (t : t) : unit =
         let wrap i (it : Constraints.Placement.batch_item) f =
           let j = by_index.(i) in
           Telemetry.Request.resume ~client:j.jclient ~id:j.jt "instantiate";
-          Fun.protect ~finally:Telemetry.Request.suspend @@ fun () ->
+          let w0 = Telemetry.now_us () in
+          Fun.protect
+            ~finally:(fun () ->
+              wraps.(i) <- wraps.(i) +. (Telemetry.now_us () -. w0);
+              Telemetry.Request.suspend ())
+          @@ fun () ->
           let d =
             Residency.with_place_conflict t.residency ~arena
               ~prefs:it.Constraints.Placement.bi_prefs f
@@ -912,14 +1010,23 @@ and flush_place (t : t) : unit =
       in
       let tdecs = solve Blueprint.Mgraph.Seg_text t.text_arena in
       let ddecs = solve Blueprint.Mgraph.Seg_data t.data_arena in
-      let dt = Telemetry.now_us () -. t0 in
+      let t1 = Telemetry.now_us () in
+      let dt = t1 -. t0 in
       Telemetry.Histogram.observe tm_place_us dt;
+      let solver_us =
+        Float.max 0.0 (dt -. Array.fold_left ( +. ) 0.0 wraps)
+      in
       List.iteri
         (fun i j ->
           j.jtdec <- Some (List.nth tdecs i);
           j.jddec <- Some (List.nth ddecs i);
           (* the pass worked for every member of the batch *)
           j.jwork_us <- j.jwork_us +. dt;
+          j.jbatch_us <- j.jbatch_us +. Float.max 0.0 (t0 -. j.jpark_us);
+          Telemetry.Causal.unpark ~id:j.jt ~at:t0 ();
+          Telemetry.Causal.segment ~id:j.jt ~stage:"place" ~t0 ~t1
+            ~self:wraps.(i) ();
+          Telemetry.Causal.set_solver_us ~id:j.jt solver_us;
           spawn_stage t j "link" (stage_link t j))
         jobs
 
@@ -962,12 +1069,15 @@ let submit (t : t) (req : request) : ticket =
   end;
   let client = Telemetry.Request.effective_client () in
   let id = Telemetry.Request.begin_detached ~client "instantiate" in
+  let submit_us = Telemetry.now_us () in
+  Telemetry.Causal.begin_request ~id ~client
+    ~target:(target_label req.target) ~at:submit_us;
   let job =
     {
       jt = id;
       jclient = client;
       jreq = req;
-      jsubmit_us = Telemetry.now_us ();
+      jsubmit_us = submit_us;
       jwork_us = 0.0;
       jhit = false;
       jname = "";
@@ -980,6 +1090,10 @@ let submit (t : t) (req : request) : ticket =
       jddec = None;
       jframe = None;
       jreacquire_conflict = None;
+      jpark_us = 0.0;
+      jbatch_us = 0.0;
+      jcoalesce_us = 0.0;
+      jpending_coalesced = 0;
       joutcome = None;
     }
   in
@@ -1070,7 +1184,7 @@ let instantiate_inline (t : t) (req : request) : response =
   Telemetry.Histogram.observe tm_instantiate_us sim_us;
   Residency.self_check t.residency;
   Telemetry.Health.record ~hit:cache_hit ~cost_us:sim_us ();
-  { built; cache_hit; sim_us; queue_us = 0.0 }
+  { built; cache_hit; sim_us; queue_us = 0.0; batch_us = 0.0; coalesce_us = 0.0 }
 
 (** Serve one instantiation request synchronously: submit it, drive the
     pipeline until it completes. Opens the root ["omos.instantiate"]

@@ -174,7 +174,13 @@ type response = {
   built : built;
   cache_hit : bool; (* served from the image cache, no link performed *)
   sim_us : float; (* simulated submit-to-completion time, queueing included *)
-  queue_us : float; (* of sim_us, time spent waiting on other requests *)
+  queue_us : float;
+      (* of sim_us, admission + scheduler wait — together with the two
+         typed waits below this is all the time spent waiting on other
+         requests; [queue_us +. batch_us +. coalesce_us] equals what a
+         single [queue_us] field reported before the split *)
+  batch_us : float; (* of sim_us, parked at the place barrier *)
+  coalesce_us : float; (* of sim_us, waiting on a leader's in-flight build *)
 }
 
 (** [library ?spec ?externals path] — a [Library] request. *)
@@ -220,6 +226,10 @@ val static_request :
 
 (** Handle to an in-flight request. *)
 type ticket
+
+(** The ticket's underlying telemetry request id — the key the causal
+    event graph ({!Telemetry.Causal}, [Omos.Blame]) records under. *)
+val ticket_id : ticket -> int
 
 (** Admit a request. Scheduling is lazy: stages only run inside
     {!await}, {!poll}, {!drain} or a synchronous {!instantiate}.

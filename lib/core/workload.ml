@@ -141,6 +141,7 @@ type event = {
   w_target : string;
   w_hit : bool option;
   w_cost_us : float;
+  w_wait_us : float;
 }
 
 let run ?(setup = fun (_ : World.t) -> ()) ?(on_event = fun (_ : event) -> ())
@@ -228,6 +229,9 @@ let run ?(setup = fun (_ : World.t) -> ()) ?(on_event = fun (_ : event) -> ())
                 w_target = meta;
                 w_hit = Some r.Server.cache_hit;
                 w_cost_us = r.Server.sim_us;
+                w_wait_us =
+                  r.Server.queue_us +. r.Server.batch_us
+                  +. r.Server.coalesce_us;
               })
           batch
   in
@@ -254,6 +258,8 @@ let run ?(setup = fun (_ : World.t) -> ()) ?(on_event = fun (_ : event) -> ())
               w_target = meta;
               w_hit = Some r.Server.cache_hit;
               w_cost_us = r.Server.sim_us;
+              w_wait_us =
+                r.Server.queue_us +. r.Server.batch_us +. r.Server.coalesce_us;
             }
     | ("dynload" | "evict") as op ->
         (* dynload/unload/evict mutate state the pipeline reads — they
@@ -286,6 +292,7 @@ let run ?(setup = fun (_ : World.t) -> ()) ?(on_event = fun (_ : event) -> ())
             w_target = target;
             w_hit = None;
             w_cost_us = Simos.Clock.elapsed clock -. before;
+            w_wait_us = 0.0;
           }
     | op -> raise (Spec_error ("unknown op in mix: " ^ op))
   done;

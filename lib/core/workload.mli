@@ -52,6 +52,10 @@ type event = {
   w_target : string;
   w_hit : bool option;
   w_cost_us : float;
+  w_wait_us : float;
+      (** of [w_cost_us], time spent waiting on other requests
+          ([queue_us + batch_us + coalesce_us] of the response); [0]
+          for the barrier ops *)
 }
 
 (** Build a fresh {!World}, reset telemetry, and run the scenario.

@@ -1,6 +1,6 @@
 (** Deterministic cooperative run queue (see sched.mli). *)
 
-type task = { label : string; run : unit -> unit }
+type task = { label : string; queued_at : float; run : unit -> unit }
 
 type t = {
   mutable queue : task list; (* newest-first; drained via rev *)
@@ -10,6 +10,9 @@ type t = {
   mutable rng : int;
   mutable executed : int;
   mutable in_step : bool;
+  mutable now : unit -> float; (* spawn/dispatch timestamps *)
+  mutable on_dispatch :
+    (label:string -> queued_us:float -> started_us:float -> unit) option;
 }
 
 let create ?(seed = 0) () =
@@ -21,14 +24,19 @@ let create ?(seed = 0) () =
     rng = (if seed = 0 then 0 else seed land 0xffffffff);
     executed = 0;
     in_step = false;
+    now = (fun () -> 0.0);
+    on_dispatch = None;
   }
+
+let set_time_source (t : t) (now : unit -> float) : unit = t.now <- now
+let set_on_dispatch (t : t) hook : unit = t.on_dispatch <- hook
 
 let set_seed (t : t) (seed : int) : unit =
   t.seed <- seed;
   t.rng <- (if seed = 0 then 0 else seed land 0xffffffff)
 
 let spawn (t : t) ?(label = "task") (run : unit -> unit) : unit =
-  t.queue <- { label; run } :: t.queue
+  t.queue <- { label; queued_at = t.now (); run } :: t.queue
 
 let on_idle (t : t) (hook : unit -> bool) : unit =
   t.idle_hooks <- t.idle_hooks @ [ hook ]
@@ -75,6 +83,11 @@ let rec step (t : t) : bool =
   match take t with
   | Some task ->
       t.executed <- t.executed + 1;
+      (match t.on_dispatch with
+      | Some hook ->
+          hook ~label:task.label ~queued_us:task.queued_at
+            ~started_us:(t.now ())
+      | None -> ());
       let was = t.in_step in
       t.in_step <- true;
       Fun.protect ~finally:(fun () -> t.in_step <- was) task.run;

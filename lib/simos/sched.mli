@@ -28,6 +28,19 @@ val create : ?seed:int -> unit -> t
 (** Reseed an existing scheduler (takes effect from the next pick). *)
 val set_seed : t -> int -> unit
 
+(** Install the clock read used to timestamp {!spawn}s and dispatches
+    (default: a constant [0.0] — delays then read as zero). The server
+    points this at its simulated clock. *)
+val set_time_source : t -> (unit -> float) -> unit
+
+(** Observe every dispatch: fired just before a task runs, with the
+    task's label, the time it was spawned, and the time it started —
+    the gap is the scheduler dispatch delay, one of the typed blocking
+    edges of the causal latency graph. [None] (default) disables the
+    hook. Purely observational: no simulated cost is charged. *)
+val set_on_dispatch :
+  t -> (label:string -> queued_us:float -> started_us:float -> unit) option -> unit
+
 (** Enqueue a task. [label] is carried for diagnostics. *)
 val spawn : t -> ?label:string -> (unit -> unit) -> unit
 

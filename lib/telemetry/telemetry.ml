@@ -684,9 +684,11 @@ module Health = struct
   let violations_at = Array.make window_cap 0
   let topchg_at = Array.make window_cap 0 (* hotness top-function churn *)
   let queues = Array.make window_cap 0.0 (* pipeline depth at completion *)
+  let waits = Array.make window_cap 0.0 (* wait share of each request *)
   let total = ref 0
 
-  let record ?hit ?(queue_depth = 0) ~(cost_us : float) () : unit =
+  let record ?hit ?(queue_depth = 0) ?(wait_frac = 0.0) ~(cost_us : float) () :
+      unit =
     let i = !total mod window_cap in
     costs.(i) <- cost_us;
     hits.(i) <- (match hit with Some true -> 1 | Some false -> 0 | None -> -1);
@@ -694,6 +696,7 @@ module Health = struct
     violations_at.(i) <- Counter.get "residency.invariant_violations";
     topchg_at.(i) <- Counter.get "hotness.top_changes";
     queues.(i) <- float_of_int queue_depth;
+    waits.(i) <- wait_frac;
     incr total
 
   type snapshot = {
@@ -713,6 +716,10 @@ module Health = struct
             across resident images, from {!Hotness} *)
     hot_churn : float;  (** hot-function identity changes per windowed request *)
     hot_fn : string;  (** hottest monitored function ("-" when none) *)
+    wait_frac : float;
+        (** mean share of request latency spent waiting (queue, batch
+            park, coalesce) rather than working, over the window *)
+    wait_frac_p95 : float;  (** p95 of the per-request wait share *)
   }
 
   let percentile (sorted : float array) (q : float) : float =
@@ -735,7 +742,7 @@ module Health = struct
       { requests = 0; window = 0; hit_ratio = 1.0; p50_us = 0.0; p95_us = 0.0;
         p99_us = 0.0; mean_us = 0.0; max_us = 0.0; conflict_rate = 0.0;
         violation_rate = 0.0; max_queue_depth = 0.0; headroom_pages;
-        hot_churn = 0.0; hot_fn }
+        hot_churn = 0.0; hot_fn; wait_frac = 0.0; wait_frac_p95 = 0.0 }
     else begin
       let idx k = (!total - n + k) mod window_cap in
       let w = Array.init n (fun k -> costs.(idx k)) in
@@ -752,6 +759,9 @@ module Health = struct
             /. float_of_int (List.length ks)
       in
       let delta a = float_of_int (a (idx (n - 1)) - a (idx 0)) in
+      let ws = Array.init n (fun k -> waits.(idx k)) in
+      let wsorted = Array.copy ws in
+      Array.sort compare wsorted;
       {
         requests = !total;
         window = n;
@@ -768,6 +778,8 @@ module Health = struct
         headroom_pages;
         hot_churn = delta (Array.get topchg_at) /. float_of_int n;
         hot_fn;
+        wait_frac = Array.fold_left ( +. ) 0.0 ws /. float_of_int n;
+        wait_frac_p95 = percentile wsorted 95.0;
       }
     end
 
@@ -782,19 +794,23 @@ module Health = struct
     queue_depth_max : float option;
     headroom_pages_max : float option;
     hot_churn_max : float option;
+    wait_frac_max : float option;
+    wait_frac_p95_max : float option;
   }
 
   let empty_slo =
     { hit_ratio_min = None; p95_us_max = None; p99_us_max = None;
       conflict_rate_max = None; violation_rate_max = None;
-      queue_depth_max = None; headroom_pages_max = None; hot_churn_max = None }
+      queue_depth_max = None; headroom_pages_max = None; hot_churn_max = None;
+      wait_frac_max = None; wait_frac_p95_max = None }
 
   exception Slo_error of string
 
   (** Parse the line-oriented SLO format: one [key value] pair per
       line, [#] comments and blank lines ignored. Keys: [hit_ratio_min]
       [p95_us_max] [p99_us_max] [conflict_rate_max] [violation_rate_max]
-      [queue_depth_max] [headroom_pages_max] [hot_churn_max]. *)
+      [queue_depth_max] [headroom_pages_max] [hot_churn_max]
+      [wait_frac_max] [wait_frac_p95_max]. *)
   let parse_slo (src : string) : slo =
     let strip s = String.trim s in
     List.fold_left
@@ -824,6 +840,8 @@ module Health = struct
             | "queue_depth_max" -> { acc with queue_depth_max = Some f }
             | "headroom_pages_max" -> { acc with headroom_pages_max = Some f }
             | "hot_churn_max" -> { acc with hot_churn_max = Some f }
+            | "wait_frac_max" -> { acc with wait_frac_max = Some f }
+            | "wait_frac_p95_max" -> { acc with wait_frac_p95_max = Some f }
             | k -> raise (Slo_error ("unknown SLO key: " ^ k)))
         | _ -> raise (Slo_error ("bad SLO line: " ^ line)))
       empty_slo
@@ -855,12 +873,196 @@ module Health = struct
         Option.map
           (fun b -> upper "hot_churn_max" b snap.hot_churn)
           s.hot_churn_max;
+        Option.map
+          (fun b -> upper "wait_frac_max" b snap.wait_frac)
+          s.wait_frac_max;
+        Option.map
+          (fun b -> upper "wait_frac_p95_max" b snap.wait_frac_p95)
+          s.wait_frac_p95_max;
       ]
 
   let ok (checks : (string * float * float * bool) list) : bool =
     List.for_all (fun (_, _, _, ok) -> ok) checks
 
   let reset_state () = total := 0
+end
+
+(* -- causal latency graph ---------------------------------------------------- *)
+
+(** The per-run causal event graph behind [ofe blame]: for every
+    pipeline request, the stage segments it executed (start/end on the
+    simulated clock) and the typed blocking edges that kept it off the
+    scheduler — queue admission, the park at the place boundary until
+    [flush_place], a coalesced follower waiting on its leader, and raw
+    scheduler dispatch delay. The deterministic clock makes the record
+    exact, not sampled: a completed request's segments and waits tile
+    the interval from submission to completion with no unattributed
+    time ([Omos.Blame] extracts critical paths and replays
+    counterfactuals from this store). Recording is off by default and
+    charges nothing to the simulated clock. *)
+module Causal = struct
+  (** Why a request was off the scheduler between two of its stage
+      segments. *)
+  type wait_kind =
+    | Queue  (** admission: submitted, first stage not yet dispatched *)
+    | Batch  (** parked at the place boundary until [flush_place] *)
+    | Coalesce  (** follower waiting on its leader's build *)
+    | Sched  (** dispatch delay: spawned, waiting for the run queue *)
+
+  let wait_kind_to_string = function
+    | Queue -> "queue"
+    | Batch -> "batch"
+    | Coalesce -> "coalesce"
+    | Sched -> "sched"
+
+  type segment = {
+    g_stage : string;
+    g_t0 : float;
+    g_t1 : float;
+    g_self : float;
+        (** the request's own work within the segment — equals
+            [g_t1 -. g_t0] except for the shared batched-place segment,
+            where it is just this member's solve *)
+  }
+
+  type wait = {
+    w_kind : wait_kind;
+    w_from : float;
+    w_until : float;
+    w_on : int;  (** request id waited on (coalesce leader), [-1] none *)
+  }
+
+  type dispatch = { d_stage : string; d_queued : float; d_started : float }
+
+  type req = {
+    g_id : int;
+    g_client : int;
+    g_target : string;
+    g_submit : float;
+    mutable g_segments : segment list;  (** newest-first while recording *)
+    mutable g_waits : wait list;  (** resolved parks, newest-first *)
+    mutable g_dispatches : dispatch list;  (** newest-first *)
+    mutable g_parked : (wait_kind * float * int) option;
+        (** an unresolved park: (kind, since, waited-on id) *)
+    mutable g_done : float option;
+        (** completion point — the map-stage start, where the server
+            seals [sim_us]; [None] while in flight or failed *)
+    mutable g_sim_us : float;
+    mutable g_hit : bool;
+    mutable g_solver_us : float;
+        (** shared solver overhead of the flush that placed this
+            request (the batch's one [place_solve] charge), [0] when
+            placed singly *)
+  }
+
+  let enabled = ref false
+  let set_enabled (b : bool) : unit = enabled := b
+  let is_enabled () : bool = !enabled
+
+  let store : (int, req) Hashtbl.t = Hashtbl.create 64
+
+  let begin_request ~(id : int) ~(client : int) ~(target : string)
+      ~(at : float) : unit =
+    if !enabled then
+      Hashtbl.replace store id
+        {
+          g_id = id;
+          g_client = client;
+          g_target = target;
+          g_submit = at;
+          g_segments = [];
+          g_waits = [];
+          g_dispatches = [];
+          g_parked = None;
+          g_done = None;
+          g_sim_us = 0.0;
+          g_hit = false;
+          g_solver_us = 0.0;
+        }
+
+  let find (id : int) : req option = Hashtbl.find_opt store id
+
+  let segment ~(id : int) ~(stage : string) ~(t0 : float) ~(t1 : float)
+      ?(self : float option) () : unit =
+    if !enabled then
+      match Hashtbl.find_opt store id with
+      | None -> ()
+      | Some r ->
+          let self = match self with Some s -> s | None -> t1 -. t0 in
+          r.g_segments <- { g_stage = stage; g_t0 = t0; g_t1 = t1; g_self = self }
+            :: r.g_segments
+
+  (** Start a typed wait: the request leaves the scheduler at [at]
+      (always the end of the stage that parked it). *)
+  let park ~(id : int) (kind : wait_kind) ?(on = -1) ~(at : float) () : unit =
+    if !enabled then
+      match Hashtbl.find_opt store id with
+      | None -> ()
+      | Some r -> r.g_parked <- Some (kind, at, on)
+
+  (** Resolve the pending park: the request became runnable at [at]. *)
+  let unpark ~(id : int) ~(at : float) () : unit =
+    if !enabled then
+      match Hashtbl.find_opt store id with
+      | None -> ()
+      | Some r -> (
+          match r.g_parked with
+          | None -> ()
+          | Some (kind, since, on) ->
+              r.g_parked <- None;
+              r.g_waits <-
+                { w_kind = kind; w_from = since; w_until = at; w_on = on }
+                :: r.g_waits)
+
+  let dispatched ~(id : int) ~(stage : string) ~(queued : float)
+      ~(started : float) : unit =
+    if !enabled then
+      match Hashtbl.find_opt store id with
+      | None -> ()
+      | Some r ->
+          r.g_dispatches <-
+            { d_stage = stage; d_queued = queued; d_started = started }
+            :: r.g_dispatches
+
+  let set_solver_us ~(id : int) (us : float) : unit =
+    if !enabled then
+      match Hashtbl.find_opt store id with
+      | None -> ()
+      | Some r -> r.g_solver_us <- us
+
+  let complete ~(id : int) ~(at : float) ~(sim_us : float) ~(hit : bool) () :
+      unit =
+    if !enabled then
+      match Hashtbl.find_opt store id with
+      | None -> ()
+      | Some r ->
+          r.g_done <- Some at;
+          r.g_sim_us <- sim_us;
+          r.g_hit <- hit
+
+  (** Every recorded request, in submission (= id) order. Segments,
+      waits and dispatches come back chronological. *)
+  let requests () : req list =
+    Hashtbl.fold (fun _ r acc -> r :: acc) store []
+    |> List.sort (fun a b -> compare a.g_id b.g_id)
+    |> List.map (fun r ->
+           {
+             r with
+             (* stable: consecutive zero-cost stages share one clock
+                stamp, and their recorded (execution) order is what the
+                blame replay walks *)
+             g_segments =
+               List.stable_sort
+                 (fun a b -> compare (a.g_t0, a.g_t1) (b.g_t0, b.g_t1))
+                 (List.rev r.g_segments);
+             g_waits =
+               List.stable_sort
+                 (fun a b -> compare (a.w_from, a.w_until) (b.w_from, b.w_until))
+                 (List.rev r.g_waits);
+             g_dispatches = List.rev r.g_dispatches;
+           })
+
+  let reset_state () : unit = Hashtbl.reset store
 end
 
 (* Metrics/spans part of {!reset}; the public [reset] (defined after
@@ -1093,6 +1295,9 @@ module Provenance = struct
         (** relocations applied per section *)
     | Lint of { code : string; severity : string; path : string; message : string }
         (** a pre-link diagnostic the analyzer attached at registration *)
+    | Coalesced of { leader_request : int }
+        (** a concurrent request for the same construction coalesced
+            onto this in-flight build instead of building again *)
 
   type t = {
     p_key : string;  (** construction digest (the cache key) *)
@@ -1164,6 +1369,15 @@ module Provenance = struct
       (message : string) : unit =
     record_event (Lint { code; severity; path; message })
 
+  (** A coalesced follower joined the innermost open build. *)
+  let record_coalesced ~(leader_request : int) : unit =
+    record_event (Coalesced { leader_request })
+
+  (** Same, into a suspended frame: followers usually coalesce while
+      the leader's frame is detached between stages. *)
+  let record_coalesced_into (f : open_frame) ~(leader_request : int) : unit =
+    if !prov_enabled then f.events <- Coalesced { leader_request } :: f.events
+
   (** Close the innermost build frame into a provenance record. *)
   let capture ~(key : string) ~(text_base : int) ~(data_base : int)
       ~(placement : string) ~(generation : int) () : t =
@@ -1202,6 +1416,8 @@ module Provenance = struct
     | Reloc { section; count } -> Printf.sprintf "relocs %s: %d" section count
     | Lint { code; severity; path; message } ->
         Printf.sprintf "lint %s %s at %s: %s" severity code path message
+    | Coalesced { leader_request } ->
+        Printf.sprintf "coalesced: served by in-flight request %d" leader_request
 
   (* The names [symbol] has carried: follow rename links backwards so a
      query for the exported name also surfaces decisions recorded under
@@ -1232,7 +1448,7 @@ module Provenance = struct
         | Sym { symbol = s; _ } | Bind { symbol = s; _ }
         | Interpose { symbol = s; _ } ->
             List.mem s names
-        | Op _ | Reloc _ | Lint _ -> false)
+        | Op _ | Reloc _ | Lint _ | Coalesced _ -> false)
       p.p_events
 
   (** Content digest of the construction provenance (transitions
@@ -1287,6 +1503,10 @@ module Provenance = struct
           [ ("type", Json.Str "lint"); ("code", Json.Str code);
             ("severity", Json.Str severity); ("path", Json.Str path);
             ("message", Json.Str message) ]
+    | Coalesced { leader_request } ->
+        Json.Obj
+          [ ("type", Json.Str "coalesced");
+            ("leader_request", Json.Num (float_of_int leader_request)) ]
 
   let to_json (p : t) : Json.t =
     Json.Obj
@@ -1319,6 +1539,7 @@ let reset () : unit =
   Provenance.clear_state ();
   Request.reset_state ();
   Health.reset_state ();
+  Causal.reset_state ();
   Hotness.reset_state ();
   (* the ring is cleared; the auto-dump configuration and Runinfo
      (run configuration, not measurement) survive *)

@@ -281,8 +281,12 @@ module Health : sig
 
   (** Record one served request (the server calls this once per
       instantiate). Conflict/violation counters are sampled here;
-      [queue_depth] is the pipeline backlog observed at completion. *)
-  val record : ?hit:bool -> ?queue_depth:int -> cost_us:float -> unit -> unit
+      [queue_depth] is the pipeline backlog observed at completion;
+      [wait_frac] is the share of the request's latency spent waiting
+      (queue admission, batch park, coalescing) rather than working. *)
+  val record :
+    ?hit:bool -> ?queue_depth:int -> ?wait_frac:float -> cost_us:float ->
+    unit -> unit
 
   type snapshot = {
     requests : int;  (** requests recorded since the last reset *)
@@ -301,6 +305,10 @@ module Health : sig
             across resident images, from {!Hotness} *)
     hot_churn : float;  (** hot-function identity changes per windowed request *)
     hot_fn : string;  (** hottest monitored function ("-" when none) *)
+    wait_frac : float;
+        (** mean share of request latency spent waiting (queue, batch
+            park, coalesce) rather than working, over the window *)
+    wait_frac_p95 : float;  (** p95 of the per-request wait share *)
   }
 
   val snapshot : unit -> snapshot
@@ -315,6 +323,8 @@ module Health : sig
     queue_depth_max : float option;
     headroom_pages_max : float option;
     hot_churn_max : float option;
+    wait_frac_max : float option;
+    wait_frac_p95_max : float option;
   }
 
   val empty_slo : slo
@@ -329,6 +339,84 @@ module Health : sig
   val check : slo -> snapshot -> (string * float * float * bool) list
 
   val ok : (string * float * float * bool) list -> bool
+end
+
+(** The causal event graph behind [ofe blame]: per request, the stage
+    segments it executed and the typed blocking edges (queue admission,
+    batch park, coalesce-on-leader, scheduler dispatch) it waited on,
+    all stamped with exact simulated-clock reads. Because the clock is
+    deterministic and only advances when work is charged, the recorded
+    segments and waits tile a request's lifetime exactly — blame is an
+    accounting identity, not a sampling estimate ({!Omos.Blame} builds
+    critical paths and what-if replays on top).
+
+    Recording is off by default; every hook is a no-op while disabled
+    or for unknown request ids, so the instrumented server pays nothing
+    when blame is not being collected. *)
+module Causal : sig
+  (** Why a request was blocked rather than computing. *)
+  type wait_kind =
+    | Queue  (** admission: submitted but not yet dispatched to parse *)
+    | Batch  (** parked at the place boundary until [flush_place] *)
+    | Coalesce  (** follower waiting on its leader's link/map *)
+    | Sched  (** runnable but waiting for the scheduler to dispatch *)
+
+  val wait_kind_to_string : wait_kind -> string
+
+  (** One executed stage interval. [g_self] is the charged cost — it
+      can be less than [g_t1 -. g_t0] when shared work (a batched
+      solve) overlaps the interval. *)
+  type segment = { g_stage : string; g_t0 : float; g_t1 : float; g_self : float }
+
+  (** One resolved blocking interval. [w_on] is the request id being
+      waited on ([-1] when the edge has no single counterpart). *)
+  type wait = { w_kind : wait_kind; w_from : float; w_until : float; w_on : int }
+
+  (** One scheduler dispatch: the task was spawned at [d_queued] and
+      ran at [d_started]. *)
+  type dispatch = { d_stage : string; d_queued : float; d_started : float }
+
+  type req = {
+    g_id : int;
+    g_client : int;
+    g_target : string;
+    g_submit : float;
+    mutable g_segments : segment list;
+    mutable g_waits : wait list;
+    mutable g_dispatches : dispatch list;
+    mutable g_parked : (wait_kind * float * int) option;
+        (** an unresolved park, closed by {!unpark} *)
+    mutable g_done : float option;
+    mutable g_sim_us : float;
+    mutable g_hit : bool;
+    mutable g_solver_us : float;
+        (** shared batched-solve cost charged during this request's
+            place segment (not part of its own wrap work) *)
+  }
+
+  val set_enabled : bool -> unit
+  val is_enabled : unit -> bool
+
+  (** Recording hooks (no-ops while disabled / id unknown). *)
+
+  val begin_request : id:int -> client:int -> target:string -> at:float -> unit
+  val segment : id:int -> stage:string -> t0:float -> t1:float -> ?self:float -> unit -> unit
+  val park : id:int -> wait_kind -> ?on:int -> at:float -> unit -> unit
+  val unpark : id:int -> at:float -> unit -> unit
+  val dispatched : id:int -> stage:string -> queued:float -> started:float -> unit
+  val set_solver_us : id:int -> float -> unit
+  val complete : id:int -> at:float -> sim_us:float -> hit:bool -> unit -> unit
+
+  val find : int -> req option
+
+  (** Completed and in-flight requests recorded since the last reset,
+      sorted by id; segments, waits and dispatches are returned in
+      chronological order. *)
+  val requests : unit -> req list
+
+  (** Drop all recorded requests (the enabled flag is untouched);
+      {!reset} calls this. *)
+  val reset_state : unit -> unit
 end
 
 (** Zero every metric in place (interned handles stay valid), drop all
@@ -385,6 +473,10 @@ module Provenance : sig
     | Reloc of { section : string; count : int }
     | Lint of { code : string; severity : string; path : string; message : string }
         (** a pre-link diagnostic the analyzer attached at registration *)
+    | Coalesced of { leader_request : int }
+        (** a duplicate in-flight request was folded into this build:
+            the follower was served by [leader_request]'s link/map
+            rather than by its own *)
 
   type t = {
     p_key : string;  (** construction digest (the cache key) *)
@@ -442,6 +534,14 @@ module Provenance : sig
       the event stream only — the operator chain is untouched. *)
   val record_lint :
     code:string -> severity:string -> path:string -> string -> unit
+
+  (** Note on the innermost open frame that a coalesced follower is
+      being served by this build. *)
+  val record_coalesced : leader_request:int -> unit
+
+  (** Same, onto a detached frame (the pipeline coalesces followers
+      between the leader's stages, while its frame is suspended). *)
+  val record_coalesced_into : open_frame -> leader_request:int -> unit
 
   (** Append a residency transition to a captured record. *)
   val transition : t -> at:float -> string -> unit

@@ -1,0 +1,81 @@
+Causal critical-path blame: record a run with the causal event graph
+on and attribute every simulated microsecond — per-stage self-compute
+vs typed waits — with deterministic what-if replays of the recorded
+graph under counterfactual knobs.
+
+A single cold build is all self-compute: the request never waits.
+
+  $ ofe blame /demo/hello
+  requests: 1  total_sim_us: 29.8  wait_us: 0.0 (0.0%)
+  category       total_us   frac    p50_us    p95_us
+  self.parse          0.0  0.000       0.0       0.0
+  self.lint           0.0  0.000       0.0       0.0
+  self.eval           0.0  0.000       0.0       0.0
+  self.place         25.0  0.839      25.0      25.0
+  self.link           4.8  0.161       4.8       4.8
+  queue               0.0  0.000       0.0       0.0
+  batch               0.0  0.000       0.0       0.0
+  coalesce            0.0  0.000       0.0       0.0
+  sched               0.0  0.000       0.0       0.0
+
+The smoke workload, pipelined 4 deep so requests actually contend:
+batched placement parks requests at the place boundary and coalescing
+makes followers wait on the leader's in-flight build.
+
+  $ cat > smoke.spec <<'EOF2'
+  > clients 2
+  > requests 8
+  > seed 5
+  > concurrency 4
+  > meta /demo/hello
+  > meta /lib/libm
+  > mix instantiate=1
+  > EOF2
+
+  $ ofe blame --workload smoke.spec
+  requests: 8  total_sim_us: 1032.2  wait_us: 751.8 (72.8%)
+  category       total_us   frac    p50_us    p95_us
+  self.parse          0.0  0.000       0.0       0.0
+  self.lint           0.0  0.000       0.0       0.0
+  self.eval           0.0  0.000       0.0       0.0
+  self.place         50.0  0.048       0.0      25.0
+  self.link         230.4  0.223       0.0     225.6
+  queue               0.0  0.000       0.0       0.0
+  batch               0.0  0.000       0.0       0.0
+  coalesce          751.8  0.728       0.0     250.6
+  sched               0.0  0.000       0.0       0.0
+
+The stable omos.blame/1 schema, byte-for-byte:
+
+  $ ofe blame --workload smoke.spec --json
+  {"schema":"omos.blame/1","requests":8,"total_sim_us":1032.2,"wait_us":751.8,"wait_frac":0.728347,"categories":[{"category":"self.parse","total_us":0,"frac":0,"p50_us":0,"p95_us":0},{"category":"self.lint","total_us":0,"frac":0,"p50_us":0,"p95_us":0},{"category":"self.eval","total_us":0,"frac":0,"p50_us":0,"p95_us":0},{"category":"self.place","total_us":50,"frac":0.0484402,"p50_us":0,"p95_us":25},{"category":"self.link","total_us":230.4,"frac":0.223213,"p50_us":0,"p95_us":225.6},{"category":"queue","total_us":0,"frac":0,"p50_us":0,"p95_us":0},{"category":"batch","total_us":0,"frac":0,"p50_us":0,"p95_us":0},{"category":"coalesce","total_us":751.8,"frac":0.728347,"p50_us":0,"p95_us":250.6},{"category":"sched","total_us":0,"frac":0,"p50_us":0,"p95_us":0}]}
+
+The what-if replay predicts the cost of turning batched placement off
+— every member pays its own solver pass instead of sharing one:
+
+  $ ofe blame --workload smoke.spec --json --what-if batch=off
+  {"schema":"omos.blame/1","requests":8,"total_sim_us":1032.2,"wait_us":751.8,"wait_frac":0.728347,"categories":[{"category":"self.parse","total_us":0,"frac":0,"p50_us":0,"p95_us":0},{"category":"self.lint","total_us":0,"frac":0,"p50_us":0,"p95_us":0},{"category":"self.eval","total_us":0,"frac":0,"p50_us":0,"p95_us":0},{"category":"self.place","total_us":50,"frac":0.0484402,"p50_us":0,"p95_us":25},{"category":"self.link","total_us":230.4,"frac":0.223213,"p50_us":0,"p95_us":225.6},{"category":"queue","total_us":0,"frac":0,"p50_us":0,"p95_us":0},{"category":"batch","total_us":0,"frac":0,"p50_us":0,"p95_us":0},{"category":"coalesce","total_us":751.8,"frac":0.728347,"p50_us":0,"p95_us":250.6},{"category":"sched","total_us":0,"frac":0,"p50_us":0,"p95_us":0}],"what_if":{"knob":"batch=off","recorded_us":1032.2,"predicted_us":1032.2,"delta_us":0}}
+
+Critical-path detail of one request, and folded flamegraph stacks:
+
+  $ ofe blame --workload smoke.spec --request 1 --folded out.folded
+  requests: 8  total_sim_us: 1032.2  wait_us: 751.8 (72.8%)
+  category       total_us   frac    p50_us    p95_us
+  self.parse          0.0  0.000       0.0       0.0
+  self.lint           0.0  0.000       0.0       0.0
+  self.eval           0.0  0.000       0.0       0.0
+  self.place         50.0  0.048       0.0      25.0
+  self.link         230.4  0.223       0.0     225.6
+  queue               0.0  0.000       0.0       0.0
+  batch               0.0  0.000       0.0       0.0
+  coalesce          751.8  0.728       0.0     250.6
+  sched               0.0  0.000       0.0       0.0
+  request 1: lib:/lib/libm sim_us=250.6 hit=true
+    [    3659.2,     3909.8) coalesce          250.6 us on=r0
+  wrote out.folded
+  $ sort out.folded
+  lib:/demo/hello;self;link 4.8
+  lib:/demo/hello;self;place 25.0
+  lib:/lib/libm;self;link 225.6
+  lib:/lib/libm;self;place 25.0
+  lib:/lib/libm;wait;coalesce 751.8

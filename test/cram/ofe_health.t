@@ -59,3 +59,17 @@ errors (1) and success (0):
   Usage: ofe top [--every=N] [--watch] [OPTION]… [SPEC]
   Try 'ofe top --help' or 'ofe --help' for more information.
   [2]
+
+The split wait accounting feeds the health window: each request's
+wait share (queue + batch + coalesce + sched, as a fraction of its
+sim_us) is recorded, and the SLO file can bound its mean and p95. The
+default workload is serial, so no request ever waits on another:
+
+  $ cat > wait.slo <<'EOF2'
+  > wait_frac_max 0
+  > wait_frac_p95_max 0
+  > EOF2
+
+  $ ofe health --slo wait.slo
+  wait_frac_max      bound=0 actual=0 ok
+  wait_frac_p95_max  bound=0 actual=0 ok

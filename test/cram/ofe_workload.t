@@ -15,14 +15,14 @@ summary.
   > EOF
 
   $ ofe workload smoke.spec | tee run1.txt
-  req=0 client=1 op=instantiate target=/lib/libm hit=false cost_us=250.6
-  req=1 client=1 op=instantiate target=/lib/libm hit=true cost_us=0.0
-  req=2 client=1 op=instantiate target=/lib/libm hit=true cost_us=0.0
-  req=3 client=1 op=dynload target=/demo/impl.o hit=- cost_us=1920.0
-  req=4 client=1 op=instantiate target=/demo/hello hit=false cost_us=29.8
-  req=5 client=1 op=unload target=/demo/impl.o hit=- cost_us=0.0
-  req=6 client=0 op=instantiate target=/lib/libm hit=true cost_us=0.0
-  req=7 client=0 op=instantiate target=/demo/hello hit=true cost_us=0.0
+  req=0 client=1 op=instantiate target=/lib/libm hit=false cost_us=250.6 wait_us=0.0
+  req=1 client=1 op=instantiate target=/lib/libm hit=true cost_us=0.0 wait_us=0.0
+  req=2 client=1 op=instantiate target=/lib/libm hit=true cost_us=0.0 wait_us=0.0
+  req=3 client=1 op=dynload target=/demo/impl.o hit=- cost_us=1920.0 wait_us=0.0
+  req=4 client=1 op=instantiate target=/demo/hello hit=false cost_us=29.8 wait_us=0.0
+  req=5 client=1 op=unload target=/demo/impl.o hit=- cost_us=0.0 wait_us=0.0
+  req=6 client=0 op=instantiate target=/lib/libm hit=true cost_us=0.0 wait_us=0.0
+  req=7 client=0 op=instantiate target=/demo/hello hit=true cost_us=0.0 wait_us=0.0
   # requests=6 window=6 hit_ratio=0.67 p50_us=0.0 p95_us=250.6 p99_us=250.6 mean_us=46.7 max_us=250.6 conflict_rate=0.000 violation_rate=0.000
 
 Two runs of the same spec are byte-identical:
@@ -82,10 +82,10 @@ per-request cost now includes queue wait:
   $ ofe workload conc.spec > conc1.txt
   $ ofe workload --concurrency 4 conc.spec > conc2.txt
   $ cmp conc1.txt conc2.txt && cat conc1.txt
-  req=0 client=1 op=instantiate target=/lib/libm hit=false cost_us=250.6
-  req=1 client=1 op=instantiate target=/lib/libm hit=true cost_us=250.6
-  req=2 client=1 op=instantiate target=/lib/libm hit=true cost_us=250.6
-  req=3 client=1 op=instantiate target=/lib/libm hit=true cost_us=250.6
-  req=4 client=1 op=instantiate target=/lib/libm hit=true cost_us=0.0
-  req=5 client=1 op=instantiate target=/lib/libm hit=true cost_us=0.0
+  req=0 client=1 op=instantiate target=/lib/libm hit=false cost_us=250.6 wait_us=0.0
+  req=1 client=1 op=instantiate target=/lib/libm hit=true cost_us=250.6 wait_us=250.6
+  req=2 client=1 op=instantiate target=/lib/libm hit=true cost_us=250.6 wait_us=250.6
+  req=3 client=1 op=instantiate target=/lib/libm hit=true cost_us=250.6 wait_us=250.6
+  req=4 client=1 op=instantiate target=/lib/libm hit=true cost_us=0.0 wait_us=0.0
+  req=5 client=1 op=instantiate target=/lib/libm hit=true cost_us=0.0 wait_us=0.0
   # requests=6 window=6 hit_ratio=0.83 p50_us=250.6 p95_us=250.6 p99_us=250.6 mean_us=167.1 max_us=250.6 conflict_rate=0.000 violation_rate=0.000
