@@ -13,6 +13,7 @@
      sweep        E7      : OMOS advantage vs program run length
      sharing      E8      : memory vs concurrent clients
      dispatch     E9      : per-call dispatch-table overhead
+     relink       E_relink: one-module edit — incremental relink vs from-scratch
      micro                : bechamel micro-benchmarks
      all                  : everything (default)
 
@@ -816,6 +817,126 @@ let blame () =
   if err_pct > 5.0 then
     Printf.printf "  WHAT-IF PREDICTION OUT OF BOUNDS (>5%%)\n"
 
+(* -- E_relink: incremental relinking ------------------------------------------------------- *)
+
+(* One-module edit to a ~1000-module library: the dependence analyzer
+   proves every subtree off the edit's root-path reusable, so the
+   rebuild respins only the spine — O(depth), not O(library). *)
+let relink () =
+  section "E_relink: one-module edit to a 1000-module library";
+  let n_modules = 1000 in
+  let frag_path i = Printf.sprintf "/relink/m%d.o" i in
+  (* a fanout-4 merge tree over the module leaves, as blueprint source *)
+  let rec merge_tree (leaves : string list) : string =
+    match leaves with
+    | [ one ] -> one
+    | _ ->
+        let rec chunk acc cur n = function
+          | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+          | x :: rest ->
+              if n = 4 then chunk (List.rev cur :: acc) [ x ] 1 rest
+              else chunk acc (x :: cur) (n + 1) rest
+        in
+        merge_tree
+          (List.map
+             (fun group -> "(merge " ^ String.concat " " group ^ ")")
+             (chunk [] [] 0 leaves))
+  in
+  let setup () =
+    let w = Omos.World.create () in
+    let s = w.Omos.World.server in
+    (* each module calls the next (an unresolved reference a merge up
+       the tree binds), so every link performs real relocation work *)
+    for i = 0 to n_modules - 1 do
+      let src =
+        if i = n_modules - 1 then
+          Printf.sprintf "int relink_fn_%d(int x) { return x + %d; }\n" i i
+        else
+          Printf.sprintf "int relink_fn_%d(int x) { return relink_fn_%d(x) + %d; }\n"
+            i (i + 1) i
+      in
+      Omos.Server.add_fragment s (frag_path i)
+        (Minic.Driver.compile ~name:(frag_path i) src)
+    done;
+    let leaves = List.init n_modules frag_path in
+    Omos.Server.register_meta_source s "/relink/lib" (merge_tree leaves);
+    w
+  in
+  (* the simulated clock only charges link-stage work, which the edited
+     root image needs in full either way; what incremental relinking
+     saves is host-side evaluation (subtree materialization), so this
+     experiment times the wall clock *)
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, (Unix.gettimeofday () -. t0) *. 1000.0)
+  in
+  let w = setup () in
+  let s = w.Omos.World.server in
+  let _, cold_ms =
+    time (fun () -> Omos.Server.build s (Omos.Server.library "/relink/lib"))
+  in
+  (* the edit: one module's body changes; its fragment is bound at a
+     new path and the meta-object re-registered with that one leaf
+     swapped — everything else is textually identical *)
+  let edited = "int relink_fn_5(int x) { return relink_fn_6(x) + 100005; }\n" in
+  Omos.Server.add_fragment s "/relink/m5v2.o"
+    (Minic.Driver.compile ~name:"/relink/m5v2.o" edited);
+  let leaves' =
+    List.init n_modules (fun i -> if i = 5 then "/relink/m5v2.o" else frag_path i)
+  in
+  let reused0 = Telemetry.Counter.get "impact.reused" in
+  let respun0 = Telemetry.Counter.get "impact.respun" in
+  Omos.Server.register_meta_source s "/relink/lib" (merge_tree leaves');
+  let d =
+    match Omos.Server.impact_diff s "/relink/lib" with
+    | Some d -> d
+    | None -> failwith "relink: re-registration recorded no impact diff"
+  in
+  let _, incr_ms =
+    time (fun () -> Omos.Server.build s (Omos.Server.library "/relink/lib"))
+  in
+  let reused = Telemetry.Counter.get "impact.reused" - reused0 in
+  let respun = Telemetry.Counter.get "impact.respun" - respun0 in
+  let spine = List.length d.Analysis.Impact.d_spine in
+  (* from-scratch control: same edited graph, memo table disabled and
+     the cache (images + memos) dropped first *)
+  ignore (Omos.Server.evict_to_budget s ~bytes:0);
+  Omos.Server.set_subtree_reuse s false;
+  let _, scratch_ms =
+    time (fun () -> Omos.Server.build s (Omos.Server.library "/relink/lib"))
+  in
+  Omos.Server.set_subtree_reuse s true;
+  let nodes =
+    let n = ref 0 in
+    (match Omos.Server.impact_tree s "/relink/lib" with
+    | Some t -> Analysis.Impact.iter_infos (fun _ -> incr n) t
+    | None -> ());
+    !n
+  in
+  Printf.printf "  library: %d modules, %d analyzed nodes (fanout-4 merge tree)\n"
+    n_modules nodes;
+  Printf.printf "  cold build:                    %10.2f ms\n" cold_ms;
+  Printf.printf "  one-module edit, incremental:  %10.2f ms\n" incr_ms;
+  Printf.printf "  one-module edit, from scratch: %10.2f ms\n" scratch_ms;
+  Printf.printf "  verdicts: %d reused, %d respun (spine %d of %d nodes)\n"
+    d.Analysis.Impact.d_reused d.Analysis.Impact.d_respun spine nodes;
+  Printf.printf "  rebuild counters: impact.reused +%d, impact.respun +%d\n"
+    reused respun;
+  Printf.printf "  respins bounded by the spine: %s (%d <= %d)\n"
+    (if respun <= spine then "yes" else "NO (O(world) respin - regression?)")
+    respun spine;
+  Telemetry.Gauge.set "bench.relink.modules" (float_of_int n_modules);
+  Telemetry.Gauge.set "bench.relink.nodes" (float_of_int nodes);
+  Telemetry.Gauge.set "bench.relink.spine" (float_of_int spine);
+  Telemetry.Gauge.set "bench.relink.reused" (float_of_int reused);
+  Telemetry.Gauge.set "bench.relink.respun" (float_of_int respun);
+  (* wall-clock numbers are host-dependent: keep them out of the gated
+     bench.* namespace (compare reports only simulated costs) *)
+  Telemetry.Gauge.set "relink.wall.cold_ms" cold_ms;
+  Telemetry.Gauge.set "relink.wall.incr_ms" incr_ms;
+  Telemetry.Gauge.set "relink.wall.scratch_ms" scratch_ms
+
 (* -- micro benchmarks (bechamel) ----------------------------------------------------------- *)
 
 let micro () =
@@ -903,7 +1024,7 @@ let micro () =
 let usage () =
   print_endline
     "usage: bench/main.exe \
-     [table1|reorder|hotspots|memory|cache|constraints|deltablue|linktime|sweep|sharing|dispatch|pipeline|blame|micro|all]"
+     [table1|reorder|hotspots|memory|cache|constraints|deltablue|linktime|sweep|sharing|dispatch|pipeline|blame|relink|micro|all]"
 
 let () =
   let experiments =
@@ -921,6 +1042,7 @@ let () =
       ("dispatch", dispatch);
       ("pipeline", pipeline);
       ("blame", blame);
+      ("relink", relink);
       ("micro", micro);
     ]
   in

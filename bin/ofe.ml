@@ -545,6 +545,273 @@ let lint_cmd =
           namespace, operator, and constraint errors before link time")
     Term.(const run $ metas $ all $ meta_files $ workload $ json $ max_warnings $ verify)
 
+(* -- subtree dependence analysis ------------------------------------------- *)
+
+(* Resolve an impact operand: a readable host file is registered as a
+   meta-object source (at [at] when given, else under /local/<basename>);
+   anything else must already be a bound meta path. *)
+let impact_operand (s : Omos.Server.t) ?at (name : string) : string =
+  if Sys.file_exists name && not (Sys.is_directory name) then begin
+    let ic = open_in name in
+    let src = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    let path =
+      match at with
+      | Some p -> p
+      | None -> "/local/" ^ Filename.remove_extension (Filename.basename name)
+    in
+    Omos.Server.register_meta_source s path src;
+    path
+  end
+  else begin
+    ignore (Omos.Server.find_meta s name);
+    name
+  end
+
+let impact_tree_exn (s : Omos.Server.t) (path : string) : Analysis.Impact.tree =
+  match Omos.Server.impact_tree s path with
+  | Some t -> t
+  | None ->
+      raise
+        (Omos.Server.Server_error
+           (path ^ ": no dependence analysis recorded (not a meta-object?)"))
+
+let verdict_json (v : Analysis.Impact.node_verdict) : Telemetry.Json.t =
+  Telemetry.Json.Obj
+    ([
+       ("path", Telemetry.Json.Str v.Analysis.Impact.v_path);
+       ("op", Telemetry.Json.Str v.Analysis.Impact.v_op);
+       ("digest", Telemetry.Json.Str v.Analysis.Impact.v_digest);
+     ]
+    @
+    match v.Analysis.Impact.v_verdict with
+    | Analysis.Impact.Reused _ -> [ ("verdict", Telemetry.Json.Str "reused") ]
+    | Analysis.Impact.Respin { reason } ->
+        [
+          ("verdict", Telemetry.Json.Str "respin");
+          ("reason", Telemetry.Json.Str reason);
+        ])
+
+let impact_cmd =
+  let old_arg =
+    Arg.(value & pos 0 (some string) None
+         & info [] ~docv:"OLD"
+             ~doc:"the pre-edit blueprint: a meta-object source file on the \
+                   host filesystem, or a meta path already bound in the \
+                   quickstart world (e.g. /lib/libc)")
+  in
+  let new_arg =
+    Arg.(value & pos 1 (some string) None
+         & info [] ~docv:"NEW"
+             ~doc:"the post-edit blueprint (same operand forms as $(b,OLD))")
+  in
+  let all =
+    Arg.(value & flag
+         & info [ "all" ]
+             ~doc:"self-diff every meta-object bound in the quickstart world \
+                   (each against itself); with $(b,--verify) this discharges \
+                   the byte-identity obligation of every stable subtree")
+  in
+  let json =
+    Arg.(value & flag
+         & info [ "json" ] ~doc:"emit the verdicts as JSON (omos.impact/1)")
+  in
+  let verify =
+    Arg.(value & flag
+         & info [ "verify" ]
+             ~doc:"discharge the proofs for real: evaluate each reused \
+                   digest's old and new subtrees from scratch (memo table \
+                   disabled) and assert the materializations are \
+                   byte-identical")
+  in
+  let run failed old_arg new_arg all json verify =
+    handle (fun () ->
+        let w = Omos.World.create () in
+        let s = w.Omos.World.server in
+        let pairs =
+          if all then
+            List.map
+              (fun p -> (p, p))
+              (List.sort compare
+                 (Omos.Namespace.all_metas (Omos.Server.namespace s)))
+          else
+            match (old_arg, new_arg) with
+            | Some o, Some n -> [ (o, n) ]
+            | _ ->
+                raise
+                  (Omos.Server.Server_error
+                     "give OLD and NEW blueprints, or --all")
+        in
+        let rows = ref [] in
+        List.iter
+          (fun (old_name, new_name) ->
+            let old_path = impact_operand s old_name in
+            let old_tree = impact_tree_exn s old_path in
+            (* When NEW is a host file, re-register the edit over the old
+               binding: the server then computes the verdicts exactly as
+               a live [register_meta] of the edited blueprint would. *)
+            let new_path, new_tree, d =
+              if
+                old_name <> new_name
+                && Sys.file_exists new_name
+                && not (Sys.is_directory new_name)
+              then begin
+                ignore (impact_operand s ~at:old_path new_name);
+                let nt = impact_tree_exn s old_path in
+                match Omos.Server.impact_diff s old_path with
+                | Some d -> (old_path, nt, d)
+                | None ->
+                    raise
+                      (Omos.Server.Server_error
+                         (old_path ^ ": re-registration recorded no diff"))
+              end
+              else
+                let p =
+                  if new_name = old_name then old_path
+                  else impact_operand s new_name
+                in
+                let nt = impact_tree_exn s p in
+                (p, nt, Analysis.Impact.diff ~old_tree ~new_tree:nt)
+            in
+            let vo =
+              if verify then begin
+                (* from-scratch semantics: the memo table must not serve
+                   the very materializations we are checking *)
+                Omos.Server.set_subtree_reuse s false;
+                let eval n = (Omos.Server.eval s n).Blueprint.Mgraph.m in
+                let o = Analysis.Impact.verify ~eval ~old_tree ~new_tree d in
+                Omos.Server.set_subtree_reuse s true;
+                if o.Analysis.Impact.vo_failures <> [] then failed := true;
+                Some o
+              end
+              else None
+            in
+            if json then
+              rows :=
+                Telemetry.Json.Obj
+                  ([
+                     ("old", Telemetry.Json.Str old_path);
+                     ("new", Telemetry.Json.Str new_path);
+                     ("old_digest",
+                      Telemetry.Json.Str d.Analysis.Impact.d_old_digest);
+                     ("new_digest",
+                      Telemetry.Json.Str d.Analysis.Impact.d_new_digest);
+                     ("reused",
+                      Telemetry.Json.Num
+                        (float_of_int d.Analysis.Impact.d_reused));
+                     ("respun",
+                      Telemetry.Json.Num
+                        (float_of_int d.Analysis.Impact.d_respun));
+                     ("spine",
+                      Telemetry.Json.Arr
+                        (List.map
+                           (fun p -> Telemetry.Json.Str p)
+                           d.Analysis.Impact.d_spine));
+                     ("nodes",
+                      Telemetry.Json.Arr
+                        (List.map verdict_json d.Analysis.Impact.d_nodes));
+                   ]
+                  @
+                  match vo with
+                  | None -> []
+                  | Some o ->
+                      [
+                        ("verify",
+                         Telemetry.Json.Obj
+                           [
+                             ("checked",
+                              Telemetry.Json.Num
+                                (float_of_int o.Analysis.Impact.vo_checked));
+                             ("failures",
+                              Telemetry.Json.Arr
+                                (List.map
+                                   (fun (p, msg) ->
+                                     Telemetry.Json.Obj
+                                       [
+                                         ("path", Telemetry.Json.Str p);
+                                         ("error", Telemetry.Json.Str msg);
+                                       ])
+                                   o.Analysis.Impact.vo_failures));
+                           ]);
+                      ])
+                :: !rows
+            else begin
+              Printf.printf "impact: %s -> %s\n" old_path new_path;
+              if
+                d.Analysis.Impact.d_old_digest
+                = d.Analysis.Impact.d_new_digest
+              then
+                Printf.printf
+                  "  link-equivalent: root digests match (%s)\n"
+                  (String.sub d.Analysis.Impact.d_new_digest 0 12);
+              Printf.printf "  %d reused, %d respun (spine length %d)\n"
+                d.Analysis.Impact.d_reused d.Analysis.Impact.d_respun
+                (List.length d.Analysis.Impact.d_spine);
+              List.iter
+                (fun (v : Analysis.Impact.node_verdict) ->
+                  match v.Analysis.Impact.v_verdict with
+                  | Analysis.Impact.Reused _ ->
+                      Printf.printf "  reuse  %s [%s] %s\n"
+                        v.Analysis.Impact.v_path v.Analysis.Impact.v_op
+                        (String.sub v.Analysis.Impact.v_digest 0 12)
+                  | Analysis.Impact.Respin { reason } ->
+                      Printf.printf "  respin %s [%s]: %s\n"
+                        v.Analysis.Impact.v_path v.Analysis.Impact.v_op
+                        reason)
+                d.Analysis.Impact.d_nodes;
+              match vo with
+              | None -> ()
+              | Some o ->
+                  if o.Analysis.Impact.vo_failures = [] then
+                    Printf.printf
+                      "  verify: %d reused digest%s byte-identical\n"
+                      o.Analysis.Impact.vo_checked
+                      (if o.Analysis.Impact.vo_checked = 1 then "" else "s")
+                  else
+                    List.iter
+                      (fun (p, msg) ->
+                        Printf.eprintf "ofe: %s: verify FAILED at %s: %s\n"
+                          new_path p msg)
+                      o.Analysis.Impact.vo_failures
+            end)
+          pairs;
+        if json then
+          print_endline
+            (Telemetry.Json.to_string
+               (Telemetry.Json.Obj
+                  [
+                    ("impact", Telemetry.Json.Str "omos.impact/1");
+                    ("pairs", Telemetry.Json.Arr (List.rev !rows));
+                  ])))
+  in
+  let run old_arg new_arg all json verify =
+    let failed = ref false in
+    let code = run failed old_arg new_arg all json verify in
+    if code = 0 && !failed then 2 else code
+  in
+  Cmd.v
+    (Cmd.info "impact" ~exits:
+       [
+         Cmd.Exit.info 0 ~doc:"when the analysis (and $(b,--verify), if given) succeeds.";
+         Cmd.Exit.info 1
+           ~doc:"on input errors (unreadable files, unknown meta-objects, \
+                 blueprint parse errors).";
+         Cmd.Exit.info 2
+           ~doc:"when $(b,--verify) finds a reused subtree whose from-scratch \
+                 materialization is not byte-identical.";
+       ]
+       ~doc:
+         "subtree dependence analysis for incremental relinking: compare the \
+          pre- and post-edit blueprints' content-addressed interface \
+          summaries and report, per operator node, whether its materialized \
+          view is provably reusable ($(b,reuse): equal stable digest in the \
+          old tree) or must be rebuilt ($(b,respin): the first differing \
+          interface fact is named). The respun set is the edit's spine — a \
+          one-module edit to a large library respins O(depth) nodes, not \
+          O(library). $(b,--verify) discharges the proofs by from-scratch \
+          evaluation; $(b,--all) self-checks every bound meta-object.")
+    Term.(const run $ old_arg $ new_arg $ all $ json $ verify)
+
 (* -- the OMOS request path: tracing & metrics ------------------------------ *)
 
 (* Reset telemetry (world construction does no instantiation work) and
@@ -729,7 +996,7 @@ let explain_cmd =
             (fun ev ->
               match ev with
               | Telemetry.Provenance.Interpose _ | Telemetry.Provenance.Reloc _
-              | Telemetry.Provenance.Coalesced _ ->
+              | Telemetry.Provenance.Coalesced _ | Telemetry.Provenance.Reused _ ->
                   Printf.printf "  %s\n" (Telemetry.Provenance.event_to_string ev)
               | _ -> ())
             prov.Telemetry.Provenance.p_events;
@@ -1549,7 +1816,7 @@ let main =
       info_cmd; symbols_cmd; relocs_cmd; disasm_cmd; exports_cmd; undefined_cmd;
       nm_cmd; size_cmd; strings_cmd;
       compile_cmd; convert_cmd; rename_cmd; copy_as_cmd; merge_cmd;
-      lint_cmd; trace_cmd; stats_cmd; explain_cmd; profile_cmd; hotspots_cmd;
+      lint_cmd; impact_cmd; trace_cmd; stats_cmd; explain_cmd; profile_cmd; hotspots_cmd;
       blame_cmd; workload_cmd; top_cmd; health_cmd; fuzz_cmd;
       unary_op "hide" "hide definitions, freezing internal references" Jigsaw.Module_ops.hide;
       unary_op "restrict" "virtualize definitions (remove, keep references)" Jigsaw.Module_ops.restrict;

@@ -1,0 +1,133 @@
+(** Subtree dependence analysis: content-addressed interface summaries
+    over m-graphs, and the reuse/respin verdicts that make incremental
+    relinking sound.
+
+    Built on {!Symflow}: per operator node the analyzer computes a
+    canonical {e interface summary} — exports with binding and
+    multiplicity, undefined references, reloc shape (referenced names),
+    frozen/hidden sets, accumulated constraint preferences, and the
+    number of mangling ids the subtree consumes — plus a structural
+    digest that chains leaf content digests, operator parameters, child
+    digests and the summary. Two subtrees with equal digests are
+    provably link-equivalent: same construction content, same interface,
+    same placement preferences.
+
+    Stability is established by {e dual-base replay}: the whole analysis
+    runs twice from two distinct gensym bases, and a node whose digest
+    differs between the runs has an interface that leaks minted
+    [n$frzI]/[n$hidI] names (a live freeze/hide/show anywhere in the
+    subtree). Unstable subtrees can never be reused — their
+    materialization depends on where in the global mangling sequence
+    evaluation happens to start. Stable subtrees contain no minted name
+    at all, so their materialization is byte-identical across replays
+    (dead freezes still {e consume} ids, which is why the summary
+    carries the consumed-id count: reuse must skip them).
+
+    {!diff} compares an old/new analysis: each node of the new tree is
+    either [Reused] (digest present in the old tree {e and} stable —
+    the proof obligations) or [Respin] with the first differing
+    interface fact as a human-readable reason. Verdicts are pre-order
+    and pruned: below a reused node nothing needs a verdict.
+
+    Like {!Lint}, the analyzer materializes no view and charges nothing
+    to the simulated clock. *)
+
+module Mg := Blueprint.Mgraph
+
+(** Canonical interface summary of one subtree. All lists are in
+    canonical (sorted) order except [s_exports], which keeps
+    multiplicity. *)
+type summary = {
+  s_op : string;  (** operator key, parameters included *)
+  s_exports : (string * string) list;
+      (** exported (name, binding), sorted, multiplicity preserved *)
+  s_undefined : string list;
+  s_relocs : string list;  (** names referenced by relocations *)
+  s_frozen : string list;
+  s_hidden : string list;
+  s_prefs : string list;  (** rendered constraint preferences *)
+  s_gensym : int;  (** mangling ids the subtree consumes *)
+}
+
+(** Annotated analysis of one node. *)
+type info = {
+  i_path : string;  (** m-graph path, {!Lint}'s addressing vocabulary *)
+  i_node : Mg.node;
+  i_summary : summary;
+  i_digest : string;
+      (** content digest: leaf content + params + child digests +
+          summary, chained bottom-up *)
+  i_modeled : bool;
+      (** the whole subtree is fully modeled: every name resolves
+          acyclically, every selector/template compiles, every source
+          compiles, every specializer has a modeled semantics *)
+  i_stable : bool;
+      (** digest invariant under gensym-base replay, and every node in
+          the subtree fully modeled (no unresolved name, bad selector,
+          or unmodeled specializer) *)
+  i_children : info list;
+}
+
+type tree = {
+  t_root : info;
+  t_approximate : bool;
+      (** some node could not be modeled precisely; those nodes (and
+          their ancestors) are marked unstable *)
+}
+
+(** Analyze a graph. Never raises; unmodelable nodes are marked
+    unstable rather than failing. *)
+val analyze :
+  resolve:(string -> (Mg.node, string) result) -> Mg.node -> tree
+
+(** Pre-order walk over an info tree. *)
+val iter_infos : (info -> unit) -> tree -> unit
+
+(** Verdict for one node of the {e new} tree. *)
+type verdict =
+  | Reused of { digest : string }
+      (** an equal-digest stable subtree exists in the old tree; its
+          materialization can be reused byte-for-byte *)
+  | Respin of { reason : string }
+      (** must be rebuilt; [reason] names the first differing
+          interface fact *)
+
+type node_verdict = {
+  v_path : string;
+  v_op : string;
+  v_digest : string;
+  v_verdict : verdict;
+}
+
+type diff = {
+  d_old_digest : string;  (** old root digest *)
+  d_new_digest : string;  (** new root digest *)
+  d_nodes : node_verdict list;
+      (** new-tree pre-order, pruned below reused nodes *)
+  d_reused : int;
+  d_respun : int;
+  d_spine : string list;  (** paths of the respun nodes *)
+}
+
+(** Compare two analyses: old on the left, new on the right. *)
+val diff : old_tree:tree -> new_tree:tree -> diff
+
+(** Outcome of discharging the byte-identity obligation of every
+    [Reused] verdict: each distinct reused digest's old and new
+    subtrees are evaluated from scratch and their flattened objects
+    compared byte-for-byte. *)
+type verify_outcome = {
+  vo_checked : int;  (** distinct reused digests compared *)
+  vo_failures : (string * string) list;  (** (path, what differed) *)
+}
+
+(** [verify ~eval ~old_tree ~new_tree d] — [eval] evaluates a node in
+    the caller's environment (e.g. the server's). Subtrees whose
+    evaluation raises identically on both sides are vacuously ok (they
+    can never have been materialized). *)
+val verify :
+  eval:(Mg.node -> Jigsaw.Module_ops.t) ->
+  old_tree:tree ->
+  new_tree:tree ->
+  diff ->
+  verify_outcome

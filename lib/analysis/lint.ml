@@ -36,7 +36,11 @@
     - [W103] freeze-of-already-frozen — freezing symbols whose bindings
       are already permanent (mints a useless extra alias).
     - [W104] shadowed-weak-definition — a weak definition permanently
-      shadowed by a global one in a [merge]. *)
+      shadowed by a global one in a [merge].
+    - [W105] unstable-subtree — a live [freeze]/[hide]/[show] mints
+      [n$frzI]/[n$hidI] aliases into the exported namespace, so the
+      node's interface summary depends on the global mangling-id
+      sequence: {!Impact} can never prove such a subtree reusable. *)
 
 module S = Symflow.S
 module Mg = Blueprint.Mgraph
@@ -210,6 +214,20 @@ let check_rename_collision (st : state) ~path ~(op : string)
         (Printf.sprintf
            "%s mints a global definition name that collides with another" op)
 
+(* A freeze/hide/show whose selection is live mints gensym-numbered
+   aliases into the exported namespace: the subtree's interface digest
+   moves with the global mangling base, so incremental relinking can
+   never reuse it (W105). *)
+let warn_unstable (st : state) ~path ~(op : string) (minted_for : string list)
+    : unit =
+  emit st ~code:"W105" ~title:"unstable-subtree" ~severity:Warning ~path
+    ~symbols:(List.sort_uniq compare minted_for)
+    (Printf.sprintf
+       "%s mints mangling-dependent aliases into the exported namespace; \
+        the subtree's interface depends on gensym ordering and can never \
+        be reused by incremental relinking"
+       op)
+
 let known_specializers =
   [
     "lib-constrained"; "lib-static"; "identity"; "lib-dynamic";
@@ -300,6 +318,7 @@ and go_node (st : state) (path : string) (n : Mg.node) :
               ~severity:Warning ~path ~symbols:refrozen
               "these bindings are already permanent; refreezing mints a \
                useless extra alias";
+          if selected <> [] then warn_unstable st ~path ~op:"freeze" selected;
           (Symflow.freeze ~gensym:(draw st) (Jigsaw.Select.matches sel) mx, px))
   | Mg.Restrict (p, x) -> (
       let mx, px = go st (child path x) x in
@@ -342,10 +361,12 @@ and go_node (st : state) (path : string) (n : Mg.node) :
       | None -> (mx, px)
       | Some sel ->
           let pred = Jigsaw.Select.matches sel in
-          if not (Jigsaw.Select.matches_any sel (Symflow.exports mx)) then
-            emit st ~code:"W101" ~title:"dead-hide" ~severity:Warning ~path
-              (Printf.sprintf
-                 "selector %S matches no export; hide has no effect" p);
+          (match List.filter pred (Symflow.exports mx) with
+          | [] ->
+              emit st ~code:"W101" ~title:"dead-hide" ~severity:Warning ~path
+                (Printf.sprintf
+                   "selector %S matches no export; hide has no effect" p)
+          | hidden -> warn_unstable st ~path ~op:"hide" hidden);
           (Symflow.hide ~gensym:(draw st) pred mx, px))
   | Mg.Show (p, x) -> (
       let mx, px = go st (child path x) x in
@@ -359,7 +380,8 @@ and go_node (st : state) (path : string) (n : Mg.node) :
           if victims = [] then
             emit st ~code:"W101" ~title:"dead-show" ~severity:Warning ~path
               (Printf.sprintf
-                 "selector %S matches every export; show has no effect" p);
+                 "selector %S matches every export; show has no effect" p)
+          else warn_unstable st ~path ~op:"show" victims;
           (Symflow.show ~gensym:(draw st) pred mx, px))
   | Mg.Rename (scope, p, template, x) -> (
       let mx, px = go st (child path x) x in

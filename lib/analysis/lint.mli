@@ -14,6 +14,7 @@
     W102 override-overrides-nothing
     W103 freeze-of-already-frozen
     W104 shadowed-weak-definition
+    W105 unstable-subtree
     v} *)
 
 type severity = Error | Warning

@@ -54,10 +54,21 @@ and value = Vstr of string | Vnum of int | Vlist of value list | Vnode of node
 (** Result of evaluating a node. *)
 type result = { m : Jigsaw.Module_ops.t; constraints : constraint_pref list }
 
+(** Subtree-reuse hooks (see {!eval_memo}): [lookup] may answer a node
+    with a previously materialized result, short-circuiting its whole
+    subtree; [store] observes every freshly evaluated node. The hooks
+    decide soundness (which nodes are safe to memoize) — evaluation
+    only threads them. *)
+type memo_hooks = {
+  lookup : node -> result option;
+  store : node -> result -> unit;
+}
+
 type env = {
   resolve : string -> node;
   specializers : (string, specializer) Hashtbl.t;
   mutable visiting : string list; (* cycle detection for Name *)
+  mutable memo : memo_hooks option; (* engaged by eval_memo only *)
 }
 
 and specializer = env -> value list -> node -> result
@@ -138,6 +149,17 @@ let rec flatten_operands (ns : node list) : node list =
 let tm_source_compiles = Telemetry.Counter.make "blueprint.source_compiles"
 
 let rec eval_node (env : env) (n : node) : result =
+  match env.memo with
+  | None -> eval_node_uncached env n
+  | Some h -> (
+      match h.lookup n with
+      | Some r -> r
+      | None ->
+          let r = eval_node_uncached env n in
+          h.store n r;
+          r)
+
+and eval_node_uncached (env : env) (n : node) : result =
   match n with
   | Leaf o -> no_constraints (Jigsaw.Module_ops.of_object o)
   | Name path ->
@@ -217,6 +239,18 @@ and map_module env (x : node) (f : Jigsaw.Module_ops.t -> Jigsaw.Module_ops.t) :
 let eval (env : env) (n : node) : result =
   Telemetry.with_span "blueprint.eval" (fun () -> eval_node env n)
 
+(** [eval_memo env hooks n] evaluates with the subtree-reuse hooks
+    engaged for the duration of this evaluation (restoring whatever was
+    engaged before, exception-safe). Specializers that re-enter {!eval}
+    inherit the hooks — an instantiation nested under a reusable parent
+    benefits from the same memo table. *)
+let eval_memo (env : env) (hooks : memo_hooks) (n : node) : result =
+  let saved = env.memo in
+  env.memo <- Some hooks;
+  Fun.protect
+    ~finally:(fun () -> env.memo <- saved)
+    (fun () -> eval env n)
+
 (* -- base specializers ----------------------------------------------------- *)
 
 (* "lib-constrained": (specialize "lib-constrained" (list "T" 0x1000000)
@@ -252,7 +286,7 @@ let base_specializers () : (string, specializer) Hashtbl.t =
     server-object paths to sub-graphs (the server supplies its
     namespace); the default refuses all names. *)
 let make_env ?(resolve = fun path -> fail "unknown server object %s" path) () : env =
-  { resolve; specializers = base_specializers (); visiting = [] }
+  { resolve; specializers = base_specializers (); visiting = []; memo = None }
 
 (** Register an additional specialization style. *)
 let register (env : env) (style : string) (f : specializer) : unit =

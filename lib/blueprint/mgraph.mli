@@ -43,10 +43,20 @@ and value = Vstr of string | Vnum of int | Vlist of value list | Vnode of node
 (** Result of evaluating a node. *)
 type result = { m : Jigsaw.Module_ops.t; constraints : constraint_pref list }
 
+(** Subtree-reuse hooks for {!eval_memo}: [lookup] may answer a node
+    with a previously materialized result (short-circuiting its whole
+    subtree), [store] observes every freshly evaluated node. The hooks
+    own the soundness argument — evaluation only threads them. *)
+type memo_hooks = {
+  lookup : node -> result option;
+  store : node -> result -> unit;
+}
+
 type env = {
   resolve : string -> node;
   specializers : (string, specializer) Hashtbl.t;
   mutable visiting : string list; (* cycle detection for Name *)
+  mutable memo : memo_hooks option; (* engaged by eval_memo only *)
 }
 
 and specializer = env -> value list -> node -> result
@@ -68,6 +78,11 @@ val parse : string -> node
     @raise Eval_error on unknown names/styles, cyclic meta-object
     references, or module errors. *)
 val eval : env -> node -> result
+
+(** [eval_memo env hooks n] is {!eval} with the subtree-reuse hooks
+    engaged for the duration of the call (restored afterwards,
+    exception-safe). Specializers re-entering {!eval} inherit them. *)
+val eval_memo : env -> memo_hooks -> node -> result
 
 (** A fresh registry containing the base specializers
     ("lib-constrained", "lib-static", "identity"). *)

@@ -19,6 +19,9 @@ let tm_misses = Telemetry.Counter.make "cache.misses"
 let tm_insertions = Telemetry.Counter.make "cache.insertions"
 let tm_evictions = Telemetry.Counter.make "cache.evictions"
 let tm_entry_bytes = Telemetry.Histogram.make "cache.entry_bytes"
+let tm_memo_hits = Telemetry.Counter.make "cache.memo_hits"
+let tm_memo_insertions = Telemetry.Counter.make "cache.memo_insertions"
+let tm_memo_evictions = Telemetry.Counter.make "cache.memo_evictions"
 
 (** Residency of an entry relative to the server's arenas: [Placed]
     entries hold live text/data reservations, [Evicted] entries have
@@ -44,8 +47,22 @@ type entry = {
       (* how this image was built; served as-is on hits *)
 }
 
+(** One memoized subtree materialization: the evaluated module (and
+    its accumulated constraints) keyed by {!Analysis.Impact} interface
+    digest, plus the number of mangling ids the subtree's evaluation
+    consumed — a reuse must skip that many so downstream freeze/hide
+    operators keep minting the aliases a from-scratch build would. *)
+type memo_entry = {
+  m_digest : string;
+  m_result : Blueprint.Mgraph.result;
+  m_gensym : int;
+  mutable m_hits : int;
+}
+
 type t = {
   entries : (string, entry list ref) Hashtbl.t;
+  memos : (string, memo_entry) Hashtbl.t;
+      (* per-node memo table, keyed by interface digest *)
   mutable hit_count : int;
   mutable miss_count : int;
   mutable insertions : int;
@@ -55,6 +72,7 @@ type t = {
 let create () : t =
   {
     entries = Hashtbl.create 32;
+    memos = Hashtbl.create 64;
     hit_count = 0;
     miss_count = 0;
     insertions = 0;
@@ -112,12 +130,50 @@ let insert (t : t) ~(key : string) ~(text_base : int) ~(data_base : int)
     changed). *)
 let invalidate (t : t) (key : string) : unit = Hashtbl.remove t.entries key
 
+(* -- per-node memo table ---------------------------------------------------- *)
+
+(** [memo_find t digest] returns the memoized materialization of a
+    subtree, counting a memo hit. No miss counter: the eval path probes
+    every node, so misses are the common, uninteresting case. *)
+let memo_find (t : t) (digest : string) : memo_entry option =
+  match Hashtbl.find_opt t.memos digest with
+  | Some e ->
+      e.m_hits <- e.m_hits + 1;
+      Telemetry.Counter.incr tm_memo_hits;
+      Some e
+  | None -> None
+
+let memo_mem (t : t) (digest : string) : bool = Hashtbl.mem t.memos digest
+
+let memo_insert (t : t) ~(digest : string) ~(gensym : int)
+    (result : Blueprint.Mgraph.result) : unit =
+  if not (Hashtbl.mem t.memos digest) then begin
+    Hashtbl.replace t.memos digest
+      { m_digest = digest; m_result = result; m_gensym = gensym; m_hits = 0 };
+    Telemetry.Counter.incr tm_memo_insertions
+  end
+
+let memo_count (t : t) : int = Hashtbl.length t.memos
+
+(* The memo table is derived data: entries reference module views that
+   may share structure with cached images, so whenever the image cache
+   sheds weight the memo table is dropped wholesale rather than tracing
+   which subtrees fed the victims. Conservative, always sound — the
+   next build re-materializes and re-memoizes what it actually needs. *)
+let memo_clear (t : t) : unit =
+  let n = Hashtbl.length t.memos in
+  if n > 0 then begin
+    Hashtbl.reset t.memos;
+    Telemetry.Counter.incr tm_memo_evictions ~by:n
+  end
+
 (** Every live entry, across all keys and placements. *)
 let to_list (t : t) : entry list =
   Hashtbl.fold (fun _ r acc -> List.rev_append !r acc) t.entries []
 
 let clear (t : t) : unit =
   Hashtbl.reset t.entries;
+  memo_clear t;
   t.hit_count <- 0;
   t.miss_count <- 0;
   t.insertions <- 0
@@ -173,6 +229,8 @@ let evict_to_budget (t : t) ~(bytes : int) : entry list =
     List.iter (Hashtbl.remove t.entries) empty;
     t.generation <- t.generation + List.length victim_set;
     Telemetry.Counter.incr tm_evictions ~by:(List.length victim_set);
+    (* derived data follows the images it was derived from *)
+    if victim_set <> [] then memo_clear t;
     victim_set
   end
 

@@ -57,6 +57,39 @@ val insert :
 (** Drop every placement of a construction (its sources changed). *)
 val invalidate : t -> string -> unit
 
+(** {1 Per-node memo table}
+
+    Materialized subtree views keyed by {!Analysis.Impact} interface
+    digest — the substrate of incremental relinking. The table is
+    derived data: it is dropped wholesale whenever {!evict_to_budget}
+    sheds any image, and by {!clear}. *)
+
+type memo_entry = {
+  m_digest : string;  (** interface digest (the memo key) *)
+  m_result : Blueprint.Mgraph.result;  (** materialized views + prefs *)
+  m_gensym : int;
+      (** mangling ids the subtree's evaluation consumed; a reuse must
+          skip that many ({!Jigsaw.Module_ops.gensym_skip}) so later
+          freeze/hide operators mint from-scratch-identical aliases *)
+  mutable m_hits : int;
+}
+
+(** Memoized materialization of a subtree, counting a memo hit. *)
+val memo_find : t -> string -> memo_entry option
+
+(** Membership without counting. *)
+val memo_mem : t -> string -> bool
+
+(** Idempotent: the first materialization of a digest wins. *)
+val memo_insert :
+  t -> digest:string -> gensym:int -> Blueprint.Mgraph.result -> unit
+
+val memo_count : t -> int
+
+(** Drop the whole memo table (counts the dropped entries as
+    [cache.memo_evictions]). *)
+val memo_clear : t -> unit
+
 (** Every live entry, across all keys and placements. *)
 val to_list : t -> entry list
 

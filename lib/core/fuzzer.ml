@@ -185,6 +185,93 @@ let pipeline_equivalence (c : Fuzz.case) (clean : string list) :
              (show_intervals da) (show_intervals db))
       else Ok (List.length ea)
 
+(* -- oracle 4: incremental vs from-scratch relink --------------------------- *)
+
+(* Link-level facts of one build — everything that must not depend on
+   whether evaluation served subtrees from the memo table. Eval-time
+   journal events are excluded by construction (a reused subtree
+   replaces its per-operator events with one [Reused]); the link stage
+   always runs for a respun root, so its Bind/Reloc events, the
+   placement, and the image bytes must be identical either way. *)
+let build_sig (b : Server.built) : string =
+  let e = b.Server.entry in
+  let link_events =
+    match e.Cache.provenance with
+    | None -> []
+    | Some p ->
+        List.filter_map
+          (fun ev ->
+            match ev with
+            | Telemetry.Provenance.Bind _ | Telemetry.Provenance.Reloc _ ->
+                Some (Telemetry.Provenance.event_to_string ev)
+            | _ -> None)
+          p.Telemetry.Provenance.p_events
+  in
+  Printf.sprintf "text=%#x data=%#x image=%s binds=[%s]" e.Cache.text_base
+    e.Cache.data_base
+    (Digest.to_hex (Digest.bytes (Linker.Image.encode e.Cache.image)))
+    (String.concat "; " link_events)
+
+(* One full history: install the case, build every library, install the
+   edited blueprints over the same bindings, rebuild every library.
+   [gensym0] aligns the global mangling counter so both runs mint
+   comparable freeze/hide aliases. *)
+let incremental_run (c : Fuzz.case) (c' : Fuzz.case) ~(reuse : bool)
+    ~(gensym0 : int) :
+    string list * (int * int * string) list * (int * int * string) list =
+  Jigsaw.Module_ops.gensym_set gensym0;
+  let w = World.create () in
+  let s = w.World.server in
+  Server.set_subtree_reuse s reuse;
+  install c w;
+  let build path =
+    match Server.build s (Server.library path) with
+    | b -> Printf.sprintf "%s: %s" path (build_sig b)
+    | exception e -> Printf.sprintf "%s: raised %s" path (Printexc.to_string e)
+  in
+  let pre = List.map (fun l -> build (Fuzz.lib_path l)) c.Fuzz.f_libs in
+  List.iter
+    (fun l -> Server.register_meta_source s (Fuzz.lib_path l) (Fuzz.meta_source l))
+    c'.Fuzz.f_libs;
+  let post = List.map (fun l -> build (Fuzz.lib_path l)) c'.Fuzz.f_libs in
+  ( pre @ post,
+    Constraints.Placement.intervals (Server.text_arena s),
+    Constraints.Placement.intervals (Server.data_arena s) )
+
+let incremental_equivalence (c : Fuzz.case) : (int, string) result =
+  match Fuzz.mutate ~seed:c.Fuzz.f_seed c with
+  | None -> Ok 0
+  | Some (c', edit) ->
+      let gensym0 = Jigsaw.Module_ops.gensym_current () in
+      let prov0 = Telemetry.Provenance.is_enabled () in
+      Telemetry.Provenance.set_enabled true;
+      Fun.protect
+        ~finally:(fun () -> Telemetry.Provenance.set_enabled prov0)
+        (fun () ->
+          let a, ta, da = incremental_run c c' ~reuse:true ~gensym0 in
+          let b, tb, db = incremental_run c c' ~reuse:false ~gensym0 in
+          let show_intervals ivs =
+            String.concat ", "
+              (List.map
+                 (fun (lo, hi, who) -> Printf.sprintf "%#x-%#x %s" lo hi who)
+                 ivs)
+          in
+          if a <> b then
+            Error
+              (Printf.sprintf "edit %S: incremental vs from-scratch: %s" edit
+                 (first_diff a b))
+          else if ta <> tb then
+            Error
+              (Printf.sprintf
+                 "edit %S: text arena intervals differ: [%s] vs [%s]" edit
+                 (show_intervals ta) (show_intervals tb))
+          else if da <> db then
+            Error
+              (Printf.sprintf
+                 "edit %S: data arena intervals differ: [%s] vs [%s]" edit
+                 (show_intervals da) (show_intervals db))
+          else Ok (List.length a))
+
 (* -- putting it together ---------------------------------------------------- *)
 
 let run_case_exn (c : Fuzz.case) : verdict =
@@ -200,7 +287,10 @@ let run_case_exn (c : Fuzz.case) : verdict =
       | Ok () -> (
           match pipeline_equivalence c clean with
           | Error detail -> fail "pipeline-equivalence" detail
-          | Ok events -> Pass { clean_libs = List.length clean; events }))
+          | Ok events -> (
+              match incremental_equivalence c with
+              | Error detail -> fail "incremental-relink" detail
+              | Ok _ -> Pass { clean_libs = List.length clean; events })))
 
 let run_case (c : Fuzz.case) : verdict =
   match run_case_exn c with

@@ -2,7 +2,7 @@
     {!Workloads.Fuzz}).
 
     [run_case] installs a generated case into fresh worlds and checks
-    three differential oracles, all of them checks the system already
+    four differential oracles, all of them checks the system already
     ships:
 
     + {b lint-differential} — for every generated library,
@@ -23,13 +23,22 @@
       armed: the same spec twice at the same concurrency; the event
       lists must be byte-identical (costs included) — the
       DiOS-style replay guarantee.
+    + {b incremental-relink} — {!Workloads.Fuzz.mutate} derives a
+      single-edit variant of the case; the edited world is built twice
+      from a common gensym baseline, once with subtree reuse on
+      (register the original, build, re-register the edited metas,
+      rebuild) and once with reuse off. The link-level facts — image
+      digests, segment bases, Bind/Reloc provenance events, and the
+      final arena interval maps — must be identical: memoized subtree
+      reuse may never change what gets linked.
 
     Any other exception escaping a case is classified as the ["crash"]
     oracle. All of it is deterministic: same case, same verdict. *)
 
 type failure = {
   fz_oracle : string;
-      (** ["lint-differential" | "residency" | "pipeline-equivalence" | "crash"] *)
+      (** ["lint-differential" | "residency" | "pipeline-equivalence"
+          | "incremental-relink" | "crash"] *)
   fz_detail : string;
   fz_case : Workloads.Fuzz.case;  (** the case that tripped the oracle *)
 }

@@ -41,6 +41,16 @@ type conflict = {
   c_got : int;
 }
 
+(* One node of the current reuse plan: the {!Analysis.Impact} verdict
+   for a graph node, keyed (in [t.impact_plan]) by the node's own
+   path-addressed digest so evaluation can find it in O(1) without
+   re-walking the subtree. *)
+type plan_entry = {
+  pe_digest : string; (* interface digest (memo key) *)
+  pe_stable : bool; (* provably replay-invariant; only these memoize *)
+  pe_gensym : int; (* mangling ids the subtree consumes *)
+}
+
 (* One request moving through the staged pipeline (parse → lint → eval
    → place → link → map). The job carries everything a stage hands the
    next one, so stages of different requests can interleave freely. *)
@@ -111,6 +121,13 @@ type t = {
   work : work_stats;
   lints : (string, Analysis.Lint.report) Hashtbl.t;
       (* registration-time findings per meta-object path *)
+  impact_trees : (string, Analysis.Impact.tree) Hashtbl.t;
+      (* registration-time dependence analysis per meta-object path *)
+  impact_diffs : (string, Analysis.Impact.diff) Hashtbl.t;
+      (* verdicts of the latest re-registration of each meta path *)
+  impact_plan : (string, plan_entry) Hashtbl.t;
+      (* graph-node digest -> reuse verdict, rebuilt on registration *)
+  mutable subtree_reuse : bool; (* consult the memo table during eval? *)
   mutable conflicts : conflict list;
   (* charge server-side build work to the simulated clock? The paper's
      common case is install-time generation, so misses normally charge;
@@ -133,6 +150,8 @@ let tm_arena_conflicts = Telemetry.Counter.make "server.arena_conflicts"
 let tm_instantiate_us = Telemetry.Histogram.make "server.us.instantiate"
 let tm_lint_errors = Telemetry.Counter.make "lint.errors"
 let tm_lint_warnings = Telemetry.Counter.make "lint.warnings"
+let tm_impact_reused = Telemetry.Counter.make "impact.reused"
+let tm_impact_respun = Telemetry.Counter.make "impact.respun"
 let tm_eval_us = Telemetry.Histogram.make "server.us.eval"
 let tm_link_us = Telemetry.Histogram.make "server.us.link"
 
@@ -222,6 +241,10 @@ let create ~(kernel : Simos.Kernel.t) ?(faults : Residency.faults option) () : t
     env;
     work = { links = 0; relocs = 0; source_compiles = 0; instantiations = 0 };
     lints = Hashtbl.create 16;
+    impact_trees = Hashtbl.create 16;
+    impact_diffs = Hashtbl.create 16;
+    impact_plan = Hashtbl.create 64;
+    subtree_reuse = true;
     conflicts = [];
     charge_build_work = true;
     sched;
@@ -278,36 +301,93 @@ let resolve_graph (t : t) (path : string) :
   | Some (Namespace.Directory _) -> Error (path ^ " is a directory")
   | None -> Error ("unknown server object " ^ path)
 
+(* Re-run the subtree dependence analysis over every bound meta-object
+   and rebuild the reuse plan from the resulting trees. Re-analyzing
+   the whole namespace (not just the edited meta) keeps plan entries
+   fresh for metas that reference the edited path through [Name] nodes:
+   their interface digests move with the content they resolve to. The
+   analysis is abstract (symbol flow only, no view materialized), so
+   this is cheap relative to a single link. *)
+let refresh_impact (t : t) : unit =
+  Hashtbl.reset t.impact_plan;
+  List.iter
+    (fun path ->
+      match Namespace.lookup t.ns path with
+      | Some (Namespace.Meta m) ->
+          let tree =
+            Analysis.Impact.analyze ~resolve:(resolve_graph t)
+              (Blueprint.Meta.effective_graph m ~spec:None)
+          in
+          Hashtbl.replace t.impact_trees path tree;
+          Analysis.Impact.iter_infos
+            (fun i ->
+              match i.Analysis.Impact.i_node with
+              | Blueprint.Mgraph.Leaf _ -> () (* leaves are free to re-make *)
+              | n ->
+                  Hashtbl.replace t.impact_plan (Blueprint.Mgraph.digest n)
+                    {
+                      pe_digest = i.Analysis.Impact.i_digest;
+                      pe_stable = i.Analysis.Impact.i_stable;
+                      pe_gensym = i.Analysis.Impact.i_summary.Analysis.Impact.s_gensym;
+                    })
+            tree
+      | _ -> ())
+    (Namespace.all_metas t.ns)
+
 (** Bind a meta-object and lint it: the symbol-flow analyzer runs at
     registration (no view materialized, no simulated cost charged), the
     finding counts feed the [lint.errors]/[lint.warnings] counters, and
     the findings replay into the provenance journal of every build of
     the meta. Registration never fails on findings — a broken blueprint
-    is diagnosed again, fatally, when instantiated. *)
+    is diagnosed again, fatally, when instantiated.
+
+    Registration also refreshes the incremental-relinking plan: the
+    {!Analysis.Impact} tree of every bound meta is recomputed, and if
+    [path] was already bound the old/new trees are diffed — the next
+    build of an edited blueprint then re-materializes only the respun
+    spine, answering provably-equivalent subtrees from the memo
+    table. *)
 let register_meta (t : t) (path : string) (m : Blueprint.Meta.t) : unit =
+  let old_tree = Hashtbl.find_opt t.impact_trees path in
   Namespace.bind_meta t.ns path m;
   let report = Analysis.Lint.analyze_meta ~resolve:(resolve_graph t) m in
   Hashtbl.replace t.lints path report;
   let errs = Analysis.Lint.errors report
   and warns = Analysis.Lint.warnings report in
   if errs > 0 then Telemetry.Counter.incr ~by:errs tm_lint_errors;
-  if warns > 0 then Telemetry.Counter.incr ~by:warns tm_lint_warnings
-
-(* Deprecated alias of {!register_meta} (kept for one PR). *)
-let add_meta = register_meta
+  if warns > 0 then Telemetry.Counter.incr ~by:warns tm_lint_warnings;
+  refresh_impact t;
+  match (old_tree, Hashtbl.find_opt t.impact_trees path) with
+  | Some ot, Some nt ->
+      Hashtbl.replace t.impact_diffs path
+        (Analysis.Impact.diff ~old_tree:ot ~new_tree:nt)
+  | _ -> ()
 
 (** The registration-time lint report of a bound meta-object. *)
 let lint_report (t : t) (path : string) : Analysis.Lint.report option =
   Hashtbl.find_opt t.lints path
+
+(** The registration-time dependence analysis of a bound meta-object. *)
+let impact_tree (t : t) (path : string) : Analysis.Impact.tree option =
+  Hashtbl.find_opt t.impact_trees path
+
+(** The reuse/respin verdicts computed the last time [path] was
+    re-registered over an existing binding. *)
+let impact_diff (t : t) (path : string) : Analysis.Impact.diff option =
+  Hashtbl.find_opt t.impact_diffs path
+
+(** Toggle incremental relinking (default on): when off, evaluation
+    never consults or fills the per-node memo table — the knob the
+    incremental-vs-from-scratch differential oracle flips. *)
+let set_subtree_reuse (t : t) (b : bool) : unit = t.subtree_reuse <- b
+
+let subtree_reuse (t : t) : bool = t.subtree_reuse
 
 (** Register a meta-object from blueprint source text — parse, then
     {!register_meta}, so registration-time lint behavior is uniform no
     matter how the meta arrives. *)
 let register_meta_source (t : t) (path : string) (src : string) : unit =
   register_meta t path (Blueprint.Meta.parse ~name:path src)
-
-(* Deprecated alias of {!register_meta_source} (kept for one PR). *)
-let add_meta_source = register_meta_source
 
 (** Load a meta-object source file from the simulated filesystem and
     bind it at [ns_path] — meta-objects are ordinary files ("the
@@ -331,9 +411,51 @@ let find_meta (t : t) (path : string) : Blueprint.Meta.t =
 
 (* -- evaluation & linking -------------------------------------------------- *)
 
+(* The subtree-reuse hooks evaluation runs under. Lookup: a node whose
+   reuse plan entry is stable may be answered from the memo table —
+   skipping the mangling ids its evaluation would have drawn, so every
+   later freeze/hide downstream mints exactly the aliases a from-scratch
+   build would. Store: every freshly materialized stable node enters
+   the memo table (first materialization of a digest wins). Unstable
+   nodes (live freeze/hide/show below them) are never memoized: their
+   bytes depend on the global mangling sequence. *)
+let memo_hooks (t : t) : Blueprint.Mgraph.memo_hooks =
+  let plan_of n =
+    match n with
+    | Blueprint.Mgraph.Leaf _ -> None (* leaves are free to re-make *)
+    | n -> Hashtbl.find_opt t.impact_plan (Blueprint.Mgraph.digest n)
+  in
+  {
+    lookup =
+      (fun n ->
+        match plan_of n with
+        | Some pe when pe.pe_stable -> (
+            match Cache.memo_find t.cache pe.pe_digest with
+            | Some me ->
+                Jigsaw.Module_ops.gensym_skip me.Cache.m_gensym;
+                Telemetry.Counter.incr tm_impact_reused;
+                Telemetry.Provenance.record_reused ~digest:pe.pe_digest;
+                Some me.Cache.m_result
+            | None -> None)
+        | _ -> None);
+    store =
+      (fun n r ->
+        match plan_of n with
+        | Some pe ->
+            Telemetry.Counter.incr tm_impact_respun;
+            if pe.pe_stable && not (Cache.memo_mem t.cache pe.pe_digest) then
+              Cache.memo_insert t.cache ~digest:pe.pe_digest
+                ~gensym:pe.pe_gensym r
+        | None -> ());
+  }
+
 let eval (t : t) (node : Blueprint.Mgraph.node) : Blueprint.Mgraph.result =
   let t0 = Telemetry.now_us () in
-  let r = Blueprint.Mgraph.eval t.env node in
+  let r =
+    if t.subtree_reuse && Hashtbl.length t.impact_plan > 0 then
+      Blueprint.Mgraph.eval_memo t.env (memo_hooks t) node
+    else Blueprint.Mgraph.eval t.env node
+  in
   Telemetry.Histogram.observe tm_eval_us (Telemetry.now_us () -. t0);
   r
 
@@ -583,10 +705,6 @@ let library ?spec ?(externals = []) (path : string) : request =
 let static ?entry_symbol ?(externals = []) ~(name : string)
     (graph : Blueprint.Mgraph.node) : request =
   { target = Static { name; graph; entry_symbol }; externals }
-
-(* Deprecated aliases of {!library}/{!static} (kept for one PR). *)
-let library_request = library
-let static_request = static
 
 let target_label = function
   | Library l -> "lib:" ^ l.path
@@ -1206,16 +1324,6 @@ let instantiate (t : t) (req : request) : response =
 (** [build t req] = [(instantiate t req).built] — the one-call
     convenience for callers that only want the image. *)
 let build (t : t) (req : request) : built = (instantiate t req).built
-
-(* Deprecated wrappers over {!build} (kept for one PR). *)
-let build_library (t : t) ~(path : string)
-    ?(spec : (string * Blueprint.Mgraph.value list) option) ?(externals = []) () :
-    built =
-  build t { target = Library { path; spec }; externals }
-
-let build_static (t : t) ~(name : string) ?(entry_symbol : string option)
-    ?(externals = []) (graph : Blueprint.Mgraph.node) : built =
-  build t { target = Static { name; graph; entry_symbol }; externals }
 
 (* -- pipeline knobs ---------------------------------------------------------- *)
 

@@ -99,12 +99,25 @@ val add_fragment : t -> string -> Sof.Object_file.t -> unit
     {!load_meta_file} both route through it. *)
 val register_meta : t -> string -> Blueprint.Meta.t -> unit
 
-(** @deprecated Alias of {!register_meta}; will be removed next
-    release. *)
-val add_meta : t -> string -> Blueprint.Meta.t -> unit
-
 (** The registration-time lint report of a bound meta-object. *)
 val lint_report : t -> string -> Analysis.Lint.report option
+
+(** The registration-time {!Analysis.Impact} dependence analysis of a
+    bound meta-object (refreshed for every bound meta whenever any meta
+    is registered, so [Name]-mediated dependencies stay current). *)
+val impact_tree : t -> string -> Analysis.Impact.tree option
+
+(** The reuse/respin verdicts computed the last time the path was
+    re-registered over an existing binding — which subtrees of the
+    edited blueprint survive, and why the rest must respin. *)
+val impact_diff : t -> string -> Analysis.Impact.diff option
+
+(** Toggle incremental relinking (default on): when off, evaluation
+    never consults or fills the per-node memo table. The knob the
+    incremental-vs-from-scratch differential oracle flips. *)
+val set_subtree_reuse : t -> bool -> unit
+
+val subtree_reuse : t -> bool
 
 (** Result-returning twin of the evaluation environment's name
     resolution, for the symbol-flow analyzer (which must never
@@ -115,10 +128,6 @@ val resolve_graph :
 (** Register a meta-object from blueprint source text (parse, then
     {!register_meta}). *)
 val register_meta_source : t -> string -> string -> unit
-
-(** @deprecated Alias of {!register_meta_source}; will be removed next
-    release. *)
-val add_meta_source : t -> string -> string -> unit
 
 (** Load a meta-object source file from the simulated filesystem and
     bind it at [ns_path] — meta-objects are ordinary files. *)
@@ -198,21 +207,6 @@ val static :
   Blueprint.Mgraph.node ->
   request
 
-(** @deprecated Alias of {!library}; will be removed next release. *)
-val library_request :
-  ?spec:string * Blueprint.Mgraph.value list ->
-  ?externals:Linker.Image.t list ->
-  string ->
-  request
-
-(** @deprecated Alias of {!static}; will be removed next release. *)
-val static_request :
-  ?entry_symbol:string ->
-  ?externals:Linker.Image.t list ->
-  name:string ->
-  Blueprint.Mgraph.node ->
-  request
-
 (** {2 The asynchronous pipeline}
 
     [submit] admits a request into the staged pipeline and returns a
@@ -277,26 +271,6 @@ val instantiate : t -> request -> response
 
 (** [build t req] = [(instantiate t req).built]. *)
 val build : t -> request -> built
-
-(** @deprecated Use [build t (library path)]; will be removed next
-    release. *)
-val build_library :
-  t ->
-  path:string ->
-  ?spec:string * Blueprint.Mgraph.value list ->
-  ?externals:Linker.Image.t list ->
-  unit ->
-  built
-
-(** @deprecated Use [build t (static ~name graph)]; will be removed
-    next release. *)
-val build_static :
-  t ->
-  name:string ->
-  ?entry_symbol:string ->
-  ?externals:Linker.Image.t list ->
-  Blueprint.Mgraph.node ->
-  built
 
 (** Register a specialization style (the schemes install theirs here). *)
 val register_specializer : t -> string -> Blueprint.Mgraph.specializer -> unit

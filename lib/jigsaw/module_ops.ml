@@ -252,6 +252,18 @@ let gensym () =
     alias names the next evaluation will mint. *)
 let gensym_current () = !gensym_counter
 
+(** Advance the mangling counter by [n] ids without minting any name.
+    Subtree reuse skips the operators of a memoized subtree; skipping
+    the ids that subtree would have drawn keeps every {e later}
+    freeze/hide minting exactly the aliases a from-scratch evaluation
+    would, so partial reuse stays byte-identical downstream. *)
+let gensym_skip (n : int) : unit =
+  if n > 0 then gensym_counter := !gensym_counter + n
+
+(** Set the mangling counter outright (differential harnesses align
+    two runs to a common baseline so both mint comparable aliases). *)
+let gensym_set (n : int) : unit = gensym_counter := n
+
 (* Shared machinery of freeze/hide: rename all references to the
    selected exported names to a fresh private alias; [keep_public]
    decides whether the public definition survives (freeze) or is

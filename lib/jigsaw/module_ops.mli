@@ -90,6 +90,17 @@ val rename : ?scope:rename_scope -> Select.t -> string -> t -> t
     evaluation will mint. *)
 val gensym_current : unit -> int
 
+(** Advance the mangling counter by [n] ids without minting any name.
+    Used by subtree reuse: skipping a memoized subtree's draws keeps
+    every later freeze/hide minting exactly the aliases a from-scratch
+    evaluation would. [n <= 0] is a no-op. *)
+val gensym_skip : int -> unit
+
+(** Set the mangling counter outright. For differential harnesses only
+    (two runs aligned to a common baseline mint comparable aliases);
+    never call while an evaluation is in flight. *)
+val gensym_set : int -> unit
+
 (** [initializers m] generates the static-initializer driver for the
     constructors found in the module (the paper's C++ support): a
     global [__init] routine calling each registered constructor in

@@ -1298,6 +1298,10 @@ module Provenance = struct
     | Coalesced of { leader_request : int }
         (** a concurrent request for the same construction coalesced
             onto this in-flight build instead of building again *)
+    | Reused of { digest : string }
+        (** a subtree was answered from the per-node memo table — its
+            interface digest proved it link-equivalent to an earlier
+            materialization, so no operator ran for it *)
 
   type t = {
     p_key : string;  (** construction digest (the cache key) *)
@@ -1378,6 +1382,10 @@ module Provenance = struct
   let record_coalesced_into (f : open_frame) ~(leader_request : int) : unit =
     if !prov_enabled then f.events <- Coalesced { leader_request } :: f.events
 
+  (** A memoized subtree satisfied part of this build. *)
+  let record_reused ~(digest : string) : unit =
+    record_event (Reused { digest })
+
   (** Close the innermost build frame into a provenance record. *)
   let capture ~(key : string) ~(text_base : int) ~(data_base : int)
       ~(placement : string) ~(generation : int) () : t =
@@ -1418,6 +1426,8 @@ module Provenance = struct
         Printf.sprintf "lint %s %s at %s: %s" severity code path message
     | Coalesced { leader_request } ->
         Printf.sprintf "coalesced: served by in-flight request %d" leader_request
+    | Reused { digest } ->
+        Printf.sprintf "reused subtree %s (memoized materialization)" digest
 
   (* The names [symbol] has carried: follow rename links backwards so a
      query for the exported name also surfaces decisions recorded under
@@ -1448,7 +1458,7 @@ module Provenance = struct
         | Sym { symbol = s; _ } | Bind { symbol = s; _ }
         | Interpose { symbol = s; _ } ->
             List.mem s names
-        | Op _ | Reloc _ | Lint _ | Coalesced _ -> false)
+        | Op _ | Reloc _ | Lint _ | Coalesced _ | Reused _ -> false)
       p.p_events
 
   (** Content digest of the construction provenance (transitions
@@ -1507,6 +1517,9 @@ module Provenance = struct
         Json.Obj
           [ ("type", Json.Str "coalesced");
             ("leader_request", Json.Num (float_of_int leader_request)) ]
+    | Reused { digest } ->
+        Json.Obj
+          [ ("type", Json.Str "reused"); ("digest", Json.Str digest) ]
 
   let to_json (p : t) : Json.t =
     Json.Obj

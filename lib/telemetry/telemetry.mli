@@ -477,6 +477,10 @@ module Provenance : sig
         (** a duplicate in-flight request was folded into this build:
             the follower was served by [leader_request]'s link/map
             rather than by its own *)
+    | Reused of { digest : string }
+        (** a subtree was answered from the per-node memo table: its
+            interface digest proved it link-equivalent to an earlier
+            materialization, so no operator ran for it *)
 
   type t = {
     p_key : string;  (** construction digest (the cache key) *)
@@ -542,6 +546,10 @@ module Provenance : sig
   (** Same, onto a detached frame (the pipeline coalesces followers
       between the leader's stages, while its frame is suspended). *)
   val record_coalesced_into : open_frame -> leader_request:int -> unit
+
+  (** Note on the innermost open frame that a memoized subtree (by
+      interface digest) satisfied part of this build. *)
+  val record_reused : digest:string -> unit
 
   (** Append a residency transition to a captured record. *)
   val transition : t -> at:float -> string -> unit

@@ -398,6 +398,107 @@ let shrink (c : case) : case list =
   if w.w_conc > 2 then add { c with f_wl = { w with w_conc = 2 } };
   List.rev !cands
 
+(* -- edit pairs ------------------------------------------------------------- *)
+
+(* A deterministic single edit of one library blueprint: bump a module
+   version, swap a unary operator, add/remove a merge arm, or rename a
+   symbol. The edit-pair half of the incremental-relink oracle — the
+   mutated case differs from the original in exactly one node of one
+   library body, so an incremental rebuild should respin only that
+   edit's spine. *)
+let mutate ~seed (c : case) : (case * string) option =
+  let r = rng_make (seed lxor 0x5bf03635) in
+  let versions_of i =
+    List.sort_uniq compare
+      (List.filter_map
+         (fun m -> if m.f_mid = i then Some m.f_mver else None)
+         c.f_mods)
+  in
+  let edits = ref [] in
+  let add lid body' desc =
+    edits :=
+      ( {
+          c with
+          f_libs =
+            List.map
+              (fun l -> if l.f_lid = lid then { l with f_body = body' } else l)
+              c.f_libs;
+        },
+        desc )
+      :: !edits
+  in
+  List.iter
+    (fun (l : libdef) ->
+      (* every single-node rewrite of this library's body; [ctx] plugs
+         the rewritten node back into its original position *)
+      let rec go (ctx : bp -> bp) (n : bp) =
+        (match n with
+        | Mod (i, v) ->
+            List.iter
+              (fun v' ->
+                if v' <> v then
+                  add l.f_lid
+                    (ctx (Mod (i, v')))
+                    (Printf.sprintf "lib%d: bump module %d v%d -> v%d" l.f_lid
+                       i v v'))
+              (versions_of i)
+        | Op1 (op, sel, x) ->
+            Array.iter
+              (fun op' ->
+                if op' <> op then
+                  add l.f_lid
+                    (ctx (Op1 (op', sel, x)))
+                    (Printf.sprintf "lib%d: swap operator %s -> %s" l.f_lid op
+                       op'))
+              op1_kinds
+        | Merge ops ->
+            if List.length ops > 1 then
+              List.iteri
+                (fun k o ->
+                  add l.f_lid
+                    (ctx (Merge (remove_nth k ops)))
+                    (Printf.sprintf "lib%d: drop merge arm %s" l.f_lid
+                       (bp_to_string o)))
+                ops;
+            (match c.f_mods with
+            | [] -> ()
+            | ms ->
+                let m = List.nth ms (rand r (List.length ms)) in
+                let leaf = Mod (m.f_mid, m.f_mver) in
+                if not (List.mem leaf ops) then
+                  add l.f_lid
+                    (ctx (Merge (ops @ [ leaf ])))
+                    (Printf.sprintf "lib%d: add merge arm %s" l.f_lid
+                       (mod_path m)))
+        | Dep _ | Ext _ | Override _ | Ren _ | Con _ -> ());
+        match n with
+        | Mod _ | Dep _ | Ext _ -> ()
+        | Merge ops ->
+            List.iteri
+              (fun k o -> go (fun o' -> ctx (Merge (replace_nth k o' ops))) o)
+              ops
+        | Override (a, b) ->
+            go (fun a' -> ctx (Override (a', b))) a;
+            go (fun b' -> ctx (Override (a, b'))) b
+        | Op1 (op, sel, x) -> go (fun x' -> ctx (Op1 (op, sel, x'))) x
+        | Ren (sel, tpl, x) -> go (fun x' -> ctx (Ren (sel, tpl, x'))) x
+        | Con (seg, a, x) -> go (fun x' -> ctx (Con (seg, a, x'))) x
+      in
+      go (fun b -> b) l.f_body;
+      (* rename a symbol: one extra rename layer over the whole body *)
+      match c.f_mods with
+      | [] -> ()
+      | ms ->
+          let m = List.nth ms (rand r (List.length ms)) in
+          let from = fname m.f_mid 0 in
+          add l.f_lid
+            (Ren (Printf.sprintf "^%s$" from, "mut_" ^ from, l.f_body))
+            (Printf.sprintf "lib%d: rename %s -> mut_%s" l.f_lid from from))
+    c.f_libs;
+  match List.rev !edits with
+  | [] -> None
+  | es -> Some (List.nth es (rand r (List.length es)))
+
 (* -- serialization ---------------------------------------------------------- *)
 
 let mod_of_path (p : string) : int * int =

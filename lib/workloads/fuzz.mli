@@ -116,6 +116,18 @@ val shrink : case -> case list
     in fixed order; a greedy reducer over them terminates because every
     candidate is strictly structurally smaller. *)
 
+(** {1 Edit pairs} *)
+
+val mutate : seed:int -> case -> (case * string) option
+(** A deterministic single edit of one library blueprint — the
+    edit-pair generator for the incremental-relink oracle. The edit is
+    one of: bump a module version to another generated version, swap a
+    unary operator (freeze/hide/show/restrict/project), add or remove
+    a merge arm, or rename a symbol (one extra rename layer). Returns
+    the mutated case plus a human-readable description, or [None] when
+    the case offers nothing to edit. Equal arguments produce the same
+    edit. *)
+
 (** {1 Serialization} *)
 
 val to_string : case -> string

@@ -50,7 +50,7 @@ events name the client and request that hit them.
   $ head -c 36 flight.json && echo
   {"type":"flight_dump","reason":"faul
   $ grep -m 1 " fault " flight.txt
-  000029 at=3684.2us client=1 request=0 fault         residency.place_conflict
+  000041 at=3684.2us client=1 request=0 fault         residency.place_conflict
 
 A bad spec fails cleanly (and, with nothing recorded, leaves no dump):
 

@@ -168,7 +168,9 @@ let test_w103_refreeze () =
   let g = Mg.Freeze ("^f$", Mg.Freeze ("^f$", Mg.Leaf o)) in
   let f = find_code (analyze g) "W103" in
   Alcotest.(check (list string)) "symbol" [ "f" ] f.L.symbols;
-  Alcotest.(check (list string)) "single freeze clean" []
+  (* a single live freeze is W103-clean (only the W105 instability
+     warning remains: it mints a mangling-dependent alias) *)
+  Alcotest.(check (list string)) "single freeze clean" [ "W105" ]
     (codes (analyze (Mg.Freeze ("^f$", Mg.Leaf o))))
 
 let test_w104_shadowed_weak () =
@@ -350,6 +352,200 @@ let prop_dead_hide_noop =
       let m' = Jigsaw.Module_ops.hide (Jigsaw.Select.compile sel_s) m in
       Jigsaw.Module_ops.exports m' = Jigsaw.Module_ops.exports m)
 
+(* -- subtree dependence (impact) ---------------------------------------------- *)
+
+module I = Analysis.Impact
+
+let ianalyze g = I.analyze ~resolve:no_resolve g
+let iroot g = (ianalyze g).I.t_root
+
+let test_w105_unstable_subtree () =
+  let o = obj "/t/fg.o" [ ("f", Sof.Symbol.Global); ("g", Sof.Symbol.Global) ] in
+  (* a live freeze mints a mangling-dependent alias: W105 names the
+     selected symbols *)
+  let f = find_code (analyze (Mg.Freeze ("^f$", Mg.Leaf o))) "W105" in
+  Alcotest.(check (list string)) "freeze symbols" [ "f" ] f.L.symbols;
+  ignore (find_code (analyze (Mg.Hide ("^g$", Mg.Leaf o))) "W105");
+  (* show warns on the victims it hides, not the survivors *)
+  let f = find_code (analyze (Mg.Show ("^f$", Mg.Leaf o))) "W105" in
+  Alcotest.(check (list string)) "show victims" [ "g" ] f.L.symbols;
+  (* a dead freeze mints nothing: fully clean (it only burns an id) *)
+  let r = analyze (Mg.Freeze ("^zz", Mg.Leaf o)) in
+  Alcotest.(check (list string)) "dead freeze clean" [] (codes r);
+  (* non-minting operators stay quiet *)
+  Alcotest.(check bool) "restrict no W105" false
+    (List.mem "W105" (codes (analyze (Mg.Restrict ("^f$", Mg.Leaf o)))))
+
+let test_impact_digests_and_stability () =
+  let a = obj "/t/ia.o" [ ("f", Sof.Symbol.Global) ] in
+  let b = obj "/t/ib.o" [ ("g", Sof.Symbol.Global) ] in
+  let g = Mg.Merge [ Mg.Leaf a; Mg.Leaf b ] in
+  let r1 = iroot g and r2 = iroot g in
+  Alcotest.(check string) "digest deterministic" r1.I.i_digest r2.I.i_digest;
+  Alcotest.(check bool) "merge of plain leaves is stable" true r1.I.i_stable;
+  Alcotest.(check int) "two children" 2 (List.length r1.I.i_children);
+  (* content-addressed: same shape, different leaf content *)
+  let b' = obj "/t/ib.o" [ ("h", Sof.Symbol.Global) ] in
+  let r3 = iroot (Mg.Merge [ Mg.Leaf a; Mg.Leaf b' ]) in
+  Alcotest.(check bool) "content moves the digest" true
+    (r1.I.i_digest <> r3.I.i_digest);
+  (* a live freeze leaks its minted alias: unstable, one id drawn *)
+  let rf = iroot (Mg.Freeze ("^f$", Mg.Leaf a)) in
+  Alcotest.(check bool) "live freeze unstable" false rf.I.i_stable;
+  Alcotest.(check int) "one id consumed" 1 rf.I.i_summary.I.s_gensym;
+  (* a dead freeze consumes the id but mints no name: stable *)
+  let rd = iroot (Mg.Freeze ("^zz", Mg.Leaf a)) in
+  Alcotest.(check bool) "dead freeze stable" true rd.I.i_stable;
+  Alcotest.(check int) "id still consumed" 1 rd.I.i_summary.I.s_gensym;
+  (* an unresolvable name poisons stability up the spine *)
+  let t = ianalyze (Mg.Merge [ Mg.Leaf a; Mg.Name "/no/such" ]) in
+  Alcotest.(check bool) "approximate tree" true t.I.t_approximate;
+  Alcotest.(check bool) "root unstable" false t.I.t_root.I.i_stable
+
+let test_impact_diff_verdicts () =
+  let a = obj "/t/ia.o" [ ("f", Sof.Symbol.Global) ] in
+  let b = obj "/t/ib.o" [ ("g", Sof.Symbol.Global) ] in
+  let c = obj "/t/ic.o" [ ("h", Sof.Symbol.Global) ] in
+  let c' = obj "/t/ic.o" [ ("h2", Sof.Symbol.Global) ] in
+  let old_tree = ianalyze (Mg.Merge [ Mg.Leaf a; Mg.Leaf b; Mg.Leaf c ]) in
+  let new_tree = ianalyze (Mg.Merge [ Mg.Leaf a; Mg.Leaf b; Mg.Leaf c' ]) in
+  let d = I.diff ~old_tree ~new_tree in
+  Alcotest.(check bool) "root digest moved" true
+    (d.I.d_old_digest <> d.I.d_new_digest);
+  Alcotest.(check int) "siblings reused" 2 d.I.d_reused;
+  Alcotest.(check int) "spine respun" 2 d.I.d_respun;
+  Alcotest.(check (list string)) "spine = root + edited leaf"
+    [ "merge"; "merge[2].leaf:/t/ic.o" ] d.I.d_spine;
+  (* the edited leaf's reason names the first differing interface fact *)
+  let leaf_verdict =
+    List.find (fun v -> v.I.v_path = "merge[2].leaf:/t/ic.o") d.I.d_nodes
+  in
+  (match leaf_verdict.I.v_verdict with
+  | I.Respin { reason } ->
+      Alcotest.(check bool)
+        (Printf.sprintf "reason mentions the export (%s)" reason)
+        true
+        (Astring.String.is_infix ~affix:"export" reason)
+  | I.Reused _ -> Alcotest.fail "edited leaf must respin");
+  (* verify discharges the byte-identity obligation of both reuses *)
+  let env = Blueprint.Mgraph.make_env () in
+  let eval n = (Blueprint.Mgraph.eval env n).Blueprint.Mgraph.m in
+  let vo = I.verify ~eval ~old_tree ~new_tree d in
+  Alcotest.(check int) "two digests checked" 2 vo.I.vo_checked;
+  Alcotest.(check (list (pair string string))) "no failures" []
+    vo.I.vo_failures;
+  (* identical trees: one reused root, empty spine *)
+  let d0 = I.diff ~old_tree ~new_tree:old_tree in
+  Alcotest.(check int) "self-diff reuses the root" 1 d0.I.d_reused;
+  Alcotest.(check int) "nothing respun" 0 d0.I.d_respun;
+  Alcotest.(check (list string)) "empty spine" [] d0.I.d_spine
+
+(* an assembled fragment: one label per (name, optional callee) *)
+let asm_obj name defs =
+  let a = Sof.Asm.create name in
+  List.iter
+    (fun (lbl, callee) ->
+      Sof.Asm.label a lbl;
+      (match callee with Some c -> Sof.Asm.call a c | None -> ());
+      Sof.Asm.instr a Svm.Isa.Ret)
+    defs;
+  Sof.Asm.finish a
+
+(* A dead freeze in a reusable subtree consumes a mangling id without
+   minting a name; reusing that subtree must still skip the id so the
+   live freeze downstream mints exactly the alias a from-scratch
+   evaluation would. Exports (aliases included) and the flattened
+   object must come out byte-identical. *)
+let test_gensym_replay_after_partial_reuse () =
+  let source tail =
+    Printf.sprintf
+      "(merge (freeze \"^zz$\" /t/ra.o) (freeze \"^bb$\" /t/rb.o) %s)" tail
+  in
+  let install s =
+    Omos.Server.add_fragment s "/t/ra.o" (asm_obj "/t/ra.o" [ ("ra", None) ]);
+    Omos.Server.add_fragment s "/t/rb.o"
+      (asm_obj "/t/rb.o" [ ("bb", None); ("bb_caller", Some "bb") ]);
+    Omos.Server.add_fragment s "/t/rc.o" (asm_obj "/t/rc.o" [ ("cc", None) ]);
+    Omos.Server.add_fragment s "/t/rd.o" (asm_obj "/t/rd.o" [ ("dd", None) ])
+  in
+  let graph s = Blueprint.Meta.effective_graph (Omos.Server.find_meta s "/t/rlib") ~spec:None in
+  (* world A: cold build fills the memo table, then an edited sibling *)
+  let sa = (Omos.World.create ()).Omos.World.server in
+  install sa;
+  Omos.Server.register_meta_source sa "/t/rlib" (source "/t/rc.o");
+  ignore (Omos.Server.eval sa (graph sa));
+  Omos.Server.register_meta_source sa "/t/rlib" (source "/t/rd.o");
+  (match Omos.Server.impact_diff sa "/t/rlib" with
+  | None -> Alcotest.fail "no impact diff after re-registration"
+  | Some d ->
+      Alcotest.(check bool) "dead-freeze subtree reused" true
+        (List.exists
+           (fun v ->
+             match v.I.v_verdict with
+             | I.Reused _ -> v.I.v_op <> "leaf" && v.I.v_op <> "name"
+             | I.Respin _ -> false)
+           d.I.d_nodes));
+  let g0 = Jigsaw.Module_ops.gensym_current () in
+  let m_incr = (Omos.Server.eval sa (graph sa)).Blueprint.Mgraph.m in
+  (* world B: same edited blueprint from scratch, reuse off, aligned to
+     the same mangling baseline *)
+  let sb = (Omos.World.create ()).Omos.World.server in
+  Omos.Server.set_subtree_reuse sb false;
+  install sb;
+  Omos.Server.register_meta_source sb "/t/rlib" (source "/t/rd.o");
+  let gb = graph sb in
+  Jigsaw.Module_ops.gensym_set g0;
+  let m_scratch = (Omos.Server.eval sb gb).Blueprint.Mgraph.m in
+  Alcotest.(check (list string)) "exports identical (aliases included)"
+    (Jigsaw.Module_ops.exports m_scratch)
+    (Jigsaw.Module_ops.exports m_incr);
+  Alcotest.(check bool) "minted alias present" true
+    (List.exists
+       (fun n -> Astring.String.is_prefix ~affix:"bb$frz" n)
+       (Jigsaw.Module_ops.exports m_incr));
+  Alcotest.(check string) "flattened object byte-identical"
+    (Sof.Codec.digest (Jigsaw.Module_ops.to_object m_scratch))
+    (Sof.Codec.digest (Jigsaw.Module_ops.to_object m_incr))
+
+(* every Reused verdict over a fuzzed single-edit pair materializes
+   byte-identically — the proof obligation discharged over the same
+   edit distribution the incremental-relink oracle replays *)
+let prop_edit_pairs_reused_byte_identical =
+  QCheck.Test.make ~name:"fuzzed edit pairs: reused nodes byte-identical"
+    ~count:30
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let c = Workloads.Fuzz.generate ~max_modules:8 ~max_libs:4 ~seed () in
+      match Workloads.Fuzz.mutate ~seed c with
+      | None -> true
+      | Some (c', _edit) ->
+          let w = Omos.World.create () in
+          let s = w.Omos.World.server in
+          Omos.Fuzzer.install c w;
+          let changed =
+            List.filter
+              (fun ((a : Workloads.Fuzz.libdef), b) -> a <> b)
+              (List.combine c.Workloads.Fuzz.f_libs c'.Workloads.Fuzz.f_libs)
+          in
+          changed <> []
+          && List.for_all
+               (fun ((lold : Workloads.Fuzz.libdef), lnew) ->
+                 let path = Workloads.Fuzz.lib_path lold in
+                 let resolve = Omos.Server.resolve_graph s in
+                 let graph () =
+                   Blueprint.Meta.effective_graph
+                     (Omos.Server.find_meta s path) ~spec:None
+                 in
+                 let old_tree = I.analyze ~resolve (graph ()) in
+                 Omos.Server.register_meta_source s path
+                   (Workloads.Fuzz.meta_source lnew);
+                 let new_tree = I.analyze ~resolve (graph ()) in
+                 let d = I.diff ~old_tree ~new_tree in
+                 let eval n = (Omos.Server.eval s n).Blueprint.Mgraph.m in
+                 let vo = I.verify ~eval ~old_tree ~new_tree d in
+                 vo.I.vo_failures = [])
+               changed)
+
 let () =
   Alcotest.run "analysis"
     [
@@ -376,6 +572,8 @@ let () =
             test_w102_override_overrides_nothing;
           Alcotest.test_case "W103 refreeze" `Quick test_w103_refreeze;
           Alcotest.test_case "W104 shadowed weak" `Quick test_w104_shadowed_weak;
+          Alcotest.test_case "W105 unstable subtree" `Quick
+            test_w105_unstable_subtree;
         ] );
       ( "exactness",
         [
@@ -390,10 +588,20 @@ let () =
           Alcotest.test_case "counters + provenance" `Quick
             test_registration_counters_and_provenance;
         ] );
+      ( "impact",
+        [
+          Alcotest.test_case "digests + stability" `Quick
+            test_impact_digests_and_stability;
+          Alcotest.test_case "diff verdicts + verify" `Quick
+            test_impact_diff_verdicts;
+          Alcotest.test_case "gensym replay after partial reuse" `Quick
+            test_gensym_replay_after_partial_reuse;
+        ] );
       ( "properties",
         [
           QCheck_alcotest.to_alcotest prop_partition;
           QCheck_alcotest.to_alcotest prop_dead_restrict_noop;
           QCheck_alcotest.to_alcotest prop_dead_hide_noop;
+          QCheck_alcotest.to_alcotest prop_edit_pairs_reused_byte_identical;
         ] );
     ]
